@@ -1,0 +1,23 @@
+//! AS-level metadata: the cloud-provider AS sets from the paper's
+//! Table 1, an AS registry, prefix→AS longest-prefix mapping, and the
+//! synthetic "rest of the Internet" prefix plan that stands in for a
+//! BGP-derived (routeviews-style) table.
+//!
+//! The paper attributes every query source address to an AS and then
+//! groups ASes into five cloud providers (CPs). The CP AS numbers here
+//! are the real, published ones the paper lists; everything else about
+//! the address plan is synthetic but structurally faithful (tens of
+//! thousands of ASes, a handful of prefixes each, both families).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cloud;
+pub mod mapping;
+pub mod registry;
+pub mod synth;
+
+pub use cloud::{Provider, ALL_PROVIDERS};
+pub use mapping::AsMapper;
+pub use registry::{AsInfo, AsKind, AsRegistry, Asn};
+pub use synth::{InternetPlan, PlanConfig};

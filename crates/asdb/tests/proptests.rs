@@ -1,0 +1,56 @@
+//! Property tests for the address plan: attribution coherence at any
+//! plan size and seed.
+
+use asdb::cloud::ALL_PROVIDERS;
+use asdb::synth::{InternetPlan, PlanConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every prefix the plan announces attributes back to its owner,
+    /// for any plan size and seed.
+    #[test]
+    fn plan_attribution_total(count in 1usize..400, seed in 0u64..1_000) {
+        let plan = InternetPlan::build(&PlanConfig {
+            other_as_count: count,
+            isp_fraction: 0.4,
+            v6_fraction: 0.3,
+            seed,
+        });
+        prop_assert_eq!(plan.as_count(), count + 20);
+        for other in plan.other_ases.iter().step_by((count / 16).max(1)) {
+            for p in other.v4.iter().chain(other.v6.iter()) {
+                prop_assert_eq!(plan.mapper.asn_of(p.network()), Some(other.asn));
+                prop_assert_eq!(plan.mapper.provider_of(p.network()), None);
+            }
+        }
+        // cloud pools always attribute to their provider
+        for provider in ALL_PROVIDERS {
+            for pool in provider.v4_pools().iter().take(2) {
+                let who = plan.mapper.provider_of(pool.network());
+                prop_assert_eq!(who, Some(provider), "{}", pool);
+            }
+        }
+    }
+
+    /// Public-DNS classification is a subset of provider attribution
+    /// for addresses the plan announces.
+    #[test]
+    fn public_dns_subset(seed in 0u64..1_000) {
+        let plan = InternetPlan::build(&PlanConfig {
+            other_as_count: 50,
+            isp_fraction: 0.4,
+            v6_fraction: 0.3,
+            seed,
+        });
+        for provider in ALL_PROVIDERS {
+            for range in provider.public_dns_ranges() {
+                let ip = range.network();
+                if plan.mapper.provider_of(ip).is_some() {
+                    prop_assert_eq!(plan.mapper.public_dns_provider(ip), Some(provider));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! End-to-end pipeline throughput: generation, ingestion, analysis.
+
+use bench::{quick, sample_capture_bytes};
+use criterion::{BatchSize, Criterion, Throughput};
+use dnscentral_core::analysis::DatasetAnalysis;
+use entrada::enrich::Enricher;
+use entrada::ingest::CaptureIngest;
+use netbase::capture::{CaptureReader, CaptureWriter};
+use simnet::engine::{plan_config_for, Engine};
+use simnet::profile::Vantage;
+use simnet::scenario::{dataset, Scale};
+
+fn benches(c: &mut Criterion) {
+    // generation throughput (queries/sec): one tiny B-Root day
+    let spec = dataset(Vantage::BRoot, 2020);
+    let engine = Engine::new(spec.clone(), Scale::tiny(), 3);
+    let total = engine.scaled_total();
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("generate_broot_tiny", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(4 << 20);
+            let mut w = CaptureWriter::new(&mut buf).expect("writer");
+            engine.generate(&mut w).expect("generation");
+            w.finish().expect("flush");
+            buf.len()
+        });
+    });
+
+    // ingestion throughput over a fixed capture
+    let capture = sample_capture_bytes();
+    let nz = dataset(Vantage::Nz, 2020);
+    group.throughput(Throughput::Bytes(capture.len() as u64));
+    group.bench_function("ingest_and_enrich", |b| {
+        b.iter_batched(
+            || {
+                let plan =
+                    asdb::synth::InternetPlan::build(&plan_config_for(&nz, Scale::tiny(), 7));
+                Enricher::new(plan.mapper)
+            },
+            |enricher| {
+                let reader = CaptureReader::new(&capture[..]).expect("valid header");
+                CaptureIngest::new(reader, enricher).count()
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    // analysis (aggregation) throughput over pre-ingested rows
+    let rows: Vec<entrada::schema::QueryRow> = {
+        let plan = asdb::synth::InternetPlan::build(&plan_config_for(&nz, Scale::tiny(), 7));
+        let reader = CaptureReader::new(&capture[..]).expect("valid header");
+        CaptureIngest::new(reader, Enricher::new(plan.mapper)).collect()
+    };
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.bench_function("aggregate_rows", |b| {
+        let zone = nz.zone.build();
+        b.iter(|| {
+            let mut analysis = DatasetAnalysis::new(zone.clone());
+            for row in &rows {
+                analysis.push(row);
+            }
+            analysis.total_queries
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    benches(&mut c);
+    c.final_summary();
+}

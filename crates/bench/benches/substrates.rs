@@ -1,0 +1,122 @@
+//! Substrate throughput: LPM lookups, zone classification, popularity
+//! sampling, resolver caches, distinct counting.
+
+use bench::quick;
+use criterion::Criterion;
+use entrada::agg::{DistinctCounter, HyperLogLog};
+use netbase::prefix::IpPrefix;
+use netbase::time::{SimDuration, SimTime};
+use netbase::trie::PrefixTrie;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::cache::{CacheKey, TtlCache};
+use std::net::{IpAddr, Ipv4Addr};
+use zonedb::popularity::ZipfSampler;
+use zonedb::zone::ZoneModel;
+
+fn build_trie(n: u32) -> PrefixTrie<u32> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut trie = PrefixTrie::new();
+    for i in 0..n {
+        let len = rng.gen_range(12..=24);
+        let p =
+            IpPrefix::new(IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())), len).expect("len in range");
+        trie.insert(p, i);
+    }
+    trie
+}
+
+fn benches(c: &mut Criterion) {
+    // the paper-scale table: ~40k+ origin prefixes
+    let trie = build_trie(45_000);
+    let probes: Vec<IpAddr> = {
+        let mut rng = StdRng::seed_from_u64(2);
+        (0..1024)
+            .map(|_| IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())))
+            .collect()
+    };
+    c.bench_function("substrates/lpm_trie_45k", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            trie.lookup(probes[i])
+        });
+    });
+
+    let zone = ZoneModel::nl(5_900_000);
+    let qnames: Vec<dns_wire::name::Name> =
+        (0..256).map(|i| zone.registered_domain(i * 9973)).collect();
+    c.bench_function("substrates/zone_classify_5.9M", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % qnames.len();
+            zone.classify(&qnames[i])
+        });
+    });
+
+    let zipf = ZipfSampler::new(5_900_000, 0.95);
+    c.bench_function("substrates/zipf_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| zipf.sample(&mut rng));
+    });
+
+    c.bench_function("substrates/ttl_cache_lookup_insert", |b| {
+        let mut cache = TtlCache::new(4096);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut now = SimTime::from_unix_secs(0);
+        b.iter(|| {
+            now += SimDuration::from_millis(50);
+            let key = CacheKey {
+                domain: rng.gen_range(0..8192),
+                rtype: 1,
+            };
+            if !cache.lookup(key, now) {
+                cache.insert(key, now, SimDuration::from_secs(3600));
+            }
+        });
+    });
+
+    c.bench_function("substrates/distinct_exact_observe", |b| {
+        let mut d: DistinctCounter<u64> = DistinctCounter::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| d.observe(rng.gen_range(0..2_000_000u64)));
+    });
+
+    c.bench_function("substrates/distinct_hll_observe", |b| {
+        let mut h = HyperLogLog::new(12);
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| h.observe(&rng.gen_range(0..2_000_000u64)));
+    });
+
+    // full iterative resolution walks (cold cache each iteration)
+    for (label, qmin) in [("resolve_classic", false), ("resolve_qmin", true)] {
+        c.bench_function(&format!("substrates/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        resolver::hierarchy::sample_world(),
+                        resolver::IterativeResolver::new(resolver::ResolverConfig {
+                            qmin,
+                            ..Default::default()
+                        }),
+                    )
+                },
+                |(mut net, mut r)| {
+                    r.resolve(
+                        &mut net,
+                        &"www.example.nl.".parse().unwrap(),
+                        dns_wire::types::RType::A,
+                    )
+                    .expect("resolves")
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn main() {
+    let mut c = quick();
+    benches(&mut c);
+    c.final_summary();
+}

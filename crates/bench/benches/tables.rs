@@ -1,0 +1,84 @@
+//! Exhibit regenerators, tables: each bench rebuilds one table of the
+//! paper from a shared pipeline run, printing the rows once (stderr) and
+//! timing the table's analysis stage.
+
+use bench::{quick, shared_broot2020, shared_nl2020};
+use criterion::Criterion;
+use dnscentral_core::{metrics, report, transport};
+
+/// Setup-time exhibit dump (runs once per bench binary invocation).
+fn print_once(what: &str, body: &str) {
+    eprintln!("\n--- regenerated {what} ---\n{body}");
+}
+
+fn benches(c: &mut Criterion) {
+    // Table 1 is static ground truth.
+    print_once("Table 1", &report::render_table1());
+    c.bench_function("tables/table1_render", |b| b.iter(report::render_table1));
+
+    let nl = shared_nl2020();
+    let broot = shared_broot2020();
+
+    // Table 3: dataset summaries.
+    let summaries = vec![
+        metrics::dataset_summary(&nl.id, &nl.analysis),
+        metrics::dataset_summary(&broot.id, &broot.analysis),
+    ];
+    print_once("Table 3 (scaled)", &report::render_table3(&summaries));
+    c.bench_function("tables/table3_dataset_summary", |b| {
+        b.iter(|| metrics::dataset_summary(&nl.id, &nl.analysis))
+    });
+
+    // Table 4: the Google split.
+    print_once(
+        "Table 4 (scaled)",
+        &report::render_table4(&[metrics::google_split(&nl.id, &nl.analysis)]),
+    );
+    c.bench_function("tables/table4_google_split", |b| {
+        b.iter(|| metrics::google_split(&nl.id, &nl.analysis))
+    });
+
+    // Table 5: transport distribution.
+    print_once(
+        "Table 5 (scaled)",
+        &report::render_table5(&[transport::transport_report(&nl.id, &nl.analysis)]),
+    );
+    c.bench_function("tables/table5_transport", |b| {
+        b.iter(|| transport::transport_report(&nl.id, &nl.analysis))
+    });
+
+    // Table 6: resolver families.
+    let t6: Vec<(String, transport::ResolverFamilyRow)> = [
+        asdb::cloud::Provider::Amazon,
+        asdb::cloud::Provider::Microsoft,
+    ]
+    .iter()
+    .map(|&p| (nl.id.clone(), transport::resolver_families(&nl.analysis, p)))
+    .collect();
+    print_once("Table 6 (scaled)", &report::render_table6(&t6));
+    c.bench_function("tables/table6_resolver_families", |b| {
+        b.iter(|| transport::resolver_families(&nl.analysis, asdb::cloud::Provider::Amazon))
+    });
+
+    // Table 2 is scenario configuration; render it from the specs.
+    c.bench_function("tables/table2_zone_specs", |b| {
+        b.iter(|| {
+            use simnet::profile::Vantage;
+            use simnet::scenario::dataset;
+            let mut acc = 0u64;
+            for v in [Vantage::Nl, Vantage::Nz] {
+                for y in [2018u16, 2019, 2020] {
+                    let spec = dataset(v, y);
+                    acc += spec.servers.len() as u64 + spec.total_queries % 97;
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn main() {
+    let mut c = quick();
+    benches(&mut c);
+    c.final_summary();
+}

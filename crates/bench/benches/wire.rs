@@ -1,0 +1,109 @@
+//! Wire-codec throughput: name and message encode/decode, EDNS.
+
+use bench::quick;
+use criterion::{BatchSize, Criterion};
+use dns_wire::builder::MessageBuilder;
+use dns_wire::message::Message;
+use dns_wire::name::{Name, NameCompressor};
+use dns_wire::rdata::RData;
+use dns_wire::types::{RType, Rcode};
+
+fn sample_names() -> Vec<Name> {
+    (0..64)
+        .map(|i| {
+            format!(
+                "{}.example{}.nl.",
+                zonedb::names::encode_label(i * 977),
+                i % 7
+            )
+            .parse()
+            .expect("generated names parse")
+        })
+        .collect()
+}
+
+fn sample_response() -> Message {
+    let qname: Name = "www.bankexample.nl.".parse().expect("static");
+    let q = MessageBuilder::query(77, qname.clone(), RType::A)
+        .with_edns(1232, true)
+        .build();
+    MessageBuilder::response(&q, Rcode::NoError)
+        .authority(
+            "bankexample.nl.".parse().expect("static"),
+            3600,
+            RData::Ns("ns1.bankexample.nl.".parse().expect("static")),
+        )
+        .authority(
+            "bankexample.nl.".parse().expect("static"),
+            3600,
+            RData::Ns("ns2.bankexample.nl.".parse().expect("static")),
+        )
+        .authority(
+            "bankexample.nl.".parse().expect("static"),
+            3600,
+            RData::Ds {
+                key_tag: 1,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![9; 32],
+            },
+        )
+        .additional(
+            "ns1.bankexample.nl.".parse().expect("static"),
+            3600,
+            RData::A("192.0.2.1".parse().expect("static")),
+        )
+        .build()
+}
+
+fn benches(c: &mut Criterion) {
+    let names = sample_names();
+    c.bench_function("wire/name_parse", |b| {
+        let wires: Vec<Vec<u8>> = names
+            .iter()
+            .map(|n| {
+                let mut v = Vec::new();
+                n.encode_uncompressed(&mut v);
+                v
+            })
+            .collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % wires.len();
+            Name::parse(&wires[i], 0).expect("valid")
+        });
+    });
+
+    c.bench_function("wire/name_encode_compressed", |b| {
+        b.iter_batched(
+            || (NameCompressor::new(), Vec::with_capacity(2048)),
+            |(mut comp, mut out)| {
+                for n in &names {
+                    comp.encode(n, &mut out);
+                }
+                out
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let resp = sample_response();
+    c.bench_function("wire/message_encode", |b| {
+        b.iter(|| resp.encode().expect("encodes"));
+    });
+
+    let bytes = resp.encode().expect("encodes");
+    c.bench_function("wire/message_parse", |b| {
+        b.iter(|| Message::parse(&bytes).expect("parses"));
+    });
+
+    c.bench_function("wire/encode_with_limit_truncating", |b| {
+        b.iter(|| resp.encode_with_limit(100 + bytes.len() / 2).expect("fits"));
+    });
+}
+
+fn main() {
+    let mut c = quick();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,53 @@
+#![forbid(unsafe_code)]
+//! Shared helpers for the benchmark harness.
+//!
+//! The benches in `benches/` fall into two groups:
+//!
+//! - **Exhibit regenerators** (`tables.rs`, `figures.rs`): each bench
+//!   regenerates one table or figure of the paper end-to-end, prints the
+//!   rows/series once at setup, and times the analysis stage (the part
+//!   whose performance a warehouse operator cares about).
+//! - **Component benches** (`wire.rs`, `substrates.rs`, `pipeline.rs`,
+//!   `ablations.rs`): throughput of the wire codec, LPM, caches, the
+//!   generation engine, and the design-choice ablations DESIGN.md §6
+//!   calls out.
+
+use dnscentral_core::experiments::{run_dataset, DatasetRun};
+use simnet::profile::Vantage;
+use simnet::scenario::Scale;
+use std::sync::OnceLock;
+
+/// A shared tiny-scale `.nl` w2020 run for analysis benches.
+pub fn shared_nl2020() -> &'static DatasetRun {
+    static RUN: OnceLock<DatasetRun> = OnceLock::new();
+    RUN.get_or_init(|| run_dataset(Vantage::Nl, 2020, Scale::tiny(), 42))
+}
+
+/// A shared tiny-scale B-Root 2020 run.
+pub fn shared_broot2020() -> &'static DatasetRun {
+    static RUN: OnceLock<DatasetRun> = OnceLock::new();
+    RUN.get_or_init(|| run_dataset(Vantage::BRoot, 2020, Scale::tiny(), 42))
+}
+
+/// Criterion settings that keep the full `cargo bench` run in minutes:
+/// exhibit benches measure seconds-long pipelines, so fewer samples.
+pub fn quick() -> criterion::Criterion {
+    use core::time::Duration;
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// Regenerate the rows of a tiny capture for codec benches.
+pub fn sample_capture_bytes() -> Vec<u8> {
+    use netbase::capture::CaptureWriter;
+    use simnet::engine::Engine;
+    use simnet::scenario::dataset;
+    let engine = Engine::new(dataset(Vantage::Nz, 2020), Scale::tiny(), 7);
+    let mut buf = Vec::new();
+    let mut w = CaptureWriter::new(&mut buf).expect("in-memory writer");
+    engine.generate(&mut w).expect("generation");
+    w.finish().expect("flush");
+    buf
+}

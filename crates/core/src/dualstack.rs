@@ -1,0 +1,321 @@
+//! The Facebook dual-stack analysis of §4.3 / Figures 5 and 8.
+//!
+//! Pipeline, exactly as the paper describes it:
+//! 1. reverse-look-up every address that sent Facebook queries;
+//! 2. parse the site (airport code) and, where present, the embedded
+//!    IPv4 address out of the PTR name;
+//! 3. join v4/v6 addresses on the embedded-IPv4 key → dual-stack
+//!    resolvers;
+//! 4. per site and per analyzed server: query volumes by family, and
+//!    the median TCP-handshake RTT by family.
+
+use asdb::cloud::Provider;
+use entrada::agg::Cdf;
+use entrada::schema::QueryRow;
+use netbase::flow::{IpVersion, Transport};
+use serde::Serialize;
+use simnet::ptr::{parse_fb_ptr, PtrDb};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// Per-(site, server) accumulators.
+#[derive(Debug, Default)]
+struct SiteServerAgg {
+    q_v4: u64,
+    q_v6: u64,
+    rtt_v4: Cdf,
+    rtt_v6: Cdf,
+}
+
+/// The analysis state.
+pub struct DualStackAnalysis {
+    /// site code -> per-server aggregates (keyed by canonical server
+    /// address; a server's v6 service address maps to its v4 one).
+    sites: HashMap<String, HashMap<IpAddr, SiteServerAgg>>,
+    /// server v6 address -> canonical (v4) address.
+    server_alias: HashMap<IpAddr, IpAddr>,
+    /// dual-stack join: embedded v4 key -> set of source addresses.
+    join: HashMap<(String, std::net::Ipv4Addr), HashSet<IpAddr>>,
+    /// addresses that had no PTR record at all.
+    pub no_ptr: HashSet<IpAddr>,
+    /// addresses whose PTR lacked the embedded IPv4 (the 13th site).
+    pub unjoinable: HashSet<IpAddr>,
+}
+
+/// One row of the Figure 5 output for a chosen server.
+#[derive(Debug, Clone, Serialize)]
+pub struct SiteReport {
+    /// Rank by total query volume (1 = the dominant site, as in the
+    /// paper's "location 1").
+    pub rank: usize,
+    /// Airport-style site code.
+    pub site: String,
+    /// IPv4 queries to the chosen server.
+    pub queries_v4: u64,
+    /// IPv6 queries to the chosen server.
+    pub queries_v6: u64,
+    /// IPv6 share at this site/server.
+    pub v6_ratio: f64,
+    /// Median TCP handshake RTT over IPv4, microseconds (None = no TCP
+    /// observed — true of the dominant site in the paper).
+    pub median_rtt_v4_us: Option<u64>,
+    /// Median TCP handshake RTT over IPv6, microseconds.
+    pub median_rtt_v6_us: Option<u64>,
+}
+
+impl Default for DualStackAnalysis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DualStackAnalysis {
+    /// Fresh state.
+    pub fn new() -> Self {
+        DualStackAnalysis {
+            sites: HashMap::new(),
+            server_alias: HashMap::new(),
+            join: HashMap::new(),
+            no_ptr: HashSet::new(),
+            unjoinable: HashSet::new(),
+        }
+    }
+
+    /// As [`DualStackAnalysis::new`], registering the analyzed servers
+    /// so each server's v4 and v6 service addresses aggregate together
+    /// (both families serve the same anycast instance).
+    pub fn with_servers(servers: &[simnet::auth::ServerSpec]) -> Self {
+        let mut out = Self::new();
+        for s in servers {
+            out.server_alias.insert(IpAddr::V6(s.v6), IpAddr::V4(s.v4));
+        }
+        out
+    }
+
+    /// Feed one row (non-Facebook rows are ignored). `ptr` is the
+    /// reverse-DNS view the analyst queries.
+    pub fn push(&mut self, row: &QueryRow, ptr: &PtrDb) {
+        if row.provider != Some(Provider::Facebook) {
+            return;
+        }
+        let Some(name) = ptr.lookup(row.src) else {
+            self.no_ptr.insert(row.src);
+            return;
+        };
+        let Some((site, embedded)) = parse_fb_ptr(name) else {
+            return;
+        };
+        match embedded {
+            Some(v4key) => {
+                self.join
+                    .entry((site.clone(), v4key))
+                    .or_default()
+                    .insert(row.src);
+            }
+            None => {
+                self.unjoinable.insert(row.src);
+            }
+        }
+        let server = self
+            .server_alias
+            .get(&row.server)
+            .copied()
+            .unwrap_or(row.server);
+        let agg = self
+            .sites
+            .entry(site)
+            .or_default()
+            .entry(server)
+            .or_default();
+        match row.ip_version() {
+            IpVersion::V4 => agg.q_v4 += 1,
+            IpVersion::V6 => agg.q_v6 += 1,
+        }
+        if row.transport == Transport::Tcp && row.tcp_rtt_us > 0 {
+            match row.ip_version() {
+                IpVersion::V4 => agg.rtt_v4.add(row.tcp_rtt_us as u64),
+                IpVersion::V6 => agg.rtt_v6.add(row.tcp_rtt_us as u64),
+            }
+        }
+    }
+
+    /// Number of identified dual-stack resolvers (both families seen
+    /// for the same embedded-v4 join key).
+    pub fn dual_stack_resolvers(&self) -> usize {
+        self.join
+            .values()
+            .filter(|addrs| addrs.iter().any(|a| a.is_ipv4()) && addrs.iter().any(|a| a.is_ipv6()))
+            .count()
+    }
+
+    /// Distinct sites observed.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Figure 5 for one analyzed server: sites ranked by *overall*
+    /// volume (so "location 1" is stable across servers, like the
+    /// paper's numbering), with per-server family mixes and RTTs.
+    pub fn report_for_server(&mut self, server: IpAddr) -> Vec<SiteReport> {
+        let mut order: Vec<(String, u64)> = self
+            .sites
+            .iter()
+            .map(|(site, per_server)| {
+                let total: u64 = per_server.values().map(|a| a.q_v4 + a.q_v6).sum();
+                (site.clone(), total)
+            })
+            .collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        order
+            .into_iter()
+            .enumerate()
+            .map(|(i, (site, _))| {
+                let agg = self
+                    .sites
+                    .get_mut(&site)
+                    .expect("site present")
+                    .entry(server)
+                    .or_default();
+                let total = agg.q_v4 + agg.q_v6;
+                SiteReport {
+                    rank: i + 1,
+                    site,
+                    queries_v4: agg.q_v4,
+                    queries_v6: agg.q_v6,
+                    v6_ratio: if total == 0 {
+                        0.0
+                    } else {
+                        agg.q_v6 as f64 / total as f64
+                    },
+                    median_rtt_v4_us: if agg.rtt_v4.is_empty() {
+                        None
+                    } else {
+                        Some(agg.rtt_v4.median())
+                    },
+                    median_rtt_v6_us: if agg.rtt_v6.is_empty() {
+                        None
+                    } else {
+                        Some(agg.rtt_v6.median())
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::types::{RType, Rcode};
+    use netbase::time::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn row(src: &str, server: &str, tcp: bool, rtt: u32) -> QueryRow {
+        QueryRow {
+            timestamp: SimTime::from_date(2020, 4, 7),
+            src: src.parse().unwrap(),
+            src_port: 1,
+            server: server.parse().unwrap(),
+            transport: if tcp { Transport::Tcp } else { Transport::Udp },
+            qname: "example.nl.".parse().unwrap(),
+            qtype: RType::A,
+            edns_size: Some(512),
+            do_bit: true,
+            rcode: Some(Rcode::NoError),
+            response_size: Some(100),
+            response_truncated: false,
+            tcp_rtt_us: rtt,
+            asn: Some(Provider::Facebook.asns()[0]),
+            provider: Some(Provider::Facebook),
+            public_dns: false,
+        }
+    }
+
+    fn setup() -> (PtrDb, DualStackAnalysis) {
+        let mut ptr = PtrDb::new();
+        let v4a: Ipv4Addr = "157.240.1.1".parse().unwrap();
+        ptr.register_dual_stack("ams", 1, v4a, "2a03:2880::1:1".parse().unwrap(), true);
+        let v4b: Ipv4Addr = "157.240.2.2".parse().unwrap();
+        ptr.register_dual_stack("sjc", 2, v4b, "2a03:2880::2:2".parse().unwrap(), false);
+        (ptr, DualStackAnalysis::new())
+    }
+
+    const SERVER_A: &str = "194.0.28.53";
+    const SERVER_B: &str = "185.159.198.53";
+
+    #[test]
+    fn join_identifies_dual_stack() {
+        let (ptr, mut a) = setup();
+        a.push(&row("157.240.1.1", SERVER_A, false, 0), &ptr);
+        a.push(&row("2a03:2880::1:1", SERVER_A, false, 0), &ptr);
+        assert_eq!(a.dual_stack_resolvers(), 1);
+        // the no-embedded-v4 site cannot be joined
+        a.push(&row("157.240.2.2", SERVER_A, false, 0), &ptr);
+        a.push(&row("2a03:2880::2:2", SERVER_A, false, 0), &ptr);
+        assert_eq!(a.dual_stack_resolvers(), 1);
+        assert_eq!(a.unjoinable.len(), 2);
+        assert_eq!(a.site_count(), 2);
+    }
+
+    #[test]
+    fn missing_ptr_is_recorded() {
+        let (mut ptr, mut a) = setup();
+        ptr.remove("157.240.1.1".parse().unwrap());
+        a.push(&row("157.240.1.1", SERVER_A, false, 0), &ptr);
+        assert_eq!(a.no_ptr.len(), 1);
+        assert_eq!(a.site_count(), 0);
+    }
+
+    #[test]
+    fn per_server_family_mix_and_rtt() {
+        let (ptr, mut a) = setup();
+        // ams: 3 v6 + 1 v4 to server A; TCP RTTs differ by family
+        a.push(&row("2a03:2880::1:1", SERVER_A, true, 30_000), &ptr);
+        a.push(&row("2a03:2880::1:1", SERVER_A, true, 32_000), &ptr);
+        a.push(&row("2a03:2880::1:1", SERVER_A, false, 0), &ptr);
+        a.push(&row("157.240.1.1", SERVER_A, true, 20_000), &ptr);
+        // and some server-B traffic that must not leak into A's report
+        a.push(&row("157.240.1.1", SERVER_B, false, 0), &ptr);
+        let report = a.report_for_server(SERVER_A.parse().unwrap());
+        let ams = report.iter().find(|r| r.site == "ams").unwrap();
+        assert_eq!(ams.queries_v4, 1);
+        assert_eq!(ams.queries_v6, 3);
+        assert!((ams.v6_ratio - 0.75).abs() < 1e-12);
+        assert_eq!(ams.median_rtt_v4_us, Some(20_000));
+        // nearest-rank median of [30000, 32000]
+        assert_eq!(ams.median_rtt_v6_us, Some(30_000));
+    }
+
+    #[test]
+    fn ranking_is_by_overall_volume() {
+        let (ptr, mut a) = setup();
+        for _ in 0..10 {
+            a.push(&row("157.240.2.2", SERVER_A, false, 0), &ptr);
+        }
+        a.push(&row("157.240.1.1", SERVER_A, false, 0), &ptr);
+        let report = a.report_for_server(SERVER_A.parse().unwrap());
+        assert_eq!(report[0].site, "sjc");
+        assert_eq!(report[0].rank, 1);
+        assert_eq!(report[1].site, "ams");
+    }
+
+    #[test]
+    fn site_without_tcp_has_no_rtt() {
+        let (ptr, mut a) = setup();
+        a.push(&row("157.240.1.1", SERVER_A, false, 0), &ptr);
+        let report = a.report_for_server(SERVER_A.parse().unwrap());
+        let ams = report.iter().find(|r| r.site == "ams").unwrap();
+        assert_eq!(ams.median_rtt_v4_us, None);
+        assert_eq!(ams.median_rtt_v6_us, None);
+    }
+
+    #[test]
+    fn non_facebook_rows_ignored() {
+        let (ptr, mut a) = setup();
+        let mut r = row("8.8.8.8", SERVER_A, false, 0);
+        r.provider = Some(Provider::Google);
+        a.push(&r, &ptr);
+        assert_eq!(a.site_count(), 0);
+        assert!(a.no_ptr.is_empty());
+    }
+}

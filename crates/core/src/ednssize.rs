@@ -1,0 +1,155 @@
+//! EDNS(0) UDP message-size analysis: Figure 6's CDF and the §4.4
+//! truncation rates it explains.
+
+use crate::analysis::DatasetAnalysis;
+use asdb::cloud::{Provider, ALL_PROVIDERS};
+use serde::Serialize;
+
+/// The size points the paper's Figure 6 x-axis spans.
+pub const CDF_POINTS: [u64; 8] = [512, 1024, 1232, 1400, 2048, 4096, 8192, 65535];
+
+/// Figure 6 for one provider.
+#[derive(Debug, Clone, Serialize)]
+pub struct EdnsCdfReport {
+    /// Provider name.
+    pub provider: String,
+    /// `(size, P(advertised ≤ size))` at [`CDF_POINTS`].
+    pub curve: Vec<(u64, f64)>,
+    /// UDP queries with EDNS present.
+    pub samples: u64,
+    /// Fraction of UDP answers truncated (§4.4; Facebook 17.16% vs
+    /// Google 0.04% / Microsoft 0.01% in w2020 `.nl`).
+    pub truncation_ratio: f64,
+    /// Median size of the provider's (untruncated) UDP answers, octets.
+    pub median_response_size: Option<u64>,
+}
+
+/// Build the Figure 6 curves for every provider.
+pub fn edns_report(a: &mut DatasetAnalysis) -> Vec<EdnsCdfReport> {
+    ALL_PROVIDERS
+        .iter()
+        .map(|&p| edns_report_for(a, p))
+        .collect()
+}
+
+/// Build one provider's curve.
+pub fn edns_report_for(a: &mut DatasetAnalysis, provider: Provider) -> EdnsCdfReport {
+    let agg = a.provider_mut(Some(provider));
+    let samples = agg.edns_sizes.len() as u64;
+    let curve = agg.edns_sizes.curve(&CDF_POINTS);
+    let median_response_size = if agg.response_sizes.is_empty() {
+        None
+    } else {
+        Some(agg.response_sizes.median())
+    };
+    EdnsCdfReport {
+        provider: provider.name().to_string(),
+        curve,
+        samples,
+        truncation_ratio: agg.truncation_ratio(),
+        median_response_size,
+    }
+}
+
+impl EdnsCdfReport {
+    /// P(advertised size ≤ `size`).
+    pub fn fraction_at_most(&self, size: u64) -> f64 {
+        self.curve
+            .iter()
+            .filter(|(x, _)| *x <= size)
+            .map(|(_, f)| *f)
+            .next_back()
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::types::{RType, Rcode};
+    use entrada::schema::QueryRow;
+    use netbase::flow::Transport;
+    use netbase::time::SimTime;
+    use zonedb::zone::ZoneModel;
+
+    fn push(a: &mut DatasetAnalysis, provider: Provider, edns: u16, truncated: bool) {
+        let row = QueryRow {
+            timestamp: SimTime::from_date(2020, 4, 7),
+            src: "31.13.64.1".parse().unwrap(),
+            src_port: 1,
+            server: "194.0.28.53".parse().unwrap(),
+            transport: Transport::Udp,
+            qname: "example.nl.".parse().unwrap(),
+            qtype: RType::A,
+            edns_size: Some(edns),
+            do_bit: true,
+            rcode: Some(Rcode::NoError),
+            response_size: Some(400),
+            response_truncated: truncated,
+            tcp_rtt_us: 0,
+            asn: Some(provider.asns()[0]),
+            provider: Some(provider),
+            public_dns: false,
+        };
+        a.push(&row);
+    }
+
+    #[test]
+    fn facebook_style_cdf() {
+        let mut a = DatasetAnalysis::new(ZoneModel::nl(10));
+        for _ in 0..30 {
+            push(&mut a, Provider::Facebook, 512, true);
+        }
+        for _ in 0..70 {
+            push(&mut a, Provider::Facebook, 4096, false);
+        }
+        let r = edns_report_for(&mut a, Provider::Facebook);
+        assert_eq!(r.samples, 100);
+        assert!((r.fraction_at_most(512) - 0.30).abs() < 1e-12);
+        assert!((r.fraction_at_most(1232) - 0.30).abs() < 1e-12);
+        assert!((r.fraction_at_most(4096) - 1.0).abs() < 1e-12);
+        assert!((r.truncation_ratio - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn google_style_cdf() {
+        let mut a = DatasetAnalysis::new(ZoneModel::nl(10));
+        for _ in 0..24 {
+            push(&mut a, Provider::Google, 1232, false);
+        }
+        for _ in 0..76 {
+            push(&mut a, Provider::Google, 4096, false);
+        }
+        let r = edns_report_for(&mut a, Provider::Google);
+        assert!((r.fraction_at_most(512)).abs() < 1e-12);
+        assert!((r.fraction_at_most(1232) - 0.24).abs() < 1e-12);
+        assert_eq!(r.truncation_ratio, 0.0);
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        let mut a = DatasetAnalysis::new(ZoneModel::nl(10));
+        for s in [512u16, 1232, 1400, 4096, 8192] {
+            for _ in 0..5 {
+                push(&mut a, Provider::Amazon, s, false);
+            }
+        }
+        let r = edns_report_for(&mut a, Provider::Amazon);
+        for w in r.curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((r.curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_providers_reported() {
+        let mut a = DatasetAnalysis::new(ZoneModel::nl(10));
+        push(&mut a, Provider::Google, 1232, false);
+        let all = edns_report(&mut a);
+        assert_eq!(all.len(), 5);
+        assert!(all.iter().any(|r| r.provider == "Google" && r.samples == 1));
+        assert!(all
+            .iter()
+            .any(|r| r.provider == "Microsoft" && r.samples == 0));
+    }
+}

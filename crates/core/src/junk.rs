@@ -1,0 +1,223 @@
+//! Junk-traffic analysis: Figure 4 (per-provider junk ratios) and the
+//! §3 vantage-wide junk overview.
+
+use crate::analysis::DatasetAnalysis;
+use asdb::cloud::ALL_PROVIDERS;
+use dns_wire::name::Name;
+use serde::Serialize;
+
+/// Figure 4 for one dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct JunkReport {
+    /// Dataset identifier.
+    pub id: String,
+    /// Vantage-wide junk ratio (1 - Table 3's valid fraction).
+    pub overall: f64,
+    /// `(provider, junk ratio)` in paper order.
+    pub per_provider: Vec<(String, f64)>,
+    /// Junk ratio of the non-CP remainder.
+    pub other: f64,
+}
+
+/// Build the Figure 4 panel.
+pub fn junk_report(id: &str, a: &DatasetAnalysis) -> JunkReport {
+    JunkReport {
+        id: id.to_string(),
+        overall: 1.0 - a.valid_fraction(),
+        per_provider: ALL_PROVIDERS
+            .iter()
+            .map(|&p| (p.name().to_string(), a.provider(Some(p)).junk_ratio()))
+            .collect(),
+        other: a.provider(None).junk_ratio(),
+    }
+}
+
+impl JunkReport {
+    /// The paper's root-vantage observation: every CP's junk ratio sits
+    /// below the vantage-wide ratio. True at B-Root, not at ccTLDs.
+    pub fn all_providers_below_overall(&self) -> bool {
+        self.per_provider.iter().all(|(_, r)| *r < self.overall)
+    }
+}
+
+/// Does a qname look like a Chromium network-probe (the single random
+/// 7-15 letter label that came to dominate root junk after 2019 —
+/// §3's "intentionally generate random, non-existing TLD names")?
+///
+/// At the root the probe is the whole qname; ccTLD leaks append the
+/// TLD, so the test looks at the leftmost label of a 1-2 label name.
+pub fn looks_like_chromium_probe(qname: &Name) -> bool {
+    if qname.label_count() > 2 {
+        return false;
+    }
+    let Some(label) = qname.labels().next() else {
+        return false;
+    };
+    (7..=15).contains(&label.len()) && label.iter().all(|b| b.is_ascii_lowercase())
+}
+
+/// A streaming classifier over junk rows: what share of a vantage's
+/// junk is Chromium-shaped? (The paper: root junk grew sharply once
+/// Chromium-based browsers began probing.)
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct ChromiumProbeStats {
+    /// Junk (non-NOERROR) queries inspected.
+    pub junk_queries: u64,
+    /// Of those, Chromium-probe-shaped qnames.
+    pub probe_shaped: u64,
+}
+
+impl ChromiumProbeStats {
+    /// Feed one row (non-junk rows are ignored).
+    pub fn push(&mut self, row: &entrada::schema::QueryRow) {
+        if !row.is_junk() {
+            return;
+        }
+        self.junk_queries += 1;
+        if looks_like_chromium_probe(&row.qname) {
+            self.probe_shaped += 1;
+        }
+    }
+
+    /// The probe-shaped share of junk.
+    pub fn probe_share(&self) -> f64 {
+        if self.junk_queries == 0 {
+            0.0
+        } else {
+            self.probe_shaped as f64 / self.junk_queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::types::{RType, Rcode};
+    use entrada::schema::QueryRow;
+    use netbase::flow::Transport;
+    use netbase::time::SimTime;
+    use zonedb::zone::ZoneModel;
+
+    fn push(a: &mut DatasetAnalysis, provider: Option<asdb::cloud::Provider>, junk: bool) {
+        let row = QueryRow {
+            timestamp: SimTime::from_date(2020, 5, 6),
+            src: if provider.is_some() {
+                "8.8.8.8".parse().unwrap()
+            } else {
+                "192.0.9.1".parse().unwrap()
+            },
+            src_port: 1,
+            server: "199.9.14.201".parse().unwrap(),
+            transport: Transport::Udp,
+            qname: "example.com.".parse().unwrap(),
+            qtype: RType::A,
+            edns_size: None,
+            do_bit: false,
+            rcode: Some(if junk {
+                Rcode::NxDomain
+            } else {
+                Rcode::NoError
+            }),
+            response_size: Some(50),
+            response_truncated: false,
+            tcp_rtt_us: 0,
+            asn: None,
+            provider,
+            public_dns: false,
+        };
+        a.push(&row);
+    }
+
+    #[test]
+    fn root_style_junk_profile() {
+        use asdb::cloud::Provider;
+        let mut a = DatasetAnalysis::new(ZoneModel::root(100));
+        // CPs: 25% junk; others: 90% junk; overall high
+        for p in [
+            Provider::Google,
+            Provider::Amazon,
+            Provider::Microsoft,
+            Provider::Facebook,
+            Provider::Cloudflare,
+        ] {
+            for i in 0..8 {
+                push(&mut a, Some(p), i < 2);
+            }
+        }
+        for i in 0..100 {
+            push(&mut a, None, i < 90);
+        }
+        let r = junk_report("broot", &a);
+        assert!((r.overall - 100.0 / 140.0).abs() < 1e-9);
+        assert!(r.all_providers_below_overall());
+        assert!((r.other - 0.9).abs() < 1e-12);
+        for (_, ratio) in &r.per_provider {
+            assert!((*ratio - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chromium_probe_classifier() {
+        let probe: Name = "qwkzlpahd.".parse().unwrap();
+        assert!(looks_like_chromium_probe(&probe));
+        let leaked: Name = "qwkzlpahd.nl.".parse().unwrap();
+        assert!(looks_like_chromium_probe(&leaked));
+        // too short / too long / digits / deep names: no
+        for s in [
+            "ab.",
+            "averyveryverylonglabel.",
+            "abc123defg.",
+            "www.example.nl.",
+        ] {
+            let n: Name = s.parse().unwrap();
+            assert!(!looks_like_chromium_probe(&n), "{s}");
+        }
+    }
+
+    #[test]
+    fn chromium_stats_stream() {
+        let mk = |qname: &str, junk: bool| QueryRow {
+            timestamp: SimTime::from_date(2020, 5, 6),
+            src: "192.0.9.1".parse().unwrap(),
+            src_port: 1,
+            server: "199.9.14.201".parse().unwrap(),
+            transport: Transport::Udp,
+            qname: qname.parse().unwrap(),
+            qtype: RType::A,
+            edns_size: None,
+            do_bit: false,
+            rcode: Some(if junk {
+                Rcode::NxDomain
+            } else {
+                Rcode::NoError
+            }),
+            response_size: Some(50),
+            response_truncated: false,
+            tcp_rtt_us: 0,
+            asn: None,
+            provider: None,
+            public_dns: false,
+        };
+        let mut stats = ChromiumProbeStats::default();
+        stats.push(&mk("qlwkejralsk.", true));
+        stats.push(&mk("stalename9.", true));
+        stats.push(&mk("example.com.", false)); // valid: ignored
+        assert_eq!(stats.junk_queries, 2);
+        assert_eq!(stats.probe_shaped, 1);
+        assert!((stats.probe_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cctld_profile_not_all_below() {
+        use asdb::cloud::Provider;
+        let mut a = DatasetAnalysis::new(ZoneModel::nl(100));
+        for i in 0..10 {
+            push(&mut a, Some(Provider::Microsoft), i < 3); // 30% junk CP
+        }
+        for i in 0..90 {
+            push(&mut a, None, i < 9); // 10% junk others
+        }
+        let r = junk_report("nl", &a);
+        assert!(!r.all_providers_below_overall());
+    }
+}

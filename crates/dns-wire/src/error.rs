@@ -1,0 +1,112 @@
+//! Error types for wire-format parsing and encoding.
+
+use core::fmt;
+
+/// Errors produced while parsing or encoding DNS wire data.
+///
+/// Parsing untrusted bytes must never panic; every malformed-input
+/// condition maps to a variant here so callers (the analytics pipeline's
+/// ingest stage) can count and skip bad frames, as ENTRADA does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before a complete field could be read.
+    Truncated {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// A domain-name label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// An assembled domain name exceeded 255 octets.
+    NameTooLong(usize),
+    /// A compression pointer pointed at or after its own position,
+    /// or the pointer chain exceeded the hop limit (loop protection).
+    BadPointer {
+        /// Offset of the offending pointer.
+        at: usize,
+        /// Target the pointer referenced.
+        target: usize,
+    },
+    /// A label length byte used the reserved 0b10/0b01 prefixes.
+    BadLabelType(u8),
+    /// RDLENGTH disagreed with the actual RDATA encoding.
+    BadRdataLength {
+        /// Declared RDLENGTH.
+        declared: usize,
+        /// Bytes actually consumed.
+        consumed: usize,
+    },
+    /// An OPT record appeared somewhere other than the additional section,
+    /// or more than one OPT record was present (RFC 6891 §6.1.1).
+    MalformedEdns,
+    /// A count field in the header promised more records than the body held.
+    CountMismatch {
+        /// Which section the mismatch was in.
+        section: &'static str,
+    },
+    /// A text string (TXT character-string) exceeded 255 octets on encode.
+    StringTooLong(usize),
+    /// The message would not fit the requested size limit and could not be
+    /// truncated to fit (even an empty answer set overflows).
+    WontFit {
+        /// The size limit that could not be met.
+        limit: usize,
+    },
+    /// A name string could not be parsed (empty label, bad escape, etc.).
+    BadNameString,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset } => {
+                write!(f, "input truncated at offset {offset}")
+            }
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::BadPointer { at, target } => {
+                write!(f, "bad compression pointer at {at} -> {target}")
+            }
+            WireError::BadLabelType(b) => write!(f, "reserved label type byte {b:#04x}"),
+            WireError::BadRdataLength { declared, consumed } => {
+                write!(f, "rdlength {declared} but {consumed} bytes consumed")
+            }
+            WireError::MalformedEdns => write!(f, "malformed EDNS(0) OPT record placement"),
+            WireError::CountMismatch { section } => {
+                write!(f, "header count exceeds records in {section} section")
+            }
+            WireError::StringTooLong(n) => {
+                write!(f, "character-string of {n} octets exceeds 255")
+            }
+            WireError::WontFit { limit } => {
+                write!(f, "message cannot fit in {limit} octets")
+            }
+            WireError::BadNameString => write!(f, "invalid presentation-format name"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { offset: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = WireError::BadPointer { at: 30, target: 31 };
+        let s = e.to_string();
+        assert!(s.contains("30") && s.contains("31"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(WireError::MalformedEdns, WireError::MalformedEdns);
+        assert_ne!(
+            WireError::LabelTooLong(64),
+            WireError::NameTooLong(64),
+            "distinct variants must differ"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The 12-octet DNS message header (RFC 1035 §4.1.1).
+
+use crate::error::WireError;
+use crate::types::{Opcode, Rcode};
+
+/// Wire size of the header.
+pub const HEADER_LEN: usize = 12;
+
+/// Decoded DNS header.
+///
+/// The four count fields are not stored here; [`crate::message::Message`]
+/// derives them from its section vectors at encode time. The `rcode`
+/// field holds only the low 4 header bits; EDNS extended-rcode bits are
+/// merged by the message parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Transaction identifier.
+    pub id: u16,
+    /// True for responses (QR bit).
+    pub response: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Authoritative answer (AA).
+    pub authoritative: bool,
+    /// Truncation (TC): the response did not fit and was cut; the client
+    /// should retry over TCP. Central to the paper's §4.4 analysis.
+    pub truncated: bool,
+    /// Recursion desired (RD).
+    pub recursion_desired: bool,
+    /// Recursion available (RA).
+    pub recursion_available: bool,
+    /// Authentic data (AD, RFC 4035).
+    pub authentic_data: bool,
+    /// Checking disabled (CD, RFC 4035).
+    pub checking_disabled: bool,
+    /// Response code (low 4 bits only at this layer).
+    pub rcode: Rcode,
+}
+
+impl Header {
+    /// A request header with the given id: QR=0, opcode QUERY, all flags
+    /// clear except RD (resolvers talking to authoritatives typically
+    /// clear RD too; the builder decides).
+    pub fn request(id: u16) -> Self {
+        Header {
+            id,
+            response: false,
+            opcode: Opcode::Query,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: false,
+            recursion_available: false,
+            authentic_data: false,
+            checking_disabled: false,
+            rcode: Rcode::NoError,
+        }
+    }
+
+    /// A response header answering `req` with `rcode`.
+    pub fn response_to(req: &Header, rcode: Rcode) -> Self {
+        Header {
+            id: req.id,
+            response: true,
+            opcode: req.opcode,
+            authoritative: true,
+            truncated: false,
+            recursion_desired: req.recursion_desired,
+            recursion_available: false,
+            authentic_data: false,
+            checking_disabled: req.checking_disabled,
+            rcode,
+        }
+    }
+
+    /// Parse the fixed header; returns it plus the four section counts
+    /// `(qd, an, ns, ar)`.
+    pub fn parse(msg: &[u8]) -> Result<(Header, [u16; 4]), WireError> {
+        if msg.len() < HEADER_LEN {
+            return Err(WireError::Truncated { offset: msg.len() });
+        }
+        let id = u16::from_be_bytes([msg[0], msg[1]]);
+        let b2 = msg[2];
+        let b3 = msg[3];
+        let header = Header {
+            id,
+            response: b2 & 0x80 != 0,
+            opcode: Opcode::from_u8((b2 >> 3) & 0x0f),
+            authoritative: b2 & 0x04 != 0,
+            truncated: b2 & 0x02 != 0,
+            recursion_desired: b2 & 0x01 != 0,
+            recursion_available: b3 & 0x80 != 0,
+            authentic_data: b3 & 0x20 != 0,
+            checking_disabled: b3 & 0x10 != 0,
+            rcode: Rcode::from_u16((b3 & 0x0f) as u16),
+        };
+        let counts = [
+            u16::from_be_bytes([msg[4], msg[5]]),
+            u16::from_be_bytes([msg[6], msg[7]]),
+            u16::from_be_bytes([msg[8], msg[9]]),
+            u16::from_be_bytes([msg[10], msg[11]]),
+        ];
+        Ok((header, counts))
+    }
+
+    /// Encode with explicit section counts.
+    pub fn encode(&self, counts: [u16; 4], out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let mut b2 = 0u8;
+        if self.response {
+            b2 |= 0x80;
+        }
+        b2 |= (self.opcode.to_u8() & 0x0f) << 3;
+        if self.authoritative {
+            b2 |= 0x04;
+        }
+        if self.truncated {
+            b2 |= 0x02;
+        }
+        if self.recursion_desired {
+            b2 |= 0x01;
+        }
+        let mut b3 = 0u8;
+        if self.recursion_available {
+            b3 |= 0x80;
+        }
+        if self.authentic_data {
+            b3 |= 0x20;
+        }
+        if self.checking_disabled {
+            b3 |= 0x10;
+        }
+        b3 |= (self.rcode.to_u16() & 0x0f) as u8;
+        out.push(b2);
+        out.push(b3);
+        for c in counts {
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_flags() {
+        let h = Header {
+            id: 0xbeef,
+            response: true,
+            opcode: Opcode::Status,
+            authoritative: true,
+            truncated: true,
+            recursion_desired: true,
+            recursion_available: true,
+            authentic_data: true,
+            checking_disabled: true,
+            rcode: Rcode::Refused,
+        };
+        let mut buf = Vec::new();
+        h.encode([1, 2, 3, 4], &mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (parsed, counts) = Header::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(counts, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn roundtrip_no_flags() {
+        let h = Header::request(7);
+        let mut buf = Vec::new();
+        h.encode([1, 0, 0, 0], &mut buf);
+        let (parsed, counts) = Header::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(counts, [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn response_mirrors_request() {
+        let mut req = Header::request(99);
+        req.recursion_desired = true;
+        let resp = Header::response_to(&req, Rcode::NxDomain);
+        assert!(resp.response);
+        assert_eq!(resp.id, 99);
+        assert!(resp.recursion_desired);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert!(resp.authoritative);
+    }
+
+    #[test]
+    fn short_input_is_error() {
+        assert!(matches!(
+            Header::parse(&[0u8; 11]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn z_bit_ignored() {
+        let mut buf = Vec::new();
+        Header::request(1).encode([0; 4], &mut buf);
+        buf[3] |= 0x40; // the reserved Z bit
+        let (h, _) = Header::parse(&buf).unwrap();
+        assert_eq!(h, Header::request(1), "Z bit must be ignored");
+    }
+}

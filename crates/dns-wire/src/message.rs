@@ -1,0 +1,504 @@
+//! Full DNS messages: questions, records, parse and encode.
+
+use crate::edns::Edns;
+use crate::error::WireError;
+use crate::header::{Header, HEADER_LEN};
+use crate::name::{Name, NameCompressor};
+use crate::rdata::RData;
+use crate::types::{RClass, RType, Rcode};
+
+/// A question-section entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RType,
+    /// Queried class (almost always IN).
+    pub qclass: RClass,
+}
+
+impl Question {
+    /// A class-IN question.
+    pub fn new(qname: Name, qtype: RType) -> Self {
+        Question {
+            qname,
+            qtype,
+            qclass: RClass::In,
+        }
+    }
+
+    fn parse(msg: &[u8], pos: usize) -> Result<(Question, usize), WireError> {
+        let (qname, p) = Name::parse(msg, pos)?;
+        if p + 4 > msg.len() {
+            return Err(WireError::Truncated { offset: msg.len() });
+        }
+        let qtype = RType::from_u16(u16::from_be_bytes([msg[p], msg[p + 1]]));
+        let qclass = RClass::from_u16(u16::from_be_bytes([msg[p + 2], msg[p + 3]]));
+        Ok((
+            Question {
+                qname,
+                qtype,
+                qclass,
+            },
+            p + 4,
+        ))
+    }
+
+    fn encode(&self, comp: &mut NameCompressor, out: &mut Vec<u8>) {
+        comp.encode(&self.qname, out);
+        out.extend_from_slice(&self.qtype.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.qclass.to_u16().to_be_bytes());
+    }
+}
+
+/// A resource record in the answer, authority or additional section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Class (IN except for OPT, which abuses the field).
+    pub class: RClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed record data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// A class-IN record.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        Record {
+            name,
+            class: RClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record type.
+    pub fn rtype(&self) -> RType {
+        self.rdata.rtype()
+    }
+
+    fn encode(&self, comp: &mut NameCompressor, out: &mut Vec<u8>) -> Result<(), WireError> {
+        comp.encode(&self.name, out);
+        out.extend_from_slice(&self.rtype().to_u16().to_be_bytes());
+        out.extend_from_slice(&self.class.to_u16().to_be_bytes());
+        out.extend_from_slice(&self.ttl.to_be_bytes());
+        let rdlen_at = out.len();
+        out.extend_from_slice(&[0, 0]);
+        let rdata_start = out.len();
+        self.rdata.encode(comp, out)?;
+        let rdlen = out.len() - rdata_start;
+        out[rdlen_at] = (rdlen >> 8) as u8;
+        out[rdlen_at + 1] = rdlen as u8;
+        Ok(())
+    }
+}
+
+/// A complete DNS message.
+///
+/// The OPT pseudo-record, if present, is lifted out of the additional
+/// section into [`Message::edns`], and its extended-rcode bits are merged
+/// into [`Header::rcode`] — matching how measurement pipelines reason
+/// about messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Header (with merged extended rcode).
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section, *excluding* the OPT record.
+    pub additionals: Vec<Record>,
+    /// EDNS(0) data, if an OPT record was present.
+    pub edns: Option<Edns>,
+}
+
+impl Message {
+    /// An empty message with the given header.
+    pub fn new(header: Header) -> Self {
+        Message {
+            header,
+            questions: Vec::new(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+            edns: None,
+        }
+    }
+
+    /// Parse a message from wire bytes.
+    pub fn parse(msg: &[u8]) -> Result<Message, WireError> {
+        let (mut header, counts) = Header::parse(msg)?;
+        let mut pos = HEADER_LEN;
+
+        let mut questions = Vec::with_capacity(counts[0] as usize);
+        for _ in 0..counts[0] {
+            let (q, p) = Question::parse(msg, pos).map_err(|e| section_err(e, "question"))?;
+            questions.push(q);
+            pos = p;
+        }
+
+        let mut sections: [Vec<Record>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut edns: Option<Edns> = None;
+        for (si, count) in counts[1..].iter().enumerate() {
+            let section_name = ["answer", "authority", "additional"][si];
+            for _ in 0..*count {
+                let (name, p) = Name::parse(msg, pos).map_err(|e| section_err(e, section_name))?;
+                if p + 10 > msg.len() {
+                    return Err(WireError::Truncated { offset: msg.len() });
+                }
+                let rtype = RType::from_u16(u16::from_be_bytes([msg[p], msg[p + 1]]));
+                let class_field = u16::from_be_bytes([msg[p + 2], msg[p + 3]]);
+                let ttl_field =
+                    u32::from_be_bytes([msg[p + 4], msg[p + 5], msg[p + 6], msg[p + 7]]);
+                let rdlen = u16::from_be_bytes([msg[p + 8], msg[p + 9]]) as usize;
+                let rdata_start = p + 10;
+                if rdata_start + rdlen > msg.len() {
+                    return Err(WireError::Truncated { offset: msg.len() });
+                }
+                if rtype == RType::Opt {
+                    if si != 2 || edns.is_some() || !name.is_root() {
+                        return Err(WireError::MalformedEdns);
+                    }
+                    let e = Edns::from_record_fields(
+                        class_field,
+                        ttl_field,
+                        &msg[rdata_start..rdata_start + rdlen],
+                    )?;
+                    // Merge extended rcode: high 8 bits from OPT, low 4
+                    // from the header (RFC 6891 §6.1.3).
+                    if e.extended_rcode_bits != 0 {
+                        let low = header.rcode.to_u16() & 0x0f;
+                        header.rcode = Rcode::from_u16(((e.extended_rcode_bits as u16) << 4) | low);
+                    }
+                    edns = Some(e);
+                } else {
+                    let rdata = RData::parse(rtype, msg, rdata_start, rdlen)?;
+                    sections[si].push(Record {
+                        name,
+                        class: RClass::from_u16(class_field),
+                        ttl: ttl_field,
+                        rdata,
+                    });
+                }
+                pos = rdata_start + rdlen;
+            }
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+            edns,
+        })
+    }
+
+    /// Encode to wire bytes with name compression. No size limit — for
+    /// TCP, or as the first step of [`Message::encode_with_limit`].
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        self.encode_inner(
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len(),
+        )
+    }
+
+    /// Encode for UDP under a payload-size limit.
+    ///
+    /// If the full message does not fit, records are dropped (additional
+    /// first, then authority, then answer — all-or-nothing per section is
+    /// NOT used; we drop from the tail, matching common server behaviour)
+    /// and the TC bit is set, telling the client to retry over TCP. This
+    /// is the mechanism behind the paper's truncation-rate comparison
+    /// (Facebook 17.16% vs Google 0.04%, §4.4).
+    pub fn encode_with_limit(&self, limit: usize) -> Result<(Vec<u8>, bool), WireError> {
+        let full = self.encode()?;
+        if full.len() <= limit {
+            return Ok((full, false));
+        }
+        // Drop records from the tail until it fits.
+        let mut an = self.answers.len();
+        let mut ns = self.authorities.len();
+        let mut ar = self.additionals.len();
+        loop {
+            if ar > 0 {
+                ar -= 1;
+            } else if ns > 0 {
+                ns -= 1;
+            } else if an > 0 {
+                an -= 1;
+            } else {
+                let mut msg = self.clone();
+                msg.header.truncated = true;
+                msg.answers.clear();
+                msg.authorities.clear();
+                msg.additionals.clear();
+                let bytes = msg.encode()?;
+                if bytes.len() > limit {
+                    return Err(WireError::WontFit { limit });
+                }
+                return Ok((bytes, true));
+            }
+            let mut msg = self.clone();
+            msg.header.truncated = true;
+            msg.answers.truncate(an);
+            msg.authorities.truncate(ns);
+            msg.additionals.truncate(ar);
+            let bytes = msg.encode_inner(an, ns, ar)?;
+            if bytes.len() <= limit {
+                return Ok((bytes, true));
+            }
+        }
+    }
+
+    fn encode_inner(&self, an: usize, ns: usize, ar: usize) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::with_capacity(512);
+        let opt_count = usize::from(self.edns.is_some());
+        self.header.encode(
+            [
+                self.questions.len() as u16,
+                an as u16,
+                ns as u16,
+                (ar + opt_count) as u16,
+            ],
+            &mut out,
+        );
+        let mut comp = NameCompressor::new();
+        for q in &self.questions {
+            q.encode(&mut comp, &mut out);
+        }
+        for r in self.answers.iter().take(an) {
+            r.encode(&mut comp, &mut out)?;
+        }
+        for r in self.authorities.iter().take(ns) {
+            r.encode(&mut comp, &mut out)?;
+        }
+        for r in self.additionals.iter().take(ar) {
+            r.encode(&mut comp, &mut out)?;
+        }
+        if let Some(edns) = &self.edns {
+            let mut e = edns.clone();
+            e.extended_rcode_bits = (self.header.rcode.to_u16() >> 4) as u8;
+            e.encode(&mut out);
+        }
+        Ok(out)
+    }
+
+    /// The first question, if any — the common case for queries.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+}
+
+fn section_err(e: WireError, section: &'static str) -> WireError {
+    match e {
+        WireError::Truncated { .. } => WireError::CountMismatch { section },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::Header;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn sample_response() -> Message {
+        let mut msg = Message::new(Header::response_to(
+            &Header::request(0xabcd),
+            Rcode::NoError,
+        ));
+        msg.questions
+            .push(Question::new(n("example.nl"), RType::Ns));
+        msg.answers.push(Record::new(
+            n("example.nl"),
+            3600,
+            RData::Ns(n("ns1.example.nl")),
+        ));
+        msg.answers.push(Record::new(
+            n("example.nl"),
+            3600,
+            RData::Ns(n("ns2.example.nl")),
+        ));
+        msg.additionals.push(Record::new(
+            n("ns1.example.nl"),
+            3600,
+            RData::A("192.0.2.53".parse().unwrap()),
+        ));
+        msg.additionals.push(Record::new(
+            n("ns1.example.nl"),
+            3600,
+            RData::Aaaa("2001:db8::53".parse().unwrap()),
+        ));
+        msg.edns = Some(Edns::with_size(1232, true));
+        msg
+    }
+
+    #[test]
+    fn roundtrip_full_response() {
+        let msg = sample_response();
+        let bytes = msg.encode().unwrap();
+        let parsed = Message::parse(&bytes).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn roundtrip_bare_query() {
+        let mut msg = Message::new(Header::request(1));
+        msg.questions.push(Question::new(n("nz"), RType::Soa));
+        let bytes = msg.encode().unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN + 1 + 2 + 1 + 4);
+        let parsed = Message::parse(&bytes).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn compression_shrinks_messages() {
+        let msg = sample_response();
+        let compressed = msg.encode().unwrap();
+        // Rough check: the owner name "example.nl" appears many times; the
+        // compressed form must be far below the naive sum.
+        let naive: usize = 12
+            + msg.questions.iter().map(|q| q.qname.wire_len() + 4).sum::<usize>()
+            + 2 * (12 + 16) // two NS records, uncompressed estimate
+            + 2 * (16 + 14)
+            + 11;
+        assert!(compressed.len() < naive, "{} !< {naive}", compressed.len());
+    }
+
+    #[test]
+    fn truncation_drops_and_sets_tc() {
+        let msg = sample_response();
+        let full = msg.encode().unwrap();
+        let (bytes, truncated) = msg.encode_with_limit(full.len() - 1).unwrap();
+        assert!(truncated);
+        assert!(bytes.len() < full.len());
+        let parsed = Message::parse(&bytes).unwrap();
+        assert!(parsed.header.truncated);
+        assert_eq!(parsed.questions, msg.questions, "question always kept");
+    }
+
+    #[test]
+    fn no_truncation_when_it_fits() {
+        let msg = sample_response();
+        let full = msg.encode().unwrap();
+        let (bytes, truncated) = msg.encode_with_limit(4096).unwrap();
+        assert!(!truncated);
+        assert_eq!(bytes, full);
+    }
+
+    #[test]
+    fn truncation_to_empty_when_limit_tiny() {
+        let msg = sample_response();
+        // Enough for header+question+OPT only.
+        let mut empty = msg.clone();
+        empty.answers.clear();
+        empty.authorities.clear();
+        empty.additionals.clear();
+        let floor = empty.encode().unwrap().len();
+        let (bytes, truncated) = msg.encode_with_limit(floor).unwrap();
+        assert!(truncated);
+        let parsed = Message::parse(&bytes).unwrap();
+        assert!(parsed.answers.is_empty());
+        assert!(parsed.header.truncated);
+    }
+
+    #[test]
+    fn wont_fit_when_question_alone_overflows() {
+        let msg = sample_response();
+        assert!(matches!(
+            msg.encode_with_limit(10),
+            Err(WireError::WontFit { .. })
+        ));
+    }
+
+    #[test]
+    fn opt_outside_additional_is_malformed() {
+        let msg = sample_response();
+        let bytes = msg.encode().unwrap();
+        let parsed = Message::parse(&bytes).unwrap();
+        assert!(parsed.edns.is_some());
+        // craft: change answer count to claim OPT in answer section —
+        // simpler: build a message whose answer section contains an OPT.
+        let mut raw = Vec::new();
+        Header::request(5).encode([0, 1, 0, 0], &mut raw);
+        Edns::with_size(512, false).encode(&mut raw);
+        assert_eq!(Message::parse(&raw), Err(WireError::MalformedEdns));
+    }
+
+    #[test]
+    fn double_opt_is_malformed() {
+        let mut raw = Vec::new();
+        Header::request(5).encode([0, 0, 0, 2], &mut raw);
+        Edns::with_size(512, false).encode(&mut raw);
+        Edns::with_size(512, false).encode(&mut raw);
+        assert_eq!(Message::parse(&raw), Err(WireError::MalformedEdns));
+    }
+
+    #[test]
+    fn extended_rcode_merges() {
+        // Header rcode low bits 0 + OPT extended bits 1 => rcode 16 (BADVERS)
+        let mut raw = Vec::new();
+        let mut h = Header::request(5);
+        h.response = true;
+        h.encode([0, 0, 0, 1], &mut raw);
+        let e = Edns {
+            extended_rcode_bits: 1,
+            ..Edns::with_size(512, false)
+        };
+        e.encode(&mut raw);
+        let parsed = Message::parse(&raw).unwrap();
+        assert_eq!(parsed.header.rcode, Rcode::BadVers);
+    }
+
+    #[test]
+    fn extended_rcode_reencodes() {
+        let mut msg = Message::new(Header::request(9));
+        msg.header.response = true;
+        msg.header.rcode = Rcode::BadVers;
+        msg.edns = Some(Edns::with_size(1232, false));
+        let bytes = msg.encode().unwrap();
+        let parsed = Message::parse(&bytes).unwrap();
+        assert_eq!(parsed.header.rcode, Rcode::BadVers);
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let mut raw = Vec::new();
+        Header::request(5).encode([2, 0, 0, 0], &mut raw); // claims 2 questions
+        let mut comp = NameCompressor::new();
+        Question::new(n("example.nl"), RType::A).encode(&mut comp, &mut raw);
+        assert_eq!(
+            Message::parse(&raw),
+            Err(WireError::CountMismatch {
+                section: "question"
+            })
+        );
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // quick deterministic fuzz: parse every prefix of a valid message
+        let bytes = sample_response().encode().unwrap();
+        for end in 0..bytes.len() {
+            let _ = Message::parse(&bytes[..end]);
+        }
+        // and a few byte-flips
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0xff;
+            let _ = Message::parse(&b);
+        }
+    }
+}

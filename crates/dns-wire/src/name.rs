@@ -1,0 +1,692 @@
+//! Domain names: storage, comparison, wire decoding (with compression
+//! pointers) and compressing wire encoding.
+//!
+//! Names are stored in canonical wire form — a sequence of
+//! length-prefixed labels terminated by the root label — with the
+//! original octets preserved (DNS names are case-*preserving* but
+//! case-*insensitive*; comparisons and hashing fold ASCII case, per
+//! RFC 1035 §2.3.3 / RFC 4343).
+//!
+//! The label-counting helpers ([`Name::label_count`],
+//! [`Name::is_minimized_child_of`]) implement the exact test the paper
+//! uses to recognize QNAME-minimized queries: a qname "stripped to just
+//! one label more than the zone for which the server is authoritative"
+//! (RFC 7816).
+
+use crate::error::WireError;
+use core::fmt;
+use core::hash::{Hash, Hasher};
+use core::str::FromStr;
+
+/// Maximum length of one label, in octets (RFC 1035 §3.1).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a whole encoded name, in octets (RFC 1035 §3.1).
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum compression-pointer hops tolerated before declaring a loop.
+const MAX_POINTER_HOPS: usize = 63;
+
+/// A fully-qualified domain name in wire form.
+///
+/// Internally: the uncompressed wire encoding, e.g. `example.nl.` is
+/// `\x07example\x02nl\x00`. The root name is the single byte `\x00`.
+#[derive(Clone, Eq)]
+pub struct Name {
+    wire: Vec<u8>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Name { wire: vec![0] }
+    }
+
+    /// Build a name from an iterator of label byte-slices (top label last).
+    ///
+    /// ```
+    /// # use dns_wire::name::Name;
+    /// let n = Name::from_labels([b"www".as_slice(), b"example", b"nl"]).unwrap();
+    /// assert_eq!(n.to_string(), "www.example.nl.");
+    /// ```
+    pub fn from_labels<'a, I>(labels: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut wire = Vec::new();
+        for label in labels {
+            if label.is_empty() {
+                return Err(WireError::BadNameString);
+            }
+            if label.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(label.len()));
+            }
+            wire.push(label.len() as u8);
+            wire.extend_from_slice(label);
+        }
+        wire.push(0);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire.len()));
+        }
+        Ok(Name { wire })
+    }
+
+    /// The uncompressed wire encoding of this name.
+    pub fn as_wire(&self) -> &[u8] {
+        &self.wire
+    }
+
+    /// Length of the uncompressed wire encoding in octets.
+    pub fn wire_len(&self) -> usize {
+        self.wire.len()
+    }
+
+    /// True if this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.wire.len() == 1
+    }
+
+    /// Iterate over the labels, leftmost (deepest) first.
+    pub fn labels(&self) -> LabelIter<'_> {
+        LabelIter {
+            wire: &self.wire,
+            pos: 0,
+        }
+    }
+
+    /// Number of labels, excluding the root. `example.nl.` has 2.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// Strip the leftmost label, yielding the parent domain.
+    /// The parent of the root is the root.
+    pub fn parent(&self) -> Name {
+        if self.is_root() {
+            return self.clone();
+        }
+        let skip = 1 + self.wire[0] as usize;
+        Name {
+            wire: self.wire[skip..].to_vec(),
+        }
+    }
+
+    /// Prepend one label to this name.
+    pub fn child(&self, label: &[u8]) -> Result<Name, WireError> {
+        if label.is_empty() {
+            return Err(WireError::BadNameString);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(label.len()));
+        }
+        let mut wire = Vec::with_capacity(1 + label.len() + self.wire.len());
+        wire.push(label.len() as u8);
+        wire.extend_from_slice(label);
+        wire.extend_from_slice(&self.wire);
+        if wire.len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire.len()));
+        }
+        Ok(Name { wire })
+    }
+
+    /// True if `self` equals `zone` or is underneath it (case-insensitive).
+    ///
+    /// ```
+    /// # use dns_wire::name::Name;
+    /// let zone: Name = "nl.".parse().unwrap();
+    /// let host: Name = "www.EXAMPLE.NL.".parse().unwrap();
+    /// assert!(host.is_subdomain_of(&zone));
+    /// assert!(!zone.is_subdomain_of(&host));
+    /// ```
+    pub fn is_subdomain_of(&self, zone: &Name) -> bool {
+        if zone.is_root() {
+            return true;
+        }
+        let mine: Vec<&[u8]> = self.labels().collect();
+        let theirs: Vec<&[u8]> = zone.labels().collect();
+        if theirs.len() > mine.len() {
+            return false;
+        }
+        mine.iter()
+            .rev()
+            .zip(theirs.iter().rev())
+            .all(|(a, b)| eq_fold(a, b))
+    }
+
+    /// The QNAME-minimization test of RFC 7816 as applied by the paper:
+    /// true when `self` has *exactly one* more label than `zone` and lies
+    /// underneath it. A Q-min resolver asking a `.nl` server about
+    /// `a.b.example.nl` sends `example.nl` — minimized; a classic resolver
+    /// sends the full `a.b.example.nl` — not minimized.
+    pub fn is_minimized_child_of(&self, zone: &Name) -> bool {
+        self.label_count() == zone.label_count() + 1 && self.is_subdomain_of(zone)
+    }
+
+    /// Decode a (possibly compressed) name from `msg` starting at `pos`.
+    ///
+    /// Returns the name and the position just past its encoding *in the
+    /// original stream* (i.e. past the pointer, if the name ended with
+    /// one). Pointers must point strictly backwards; hop count is capped
+    /// to defeat loops.
+    pub fn parse(msg: &[u8], pos: usize) -> Result<(Name, usize), WireError> {
+        let mut wire = Vec::new();
+        let mut cursor = pos;
+        let mut after: Option<usize> = None; // resume point in the outer stream
+        let mut hops = 0usize;
+        let mut min_ptr_target = pos; // each pointer must go strictly before this
+
+        loop {
+            let len_byte = *msg
+                .get(cursor)
+                .ok_or(WireError::Truncated { offset: cursor })?;
+            match len_byte & 0xc0 {
+                0x00 => {
+                    let len = len_byte as usize;
+                    if len == 0 {
+                        wire.push(0);
+                        let end = after.unwrap_or(cursor + 1);
+                        if wire.len() > MAX_NAME_LEN {
+                            return Err(WireError::NameTooLong(wire.len()));
+                        }
+                        return Ok((Name { wire }, end));
+                    }
+                    let label_end = cursor + 1 + len;
+                    if label_end > msg.len() {
+                        return Err(WireError::Truncated { offset: msg.len() });
+                    }
+                    wire.push(len_byte);
+                    wire.extend_from_slice(&msg[cursor + 1..label_end]);
+                    if wire.len() > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire.len()));
+                    }
+                    cursor = label_end;
+                }
+                0xc0 => {
+                    let second = *msg
+                        .get(cursor + 1)
+                        .ok_or(WireError::Truncated { offset: cursor + 1 })?;
+                    let target = (((len_byte & 0x3f) as usize) << 8) | second as usize;
+                    if target >= min_ptr_target {
+                        return Err(WireError::BadPointer { at: cursor, target });
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(WireError::BadPointer { at: cursor, target });
+                    }
+                    if after.is_none() {
+                        after = Some(cursor + 2);
+                    }
+                    min_ptr_target = target;
+                    cursor = target;
+                }
+                other => return Err(WireError::BadLabelType(other)),
+            }
+        }
+    }
+
+    /// Append the uncompressed encoding to `out`.
+    pub fn encode_uncompressed(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.wire);
+    }
+}
+
+/// Case-folding byte-slice equality (ASCII only, per RFC 4343).
+fn eq_fold(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        if self.wire.len() != other.wire.len() {
+            return false;
+        }
+        // Label lengths are never in the ASCII-letter range collision zone?
+        // They are: length 0x41..=0x5a would case-fold wrongly. Compare
+        // label-wise to be exact.
+        self.labels().count() == other.labels().count()
+            && self
+                .labels()
+                .zip(other.labels())
+                .all(|(a, b)| eq_fold(a, b))
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for label in self.labels() {
+            state.write_usize(label.len());
+            for &b in label {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
+    /// right-to-left, case-folded.
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        let mine: Vec<&[u8]> = self.labels().collect();
+        let theirs: Vec<&[u8]> = other.labels().collect();
+        for (a, b) in mine.iter().rev().zip(theirs.iter().rev()) {
+            let fa = a.iter().map(|c| c.to_ascii_lowercase());
+            let fb = b.iter().map(|c| c.to_ascii_lowercase());
+            match fa.cmp(fb) {
+                core::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        mine.len().cmp(&theirs.len())
+    }
+}
+
+/// Iterator over the labels of a [`Name`], deepest label first.
+pub struct LabelIter<'a> {
+    wire: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let len = *self.wire.get(self.pos)? as usize;
+        if len == 0 {
+            return None;
+        }
+        let start = self.pos + 1;
+        self.pos = start + len;
+        Some(&self.wire[start..start + len])
+    }
+}
+
+impl fmt::Display for Name {
+    /// Presentation format with a trailing dot; non-printable bytes are
+    /// escaped `\DDD`, literal dots in labels as `\.`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            return f.write_str(".");
+        }
+        for label in self.labels() {
+            for &b in label {
+                match b {
+                    b'.' => f.write_str("\\.")?,
+                    b'\\' => f.write_str("\\\\")?,
+                    0x21..=0x7e => write!(f, "{}", b as char)?,
+                    _ => write!(f, "\\{b:03}")?,
+                }
+            }
+            f.write_str(".")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl FromStr for Name {
+    type Err = WireError;
+
+    /// Parse presentation format. Accepts with or without trailing dot;
+    /// supports `\.`, `\\` and `\DDD` escapes. `"."` is the root.
+    fn from_str(s: &str) -> Result<Self, WireError> {
+        if s == "." || s.is_empty() {
+            return Ok(Name::root());
+        }
+        let bytes = s.as_bytes();
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut current: Vec<u8> = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => {
+                    let next = *bytes.get(i + 1).ok_or(WireError::BadNameString)?;
+                    if next.is_ascii_digit() {
+                        if i + 3 >= bytes.len() {
+                            return Err(WireError::BadNameString);
+                        }
+                        let ddd = &s[i + 1..i + 4];
+                        let v: u16 = ddd.parse().map_err(|_| WireError::BadNameString)?;
+                        if v > 255 {
+                            return Err(WireError::BadNameString);
+                        }
+                        current.push(v as u8);
+                        i += 4;
+                    } else {
+                        current.push(next);
+                        i += 2;
+                    }
+                }
+                b'.' => {
+                    if current.is_empty() {
+                        return Err(WireError::BadNameString);
+                    }
+                    labels.push(core::mem::take(&mut current));
+                    i += 1;
+                }
+                b => {
+                    current.push(b);
+                    i += 1;
+                }
+            }
+        }
+        if !current.is_empty() {
+            labels.push(current);
+        }
+        Name::from_labels(labels.iter().map(|l| l.as_slice()))
+    }
+}
+
+/// A compression map used while encoding a message: remembers, for every
+/// name suffix already emitted, its offset, so later names can point at it
+/// (RFC 1035 §4.1.4). Offsets beyond 0x3FFF cannot be pointed at.
+#[derive(Default)]
+pub struct NameCompressor {
+    /// Suffix (in lowercased wire form) -> offset in the message.
+    seen: std::collections::HashMap<Vec<u8>, u16>,
+}
+
+impl NameCompressor {
+    /// Create an empty compressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode `name` at the current end of `out`, compressing against
+    /// earlier names, and record its suffixes for future reuse.
+    pub fn encode(&mut self, name: &Name, out: &mut Vec<u8>) {
+        let wire = name.as_wire();
+        let mut pos = 0usize;
+        while wire[pos] != 0 {
+            let suffix_key = lower_wire(&wire[pos..]);
+            if let Some(&offset) = self.seen.get(&suffix_key) {
+                out.push(0xc0 | ((offset >> 8) as u8));
+                out.push(offset as u8);
+                return;
+            }
+            let here = out.len();
+            if here <= 0x3fff {
+                self.seen.insert(suffix_key, here as u16);
+            }
+            let len = wire[pos] as usize;
+            out.extend_from_slice(&wire[pos..pos + 1 + len]);
+            pos += 1 + len;
+        }
+        out.push(0);
+    }
+}
+
+fn lower_wire(w: &[u8]) -> Vec<u8> {
+    w.iter().map(|b| b.to_ascii_lowercase()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("example.nl").to_string(), "example.nl.");
+        assert_eq!(n("example.nl.").to_string(), "example.nl.");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("a.b.c.example.co.nz").label_count(), 6);
+    }
+
+    #[test]
+    fn root_properties() {
+        let r = Name::root();
+        assert!(r.is_root());
+        assert_eq!(r.label_count(), 0);
+        assert_eq!(r.parent(), r);
+        assert_eq!(r.wire_len(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = n("WWW.Example.NL");
+        let b = n("www.example.nl");
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn display_preserves_case() {
+        assert_eq!(n("ExAmPlE.nl").to_string(), "ExAmPlE.nl.");
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let d = n("www.example.nl");
+        assert_eq!(d.parent(), n("example.nl"));
+        assert_eq!(d.parent().parent(), n("nl"));
+        assert_eq!(d.parent().parent().parent(), Name::root());
+        assert_eq!(n("nl").child(b"sidn").unwrap(), n("sidn.nl"));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let nl = n("nl");
+        assert!(n("example.nl").is_subdomain_of(&nl));
+        assert!(n("a.b.example.nl").is_subdomain_of(&nl));
+        assert!(n("nl").is_subdomain_of(&nl));
+        assert!(!n("example.nz").is_subdomain_of(&nl));
+        assert!(!n("nl").is_subdomain_of(&n("example.nl")));
+        assert!(n("anything.at.all").is_subdomain_of(&Name::root()));
+        // suffix-in-label must not count: "foonl" is not under "nl"
+        assert!(!n("foonl").is_subdomain_of(&nl));
+    }
+
+    #[test]
+    fn qmin_test_matches_rfc7816() {
+        let nl = n("nl");
+        assert!(n("example.nl").is_minimized_child_of(&nl));
+        assert!(!n("www.example.nl").is_minimized_child_of(&nl));
+        assert!(!n("nl").is_minimized_child_of(&nl));
+        let conz = n("co.nz");
+        assert!(n("example.co.nz").is_minimized_child_of(&conz));
+        assert!(!n("example.co.nz").is_minimized_child_of(&n("nz")));
+    }
+
+    #[test]
+    fn label_limits() {
+        let long = vec![b'a'; 64];
+        assert_eq!(
+            Name::from_labels([long.as_slice()]),
+            Err(WireError::LabelTooLong(64))
+        );
+        let ok = vec![b'a'; 63];
+        assert!(Name::from_labels([ok.as_slice()]).is_ok());
+    }
+
+    #[test]
+    fn name_length_limit() {
+        // 4 labels of 63 bytes = 4*64+1 = 257 > 255
+        let l = vec![b'x'; 63];
+        let r = Name::from_labels([l.as_slice(), &l, &l, &l]);
+        assert!(matches!(r, Err(WireError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let name = n("a\\.b.example.nl");
+        assert_eq!(name.label_count(), 3);
+        assert_eq!(name.labels().next().unwrap(), b"a.b");
+        assert_eq!(name.to_string(), "a\\.b.example.nl.");
+        let esc = n("\\001\\255.nl");
+        assert_eq!(esc.labels().next().unwrap(), &[1u8, 255]);
+        assert_eq!(esc.to_string(), "\\001\\255.nl.");
+        // and the Display output parses back to the same name
+        assert_eq!(n(&esc.to_string()), esc);
+    }
+
+    #[test]
+    fn bad_presentation_forms() {
+        assert!("a..b".parse::<Name>().is_err());
+        assert!(".leading".parse::<Name>().is_err());
+        assert!("trail\\".parse::<Name>().is_err());
+        assert!("big\\999escape".parse::<Name>().is_err());
+    }
+
+    #[test]
+    fn wire_parse_simple() {
+        let msg = b"\x07example\x02nl\x00";
+        let (name, end) = Name::parse(msg, 0).unwrap();
+        assert_eq!(name, n("example.nl"));
+        assert_eq!(end, msg.len());
+    }
+
+    #[test]
+    fn wire_parse_with_pointer() {
+        // offset 0: "nl." ; offset 4: "www" + pointer to 0
+        let mut msg = Vec::new();
+        msg.extend_from_slice(b"\x02nl\x00");
+        let www_at = msg.len();
+        msg.extend_from_slice(b"\x03www");
+        msg.extend_from_slice(&[0xc0, 0x00]);
+        let (name, end) = Name::parse(&msg, www_at).unwrap();
+        assert_eq!(name, n("www.nl"));
+        assert_eq!(end, msg.len());
+    }
+
+    #[test]
+    fn wire_parse_pointer_chain() {
+        // 0: "nl." ; 4: "example" + ptr->0 ; 14: "www" + ptr->4
+        let mut msg = Vec::new();
+        msg.extend_from_slice(b"\x02nl\x00");
+        msg.extend_from_slice(b"\x07example");
+        msg.extend_from_slice(&[0xc0, 0x00]);
+        let www_at = msg.len();
+        msg.extend_from_slice(b"\x03www");
+        msg.extend_from_slice(&[0xc0, 0x04]);
+        let (name, _) = Name::parse(&msg, www_at).unwrap();
+        assert_eq!(name, n("www.example.nl"));
+    }
+
+    #[test]
+    fn wire_parse_rejects_forward_pointer() {
+        let msg = [0xc0u8, 0x02, 0x00, 0x00];
+        assert!(matches!(
+            Name::parse(&msg, 0),
+            Err(WireError::BadPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_parse_rejects_self_pointer() {
+        let msg = [0xc0u8, 0x00];
+        assert!(matches!(
+            Name::parse(&msg, 0),
+            Err(WireError::BadPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_parse_rejects_pointer_loop() {
+        // two pointers pointing at each other can't happen (strictly
+        // decreasing targets), but verify a long chain is refused via the
+        // strictly-backwards rule.
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&[0xc0, 0x00]); // points at itself
+        msg.extend_from_slice(&[0xc0, 0x00]); // points backwards at the self-pointer
+        let r = Name::parse(&msg, 2);
+        assert!(matches!(r, Err(WireError::BadPointer { .. })));
+    }
+
+    #[test]
+    fn wire_parse_rejects_truncation_and_bad_type() {
+        assert!(matches!(
+            Name::parse(b"\x05abc", 0),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Name::parse(&[0x80, 0x00], 0),
+            Err(WireError::BadLabelType(0x80))
+        ));
+        assert!(matches!(
+            Name::parse(&[0x40], 0),
+            Err(WireError::BadLabelType(0x40))
+        ));
+        assert!(matches!(
+            Name::parse(&[], 0),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn compressor_reuses_suffixes() {
+        let mut out = Vec::new();
+        let mut comp = NameCompressor::new();
+        comp.encode(&n("www.example.nl"), &mut out);
+        let first_len = out.len();
+        assert_eq!(first_len, 16); // 4+8+3+1
+        comp.encode(&n("mail.example.nl"), &mut out);
+        // "mail" label (5 bytes) + pointer (2 bytes)
+        assert_eq!(out.len(), first_len + 7);
+        // both decode correctly
+        let (a, next) = Name::parse(&out, 0).unwrap();
+        assert_eq!(a, n("www.example.nl"));
+        let (b, _) = Name::parse(&out, next).unwrap();
+        assert_eq!(b, n("mail.example.nl"));
+    }
+
+    #[test]
+    fn compressor_case_insensitive_reuse() {
+        let mut out = Vec::new();
+        let mut comp = NameCompressor::new();
+        comp.encode(&n("a.EXAMPLE.NL"), &mut out);
+        let len = out.len();
+        comp.encode(&n("b.example.nl"), &mut out);
+        assert_eq!(out.len(), len + 4, "one label + pointer");
+    }
+
+    #[test]
+    fn compressor_identical_name_is_single_pointer() {
+        let mut out = Vec::new();
+        let mut comp = NameCompressor::new();
+        comp.encode(&n("example.nl"), &mut out);
+        let len = out.len();
+        comp.encode(&n("example.nl"), &mut out);
+        assert_eq!(out.len(), len + 2);
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        // RFC 4034 §6.1 example ordering flavor
+        let mut v = vec![
+            n("z.example.nl"),
+            n("a.example.nl"),
+            n("example.nl"),
+            n("nl"),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                n("nl"),
+                n("example.nl"),
+                n("a.example.nl"),
+                n("z.example.nl")
+            ]
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the wire format: round-trips, parser
+//! robustness against arbitrary and mutated input.
+
+use dns_wire::edns::Edns;
+use dns_wire::header::Header;
+use dns_wire::message::{Message, Question, Record};
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::types::{RType, Rcode};
+use proptest::prelude::*;
+
+/// Strategy for a random label: 1..=63 arbitrary octets.
+fn label() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 1..=63)
+}
+
+/// Strategy for a random name: up to 5 labels, total length kept legal.
+fn name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(label(), 0..=5).prop_filter_map("name too long", |labels| {
+        Name::from_labels(labels.iter().map(|l| l.as_slice())).ok()
+    })
+}
+
+/// Strategy for hostname-ish names (letters/digits/hyphen), closer to
+/// real traffic.
+fn hostname() -> impl Strategy<Value = Name> {
+    prop::collection::vec("[a-z0-9-]{1,20}", 1..=4).prop_filter_map("too long", |labels| {
+        Name::from_labels(labels.iter().map(|l| l.as_bytes())).ok()
+    })
+}
+
+fn rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        hostname().prop_map(RData::Ns),
+        hostname().prop_map(RData::Cname),
+        hostname().prop_map(RData::Ptr),
+        (any::<u16>(), hostname()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        prop::collection::vec(prop::collection::vec(any::<u8>(), 0..=255), 1..=3)
+            .prop_map(RData::Txt),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..=48)
+        )
+            .prop_map(|(key_tag, algorithm, digest_type, digest)| RData::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                digest
+            }),
+        (
+            any::<u16>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..=64)
+        )
+            .prop_map(|(flags, algorithm, public_key)| RData::Dnskey {
+                flags,
+                protocol: 3,
+                algorithm,
+                public_key
+            }),
+        (prop::collection::vec(any::<u8>(), 0..=32)).prop_map(|data| RData::Unknown {
+            rtype: RType::Unknown(999),
+            data
+        }),
+    ]
+}
+
+fn record() -> impl Strategy<Value = Record> {
+    (hostname(), any::<u32>(), rdata()).prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        any::<bool>(),
+        hostname(),
+        0u16..300,
+        prop::collection::vec(record(), 0..=4),
+        prop::collection::vec(record(), 0..=2),
+        prop::collection::vec(record(), 0..=2),
+        prop::option::of((512u16..=4096, any::<bool>())),
+        0u16..=16,
+    )
+        .prop_map(
+            |(id, response, qname, qtype, answers, authorities, additionals, edns, rcode)| {
+                let mut header = Header::request(id);
+                header.response = response;
+                header.rcode = Rcode::from_u16(rcode & 0x0f);
+                let mut msg = Message::new(header);
+                msg.questions
+                    .push(Question::new(qname, RType::from_u16(qtype)));
+                msg.answers = answers;
+                msg.authorities = authorities;
+                msg.additionals = additionals;
+                msg.edns = edns.map(|(size, dnssec_ok)| Edns::with_size(size, dnssec_ok));
+                msg
+            },
+        )
+}
+
+proptest! {
+    /// Any name survives wire encode -> parse.
+    #[test]
+    fn name_wire_roundtrip(n in name()) {
+        let mut buf = Vec::new();
+        n.encode_uncompressed(&mut buf);
+        let (parsed, end) = Name::parse(&buf, 0).unwrap();
+        prop_assert_eq!(&parsed, &n);
+        prop_assert_eq!(end, buf.len());
+    }
+
+    /// Display -> FromStr round-trips for arbitrary (even binary) labels.
+    #[test]
+    fn name_presentation_roundtrip(n in name()) {
+        let s = n.to_string();
+        let back: Name = s.parse().unwrap();
+        prop_assert_eq!(back, n);
+    }
+
+    /// Subdomain relation is reflexive and respects parent chains.
+    #[test]
+    fn subdomain_laws(n in name()) {
+        prop_assert!(n.is_subdomain_of(&n));
+        prop_assert!(n.is_subdomain_of(&Name::root()));
+        let p = n.parent();
+        prop_assert!(n.is_subdomain_of(&p));
+        if !n.is_root() {
+            prop_assert_eq!(n.label_count(), p.label_count() + 1);
+            prop_assert!(n.is_minimized_child_of(&p));
+        }
+    }
+
+    /// Full messages round-trip through encode/parse.
+    #[test]
+    fn message_roundtrip(msg in message()) {
+        let bytes = msg.encode().unwrap();
+        let parsed = Message::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed, msg);
+    }
+
+    /// Encoding under a limit never exceeds it, and the TC bit is set
+    /// exactly when records were dropped.
+    #[test]
+    fn limit_is_respected(msg in message(), limit in 64usize..1500) {
+        let full = msg.encode().unwrap();
+        match msg.encode_with_limit(limit) {
+            Ok((bytes, truncated)) => {
+                prop_assert!(bytes.len() <= limit);
+                if truncated {
+                    let parsed = Message::parse(&bytes).unwrap();
+                    prop_assert!(parsed.header.truncated);
+                    prop_assert!(bytes.len() <= full.len());
+                } else {
+                    prop_assert_eq!(bytes, full);
+                }
+            }
+            Err(_) => {
+                // Only legitimate when even the record-free skeleton
+                // overflows the limit.
+                let mut bare = msg.clone();
+                bare.answers.clear();
+                bare.authorities.clear();
+                bare.additionals.clear();
+                bare.header.truncated = true;
+                prop_assert!(bare.encode().unwrap().len() > limit);
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parse_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..=512)) {
+        let _ = Message::parse(&bytes);
+    }
+
+    /// The parser never panics on mutations of a valid message — and when
+    /// it succeeds, re-encoding succeeds too (internal consistency).
+    #[test]
+    fn parse_mutated_message_never_panics(
+        msg in message(),
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..=8)
+    ) {
+        let mut bytes = msg.encode().unwrap();
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] ^= val;
+        }
+        if let Ok(parsed) = Message::parse(&bytes) {
+            let _ = parsed.encode();
+        }
+    }
+
+    /// Compression: two-name messages always decode back to the same
+    /// names even when suffixes are shared.
+    #[test]
+    fn compression_roundtrip(a in hostname(), b in hostname()) {
+        use dns_wire::name::NameCompressor;
+        let mut out = Vec::new();
+        let mut comp = NameCompressor::new();
+        comp.encode(&a, &mut out);
+        let b_at = out.len();
+        comp.encode(&b, &mut out);
+        let (pa, next) = Name::parse(&out, 0).unwrap();
+        let (pb, _) = Name::parse(&out, b_at).unwrap();
+        prop_assert_eq!(pa, a);
+        prop_assert_eq!(pb, b);
+        prop_assert_eq!(next, b_at);
+    }
+}

@@ -1,0 +1,586 @@
+//! Aggregation primitives: counters, distinct counting (exact and
+//! HyperLogLog), CDFs and top-k — the operators behind every table and
+//! figure in the paper.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// A grouped counter: `K -> u64` with ratio helpers.
+#[derive(Debug, Clone)]
+pub struct Counter<K: Eq + Hash> {
+    counts: HashMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Eq + Hash> Default for Counter<K> {
+    fn default() -> Self {
+        Counter {
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash> Counter<K> {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to `key`.
+    pub fn add(&mut self, key: K, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Increment `key` by one.
+    pub fn incr(&mut self, key: K) {
+        self.add(key, 1);
+    }
+
+    /// Count for `key` (0 when absent).
+    pub fn get<Q>(&self, key: &Q) -> u64
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum over all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `count(key) / total`, or 0 on an empty counter.
+    pub fn ratio<Q>(&self, key: &Q) -> f64
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.get(key) as f64 / self.total as f64
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn keys(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterate `(key, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.counts.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Merge another counter in.
+    pub fn merge(&mut self, other: Counter<K>) {
+        for (k, v) in other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+        self.total += other.total;
+    }
+}
+
+impl<K: Eq + Hash + Clone + Ord> Counter<K> {
+    /// The `k` heaviest keys, descending, ties broken by key order.
+    pub fn top_k(&self, k: usize) -> Vec<(K, u64)> {
+        let mut all: Vec<(K, u64)> = self.counts.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+/// Exact distinct counting (a `HashSet` under the hood) — the reference
+/// for the HyperLogLog ablation.
+#[derive(Debug, Clone)]
+pub struct DistinctCounter<K: Eq + Hash> {
+    seen: HashSet<K>,
+}
+
+impl<K: Eq + Hash> Default for DistinctCounter<K> {
+    fn default() -> Self {
+        DistinctCounter {
+            seen: HashSet::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash> DistinctCounter<K> {
+    /// Empty counter.
+    pub fn new() -> Self {
+        DistinctCounter {
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Observe a value; returns true the first time.
+    pub fn observe(&mut self, key: K) -> bool {
+        self.seen.insert(key)
+    }
+
+    /// Distinct values observed.
+    pub fn count(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Membership check.
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.seen.contains(key)
+    }
+}
+
+/// HyperLogLog with 2^P registers: constant-memory distinct counting,
+/// ~1.04/sqrt(2^P) relative error. P=12 ⇒ 4096 registers, ~1.6% error —
+/// the sketch a production warehouse would use for the paper's
+/// millions-of-resolvers counts (Table 3).
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+    p: u8,
+}
+
+impl Default for HyperLogLog {
+    fn default() -> Self {
+        HyperLogLog::new(12)
+    }
+}
+
+impl HyperLogLog {
+    /// Build with 2^p registers (4 ≤ p ≤ 16).
+    pub fn new(p: u8) -> Self {
+        assert!((4..=16).contains(&p), "p out of range");
+        HyperLogLog {
+            registers: vec![0; 1 << p],
+            p,
+        }
+    }
+
+    /// Observe a hashable value.
+    pub fn observe<T: Hash>(&mut self, value: &T) {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        value.hash(&mut hasher);
+        let h = hasher.finish();
+        let idx = (h >> (64 - self.p)) as usize;
+        let rest = h << self.p;
+        let rank = (rest.leading_zeros() as u8 + 1).min(64 - self.p + 1);
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimate the distinct count.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            // small-range correction (linear counting)
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros != 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merge another sketch (register-wise max).
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.p, other.p, "precision mismatch");
+        for (a, b) in self.registers.iter_mut().zip(other.registers.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Memory used by the registers, bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+/// An empirical CDF over integer samples (Figure 6's EDNS sizes).
+#[derive(Debug, Default, Clone)]
+pub struct Cdf {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sample.
+    pub fn add(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Sample count.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// P(X ≤ x).
+    pub fn fraction_at_most(&mut self, x: u64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), nearest-rank:
+    /// `x_(⌈q·n⌉)` with 1-based ranks.
+    pub fn quantile(&mut self, q: f64) -> u64 {
+        assert!(!self.samples.is_empty(), "quantile of empty CDF");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    /// Median, nearest-rank.
+    pub fn median(&mut self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// Evaluate the CDF at each point, for plotting/reporting.
+    pub fn curve(&mut self, points: &[u64]) -> Vec<(u64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_most(x)))
+            .collect()
+    }
+}
+
+/// Convenience alias: heaviest-hitters over a counter.
+pub type TopK<K> = Vec<(K, u64)>;
+
+/// The Space-Saving heavy-hitters sketch (Metwally et al. 2005):
+/// bounded-memory top-k over an unbounded stream — what a warehouse
+/// would use for the per-AS volume ranking when the key space (tens of
+/// thousands of ASes, millions of resolvers) exceeds memory comfort.
+///
+/// Guarantee: any key whose true count exceeds `N / capacity` is
+/// present, and each reported count overestimates the true count by at
+/// most the smallest monitored count.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Eq + Hash + Clone> {
+    capacity: usize,
+    counts: HashMap<K, (u64, u64)>, // key -> (count, overestimation)
+    total: u64,
+}
+
+impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+    /// Monitor at most `capacity` keys.
+    ///
+    /// # Panics
+    /// If `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving {
+            capacity,
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Observe one occurrence of `key`.
+    pub fn observe(&mut self, key: K) {
+        self.total += 1;
+        if let Some(entry) = self.counts.get_mut(&key) {
+            entry.0 += 1;
+            return;
+        }
+        if self.counts.len() < self.capacity {
+            self.counts.insert(key, (1, 0));
+            return;
+        }
+        // evict the minimum and inherit its count as overestimation
+        let (victim, min) = self
+            .counts
+            .iter()
+            .min_by_key(|(_, (c, _))| *c)
+            .map(|(k, (c, _))| (k.clone(), *c))
+            .expect("capacity > 0");
+        self.counts.remove(&victim);
+        self.counts.insert(key, (min + 1, min));
+    }
+
+    /// Total stream length observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The monitored keys, by estimated count descending. Each entry is
+    /// `(key, estimate, overestimation_bound)`; the true count lies in
+    /// `[estimate - bound, estimate]`.
+    pub fn top(&self, k: usize) -> Vec<(K, u64, u64)> {
+        let mut all: Vec<(K, u64, u64)> = self
+            .counts
+            .iter()
+            .map(|(key, (c, e))| (key.clone(), *c, *e))
+            .collect();
+        all.sort_by_key(|e| std::cmp::Reverse(e.1));
+        all.truncate(k);
+        all
+    }
+
+    /// Memory bound: number of monitored entries.
+    pub fn monitored(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr("a");
+        c.incr("a");
+        c.add("b", 3);
+        assert_eq!(c.get("a"), 2);
+        assert_eq!(c.get("b"), 3);
+        assert_eq!(c.get("zzz"), 0);
+        assert_eq!(c.total(), 5);
+        assert!((c.ratio("a") - 0.4).abs() < 1e-12);
+        assert_eq!(c.keys(), 2);
+    }
+
+    #[test]
+    fn counter_merge_and_topk() {
+        let mut a = Counter::new();
+        a.add("x", 5);
+        a.add("y", 1);
+        let mut b = Counter::new();
+        b.add("y", 10);
+        b.add("z", 3);
+        a.merge(b);
+        assert_eq!(a.total(), 19);
+        assert_eq!(a.top_k(2), vec![("y", 11), ("x", 5)]);
+        assert_eq!(a.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn topk_tie_break_is_deterministic() {
+        let mut c = Counter::new();
+        c.add("b", 2);
+        c.add("a", 2);
+        assert_eq!(c.top_k(2), vec![("a", 2), ("b", 2)]);
+    }
+
+    #[test]
+    fn empty_counter_ratio_is_zero() {
+        let c: Counter<&str> = Counter::new();
+        assert_eq!(c.ratio("a"), 0.0);
+    }
+
+    #[test]
+    fn distinct_counter() {
+        let mut d = DistinctCounter::new();
+        assert!(d.observe("1.2.3.4"));
+        assert!(!d.observe("1.2.3.4"));
+        assert!(d.observe("1.2.3.5"));
+        assert_eq!(d.count(), 2);
+        assert!(d.contains("1.2.3.4"));
+    }
+
+    #[test]
+    fn hll_accuracy_within_bounds() {
+        let mut hll = HyperLogLog::new(12);
+        let n = 100_000u64;
+        for i in 0..n {
+            hll.observe(&i);
+        }
+        let est = hll.estimate();
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.05, "error {err} (est {est})");
+    }
+
+    #[test]
+    fn hll_small_range_is_nearly_exact() {
+        let mut hll = HyperLogLog::new(12);
+        for i in 0..50u64 {
+            hll.observe(&i);
+        }
+        let est = hll.estimate();
+        assert!((est - 50.0).abs() < 5.0, "est {est}");
+    }
+
+    #[test]
+    fn hll_merge_equals_union() {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        let mut union = HyperLogLog::new(10);
+        for i in 0..5000u64 {
+            a.observe(&i);
+            union.observe(&i);
+        }
+        for i in 2500..7500u64 {
+            b.observe(&i);
+            union.observe(&i);
+        }
+        a.merge(&b);
+        assert_eq!(a.estimate(), union.estimate());
+    }
+
+    #[test]
+    fn hll_duplicates_do_not_inflate() {
+        let mut hll = HyperLogLog::new(12);
+        for _ in 0..10_000 {
+            hll.observe(&"same");
+        }
+        assert!(hll.estimate() < 3.0);
+    }
+
+    #[test]
+    fn hll_memory_is_constant() {
+        assert_eq!(HyperLogLog::new(12).memory_bytes(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn hll_merge_precision_mismatch_panics() {
+        HyperLogLog::new(10).merge(&HyperLogLog::new(12));
+    }
+
+    #[test]
+    fn space_saving_exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for _ in 0..5 {
+            ss.observe("a");
+        }
+        for _ in 0..3 {
+            ss.observe("b");
+        }
+        let top = ss.top(10);
+        assert_eq!(top[0], ("a", 5, 0));
+        assert_eq!(top[1], ("b", 3, 0));
+        assert_eq!(ss.total(), 8);
+    }
+
+    #[test]
+    fn space_saving_finds_heavy_hitters_under_pressure() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut ss = SpaceSaving::new(32);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        // two heavy keys inside a sea of 10k light ones
+        for _ in 0..100_000 {
+            let key = if rng.gen_bool(0.30) {
+                7
+            } else if rng.gen_bool(0.20) {
+                13
+            } else {
+                1000 + rng.gen_range(0..10_000)
+            };
+            ss.observe(key);
+            *truth.entry(key).or_insert(0) += 1;
+        }
+        assert_eq!(ss.monitored(), 32, "memory bounded");
+        let top = ss.top(2);
+        let keys: Vec<u32> = top.iter().map(|(k, _, _)| *k).collect();
+        assert!(keys.contains(&7) && keys.contains(&13), "{keys:?}");
+        // estimates bracket the truth
+        for (k, est, over) in top {
+            let t = truth[&k];
+            assert!(est >= t, "estimate is an upper bound");
+            assert!(est - over <= t, "lower bound holds");
+        }
+    }
+
+    #[test]
+    fn space_saving_guarantee_threshold() {
+        // any key above total/capacity must be monitored
+        let mut ss = SpaceSaving::new(10);
+        for i in 0..1000u32 {
+            ss.observe(i % 100); // uniform: each key = 10 = total/capacity boundary
+        }
+        // now hammer one key well past the threshold
+        for _ in 0..500 {
+            ss.observe(42);
+        }
+        assert!(ss.top(10).iter().any(|(k, _, _)| *k == 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn space_saving_zero_capacity_panics() {
+        SpaceSaving::<u32>::new(0);
+    }
+
+    #[test]
+    fn cdf_fractions_and_quantiles() {
+        let mut cdf = Cdf::new();
+        for v in [512u64, 512, 512, 1232, 1232, 4096, 4096, 4096, 4096, 4096] {
+            cdf.add(v);
+        }
+        assert!((cdf.fraction_at_most(512) - 0.3).abs() < 1e-12);
+        assert!((cdf.fraction_at_most(1232) - 0.5).abs() < 1e-12);
+        assert!((cdf.fraction_at_most(4095) - 0.5).abs() < 1e-12);
+        assert!((cdf.fraction_at_most(4096) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_at_most(100), 0.0);
+        assert_eq!(cdf.median(), 1232);
+        assert_eq!(cdf.quantile(0.0), 512);
+        assert_eq!(cdf.quantile(1.0), 4096);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut cdf = Cdf::new();
+        for i in 0..1000u64 {
+            cdf.add(i * 7 % 501);
+        }
+        let curve = cdf.curve(&[0, 100, 200, 300, 400, 500, 600]);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "CDF must be monotone");
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_interleaved_add_and_query() {
+        let mut cdf = Cdf::new();
+        cdf.add(10);
+        assert_eq!(cdf.fraction_at_most(10), 1.0);
+        cdf.add(20);
+        assert_eq!(cdf.fraction_at_most(10), 0.5, "re-sorts after add");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty")]
+    fn empty_quantile_panics() {
+        Cdf::new().quantile(0.5);
+    }
+}

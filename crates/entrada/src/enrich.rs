@@ -1,0 +1,79 @@
+//! Source-address enrichment: AS, provider, public-DNS classification.
+
+use asdb::cloud::Provider;
+use asdb::mapping::AsMapper;
+use asdb::registry::Asn;
+use std::net::IpAddr;
+
+/// Wraps the IP→AS mapper with a small LRU-free memo (source addresses
+/// repeat heavily, so memoizing the LPM walk is a large win; the memo
+/// is unbounded but capped by the resolver population).
+pub struct Enricher {
+    mapper: AsMapper,
+    memo: std::collections::HashMap<IpAddr, (Option<Asn>, Option<Provider>, bool)>,
+}
+
+impl Enricher {
+    /// Build around a mapper (usually from the dataset's address plan).
+    pub fn new(mapper: AsMapper) -> Self {
+        Enricher {
+            mapper,
+            memo: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Resolve `(asn, provider, is_public_dns)` for a source address.
+    pub fn enrich(&mut self, ip: IpAddr) -> (Option<Asn>, Option<Provider>, bool) {
+        if let Some(hit) = self.memo.get(&ip) {
+            return *hit;
+        }
+        let asn = self.mapper.asn_of(ip);
+        let provider = self.mapper.provider_of(ip);
+        let public = self.mapper.is_public_dns(ip);
+        let out = (asn, provider, public);
+        self.memo.insert(ip, out);
+        out
+    }
+
+    /// The wrapped mapper.
+    pub fn mapper(&self) -> &AsMapper {
+        &self.mapper
+    }
+
+    /// Memoized address count (≈ distinct resolvers seen).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb::synth::{InternetPlan, PlanConfig};
+
+    #[test]
+    fn enrichment_matches_mapper_and_memoizes() {
+        let plan = InternetPlan::build(&PlanConfig {
+            other_as_count: 50,
+            isp_fraction: 0.5,
+            v6_fraction: 0.3,
+            seed: 3,
+        });
+        let mut e = Enricher::new(plan.mapper);
+        let google: IpAddr = "8.8.8.8".parse().unwrap();
+        let (asn, provider, public) = e.enrich(google);
+        assert_eq!(asn, Some(Asn(15169)));
+        assert_eq!(provider, Some(Provider::Google));
+        assert!(public);
+        assert_eq!(e.memo_len(), 1);
+        // second hit comes from the memo and agrees
+        assert_eq!(e.enrich(google), (asn, provider, public));
+        assert_eq!(e.memo_len(), 1);
+        // unknown space
+        let (a2, p2, pub2) = e.enrich("203.0.113.7".parse().unwrap());
+        assert_eq!(a2, None);
+        assert_eq!(p2, None);
+        assert!(!pub2);
+        assert_eq!(e.memo_len(), 2);
+    }
+}

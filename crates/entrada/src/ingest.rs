@@ -1,0 +1,430 @@
+//! Capture ingestion: parse, join queries with responses, enrich.
+//!
+//! Joining follows real passive-DNS practice: a response matches the
+//! pending query with the same (reversed) flow 5-tuple and DNS
+//! transaction id. Unmatched responses and malformed frames are counted
+//! in [`IngestStats`], never fatal.
+
+use crate::enrich::Enricher;
+use crate::schema::QueryRow;
+use dns_wire::message::Message;
+use netbase::capture::{CaptureReader, CaptureRecord, Direction};
+use netbase::flow::FlowKey;
+use std::collections::HashMap;
+use std::io::Read;
+
+/// Ingestion health counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Frames read from the capture.
+    pub frames: u64,
+    /// Frames whose DNS payload failed to parse.
+    pub malformed: u64,
+    /// Responses with no pending query (late, spoofed, or dropped).
+    pub unmatched_responses: u64,
+    /// Queries that never saw a response by end of stream.
+    pub unanswered_queries: u64,
+    /// Rows emitted.
+    pub rows: u64,
+}
+
+/// Key identifying a DNS transaction in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TxnKey {
+    flow: FlowKey,
+    id: u16,
+}
+
+/// Streaming capture → [`QueryRow`] iterator.
+///
+/// Rows are emitted when the response arrives (the common case) or at
+/// end-of-stream for unanswered queries. Emission order therefore
+/// follows response arrival, which is fine for every aggregate in the
+/// paper (nothing downstream requires query order).
+pub struct CaptureIngest<R: Read> {
+    reader: CaptureReader<R>,
+    enricher: Enricher,
+    pending: HashMap<TxnKey, QueryRow>,
+    stats: IngestStats,
+    drained: Option<std::vec::IntoIter<QueryRow>>,
+}
+
+impl<R: Read> CaptureIngest<R> {
+    /// Start ingesting from a validated capture reader.
+    pub fn new(reader: CaptureReader<R>, enricher: Enricher) -> Self {
+        CaptureIngest {
+            reader,
+            enricher,
+            pending: HashMap::new(),
+            stats: IngestStats::default(),
+            drained: None,
+        }
+    }
+
+    /// Counters so far (final after the iterator is exhausted).
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    fn absorb(&mut self, rec: CaptureRecord) -> Option<QueryRow> {
+        self.stats.frames += 1;
+        // TCP payloads carry the RFC 1035 two-octet length prefix;
+        // deframe before parsing (one message per captured frame).
+        let wire: std::borrow::Cow<'_, [u8]> = match rec.flow.transport {
+            netbase::flow::Transport::Tcp => match dns_wire::tcp::deframe_all(&rec.payload) {
+                Ok(mut messages) if messages.len() == 1 => {
+                    std::borrow::Cow::Owned(messages.remove(0))
+                }
+                _ => {
+                    self.stats.malformed += 1;
+                    return None;
+                }
+            },
+            netbase::flow::Transport::Udp => std::borrow::Cow::Borrowed(&rec.payload),
+        };
+        let msg = match Message::parse(&wire) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.malformed += 1;
+                return None;
+            }
+        };
+        match rec.direction {
+            Direction::Query => {
+                let question = msg.question()?.clone();
+                let (asn, provider, public_dns) = self.enricher.enrich(rec.flow.src);
+                let row = QueryRow {
+                    timestamp: rec.timestamp,
+                    src: rec.flow.src,
+                    src_port: rec.flow.src_port,
+                    server: rec.flow.dst,
+                    transport: rec.flow.transport,
+                    qname: question.qname,
+                    qtype: question.qtype,
+                    edns_size: msg.edns.as_ref().map(|e| e.udp_payload_size),
+                    do_bit: msg.edns.as_ref().map(|e| e.dnssec_ok).unwrap_or(false),
+                    rcode: None,
+                    response_size: None,
+                    response_truncated: false,
+                    tcp_rtt_us: rec.tcp_rtt_us,
+                    asn,
+                    provider,
+                    public_dns,
+                };
+                let key = TxnKey {
+                    flow: rec.flow,
+                    id: msg.header.id,
+                };
+                if let Some(orphan) = self.pending.insert(key, row) {
+                    // same flow+id reused before the first was answered:
+                    // flush the old one as unanswered
+                    self.stats.unanswered_queries += 1;
+                    self.stats.rows += 1;
+                    return Some(orphan);
+                }
+                None
+            }
+            Direction::Response => {
+                let key = TxnKey {
+                    flow: rec.flow.reversed(),
+                    id: msg.header.id,
+                };
+                match self.pending.remove(&key) {
+                    Some(mut row) => {
+                        row.rcode = Some(msg.header.rcode);
+                        row.response_size = Some(rec.payload.len() as u32);
+                        row.response_truncated = msg.header.truncated;
+                        if rec.tcp_rtt_us != 0 {
+                            row.tcp_rtt_us = rec.tcp_rtt_us;
+                        }
+                        self.stats.rows += 1;
+                        Some(row)
+                    }
+                    None => {
+                        self.stats.unmatched_responses += 1;
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for CaptureIngest<R> {
+    type Item = QueryRow;
+
+    fn next(&mut self) -> Option<QueryRow> {
+        if let Some(drained) = &mut self.drained {
+            return drained.next();
+        }
+        loop {
+            match self.reader.next_record() {
+                Ok(Some(rec)) => {
+                    if let Some(row) = self.absorb(rec) {
+                        return Some(row);
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    // stream end (or a fatal capture error): flush
+                    // unanswered queries in deterministic (time) order
+                    let mut rest: Vec<QueryRow> = self.pending.drain().map(|(_, v)| v).collect();
+                    rest.sort_by_key(|r| (r.timestamp, r.src_port));
+                    self.stats.unanswered_queries += rest.len() as u64;
+                    self.stats.rows += rest.len() as u64;
+                    self.drained = Some(rest.into_iter());
+                    return self.drained.as_mut().expect("just set").next();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdb::synth::{InternetPlan, PlanConfig};
+    use dns_wire::builder::MessageBuilder;
+    use dns_wire::types::{RType, Rcode};
+    use netbase::capture::CaptureWriter;
+    use netbase::flow::Transport;
+    use netbase::time::SimTime;
+
+    fn enricher() -> Enricher {
+        let plan = InternetPlan::build(&PlanConfig {
+            other_as_count: 10,
+            isp_fraction: 0.5,
+            v6_fraction: 0.3,
+            seed: 5,
+        });
+        Enricher::new(plan.mapper)
+    }
+
+    fn flow(src: &str, port: u16) -> FlowKey {
+        FlowKey {
+            src: src.parse().unwrap(),
+            src_port: port,
+            dst: "194.0.28.53".parse().unwrap(),
+            dst_port: 53,
+            transport: Transport::Udp,
+        }
+    }
+
+    fn capture(records: &[CaptureRecord]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = CaptureWriter::new(&mut buf).unwrap();
+        for r in records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        buf
+    }
+
+    fn query_rec(src: &str, port: u16, id: u16, t: u64) -> CaptureRecord {
+        let q = MessageBuilder::query(id, "example.nl.".parse().unwrap(), RType::A)
+            .with_edns(1232, true)
+            .build();
+        CaptureRecord {
+            timestamp: SimTime(t),
+            direction: Direction::Query,
+            flow: flow(src, port),
+            tcp_rtt_us: 0,
+            payload: q.encode().unwrap(),
+        }
+    }
+
+    fn response_rec(src: &str, port: u16, id: u16, t: u64, rcode: Rcode) -> CaptureRecord {
+        let q = MessageBuilder::query(id, "example.nl.".parse().unwrap(), RType::A).build();
+        let r = MessageBuilder::response(&q, rcode).build();
+        CaptureRecord {
+            timestamp: SimTime(t),
+            direction: Direction::Response,
+            flow: flow(src, port).reversed(),
+            tcp_rtt_us: 0,
+            payload: r.encode().unwrap(),
+        }
+    }
+
+    #[test]
+    fn join_produces_enriched_rows() {
+        let buf = capture(&[
+            query_rec("8.8.8.8", 1000, 7, 10),
+            response_rec("8.8.8.8", 1000, 7, 20, Rcode::NoError),
+        ]);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.rcode, Some(Rcode::NoError));
+        assert!(row.is_valid());
+        assert_eq!(row.provider, Some(asdb::cloud::Provider::Google));
+        assert!(row.public_dns);
+        assert_eq!(row.edns_size, Some(1232));
+        assert!(row.do_bit);
+        let stats = ingest.stats();
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.rows, 1);
+        assert_eq!(stats.malformed, 0);
+        assert_eq!(stats.unanswered_queries, 0);
+    }
+
+    #[test]
+    fn unanswered_query_flushes_at_eof() {
+        let buf = capture(&[query_rec("8.8.8.8", 1000, 7, 10)]);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].rcode, None);
+        assert!(!rows[0].is_valid() && !rows[0].is_junk());
+        assert_eq!(ingest.stats().unanswered_queries, 1);
+    }
+
+    #[test]
+    fn unmatched_response_is_counted_not_emitted() {
+        let buf = capture(&[response_rec("8.8.8.8", 1000, 7, 10, Rcode::NoError)]);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        assert_eq!(ingest.by_ref().count(), 0);
+        assert_eq!(ingest.stats().unmatched_responses, 1);
+    }
+
+    #[test]
+    fn id_mismatch_does_not_join() {
+        let buf = capture(&[
+            query_rec("8.8.8.8", 1000, 7, 10),
+            response_rec("8.8.8.8", 1000, 8, 20, Rcode::NoError),
+        ]);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        assert_eq!(rows.len(), 1, "query flushed unanswered");
+        assert_eq!(rows[0].rcode, None);
+        assert_eq!(ingest.stats().unmatched_responses, 1);
+    }
+
+    #[test]
+    fn port_mismatch_does_not_join() {
+        let buf = capture(&[
+            query_rec("8.8.8.8", 1000, 7, 10),
+            response_rec("8.8.8.8", 1001, 7, 20, Rcode::NoError),
+        ]);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        assert_eq!(rows[0].rcode, None);
+    }
+
+    #[test]
+    fn malformed_payload_is_skipped() {
+        let mut bad = query_rec("8.8.8.8", 1000, 7, 10);
+        bad.payload = vec![1, 2, 3];
+        let buf = capture(&[bad, query_rec("1.1.1.1", 2000, 9, 30)]);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].src.to_string(), "1.1.1.1");
+        assert_eq!(ingest.stats().malformed, 1);
+    }
+
+    #[test]
+    fn junk_rcode_flows_through() {
+        let buf = capture(&[
+            query_rec("1.1.1.1", 1000, 7, 10),
+            response_rec("1.1.1.1", 1000, 7, 20, Rcode::NxDomain),
+        ]);
+        let rows: Vec<QueryRow> =
+            CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher()).collect();
+        assert!(rows[0].is_junk());
+    }
+
+    #[test]
+    fn reused_transaction_id_flushes_orphan() {
+        let buf = capture(&[
+            query_rec("8.8.8.8", 1000, 7, 10),
+            query_rec("8.8.8.8", 1000, 7, 50),
+            response_rec("8.8.8.8", 1000, 7, 60, Rcode::NoError),
+        ]);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        assert_eq!(rows.len(), 2);
+        // first emitted is the orphan (unanswered), then the joined one
+        assert_eq!(rows[0].rcode, None);
+        assert_eq!(rows[1].rcode, Some(Rcode::NoError));
+    }
+
+    #[test]
+    fn tcp_payloads_are_deframed() {
+        let q = MessageBuilder::query(7, "example.nl.".parse().unwrap(), RType::Soa).build();
+        let r = MessageBuilder::response(&q, Rcode::NoError).build();
+        let mut f = flow("8.8.8.8", 555);
+        f.transport = Transport::Tcp;
+        let records = [
+            CaptureRecord {
+                timestamp: SimTime(1),
+                direction: Direction::Query,
+                flow: f,
+                tcp_rtt_us: 12_000,
+                payload: dns_wire::tcp::frame(&q.encode().unwrap()).unwrap(),
+            },
+            CaptureRecord {
+                timestamp: SimTime(2),
+                direction: Direction::Response,
+                flow: f.reversed(),
+                tcp_rtt_us: 12_000,
+                payload: dns_wire::tcp::frame(&r.encode().unwrap()).unwrap(),
+            },
+        ];
+        let buf = capture(&records);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].transport, Transport::Tcp);
+        assert_eq!(rows[0].tcp_rtt_us, 12_000);
+        assert_eq!(rows[0].rcode, Some(Rcode::NoError));
+        assert_eq!(ingest.stats().malformed, 0);
+    }
+
+    #[test]
+    fn unframed_tcp_payload_is_malformed() {
+        let q = MessageBuilder::query(7, "example.nl.".parse().unwrap(), RType::A).build();
+        let mut f = flow("8.8.8.8", 556);
+        f.transport = Transport::Tcp;
+        let rec = CaptureRecord {
+            timestamp: SimTime(1),
+            direction: Direction::Query,
+            flow: f,
+            tcp_rtt_us: 1,
+            payload: q.encode().unwrap(), // missing the length prefix
+        };
+        let buf = capture(&[rec]);
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        assert_eq!(ingest.by_ref().count(), 0);
+        assert_eq!(ingest.stats().malformed, 1);
+    }
+
+    #[test]
+    fn truncation_and_size_recorded() {
+        let q = MessageBuilder::query(5, "example.nl.".parse().unwrap(), RType::A)
+            .with_edns(512, true)
+            .build();
+        let mut resp = MessageBuilder::response(&q, Rcode::NoError).build();
+        resp.header.truncated = true;
+        let records = [
+            CaptureRecord {
+                timestamp: SimTime(1),
+                direction: Direction::Query,
+                flow: flow("8.8.8.8", 1234),
+                tcp_rtt_us: 0,
+                payload: q.encode().unwrap(),
+            },
+            CaptureRecord {
+                timestamp: SimTime(2),
+                direction: Direction::Response,
+                flow: flow("8.8.8.8", 1234).reversed(),
+                tcp_rtt_us: 0,
+                payload: resp.encode().unwrap(),
+            },
+        ];
+        let buf = capture(&records);
+        let rows: Vec<QueryRow> =
+            CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher()).collect();
+        assert!(rows[0].response_truncated);
+        assert_eq!(rows[0].response_size, Some(records[1].payload.len() as u32));
+    }
+}

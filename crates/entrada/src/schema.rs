@@ -1,0 +1,113 @@
+//! The enriched per-query row every analysis consumes.
+
+use asdb::cloud::Provider;
+use asdb::registry::Asn;
+use dns_wire::name::Name;
+use dns_wire::types::{RType, Rcode};
+use netbase::flow::{IpVersion, Transport};
+use netbase::time::SimTime;
+use std::net::IpAddr;
+
+/// One query as observed at an authoritative server, joined with its
+/// response and enriched — the logical schema of the ENTRADA warehouse.
+#[derive(Debug, Clone)]
+pub struct QueryRow {
+    /// Query arrival time.
+    pub timestamp: SimTime,
+    /// Resolver (source) address.
+    pub src: IpAddr,
+    /// Source port.
+    pub src_port: u16,
+    /// The authoritative server address that received the query.
+    pub server: IpAddr,
+    /// UDP or TCP.
+    pub transport: Transport,
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RType,
+    /// EDNS(0) advertised UDP size, if present on the query.
+    pub edns_size: Option<u16>,
+    /// DNSSEC-OK bit.
+    pub do_bit: bool,
+    /// Response code from the joined response; `None` if unanswered.
+    pub rcode: Option<Rcode>,
+    /// Joined response size in octets.
+    pub response_size: Option<u32>,
+    /// The joined response carried the TC bit.
+    pub response_truncated: bool,
+    /// TCP handshake RTT measured by the capture box (0 for UDP).
+    pub tcp_rtt_us: u32,
+    /// Origin AS of the source address.
+    pub asn: Option<Asn>,
+    /// Cloud provider owning that AS, if any.
+    pub provider: Option<Provider>,
+    /// Source address falls in an advertised public-DNS range.
+    pub public_dns: bool,
+}
+
+impl QueryRow {
+    /// Address family of the source.
+    pub fn ip_version(&self) -> IpVersion {
+        IpVersion::of(self.src)
+    }
+
+    /// The paper's §3 junk test: non-NOERROR (unanswered queries are
+    /// not classifiable and excluded by convention).
+    pub fn is_junk(&self) -> bool {
+        matches!(self.rcode, Some(rc) if rc.is_junk())
+    }
+
+    /// Valid = answered NOERROR (Table 3's "Queries (valid)").
+    pub fn is_valid(&self) -> bool {
+        matches!(self.rcode, Some(rc) if !rc.is_junk())
+    }
+
+    /// Year/month bucket for longitudinal series (Figure 3).
+    pub fn year_month(&self) -> (i32, u32) {
+        self.timestamp.year_month()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(rcode: Option<Rcode>) -> QueryRow {
+        QueryRow {
+            timestamp: SimTime::from_date(2020, 4, 7),
+            src: "8.8.8.8".parse().unwrap(),
+            src_port: 4242,
+            server: "194.0.28.53".parse().unwrap(),
+            transport: Transport::Udp,
+            qname: "example.nl.".parse().unwrap(),
+            qtype: RType::A,
+            edns_size: Some(1232),
+            do_bit: true,
+            rcode,
+            response_size: Some(100),
+            response_truncated: false,
+            tcp_rtt_us: 0,
+            asn: None,
+            provider: None,
+            public_dns: true,
+        }
+    }
+
+    #[test]
+    fn junk_classification() {
+        assert!(!row(Some(Rcode::NoError)).is_junk());
+        assert!(row(Some(Rcode::NoError)).is_valid());
+        assert!(row(Some(Rcode::NxDomain)).is_junk());
+        assert!(!row(Some(Rcode::NxDomain)).is_valid());
+        assert!(!row(None).is_junk(), "unanswered is not junk");
+        assert!(!row(None).is_valid(), "unanswered is not valid either");
+    }
+
+    #[test]
+    fn derived_fields() {
+        let r = row(Some(Rcode::NoError));
+        assert_eq!(r.ip_version(), IpVersion::V4);
+        assert_eq!(r.year_month(), (2020, 4));
+    }
+}

@@ -1,0 +1,145 @@
+//! Transport-layer identifiers: protocols and 5-tuple flow keys.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+use std::net::IpAddr;
+
+/// Transport protocol of a DNS exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Transport {
+    /// DNS over UDP (the default).
+    Udp,
+    /// DNS over TCP — used after truncation, for large DNSSEC payloads,
+    /// or under response-rate-limiting pressure (paper §4.4).
+    Tcp,
+}
+
+impl Transport {
+    /// Mnemonic, uppercase, as the paper's Table 5 prints.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Transport::Udp => "UDP",
+            Transport::Tcp => "TCP",
+        }
+    }
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// IP version of an exchange, derived from the source address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IpVersion {
+    /// IPv4.
+    V4,
+    /// IPv6.
+    V6,
+}
+
+impl IpVersion {
+    /// Classify an address.
+    pub fn of(ip: IpAddr) -> Self {
+        match ip {
+            IpAddr::V4(_) => IpVersion::V4,
+            IpAddr::V6(_) => IpVersion::V6,
+        }
+    }
+
+    /// Mnemonic, as the paper's Table 5/6 print.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IpVersion::V4 => "IPv4",
+            IpVersion::V6 => "IPv6",
+        }
+    }
+}
+
+impl fmt::Display for IpVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A 5-tuple flow key (source-oriented: `src` is the resolver, `dst` the
+/// authoritative server in this workspace's captures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Resolver address.
+    pub src: IpAddr,
+    /// Resolver port.
+    pub src_port: u16,
+    /// Authoritative server address.
+    pub dst: IpAddr,
+    /// Authoritative server port (53).
+    pub dst_port: u16,
+    /// UDP or TCP.
+    pub transport: Transport,
+}
+
+impl FlowKey {
+    /// The flow with source and destination swapped (the response path).
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            src_port: self.dst_port,
+            dst: self.src,
+            dst_port: self.src_port,
+            transport: self.transport,
+        }
+    }
+
+    /// IP version of the flow (both ends always share a family).
+    pub fn ip_version(&self) -> IpVersion {
+        IpVersion::of(self.src)
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}#{} -> {}#{}",
+            self.transport, self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowKey {
+        FlowKey {
+            src: "2001:db8::1".parse().unwrap(),
+            src_port: 5353,
+            dst: "2001:db8::53".parse().unwrap(),
+            dst_port: 53,
+            transport: Transport::Tcp,
+        }
+    }
+
+    #[test]
+    fn reversal_is_involutive() {
+        let f = flow();
+        assert_eq!(f.reversed().reversed(), f);
+        assert_eq!(f.reversed().src, f.dst);
+        assert_eq!(f.reversed().dst_port, 5353);
+    }
+
+    #[test]
+    fn version_classification() {
+        assert_eq!(flow().ip_version(), IpVersion::V6);
+        assert_eq!(IpVersion::of("192.0.2.1".parse().unwrap()), IpVersion::V4);
+    }
+
+    #[test]
+    fn mnemonics_match_paper_tables() {
+        assert_eq!(Transport::Udp.to_string(), "UDP");
+        assert_eq!(Transport::Tcp.to_string(), "TCP");
+        assert_eq!(IpVersion::V4.to_string(), "IPv4");
+        assert_eq!(IpVersion::V6.to_string(), "IPv6");
+    }
+}

@@ -1,0 +1,27 @@
+//! Networking substrate shared by the simulator and the analytics
+//! pipeline: simulated time with calendar math, IP prefixes,
+//! longest-prefix-match tries, transport flows, and the `.dnscap`
+//! capture-record format that decouples traffic generation from
+//! traffic analysis.
+//!
+//! Nothing here is DNS-specific; `dns-wire` handles the payload format.
+//! The split mirrors the paper's setup, where pcap collection at the
+//! authoritative servers is a separate layer from the ENTRADA warehouse
+//! that analyzes it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capture;
+pub mod flow;
+pub mod packet;
+pub mod pcap;
+pub mod prefix;
+pub mod time;
+pub mod trie;
+
+pub use capture::{CaptureReader, CaptureRecord, CaptureWriter, Direction};
+pub use flow::{FlowKey, Transport};
+pub use prefix::IpPrefix;
+pub use time::{CivilDate, SimDuration, SimTime};
+pub use trie::PrefixTrie;

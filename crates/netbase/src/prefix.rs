@@ -1,0 +1,277 @@
+//! IP prefixes (CIDR blocks) over both address families.
+
+use core::fmt;
+use core::str::FromStr;
+use serde::{Deserialize, Serialize};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// An IPv4 or IPv6 prefix in CIDR notation, stored normalized (host bits
+/// zeroed), so `10.1.2.3/8` and `10.0.0.0/8` compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IpPrefix {
+    addr: IpAddr,
+    len: u8,
+}
+
+/// Errors from [`IpPrefix`] construction and parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixError {
+    /// Prefix length exceeds the family maximum (32 or 128).
+    LengthOutOfRange,
+    /// The text was not `addr/len`.
+    Syntax,
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::LengthOutOfRange => write!(f, "prefix length out of range"),
+            PrefixError::Syntax => write!(f, "expected addr/len"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+impl IpPrefix {
+    /// Build a prefix; host bits of `addr` are masked off.
+    pub fn new(addr: IpAddr, len: u8) -> Result<Self, PrefixError> {
+        let max = match addr {
+            IpAddr::V4(_) => 32,
+            IpAddr::V6(_) => 128,
+        };
+        if len > max {
+            return Err(PrefixError::LengthOutOfRange);
+        }
+        Ok(IpPrefix {
+            addr: mask_addr(addr, len),
+            len,
+        })
+    }
+
+    /// Convenience v4 constructor.
+    pub fn v4(a: u8, b: u8, c: u8, d: u8, len: u8) -> Self {
+        IpPrefix::new(IpAddr::V4(Ipv4Addr::new(a, b, c, d)), len)
+            .expect("v4 length <= 32 enforced by caller")
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> IpAddr {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True for the zero-length catch-all (`0.0.0.0/0` or `::/0`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if this is an IPv4 prefix.
+    pub fn is_ipv4(&self) -> bool {
+        self.addr.is_ipv4()
+    }
+
+    /// True when `ip` (same family) falls inside this prefix.
+    pub fn contains(&self, ip: IpAddr) -> bool {
+        match (self.addr, ip) {
+            (IpAddr::V4(net), IpAddr::V4(host)) => {
+                let m = mask_v4(self.len);
+                u32::from(host) & m == u32::from(net)
+            }
+            (IpAddr::V6(net), IpAddr::V6(host)) => {
+                let m = mask_v6(self.len);
+                u128::from(host) & m == u128::from(net)
+            }
+            _ => false,
+        }
+    }
+
+    /// True when `other` is fully inside `self` (same family, longer or
+    /// equal length, matching network bits).
+    pub fn covers(&self, other: &IpPrefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// The significant bits of the network address, MSB first.
+    pub fn bits(&self) -> PrefixBits {
+        PrefixBits {
+            value: addr_bits(self.addr),
+            len: self.len,
+            pos: 0,
+        }
+    }
+
+    /// Number of host addresses if IPv4 (saturating), for capacity math.
+    pub fn v4_size(&self) -> u64 {
+        match self.addr {
+            IpAddr::V4(_) => 1u64 << (32 - self.len as u32),
+            IpAddr::V6(_) => u64::MAX,
+        }
+    }
+
+    /// The `i`-th host address inside an IPv4 prefix (wrapping within the
+    /// block). Panics on IPv6 (use [`IpPrefix::v6_host`]).
+    pub fn v4_host(&self, i: u64) -> Ipv4Addr {
+        match self.addr {
+            IpAddr::V4(net) => {
+                let span = 1u64 << (32 - self.len as u32);
+                Ipv4Addr::from(u32::from(net).wrapping_add((i % span) as u32))
+            }
+            IpAddr::V6(_) => panic!("v4_host on an IPv6 prefix"),
+        }
+    }
+
+    /// The `i`-th host address inside an IPv6 prefix (wrapping within the
+    /// low 64 bits of the block). Panics on IPv4.
+    pub fn v6_host(&self, i: u64) -> Ipv6Addr {
+        match self.addr {
+            IpAddr::V6(net) => Ipv6Addr::from(u128::from(net) | i as u128),
+            IpAddr::V4(_) => panic!("v6_host on an IPv4 prefix"),
+        }
+    }
+}
+
+/// Iterator over the network bits of a prefix, most significant first.
+pub struct PrefixBits {
+    value: u128,
+    len: u8,
+    pos: u8,
+}
+
+impl Iterator for PrefixBits {
+    type Item = bool;
+    fn next(&mut self) -> Option<bool> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let bit = (self.value >> (127 - self.pos)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+}
+
+/// Address bits left-aligned into a u128 (IPv4 occupies the top 32 bits).
+pub fn addr_bits(addr: IpAddr) -> u128 {
+    match addr {
+        IpAddr::V4(v4) => (u32::from(v4) as u128) << 96,
+        IpAddr::V6(v6) => u128::from(v6),
+    }
+}
+
+fn mask_v4(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+fn mask_v6(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        u128::MAX << (128 - len as u32)
+    }
+}
+
+fn mask_addr(addr: IpAddr, len: u8) -> IpAddr {
+    match addr {
+        IpAddr::V4(v4) => IpAddr::V4(Ipv4Addr::from(u32::from(v4) & mask_v4(len))),
+        IpAddr::V6(v6) => IpAddr::V6(Ipv6Addr::from(u128::from(v6) & mask_v6(len))),
+    }
+}
+
+impl fmt::Display for IpPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl FromStr for IpPrefix {
+    type Err = PrefixError;
+    fn from_str(s: &str) -> Result<Self, PrefixError> {
+        let (addr, len) = s.split_once('/').ok_or(PrefixError::Syntax)?;
+        let addr: IpAddr = addr.parse().map_err(|_| PrefixError::Syntax)?;
+        let len: u8 = len.parse().map_err(|_| PrefixError::Syntax)?;
+        IpPrefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(p("8.8.8.0/24").to_string(), "8.8.8.0/24");
+        assert_eq!(p("2001:4860::/32").to_string(), "2001:4860::/32");
+        assert!("8.8.8.0".parse::<IpPrefix>().is_err());
+        assert!("8.8.8.0/33".parse::<IpPrefix>().is_err());
+        assert!("::/129".parse::<IpPrefix>().is_err());
+        assert!("banana/8".parse::<IpPrefix>().is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(p("10.1.2.3/8"), p("10.0.0.0/8"));
+        assert_eq!(p("2001:db8::1/32"), p("2001:db8::/32"));
+    }
+
+    #[test]
+    fn containment() {
+        let g = p("8.8.8.0/24");
+        assert!(g.contains("8.8.8.8".parse().unwrap()));
+        assert!(!g.contains("8.8.9.8".parse().unwrap()));
+        assert!(!g.contains("2001:db8::1".parse().unwrap()), "cross-family");
+        let all = p("0.0.0.0/0");
+        assert!(all.contains("255.255.255.255".parse().unwrap()));
+        let h = p("192.0.2.1/32");
+        assert!(h.contains("192.0.2.1".parse().unwrap()));
+        assert!(!h.contains("192.0.2.2".parse().unwrap()));
+    }
+
+    #[test]
+    fn covers_relation() {
+        assert!(p("10.0.0.0/8").covers(&p("10.20.0.0/16")));
+        assert!(p("10.0.0.0/8").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.20.0.0/16").covers(&p("10.0.0.0/8")));
+        assert!(!p("11.0.0.0/8").covers(&p("10.0.0.0/16")));
+    }
+
+    #[test]
+    fn bit_iteration() {
+        let bits: Vec<bool> = p("192.0.0.0/4").bits().collect();
+        assert_eq!(bits, vec![true, true, false, false]);
+        let v6: Vec<bool> = p("8000::/2").bits().collect();
+        assert_eq!(v6, vec![true, false]);
+        assert_eq!(p("0.0.0.0/0").bits().count(), 0);
+    }
+
+    #[test]
+    fn host_enumeration() {
+        let net = p("198.51.100.0/24");
+        assert_eq!(net.v4_size(), 256);
+        assert_eq!(net.v4_host(0), "198.51.100.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(
+            net.v4_host(255),
+            "198.51.100.255".parse::<Ipv4Addr>().unwrap()
+        );
+        assert_eq!(net.v4_host(256), net.v4_host(0), "wraps");
+        let v6 = p("2001:db8::/64");
+        assert_eq!(v6.v6_host(5), "2001:db8::5".parse::<Ipv6Addr>().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "v4_host on an IPv6 prefix")]
+    fn v4_host_on_v6_panics() {
+        p("2001:db8::/64").v4_host(0);
+    }
+}

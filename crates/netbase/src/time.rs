@@ -1,0 +1,313 @@
+//! Simulated time: a microsecond tick since the Unix epoch, durations,
+//! and proleptic-Gregorian calendar math for the paper's week/month
+//! bucketing (w2018 = Nov 4-10 2018, monthly series Nov 2018 - Apr 2020).
+//!
+//! No wall clock is used anywhere in the workspace; all timestamps are
+//! simulation artifacts, which keeps every run reproducible.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time: microseconds since 1970-01-01T00:00:00Z.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+    /// From whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000_000)
+    }
+    /// From whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000_000)
+    }
+    /// From whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400_000_000)
+    }
+
+    /// As microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    /// As (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+    /// As (truncated) seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiply by a float factor, saturating at zero.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration((self.0 as f64 * k).max(0.0) as u64)
+    }
+}
+
+impl SimTime {
+    /// Construct from seconds since the epoch.
+    pub const fn from_unix_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Construct from a civil UTC date at midnight.
+    pub fn from_date(year: i32, month: u32, day: u32) -> Self {
+        let days = days_from_civil(year, month, day);
+        debug_assert!(days >= 0, "pre-epoch dates unsupported");
+        SimTime(days as u64 * 86_400_000_000)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    /// Seconds since the epoch (truncated).
+    pub const fn as_unix_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The civil UTC date containing this instant.
+    pub fn civil_date(self) -> CivilDate {
+        let days = (self.0 / 86_400_000_000) as i64;
+        civil_from_days(days)
+    }
+
+    /// Seconds elapsed since UTC midnight of the same day.
+    pub fn seconds_of_day(self) -> u64 {
+        (self.0 / 1_000_000) % 86_400
+    }
+
+    /// Fractional hour-of-day in [0, 24), for diurnal load shaping.
+    pub fn hour_of_day_f64(self) -> f64 {
+        self.seconds_of_day() as f64 / 3600.0
+    }
+
+    /// Day of week, 0 = Monday .. 6 = Sunday (1970-01-01 was a Thursday).
+    pub fn weekday(self) -> u32 {
+        let days = self.0 / 86_400_000_000;
+        ((days + 3) % 7) as u32
+    }
+
+    /// `(year, month)` pair, for monthly bucketing (Figure 3).
+    pub fn year_month(self) -> (i32, u32) {
+        let d = self.civil_date();
+        (d.year, d.month)
+    }
+
+    /// Saturating difference.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.duration_since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.civil_date();
+        let s = self.as_unix_secs() % 86_400;
+        write!(
+            f,
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+            d.year,
+            d.month,
+            d.day,
+            s / 3600,
+            (s / 60) % 60,
+            s % 60
+        )
+    }
+}
+
+/// A civil (proleptic Gregorian) UTC date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDate {
+    /// Year, e.g. 2020.
+    pub year: i32,
+    /// Month 1..=12.
+    pub month: u32,
+    /// Day of month 1..=31.
+    pub day: u32,
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = ((m as i64) + 9) % 12; // Mar=0..Feb=11
+    let doy = (153 * mp + 2) / 5 + (d as i64) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for a days-since-epoch count (inverse of
+/// [`days_from_civil`]).
+pub fn civil_from_days(z: i64) -> CivilDate {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    CivilDate {
+        year: (if m <= 2 { y + 1 } else { y }) as i32,
+        month: m,
+        day: d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(
+            civil_from_days(0),
+            CivilDate {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+        );
+    }
+
+    #[test]
+    fn paper_collection_weeks() {
+        // w2018 starts Sunday Nov 4 2018; w2019 Sunday Nov 3 2019;
+        // w2020 Sunday April 5 2020 (paper Table 2).
+        assert_eq!(SimTime::from_date(2018, 11, 4).weekday(), 6, "Sunday");
+        assert_eq!(SimTime::from_date(2019, 11, 3).weekday(), 6, "Sunday");
+        assert_eq!(SimTime::from_date(2020, 4, 5).weekday(), 6, "Sunday");
+    }
+
+    #[test]
+    fn civil_roundtrip_200_years() {
+        for days in (0..(200 * 366)).step_by(17) {
+            let d = civil_from_days(days);
+            assert_eq!(days_from_civil(d.year, d.month, d.day), days);
+        }
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        assert_eq!(
+            civil_from_days(days_from_civil(2020, 2, 29)),
+            CivilDate {
+                year: 2020,
+                month: 2,
+                day: 29
+            }
+        );
+        // 2100 is not a leap year: Feb 28 + 1 day = Mar 1
+        let feb28_2100 = days_from_civil(2100, 2, 28);
+        assert_eq!(
+            civil_from_days(feb28_2100 + 1),
+            CivilDate {
+                year: 2100,
+                month: 3,
+                day: 1
+            }
+        );
+    }
+
+    #[test]
+    fn year_month_bucketing() {
+        let t = SimTime::from_date(2019, 12, 15) + SimDuration::from_hours(13);
+        assert_eq!(t.year_month(), (2019, 12));
+        let t2 = SimTime::from_date(2020, 1, 1);
+        assert_eq!(t2.year_month(), (2020, 1));
+    }
+
+    #[test]
+    fn day_fraction_and_weekday() {
+        let midnight = SimTime::from_date(2020, 4, 6); // a Monday
+        assert_eq!(midnight.weekday(), 0);
+        assert_eq!(midnight.seconds_of_day(), 0);
+        let t = midnight + SimDuration::from_hours(6) + SimDuration::from_mins(30);
+        assert!((t.hour_of_day_f64() - 6.5).abs() < 1e-9);
+        assert_eq!(t.weekday(), 0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimTime::from_unix_secs(100);
+        let b = a + SimDuration::from_secs(50);
+        assert_eq!((b - a).as_secs(), 50);
+        assert_eq!((a - b), SimDuration::ZERO, "saturating");
+        assert_eq!(SimDuration::from_millis(1500).as_secs(), 1);
+        assert_eq!(SimDuration::from_secs(2).mul_f64(1.5).as_millis(), 3000);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_date(2020, 4, 5) + SimDuration::from_secs(3661);
+        assert_eq!(t.to_string(), "2020-04-05T01:01:01Z");
+        assert_eq!(t.civil_date().to_string(), "2020-04-05");
+    }
+}

@@ -1,0 +1,321 @@
+//! Longest-prefix-match binary tries over [`IpPrefix`] keys.
+//!
+//! One trie holds both families (IPv4 bits are left-aligned into the
+//! 128-bit key space but families never collide because lookups walk the
+//! family's own root). This is the substrate for IP→AS mapping at
+//! 40k+ prefixes, the scale the paper's vantage points observe.
+
+use crate::prefix::{addr_bits, IpPrefix};
+use std::net::IpAddr;
+
+#[derive(Debug)]
+struct Node<V> {
+    value: Option<(IpPrefix, V)>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn empty() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A binary LPM trie mapping prefixes to values.
+pub struct PrefixTrie<V> {
+    root_v4: Node<V>,
+    root_v6: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root_v4: Node::empty(),
+            root_v6: Node::empty(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `prefix -> value`; returns the previous value if the exact
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: IpPrefix, value: V) -> Option<V> {
+        let root = if prefix.is_ipv4() {
+            &mut self.root_v4
+        } else {
+            &mut self.root_v6
+        };
+        let mut node = root;
+        for bit in prefix.bits() {
+            let idx = usize::from(bit);
+            node = node.children[idx].get_or_insert_with(|| Box::new(Node::empty()));
+        }
+        let old = node.value.replace((prefix, value));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old.map(|(_, v)| v)
+    }
+
+    /// Longest-prefix match for `ip`: the most-specific stored prefix
+    /// containing it, with its value.
+    pub fn lookup(&self, ip: IpAddr) -> Option<(&IpPrefix, &V)> {
+        let (root, max_bits) = match ip {
+            IpAddr::V4(_) => (&self.root_v4, 32u8),
+            IpAddr::V6(_) => (&self.root_v6, 128u8),
+        };
+        let bits = addr_bits(ip);
+        let mut node = root;
+        let mut best: Option<&(IpPrefix, V)> = node.value.as_ref();
+        for depth in 0..max_bits {
+            let bit = (bits >> (127 - depth)) & 1;
+            match &node.children[bit as usize] {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        best = node.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(p, v)| (p, v))
+    }
+
+    /// Exact-match retrieval.
+    pub fn get(&self, prefix: &IpPrefix) -> Option<&V> {
+        let root = if prefix.is_ipv4() {
+            &self.root_v4
+        } else {
+            &self.root_v6
+        };
+        let mut node = root;
+        for bit in prefix.bits() {
+            node = node.children[usize::from(bit)].as_deref()?;
+        }
+        match &node.value {
+            Some((p, v)) if p == prefix => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Visit every `(prefix, value)` pair (order: v4 pre-order, then v6).
+    pub fn for_each<'a>(&'a self, mut f: impl FnMut(&'a IpPrefix, &'a V)) {
+        fn walk<'a, V>(node: &'a Node<V>, f: &mut impl FnMut(&'a IpPrefix, &'a V)) {
+            if let Some((p, v)) = &node.value {
+                f(p, v);
+            }
+            for child in node.children.iter().flatten() {
+                walk(child, f);
+            }
+        }
+        walk(&self.root_v4, &mut f);
+        walk(&self.root_v6, &mut f);
+    }
+
+    /// Collect all stored pairs into a vec (mainly for tests/reports).
+    pub fn entries(&self) -> Vec<(&IpPrefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|p, v| out.push((p, v)));
+        out
+    }
+}
+
+/// A baseline LPM implementation for the ablation bench and differential
+/// testing: sorted vec scanned from longest to shortest length.
+pub struct LinearLpm<V> {
+    entries: Vec<(IpPrefix, V)>,
+    sorted: bool,
+}
+
+impl<V> Default for LinearLpm<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> LinearLpm<V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        LinearLpm {
+            entries: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Add an entry (duplicates replace on next `lookup` by length order).
+    pub fn insert(&mut self, prefix: IpPrefix, value: V) {
+        self.entries.push((prefix, value));
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // longest prefixes first so the first hit is the best match
+            self.entries.sort_by_key(|e| std::cmp::Reverse(e.0.len()));
+            self.sorted = true;
+        }
+    }
+
+    /// Longest-prefix match by linear scan.
+    pub fn lookup(&mut self, ip: IpAddr) -> Option<(&IpPrefix, &V)> {
+        self.ensure_sorted();
+        self.entries
+            .iter()
+            .find(|(p, _)| p.contains(ip))
+            .map(|(p, v)| (p, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> IpPrefix {
+        s.parse().unwrap()
+    }
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("8.8.8.8")), None);
+        assert_eq!(t.lookup(ip("2001:db8::1")), None);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.20.0.0/16"), 16);
+        t.insert(p("10.20.30.0/24"), 24);
+        assert_eq!(t.lookup(ip("10.20.30.40")).unwrap().1, &24);
+        assert_eq!(t.lookup(ip("10.20.99.1")).unwrap().1, &16);
+        assert_eq!(t.lookup(ip("10.99.99.1")).unwrap().1, &8);
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn families_are_disjoint() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "v4");
+        t.insert(p("::/0"), "v6");
+        assert_eq!(t.lookup(ip("1.2.3.4")).unwrap().1, &"v4");
+        assert_eq!(t.lookup(ip("2001:db8::1")).unwrap().1, &"v6");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn default_route_as_fallback() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("192.0.2.0/24"), 1);
+        assert_eq!(t.lookup(ip("192.0.2.9")).unwrap().1, &1);
+        assert_eq!(t.lookup(ip("8.8.8.8")).unwrap().1, &0);
+    }
+
+    #[test]
+    fn insert_replaces_exact() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn exact_get_does_not_aggregate() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert_eq!(t.get(&p("10.0.0.0/16")), None);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&1));
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("8.8.8.8/32"), "dns");
+        t.insert(p("2001:4860:4860::8888/128"), "dns6");
+        assert_eq!(t.lookup(ip("8.8.8.8")).unwrap().1, &"dns");
+        assert_eq!(t.lookup(ip("8.8.8.9")), None);
+        assert_eq!(t.lookup(ip("2001:4860:4860::8888")).unwrap().1, &"dns6");
+    }
+
+    #[test]
+    fn v6_deep_prefixes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2a00:1450::/29"), "goog");
+        t.insert(p("2a00:1450:4000::/36"), "goog-eu");
+        assert_eq!(t.lookup(ip("2a00:1450:4013::5e")).unwrap().1, &"goog-eu");
+        assert_eq!(t.lookup(ip("2a00:1450:c000::1")).unwrap().1, &"goog");
+    }
+
+    #[test]
+    fn entries_visits_all() {
+        let mut t = PrefixTrie::new();
+        for (i, s) in ["1.0.0.0/8", "2.0.0.0/8", "2001:db8::/32"]
+            .iter()
+            .enumerate()
+        {
+            t.insert(p(s), i);
+        }
+        let mut got: Vec<String> = t.entries().iter().map(|(p, _)| p.to_string()).collect();
+        got.sort();
+        assert_eq!(got, vec!["1.0.0.0/8", "2.0.0.0/8", "2001:db8::/32"]);
+    }
+
+    #[test]
+    fn trie_agrees_with_linear_baseline() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut trie = PrefixTrie::new();
+        let mut linear = LinearLpm::new();
+        for i in 0..500u32 {
+            let len = rng.gen_range(8..=28);
+            let addr = std::net::Ipv4Addr::from(rng.gen::<u32>());
+            let pfx = IpPrefix::new(IpAddr::V4(addr), len).unwrap();
+            // skip duplicate prefixes so both structures agree on values
+            if trie.get(&pfx).is_none() {
+                trie.insert(pfx, i);
+                linear.insert(pfx, i);
+            }
+        }
+        for _ in 0..2000 {
+            let probe = IpAddr::V4(std::net::Ipv4Addr::from(rng.gen::<u32>()));
+            let a = trie.lookup(probe).map(|(p, v)| (*p, *v));
+            let b = linear.lookup(probe).map(|(p, v)| (*p, *v));
+            // linear returns *a* longest match; lengths must agree, and if
+            // unique so must the entries
+            match (a, b) {
+                (None, None) => {}
+                (Some((pa, _)), Some((pb, _))) => {
+                    assert_eq!(pa.len(), pb.len(), "probe {probe}");
+                }
+                other => panic!("disagreement on {probe}: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the networking substrate.
+
+use netbase::capture::{CaptureReader, CaptureRecord, CaptureWriter, Direction};
+use netbase::flow::{FlowKey, Transport};
+use netbase::prefix::IpPrefix;
+use netbase::time::{civil_from_days, days_from_civil, SimDuration, SimTime};
+use netbase::trie::{LinearLpm, PrefixTrie};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn ip_addr() -> impl Strategy<Value = IpAddr> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| IpAddr::V4(Ipv4Addr::from(v))),
+        any::<u128>().prop_map(|v| IpAddr::V6(Ipv6Addr::from(v))),
+    ]
+}
+
+fn prefix() -> impl Strategy<Value = IpPrefix> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32)
+            .prop_map(|(a, l)| IpPrefix::new(IpAddr::V4(Ipv4Addr::from(a)), l).unwrap()),
+        (any::<u128>(), 0u8..=128).prop_map(|(a, l)| IpPrefix::new(
+            IpAddr::V6(Ipv6Addr::from(a)),
+            l
+        )
+        .unwrap()),
+    ]
+}
+
+fn capture_record() -> impl Strategy<Value = CaptureRecord> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        any::<bool>(),
+        ip_addr(),
+        any::<u16>(),
+        ip_addr(),
+        any::<u16>(),
+        any::<u32>(),
+        prop::collection::vec(any::<u8>(), 0..=200),
+    )
+        .prop_map(
+            |(ts, dir, tcp, src, sp, dst, dp, rtt, payload)| CaptureRecord {
+                timestamp: SimTime(ts),
+                direction: if dir {
+                    Direction::Query
+                } else {
+                    Direction::Response
+                },
+                flow: FlowKey {
+                    src,
+                    src_port: sp,
+                    dst,
+                    dst_port: dp,
+                    transport: if tcp { Transport::Tcp } else { Transport::Udp },
+                },
+                tcp_rtt_us: rtt,
+                payload,
+            },
+        )
+}
+
+proptest! {
+    /// Prefix parse <-> display round-trip.
+    #[test]
+    fn prefix_text_roundtrip(p in prefix()) {
+        let s = p.to_string();
+        let back: IpPrefix = s.parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// A prefix always contains its own network address, and containment
+    /// implies the LPM trie can find it.
+    #[test]
+    fn prefix_contains_network(p in prefix()) {
+        prop_assert!(p.contains(p.network()));
+        let mut t = PrefixTrie::new();
+        t.insert(p, ());
+        prop_assert!(t.lookup(p.network()).is_some());
+    }
+
+    /// Trie and the linear-scan baseline always agree on best-match length.
+    #[test]
+    fn trie_matches_linear_baseline(
+        prefixes in prop::collection::vec(prefix(), 1..40),
+        probes in prop::collection::vec(ip_addr(), 1..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut linear = LinearLpm::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            if trie.get(p).is_none() {
+                trie.insert(*p, i);
+                linear.insert(*p, i);
+            }
+        }
+        for probe in probes {
+            let a = trie.lookup(probe).map(|(p, _)| p.len());
+            let b = linear.lookup(probe).map(|(p, _)| p.len());
+            prop_assert_eq!(a, b, "probe {}", probe);
+        }
+    }
+
+    /// The LPM result, when present, contains the probe.
+    #[test]
+    fn lpm_result_contains_probe(
+        prefixes in prop::collection::vec(prefix(), 1..40),
+        probe in ip_addr(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for p in &prefixes {
+            trie.insert(*p, ());
+        }
+        if let Some((m, _)) = trie.lookup(probe) {
+            prop_assert!(m.contains(probe));
+            // and no stored prefix longer than m contains the probe
+            for p in &prefixes {
+                if p.contains(probe) {
+                    prop_assert!(p.len() <= m.len());
+                }
+            }
+        } else {
+            for p in &prefixes {
+                prop_assert!(!p.contains(probe));
+            }
+        }
+    }
+
+    /// Civil calendar conversion is a bijection over a wide range.
+    #[test]
+    fn civil_bijection(days in 0i64..200_000) {
+        let d = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(d.year, d.month, d.day), days);
+        prop_assert!((1..=12).contains(&d.month));
+        prop_assert!((1..=31).contains(&d.day));
+    }
+
+    /// Time arithmetic: (t + d) - t == d.
+    #[test]
+    fn time_add_sub(t in any::<u32>(), d in any::<u32>()) {
+        let t = SimTime::from_unix_secs(t as u64);
+        let d = SimDuration::from_micros(d as u64);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    /// Capture records round-trip through the writer/reader in order.
+    #[test]
+    fn capture_roundtrip(records in prop::collection::vec(capture_record(), 0..20)) {
+        let mut buf = Vec::new();
+        {
+            let mut w = CaptureWriter::new(&mut buf).unwrap();
+            for r in &records {
+                w.write(r).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let got: Result<Vec<_>, _> = CaptureReader::new(&buf[..]).unwrap().collect();
+        prop_assert_eq!(got.unwrap(), records);
+    }
+
+    /// The capture reader never panics on arbitrary bytes.
+    #[test]
+    fn capture_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        if let Ok(reader) = CaptureReader::new(&bytes[..]) {
+            for item in reader.take(50) {
+                if item.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}

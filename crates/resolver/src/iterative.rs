@@ -1,0 +1,807 @@
+//! The iterative resolution algorithm: referral walking from the root,
+//! optional QNAME minimization, delegation/address caching, and cycle
+//! detection.
+
+use crate::hierarchy::Network;
+use dns_wire::builder::MessageBuilder;
+use dns_wire::message::Message;
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::types::{RType, Rcode};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+/// Resolver behaviour knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolverConfig {
+    /// Walk zone cuts with minimized qnames (RFC 7816). This is the
+    /// switch whose flip the paper dates to Dec 2019 for Google.
+    pub qmin: bool,
+    /// Validate delegations DNSSEC-style: fetch DS at each parent and
+    /// DNSKEY once per child zone, and compare (§4.2.2 — the traffic
+    /// signature that separates Cloudflare/Google from Microsoft).
+    pub validate: bool,
+    /// Hard budget of queries per [`IterativeResolver::resolve`] call —
+    /// what stops a cyclic dependency from looping forever.
+    pub max_queries: u32,
+    /// Maximum CNAME chain length.
+    pub max_cnames: u32,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            qmin: false,
+            validate: false,
+            max_queries: 64,
+            max_cnames: 8,
+        }
+    }
+}
+
+/// One query the resolver sent (mirrors what a vantage point captures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// Server the query went to.
+    pub server: IpAddr,
+    /// Queried name, as sent on the wire.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RType,
+}
+
+/// Resolution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The name does not exist.
+    NxDomain,
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The per-resolution query budget ran out (the user-visible
+    /// symptom of pathological delegations).
+    BudgetExhausted {
+        /// Queries spent before giving up.
+        queries: u32,
+    },
+    /// NS resolution required resolving a name that is itself being
+    /// resolved: a cyclic dependency (Pappas et al. 2004 — the paper's
+    /// Feb-2020 `.nz` incident).
+    CyclicDependency {
+        /// The name whose resolution re-entered itself.
+        name: Name,
+    },
+    /// No server for a zone could be reached or produced an answer.
+    Unreachable,
+    /// The CNAME chain exceeded the limit.
+    CnameLoop,
+    /// Validation failed: the child's DNSKEY does not match the DS the
+    /// parent published.
+    Bogus {
+        /// The delegation that failed to validate.
+        zone: Name,
+    },
+}
+
+/// An iterative (root-walking) resolver with caches.
+pub struct IterativeResolver {
+    config: ResolverConfig,
+    /// zone cut -> learned server addresses.
+    delegation_cache: HashMap<Name, Vec<IpAddr>>,
+    /// terminal answers: (qname, qtype) -> addresses.
+    address_cache: HashMap<(Name, RType), Vec<IpAddr>>,
+    /// every query sent, in order.
+    pub log: Vec<QueryLogEntry>,
+    queries_this_call: u32,
+    resolving: HashSet<Name>,
+    /// delegation -> the parent's DS digest (None = insecure).
+    ds_cache: HashMap<Name, Option<Vec<u8>>>,
+    /// zone -> verified DNSKEY material.
+    dnskey_cache: HashMap<Name, Vec<u8>>,
+}
+
+impl IterativeResolver {
+    /// Build with the given configuration.
+    pub fn new(config: ResolverConfig) -> Self {
+        IterativeResolver {
+            config,
+            delegation_cache: HashMap::new(),
+            address_cache: HashMap::new(),
+            log: Vec::new(),
+            queries_this_call: 0,
+            resolving: HashSet::new(),
+            ds_cache: HashMap::new(),
+            dnskey_cache: HashMap::new(),
+        }
+    }
+
+    /// Queries sent over this resolver's lifetime.
+    pub fn queries_sent(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Cached zone cuts (for tests/inspection).
+    pub fn cached_cuts(&self) -> usize {
+        self.delegation_cache.len()
+    }
+
+    /// Resolve `name`/`rtype` to addresses, walking `net` from its
+    /// root servers.
+    pub fn resolve(
+        &mut self,
+        net: &mut Network,
+        name: &Name,
+        rtype: RType,
+    ) -> Result<Vec<IpAddr>, ResolveError> {
+        self.queries_this_call = 0;
+        self.resolving.clear();
+        self.resolve_inner(net, name, rtype, 0)
+    }
+
+    fn resolve_inner(
+        &mut self,
+        net: &mut Network,
+        name: &Name,
+        rtype: RType,
+        cname_depth: u32,
+    ) -> Result<Vec<IpAddr>, ResolveError> {
+        if cname_depth > self.config.max_cnames {
+            return Err(ResolveError::CnameLoop);
+        }
+        if let Some(cached) = self.address_cache.get(&(name.clone(), rtype)) {
+            return Ok(cached.clone());
+        }
+        if !self.resolving.insert(name.clone()) {
+            return Err(ResolveError::CyclicDependency { name: name.clone() });
+        }
+        let result = self.walk(net, name, rtype, cname_depth);
+        self.resolving.remove(name);
+        if let Ok(addrs) = &result {
+            self.address_cache
+                .insert((name.clone(), rtype), addrs.clone());
+        }
+        result
+    }
+
+    /// The referral walk itself.
+    fn walk(
+        &mut self,
+        net: &mut Network,
+        name: &Name,
+        rtype: RType,
+        cname_depth: u32,
+    ) -> Result<Vec<IpAddr>, ResolveError> {
+        // start from the deepest cached cut covering the name
+        let (mut cut, mut servers) = self.best_cut(net, name);
+        // depth we know to be inside `servers`' bailiwick (for Q-min's
+        // empty-non-terminal traversal)
+        let mut known_depth = cut.label_count();
+
+        for _ in 0..64 {
+            // pick the wire question
+            let (send_qname, send_qtype) = if self.config.qmin {
+                let child = ancestor_at(name, known_depth + 1);
+                if &child == name {
+                    (name.clone(), rtype)
+                } else {
+                    (child, RType::Ns)
+                }
+            } else {
+                (name.clone(), rtype)
+            };
+
+            let resp = self.ask(net, &servers, &send_qname, send_qtype)?;
+
+            // terminal outcomes -------------------------------------------------
+            if resp.header.rcode == Rcode::NxDomain {
+                return Err(ResolveError::NxDomain);
+            }
+            // direct answer for the real question?
+            if &send_qname == name && send_qtype == rtype {
+                let addrs: Vec<IpAddr> = resp
+                    .answers
+                    .iter()
+                    .filter(|r| r.name == *name)
+                    .filter_map(|r| match &r.rdata {
+                        RData::A(a) => Some(IpAddr::V4(*a)),
+                        RData::Aaaa(a) => Some(IpAddr::V6(*a)),
+                        _ => None,
+                    })
+                    .collect();
+                if !addrs.is_empty() {
+                    return Ok(addrs);
+                }
+                // CNAME?
+                if let Some(target) = resp.answers.iter().find_map(|r| match &r.rdata {
+                    RData::Cname(t) if r.name == *name => Some(t.clone()),
+                    _ => None,
+                }) {
+                    // chased answers may ride along
+                    let chased: Vec<IpAddr> = resp
+                        .answers
+                        .iter()
+                        .filter(|r| r.name == target)
+                        .filter_map(|r| match &r.rdata {
+                            RData::A(a) => Some(IpAddr::V4(*a)),
+                            RData::Aaaa(a) => Some(IpAddr::V6(*a)),
+                            _ => None,
+                        })
+                        .collect();
+                    if !chased.is_empty() {
+                        return Ok(chased);
+                    }
+                    return self.resolve_inner(net, &target, rtype, cname_depth + 1);
+                }
+                if resp.answers.is_empty() && !is_referral(&resp) {
+                    return Err(ResolveError::NoData);
+                }
+            }
+
+            // referral ----------------------------------------------------------
+            if is_referral(&resp) {
+                let (new_cut, ns_hosts, glue) = parse_referral(&resp);
+                let new_servers = if glue.is_empty() {
+                    // no glue: resolve the NS hosts (cycle-guarded)
+                    let mut found = Vec::new();
+                    let mut cycle: Option<ResolveError> = None;
+                    for host in &ns_hosts {
+                        match self.resolve_inner(net, host, RType::A, 0) {
+                            Ok(addrs) => found.extend(addrs),
+                            Err(e @ ResolveError::CyclicDependency { .. }) => {
+                                cycle = Some(e);
+                            }
+                            Err(_) => {}
+                        }
+                    }
+                    if found.is_empty() {
+                        return Err(cycle.unwrap_or(ResolveError::Unreachable));
+                    }
+                    found
+                } else {
+                    glue
+                };
+                if self.config.validate {
+                    self.validate_delegation(net, &servers, &new_cut, &new_servers)?;
+                }
+                self.delegation_cache
+                    .insert(new_cut.clone(), new_servers.clone());
+                known_depth = new_cut.label_count();
+                cut = new_cut;
+                let _ = &cut;
+                servers = new_servers;
+                continue;
+            }
+
+            // Q-min probe outcomes ------------------------------------------------
+            if self.config.qmin && &send_qname != name {
+                // NODATA at an empty non-terminal, or an authoritative NS
+                // answer (same-server child zone): step one label deeper
+                known_depth += 1;
+                continue;
+            }
+
+            return Err(ResolveError::NoData);
+        }
+        Err(ResolveError::BudgetExhausted {
+            queries: self.queries_this_call,
+        })
+    }
+
+    /// DNSSEC-style delegation check: DS at the parent, DNSKEY once per
+    /// child zone, compared. Mirrors the §4.2.2 traffic pattern: a
+    /// validator emits one DS query per (uncached) delegation but only
+    /// one DNSKEY query per zone.
+    fn validate_delegation(
+        &mut self,
+        net: &mut Network,
+        parent_servers: &[IpAddr],
+        cut: &Name,
+        child_servers: &[IpAddr],
+    ) -> Result<(), ResolveError> {
+        let ds = match self.ds_cache.get(cut) {
+            Some(cached) => cached.clone(),
+            None => {
+                let resp = self.ask(net, parent_servers, cut, RType::Ds)?;
+                let digest = resp.answers.iter().find_map(|r| match &r.rdata {
+                    RData::Ds { digest, .. } if r.name == *cut => Some(digest.clone()),
+                    _ => None,
+                });
+                self.ds_cache.insert(cut.clone(), digest.clone());
+                digest
+            }
+        };
+        let Some(digest) = ds else {
+            return Ok(()); // insecure delegation: nothing to validate
+        };
+        let key = match self.dnskey_cache.get(cut) {
+            Some(k) => k.clone(),
+            None => {
+                let resp = self.ask(net, child_servers, cut, RType::Dnskey)?;
+                let key = resp
+                    .answers
+                    .iter()
+                    .find_map(|r| match &r.rdata {
+                        RData::Dnskey { public_key, .. } if r.name == *cut => {
+                            Some(public_key.clone())
+                        }
+                        _ => None,
+                    })
+                    .ok_or_else(|| ResolveError::Bogus { zone: cut.clone() })?;
+                self.dnskey_cache.insert(cut.clone(), key.clone());
+                key
+            }
+        };
+        if key == digest {
+            Ok(())
+        } else {
+            Err(ResolveError::Bogus { zone: cut.clone() })
+        }
+    }
+
+    /// The deepest cached delegation covering `name` (falling back to
+    /// the root servers).
+    fn best_cut(&self, net: &Network, name: &Name) -> (Name, Vec<IpAddr>) {
+        self.delegation_cache
+            .iter()
+            .filter(|(cut, _)| name.is_subdomain_of(cut))
+            .max_by_key(|(cut, _)| cut.label_count())
+            .map(|(cut, servers)| (cut.clone(), servers.clone()))
+            .unwrap_or_else(|| (Name::root(), net.root_servers()))
+    }
+
+    /// Send one question to the first responsive server.
+    fn ask(
+        &mut self,
+        net: &mut Network,
+        servers: &[IpAddr],
+        qname: &Name,
+        qtype: RType,
+    ) -> Result<Message, ResolveError> {
+        for &server in servers {
+            if self.queries_this_call >= self.config.max_queries {
+                return Err(ResolveError::BudgetExhausted {
+                    queries: self.queries_this_call,
+                });
+            }
+            self.queries_this_call += 1;
+            let id = (self.log.len() as u16).wrapping_mul(31).wrapping_add(7);
+            let query = MessageBuilder::query(id, qname.clone(), qtype).build();
+            self.log.push(QueryLogEntry {
+                server,
+                qname: qname.clone(),
+                qtype,
+            });
+            if let Some(resp) = net.query(server, &query) {
+                return Ok(resp);
+            }
+        }
+        Err(ResolveError::Unreachable)
+    }
+}
+
+/// NOERROR, empty answer, NS records in authority = a referral.
+fn is_referral(resp: &Message) -> bool {
+    resp.header.rcode == Rcode::NoError
+        && resp.answers.is_empty()
+        && resp
+            .authorities
+            .iter()
+            .any(|r| matches!(r.rdata, RData::Ns(_)))
+        && !resp
+            .authorities
+            .iter()
+            .any(|r| matches!(r.rdata, RData::Soa { .. }))
+}
+
+/// Extract (cut, ns hosts, glue addresses) from a referral.
+fn parse_referral(resp: &Message) -> (Name, Vec<Name>, Vec<IpAddr>) {
+    let mut cut = Name::root();
+    let mut hosts = Vec::new();
+    for r in &resp.authorities {
+        if let RData::Ns(host) = &r.rdata {
+            cut = r.name.clone();
+            hosts.push(host.clone());
+        }
+    }
+    let glue: Vec<IpAddr> = resp
+        .additionals
+        .iter()
+        .filter_map(|r| match &r.rdata {
+            RData::A(a) => Some(IpAddr::V4(*a)),
+            RData::Aaaa(a) => Some(IpAddr::V6(*a)),
+            _ => None,
+        })
+        .collect();
+    (cut, hosts, glue)
+}
+
+/// The ancestor of `name` with exactly `depth` labels.
+fn ancestor_at(name: &Name, depth: usize) -> Name {
+    let mut n = name.clone();
+    while n.label_count() > depth {
+        n = n.parent();
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::{sample_world, ZoneBuilder};
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn resolves_through_the_tree() {
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        let addrs = r
+            .resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        assert_eq!(addrs, vec!["192.0.2.80".parse::<IpAddr>().unwrap()]);
+        // walked root -> nl -> example.nl
+        assert_eq!(r.queries_sent(), 3);
+        assert_eq!(r.cached_cuts(), 2, "nl. and example.nl. learned");
+    }
+
+    #[test]
+    fn cache_short_circuits_the_second_walk() {
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        r.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        let before = r.queries_sent();
+        // same name: answered from the address cache, zero queries
+        r.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        assert_eq!(r.queries_sent(), before);
+        // sibling name: starts at the cached example.nl. cut, one query
+        let aaaa = r
+            .resolve(&mut net, &n("www.example.nl."), RType::Aaaa)
+            .unwrap();
+        assert_eq!(aaaa, vec!["2001:db8::80".parse::<IpAddr>().unwrap()]);
+        assert_eq!(r.queries_sent(), before + 1);
+    }
+
+    #[test]
+    fn qmin_changes_what_the_tld_sees() {
+        // the paper's §4.2.1, as an algorithm-level assertion
+        let tld_server: IpAddr = "194.0.28.53".parse().unwrap();
+
+        let mut net = sample_world();
+        let mut classic = IterativeResolver::new(ResolverConfig::default());
+        classic
+            .resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        let classic_seen: Vec<(String, RType)> = net
+            .queries_at(tld_server)
+            .iter()
+            .map(|q| (q.qname.to_string(), q.qtype))
+            .collect();
+        assert_eq!(
+            classic_seen,
+            vec![("www.example.nl.".to_string(), RType::A)],
+            "classic resolver leaks the full qname to the TLD"
+        );
+
+        let mut net = sample_world();
+        let mut minimizing = IterativeResolver::new(ResolverConfig {
+            qmin: true,
+            ..Default::default()
+        });
+        minimizing
+            .resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        let qmin_seen: Vec<(String, RType)> = net
+            .queries_at(tld_server)
+            .iter()
+            .map(|q| (q.qname.to_string(), q.qtype))
+            .collect();
+        assert_eq!(
+            qmin_seen,
+            vec![("example.nl.".to_string(), RType::Ns)],
+            "Q-min sends one label below the cut, qtype NS"
+        );
+    }
+
+    #[test]
+    fn qmin_still_resolves_correctly() {
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig {
+            qmin: true,
+            ..Default::default()
+        });
+        let addrs = r
+            .resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        assert_eq!(addrs, vec!["192.0.2.80".parse::<IpAddr>().unwrap()]);
+    }
+
+    #[test]
+    fn out_of_bailiwick_ns_resolves_via_second_walk() {
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        // hosted.nl is served by ns.provider.nz: the resolver must first
+        // resolve that host through .nz
+        let addrs = r.resolve(&mut net, &n("www.hosted.nl."), RType::A).unwrap();
+        assert_eq!(addrs, vec!["203.0.113.81".parse::<IpAddr>().unwrap()]);
+        // the .nz TLD server must have been consulted on the way
+        assert!(!net.queries_at("202.46.190.10".parse().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn nxdomain_and_nodata_surface() {
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        assert_eq!(
+            r.resolve(&mut net, &n("nosuch.example.nl."), RType::A),
+            Err(ResolveError::NxDomain)
+        );
+        assert_eq!(
+            r.resolve(&mut net, &n("www.example.nl."), RType::Mx),
+            Err(ResolveError::NoData)
+        );
+    }
+
+    #[test]
+    fn cname_is_followed() {
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        let addrs = r
+            .resolve(&mut net, &n("cdn.example.nl."), RType::A)
+            .unwrap();
+        assert_eq!(addrs, vec!["192.0.2.80".parse::<IpAddr>().unwrap()]);
+    }
+
+    /// Two domains whose NS sets point at each other, with no glue: the
+    /// Feb-2020 `.nz` configuration. Resolution must terminate with a
+    /// cycle error — and the TLD absorbs the repeated queries.
+    fn cyclic_world() -> Network {
+        let mut net = Network::new();
+        net.add(
+            ZoneBuilder::new(".")
+                .server("a.root-servers.example.", "198.41.0.4")
+                .delegate("nz.", &["ns1.dns.net.nz."])
+                .address("ns1.dns.net.nz.", "202.46.190.10"),
+        );
+        net.add(
+            ZoneBuilder::new("nz.")
+                .server("ns1.dns.net.nz.", "202.46.190.10")
+                // the broken pair: each NS lives under the *other* domain
+                .delegate("alpha.nz.", &["ns.beta.nz."])
+                .delegate("beta.nz.", &["ns.alpha.nz."]),
+        );
+        net
+    }
+
+    #[test]
+    fn cyclic_dependency_detected_not_looped() {
+        let mut net = cyclic_world();
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        let err = r
+            .resolve(&mut net, &n("www.alpha.nz."), RType::A)
+            .unwrap_err();
+        assert!(
+            matches!(err, ResolveError::CyclicDependency { .. }),
+            "got {err:?}"
+        );
+        // bounded work even though the configuration is unresolvable
+        assert!(r.queries_sent() <= 64);
+    }
+
+    #[test]
+    fn cyclic_dependency_hammers_the_tld() {
+        // the incident's vantage-point signature: retries multiply A
+        // queries at the TLD (Figure 3b's surge)
+        let tld: IpAddr = "202.46.190.10".parse().unwrap();
+        let mut net = cyclic_world();
+        let mut tld_queries = 0usize;
+        for _ in 0..50 {
+            // caches cannot help: nothing positive is ever learned
+            let mut r = IterativeResolver::new(ResolverConfig::default());
+            let _ = r.resolve(&mut net, &n("www.alpha.nz."), RType::A);
+        }
+        tld_queries += net.queries_at(tld).len();
+        assert!(
+            tld_queries >= 150,
+            "repeated failed resolutions amplify at the TLD: {tld_queries}"
+        );
+        // and the queries are for the in-cycle names (A lookups of NS hosts)
+        let ns_lookups = net
+            .queries_at(tld)
+            .iter()
+            .filter(|q| q.qname.to_string().starts_with("ns.") && q.qtype == RType::A)
+            .count();
+        assert!(ns_lookups >= 100, "{ns_lookups}");
+    }
+
+    #[test]
+    fn budget_bounds_any_walk() {
+        let mut net = cyclic_world();
+        let mut r = IterativeResolver::new(ResolverConfig {
+            max_queries: 5,
+            ..Default::default()
+        });
+        let err = r
+            .resolve(&mut net, &n("www.alpha.nz."), RType::A)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ResolveError::BudgetExhausted { .. } | ResolveError::CyclicDependency { .. }
+            ),
+            "{err:?}"
+        );
+        assert!(r.queries_sent() <= 5);
+    }
+
+    #[test]
+    fn unreachable_server_is_an_error() {
+        let mut net = Network::new();
+        net.add(
+            ZoneBuilder::new(".")
+                .server("a.root-servers.example.", "198.41.0.4")
+                .delegate("dead.", &["ns.dead."])
+                .address("ns.dead.", "10.255.255.1"), // nobody listens
+        );
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        assert_eq!(
+            r.resolve(&mut net, &n("www.dead."), RType::A),
+            Err(ResolveError::Unreachable)
+        );
+    }
+
+    #[test]
+    fn qmin_walk_is_deeper_but_bounded() {
+        // a 5-label name: Q-min sends more, smaller queries
+        let mut net = sample_world();
+        let mut classic = IterativeResolver::new(ResolverConfig::default());
+        let _ = classic.resolve(&mut net, &n("a.b.www.example.nl."), RType::A);
+        let classic_count = classic.queries_sent();
+        let mut net = sample_world();
+        let mut minimizing = IterativeResolver::new(ResolverConfig {
+            qmin: true,
+            ..Default::default()
+        });
+        let _ = minimizing.resolve(&mut net, &n("a.b.www.example.nl."), RType::A);
+        assert!(minimizing.queries_sent() >= classic_count);
+        assert!(minimizing.queries_sent() <= classic_count + 4);
+    }
+}
+
+#[cfg(test)]
+mod validate_tests {
+    use super::*;
+    use crate::hierarchy::ZoneBuilder;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    /// A signed world: root signs, delegates securely to zz., which
+    /// securely delegates two leaf zones (and one insecurely).
+    fn signed_world() -> Network {
+        let mut net = Network::new();
+        net.add(
+            ZoneBuilder::new(".")
+                .signed()
+                .server("a.root.zz.", "198.41.0.4")
+                .delegate("zz.", &["ns1.tld.zz."])
+                .secure_delegation("zz.")
+                .address("ns1.tld.zz.", "203.0.113.1"),
+        );
+        let mut tld = ZoneBuilder::new("zz.")
+            .signed()
+            .server("ns1.tld.zz.", "203.0.113.1");
+        for (i, secure) in [(0, true), (1, true), (2, false)] {
+            let me = format!("d{i}.zz.");
+            let ns = format!("ns.d{i}.zz.");
+            let addr = format!("198.51.100.{}", i + 1);
+            tld = tld.delegate(&me, &[&ns]).address(&ns, &addr);
+            if secure {
+                tld = tld.secure_delegation(&me);
+            }
+            let mut leaf = ZoneBuilder::new(&me)
+                .server(&ns, &addr)
+                .address(&format!("www.{me}"), &format!("192.0.2.{}", i + 1));
+            if secure {
+                leaf = leaf.signed();
+            }
+            net.add(leaf);
+        }
+        net.add(tld);
+        net
+    }
+
+    #[test]
+    fn validating_resolution_succeeds_on_signed_chain() {
+        let mut net = signed_world();
+        let mut r = IterativeResolver::new(ResolverConfig {
+            validate: true,
+            ..Default::default()
+        });
+        let addrs = r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap();
+        assert_eq!(addrs, vec!["192.0.2.1".parse::<IpAddr>().unwrap()]);
+        // the walk contains DS queries at parents and DNSKEYs at children
+        let ds = r.log.iter().filter(|e| e.qtype == RType::Ds).count();
+        let dnskey = r.log.iter().filter(|e| e.qtype == RType::Dnskey).count();
+        assert_eq!(ds, 2, "zz. and d0.zz.");
+        assert_eq!(dnskey, 2);
+    }
+
+    #[test]
+    fn ds_exceeds_dnskey_across_many_delegations() {
+        // the Figure 2d signature: one DNSKEY per zone, one DS per
+        // delegation — resolve both secure leaves plus a sibling name
+        let mut net = signed_world();
+        let mut r = IterativeResolver::new(ResolverConfig {
+            validate: true,
+            ..Default::default()
+        });
+        r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap();
+        r.resolve(&mut net, &n("www.d1.zz."), RType::A).unwrap();
+        let ds = r.log.iter().filter(|e| e.qtype == RType::Ds).count();
+        let dnskey_zz = r
+            .log
+            .iter()
+            .filter(|e| e.qtype == RType::Dnskey && e.qname == n("zz."))
+            .count();
+        assert_eq!(dnskey_zz, 1, "DNSKEY for the TLD fetched exactly once");
+        assert_eq!(ds, 3, "one DS per distinct delegation (zz., d0, d1)");
+    }
+
+    #[test]
+    fn insecure_delegation_skips_dnskey() {
+        let mut net = signed_world();
+        let mut r = IterativeResolver::new(ResolverConfig {
+            validate: true,
+            ..Default::default()
+        });
+        let addrs = r.resolve(&mut net, &n("www.d2.zz."), RType::A).unwrap();
+        assert_eq!(addrs, vec!["192.0.2.3".parse::<IpAddr>().unwrap()]);
+        // DS asked for d2.zz. (answer: NODATA) but no DNSKEY at d2.zz.
+        assert!(r
+            .log
+            .iter()
+            .any(|e| e.qtype == RType::Ds && e.qname == n("d2.zz.")));
+        assert!(!r
+            .log
+            .iter()
+            .any(|e| e.qtype == RType::Dnskey && e.qname == n("d2.zz.")));
+    }
+
+    #[test]
+    fn bogus_chain_is_rejected() {
+        // parent publishes DS, child is NOT signed (no DNSKEY): bogus
+        let mut net = Network::new();
+        net.add(
+            ZoneBuilder::new(".")
+                .server("a.root.zz.", "198.41.0.4")
+                .delegate("zz.", &["ns1.tld.zz."])
+                .secure_delegation("zz.")
+                .address("ns1.tld.zz.", "203.0.113.1"),
+        );
+        net.add(
+            ZoneBuilder::new("zz.") // not .signed()
+                .server("ns1.tld.zz.", "203.0.113.1")
+                .delegate("d0.zz.", &["ns.d0.zz."])
+                .address("ns.d0.zz.", "198.51.100.1"),
+        );
+        let mut r = IterativeResolver::new(ResolverConfig {
+            validate: true,
+            ..Default::default()
+        });
+        let err = r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap_err();
+        assert_eq!(err, ResolveError::Bogus { zone: n("zz.") });
+    }
+
+    #[test]
+    fn non_validating_resolver_ignores_dnssec() {
+        let mut net = signed_world();
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap();
+        assert!(!r.log.iter().any(|e| e.qtype == RType::Ds));
+        assert!(!r.log.iter().any(|e| e.qtype == RType::Dnskey));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: over arbitrary (including pathological) delegation
+//! graphs, resolution always terminates within its budget, never
+//! panics, and Q-min never changes the *outcome* of a resolution —
+//! only what intermediate servers see.
+
+use dns_wire::name::Name;
+use dns_wire::types::RType;
+use proptest::prelude::*;
+use resolver::hierarchy::{Network, ZoneBuilder};
+use resolver::{IterativeResolver, ResolveError, ResolverConfig};
+
+/// Build a random world: a root, one TLD, and `n` leaf domains whose NS
+/// hosts point at a random other domain (possibly forming cycles) or at
+/// themselves with proper glue.
+fn random_world(edges: &[u8], glued: &[bool]) -> (Network, Vec<Name>) {
+    let n = edges.len();
+    let mut net = Network::new();
+    let mut tld = ZoneBuilder::new("zz.").server("ns1.tld.zz.", "203.0.113.1");
+    let mut names = Vec::new();
+    for i in 0..n {
+        let me = format!("d{i}.zz.");
+        names.push(me.parse().unwrap());
+        let target = edges[i] as usize % n;
+        if glued[i] {
+            // healthy: self-hosted NS with glue, plus a leaf zone
+            let ns = format!("ns.d{i}.zz.");
+            let addr = format!("198.51.{}.{}", i / 250 + 1, i % 250 + 1);
+            tld = tld.delegate(&me, &[&ns]).address(&ns, &addr);
+            net.add(
+                ZoneBuilder::new(&me)
+                    .server(&ns, &addr)
+                    .address(&format!("www.{me}"), &format!("192.0.2.{}", i % 250 + 1)),
+            );
+        } else {
+            // fragile: NS hosted under another domain, no glue
+            let ns = format!("ns.d{target}.zz.");
+            tld = tld.delegate(&me, &[&ns]);
+        }
+    }
+    net.add(
+        ZoneBuilder::new(".")
+            .server("a.root.zz.", "198.41.0.4")
+            .delegate("zz.", &["ns1.tld.zz."])
+            .address("ns1.tld.zz.", "203.0.113.1"),
+    );
+    net.add(tld);
+    (net, names)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any world, any target, both resolver modes: terminate within the
+    /// budget with a typed outcome; glued domains always resolve.
+    #[test]
+    fn always_terminates(
+        edges in prop::collection::vec(any::<u8>(), 1..12),
+        glued in prop::collection::vec(any::<bool>(), 12),
+        qmin in any::<bool>(),
+        pick in any::<u8>(),
+    ) {
+        let n = edges.len();
+        let glued = &glued[..n];
+        let (mut net, names) = random_world(&edges, glued);
+        let mut r = IterativeResolver::new(ResolverConfig {
+            qmin,
+            max_queries: 48,
+            ..Default::default()
+        });
+        let i = pick as usize % n;
+        let www: Name = format!("www.d{i}.zz.").parse().unwrap();
+        let result = r.resolve(&mut net, &www, RType::A);
+        prop_assert!(r.queries_sent() <= 48, "budget respected");
+        if glued[i] {
+            prop_assert!(
+                result.is_ok(),
+                "glued domain must resolve: {result:?} (www.d{i})"
+            );
+        } else {
+            prop_assert!(result.is_err(), "unglued chains end in an error");
+            // the error is typed, not a panic or a hang
+            let typed = matches!(
+                result.unwrap_err(),
+                ResolveError::CyclicDependency { .. }
+                    | ResolveError::BudgetExhausted { .. }
+                    | ResolveError::Unreachable
+                    | ResolveError::NxDomain
+                    | ResolveError::NoData
+            );
+            prop_assert!(typed);
+        }
+        let _ = names;
+    }
+
+    /// Q-min and classic resolution agree on every outcome over healthy
+    /// worlds — minimization is observably different only to servers.
+    #[test]
+    fn qmin_preserves_outcomes(
+        count in 1usize..8,
+        pick in any::<u8>(),
+    ) {
+        let edges = vec![0u8; count];
+        let glued = vec![true; count];
+        let i = pick as usize % count;
+        let www: Name = format!("www.d{i}.zz.").parse().unwrap();
+
+        let (mut net_a, _) = random_world(&edges, &glued);
+        let mut classic = IterativeResolver::new(ResolverConfig::default());
+        let a = classic.resolve(&mut net_a, &www, RType::A);
+
+        let (mut net_b, _) = random_world(&edges, &glued);
+        let mut minimizing =
+            IterativeResolver::new(ResolverConfig { qmin: true, ..Default::default() });
+        let b = minimizing.resolve(&mut net_b, &www, RType::A);
+
+        prop_assert_eq!(a, b);
+        // and the TLD saw full qnames only from the classic resolver
+        let tld: std::net::IpAddr = "203.0.113.1".parse().unwrap();
+        let classic_full = net_a
+            .queries_at(tld)
+            .iter()
+            .any(|q| q.qname.label_count() == 3);
+        let qmin_full = net_b
+            .queries_at(tld)
+            .iter()
+            .any(|q| q.qname.label_count() == 3);
+        prop_assert!(classic_full, "classic leaks www.*");
+        prop_assert!(!qmin_full, "q-min never sends 3 labels to the TLD");
+    }
+}

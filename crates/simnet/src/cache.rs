@@ -1,0 +1,226 @@
+//! Per-resolver TTL caches.
+//!
+//! Caching is why authoritative vantage points only see the cache-miss
+//! shadow of user demand (§2 of the paper): repeated queries for a hot
+//! name within a TTL are absorbed at the resolver. The simulator runs a
+//! bounded positive/negative cache per resolver; the cache-hit funnel is
+//! also the subject of one of the ablation benches.
+
+use netbase::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A cache key: the domain-index/qtype pair the resolver resolved.
+/// Using the generated domain index (not the qname text) keeps keys
+/// small; distinct qnames map to distinct indices by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Domain identity (zone-local registration index, or a hash for
+    /// junk/deep names).
+    pub domain: u64,
+    /// Numeric record type.
+    pub rtype: u16,
+}
+
+/// A TTL cache with a hard entry cap (oldest-expiry eviction on
+/// overflow) and hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct TtlCache {
+    entries: HashMap<CacheKey, SimTime>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl TtlCache {
+    /// A cache bounded to `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        TtlCache {
+            entries: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `key` at time `now`. A hit requires an unexpired entry.
+    /// Misses are *not* auto-inserted; call [`TtlCache::insert`] after
+    /// the authoritative answer arrives.
+    pub fn lookup(&mut self, key: CacheKey, now: SimTime) -> bool {
+        match self.entries.get(&key) {
+            Some(&expiry) if expiry > now => {
+                self.hits += 1;
+                true
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.misses += 1;
+                false
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Store an answer valid for `ttl` from `now`.
+    pub fn insert(&mut self, key: CacheKey, now: SimTime, ttl: SimDuration) {
+        if self.capacity == 0 || ttl == SimDuration::ZERO {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // evict the entry expiring soonest (cheap scan is fine at
+            // the bounded sizes resolvers use)
+            if let Some(victim) = self.entries.iter().min_by_key(|(_, &t)| t).map(|(k, _)| *k) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, now + ttl);
+    }
+
+    /// Entries currently stored (including expired-but-unswept).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(domain: u64) -> CacheKey {
+        CacheKey { domain, rtype: 1 }
+    }
+
+    #[test]
+    fn miss_then_hit_then_expiry() {
+        let mut c = TtlCache::new(100);
+        let t0 = SimTime::from_unix_secs(1000);
+        assert!(!c.lookup(k(1), t0));
+        c.insert(k(1), t0, SimDuration::from_secs(60));
+        assert!(c.lookup(k(1), t0 + SimDuration::from_secs(59)));
+        assert!(
+            !c.lookup(k(1), t0 + SimDuration::from_secs(60)),
+            "expiry is exclusive"
+        );
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn qtype_distinguishes_entries() {
+        let mut c = TtlCache::new(100);
+        let t0 = SimTime::from_unix_secs(0);
+        c.insert(
+            CacheKey {
+                domain: 5,
+                rtype: 1,
+            },
+            t0,
+            SimDuration::from_secs(60),
+        );
+        assert!(c.lookup(
+            CacheKey {
+                domain: 5,
+                rtype: 1
+            },
+            t0
+        ));
+        assert!(!c.lookup(
+            CacheKey {
+                domain: 5,
+                rtype: 28
+            },
+            t0
+        ));
+    }
+
+    #[test]
+    fn capacity_evicts_soonest_expiry() {
+        let mut c = TtlCache::new(2);
+        let t0 = SimTime::from_unix_secs(0);
+        c.insert(k(1), t0, SimDuration::from_secs(10));
+        c.insert(k(2), t0, SimDuration::from_secs(100));
+        c.insert(k(3), t0, SimDuration::from_secs(50)); // evicts k(1)
+        assert_eq!(c.len(), 2);
+        assert!(!c.lookup(k(1), t0));
+        assert!(c.lookup(k(2), t0));
+        assert!(c.lookup(k(3), t0));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = TtlCache::new(0);
+        let t0 = SimTime::from_unix_secs(0);
+        c.insert(k(1), t0, SimDuration::from_secs(60));
+        assert!(!c.lookup(k(1), t0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_ttl_not_stored() {
+        let mut c = TtlCache::new(10);
+        let t0 = SimTime::from_unix_secs(0);
+        c.insert(k(1), t0, SimDuration::ZERO);
+        assert!(!c.lookup(k(1), t0));
+    }
+
+    #[test]
+    fn hit_ratio_accounting() {
+        let mut c = TtlCache::new(10);
+        let t0 = SimTime::from_unix_secs(0);
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.lookup(k(1), t0); // miss
+        c.insert(k(1), t0, SimDuration::from_secs(60));
+        c.lookup(k(1), t0); // hit
+        c.lookup(k(1), t0); // hit
+        assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    /// Property: the cache never serves an entry past its TTL.
+    #[test]
+    fn never_serves_expired() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut c = TtlCache::new(50);
+        let mut truth: HashMap<CacheKey, SimTime> = HashMap::new();
+        let mut now = SimTime::from_unix_secs(0);
+        for _ in 0..5000 {
+            now += SimDuration::from_secs(rng.gen_range(0..30));
+            let key = k(rng.gen_range(0..80));
+            if rng.gen_bool(0.5) {
+                let ttl = SimDuration::from_secs(rng.gen_range(1..120));
+                c.insert(key, now, ttl);
+                truth.insert(key, now + ttl);
+            } else if c.lookup(key, now) {
+                let expiry = truth.get(&key).expect("hit implies inserted");
+                assert!(*expiry > now, "served at {now:?} expired {expiry:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,1019 @@
+//! The traffic-generation engine: drives fleets against the
+//! authoritative model hour by hour, writing `.dnscap` records.
+//!
+//! Volumes are exact: each fleet's emitted query count equals its
+//! `traffic_share` of the scaled dataset total (largest-remainder
+//! apportioning over hourly slots with a diurnal/weekly load shape).
+//! Demand above the emitted count is absorbed by resolver caches, just
+//! as real vantage points only see the cache-miss shadow of user demand.
+
+use crate::auth::{Answer, Authoritative};
+use crate::cache::{CacheKey, TtlCache};
+use crate::fleet::{sample_dist, splitmix, Fleet, Resolver};
+use crate::profile::FleetSpec;
+use crate::ptr::PtrDb;
+use crate::rrl::{RateLimiter, ResponseClass, RrlAction};
+use crate::scenario::{DatasetSpec, Incident, Scale};
+use asdb::synth::{InternetPlan, PlanConfig};
+use dns_wire::builder::MessageBuilder;
+use dns_wire::name::Name;
+use dns_wire::types::RType;
+use netbase::capture::{CaptureRecord, CaptureWriter, Direction};
+use netbase::flow::{FlowKey, IpVersion, Transport};
+use netbase::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::IpAddr;
+use zonedb::junk::JunkGenerator;
+use zonedb::popularity::ZipfSampler;
+use zonedb::zone::ZoneModel;
+
+/// Per-resolver cache capacity (entries).
+const CACHE_CAP: usize = 4096;
+/// Softmax temperature for server preference, microseconds.
+const SERVER_TAU_US: f64 = 30_000.0;
+/// Logistic temperature for dual-stack family choice, microseconds.
+const FAMILY_TAU_US: f64 = 15_000.0;
+
+/// Derive the synthetic-Internet plan configuration for a dataset, so
+/// the generator and any later analyzer build byte-identical plans.
+pub fn plan_config_for(spec: &DatasetSpec, scale: Scale, seed: u64) -> PlanConfig {
+    PlanConfig {
+        other_as_count: ((spec.as_count as f64 * scale.resolvers).ceil() as usize).max(50),
+        isp_fraction: 0.45,
+        v6_fraction: 0.35,
+        seed: seed ^ 0x0a5_c0de,
+    }
+}
+
+/// Counters the engine reports after generating a dataset.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct DatasetStats {
+    /// Query-direction records written.
+    pub queries: u64,
+    /// Response-direction records written.
+    pub responses: u64,
+    /// UDP responses that carried the TC bit.
+    pub truncated_udp: u64,
+    /// Query records sent over TCP.
+    pub tcp_queries: u64,
+    /// Queries whose response was junk (non-NOERROR).
+    pub junk_queries: u64,
+    /// Demand events absorbed by resolver caches.
+    pub cache_hits: u64,
+    /// Responses replaced by RRL TC=1 slips (when RRL is enabled).
+    pub rrl_slips: u64,
+    /// Responses dropped by RRL.
+    pub rrl_drops: u64,
+    /// Per-fleet query counts, by fleet name.
+    pub per_fleet: Vec<(String, u64)>,
+}
+
+/// The generation engine for one dataset.
+pub struct Engine {
+    spec: DatasetSpec,
+    scale: Scale,
+    seed: u64,
+    zone: ZoneModel,
+    auth: Authoritative,
+    fleets: Vec<Fleet>,
+    ptr: PtrDb,
+    plan: InternetPlan,
+    zipf: ZipfSampler,
+    junk: JunkGenerator,
+}
+
+impl Engine {
+    /// Materialize a dataset: zone, address plan, fleets, PTR zone.
+    pub fn new(spec: DatasetSpec, scale: Scale, seed: u64) -> Engine {
+        let zone = spec.zone.build();
+        let plan = InternetPlan::build(&plan_config_for(&spec, scale, seed));
+        let mut ptr = PtrDb::new();
+        let server_count = spec.servers.len();
+        let mut addr_offset = 0u64;
+        let fleets: Vec<Fleet> = spec
+            .fleets()
+            .into_iter()
+            .map(|mut f| {
+                // dual-stack (sited) fleets keep enough resolvers per
+                // site for the Figure 5 statistics to be meaningful
+                let floor = if f.dual_stack {
+                    (f.sites.len() as u32 * 8).max(2)
+                } else {
+                    2
+                };
+                f.resolver_count = ((f.resolver_count as f64 * scale.resolvers).ceil() as u32)
+                    .max(floor)
+                    .min(f.resolver_count.max(floor));
+                let fleet =
+                    Fleet::build_offset(f, &plan, server_count, seed, &mut ptr, addr_offset);
+                addr_offset += fleet.spec.resolver_count as u64;
+                fleet
+            })
+            .collect();
+        let zipf = ZipfSampler::new(zone.domain_count().max(1), 0.95);
+        let junk = JunkGenerator::new(zone.clone());
+        let auth = Authoritative::new(zone.clone());
+        Engine {
+            spec,
+            scale,
+            seed,
+            zone,
+            auth,
+            fleets,
+            ptr,
+            plan,
+            zipf,
+            junk,
+        }
+    }
+
+    /// The dataset being generated.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+    /// The reverse-DNS zone built alongside the fleets.
+    pub fn ptr_db(&self) -> &PtrDb {
+        &self.ptr
+    }
+    /// The synthetic Internet plan (for enrichment downstream).
+    pub fn plan(&self) -> &InternetPlan {
+        &self.plan
+    }
+    /// The zone model.
+    pub fn zone(&self) -> &ZoneModel {
+        &self.zone
+    }
+    /// Total queries after scaling.
+    pub fn scaled_total(&self) -> u64 {
+        (self.spec.total_queries as f64 * self.scale.queries) as u64
+    }
+
+    /// Generate the dataset into a capture writer.
+    pub fn generate<W: Write>(&self, out: &mut CaptureWriter<W>) -> std::io::Result<DatasetStats> {
+        let mut stats = DatasetStats::default();
+        let slots = (self.spec.days as usize) * 24;
+        let slot_len = SimDuration::from_hours(1);
+        let total = self.scaled_total();
+
+        // diurnal/weekly slot weights
+        let weights: Vec<f64> = (0..slots)
+            .map(|s| {
+                let t = self.spec.start + SimDuration::from_hours(s as u64);
+                diurnal_weight(t)
+            })
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut cum = 0.0;
+        let cum_weights: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                cum += w;
+                cum / wsum
+            })
+            .collect();
+
+        // per-fleet targets and caches
+        let targets: Vec<u64> = self
+            .fleets
+            .iter()
+            .map(|f| (f.spec.traffic_share * total as f64).round() as u64)
+            .collect();
+        let mut emitted: Vec<u64> = vec![0; self.fleets.len()];
+        let mut junk_emitted: Vec<u64> = vec![0; self.fleets.len()];
+        let mut fleet_counts: Vec<u64> = vec![0; self.fleets.len()];
+        let mut caches: Vec<HashMap<u32, TtlCache>> =
+            self.fleets.iter().map(|_| HashMap::new()).collect();
+
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xe46);
+        let mut buf: Vec<CaptureRecord> = Vec::new();
+        let mut rrl: Option<RateLimiter> = self.spec.rrl.map(RateLimiter::new);
+
+        for slot in 0..slots {
+            let slot_start = self.spec.start + SimDuration::from_hours(slot as u64);
+            buf.clear();
+            for (fi, fleet) in self.fleets.iter().enumerate() {
+                let due = (targets[fi] as f64 * cum_weights[slot]).round() as u64;
+                let quota = due.saturating_sub(emitted[fi]);
+                let mut done = 0u64;
+                let mut attempts = 0u64;
+                let max_attempts = quota.saturating_mul(60).max(1000);
+                while done < quota && attempts < max_attempts {
+                    attempts += 1;
+                    let t = slot_start
+                        + SimDuration::from_micros(rng.gen_range(0..slot_len.as_micros()));
+                    // junk_ratio is a *server-side* target (Figure 4 is
+                    // measured at the vantage): steer by deficit so cache
+                    // absorption of valid demand cannot skew the mix
+                    let want_junk = (junk_emitted[fi] as f64)
+                        < fleet.spec.junk_ratio * (emitted[fi] + done + 1) as f64;
+                    let n = self.demand(
+                        fleet,
+                        t,
+                        want_junk,
+                        &mut rng,
+                        &mut caches[fi],
+                        &mut rrl,
+                        &mut buf,
+                        &mut stats,
+                    );
+                    done += n;
+                    if want_junk {
+                        junk_emitted[fi] += n;
+                    }
+                }
+                emitted[fi] += done;
+                fleet_counts[fi] += done;
+            }
+            self.emit_incidents(
+                slot,
+                &cum_weights,
+                slot_start,
+                slot_len,
+                &mut rng,
+                &mut rrl,
+                &mut buf,
+                &mut stats,
+            )?;
+            buf.sort_by_key(|r| r.timestamp);
+            for rec in &buf {
+                out.write(rec)?;
+            }
+        }
+        stats.per_fleet = self
+            .fleets
+            .iter()
+            .zip(fleet_counts)
+            .map(|(f, c)| (f.spec.name.clone(), c))
+            .collect();
+        Ok(stats)
+    }
+
+    /// One demand event; returns the number of query records emitted
+    /// (0 when the resolver cache absorbed it).
+    #[allow(clippy::too_many_arguments)]
+    fn demand(
+        &self,
+        fleet: &Fleet,
+        t: SimTime,
+        is_junk: bool,
+        rng: &mut StdRng,
+        caches: &mut HashMap<u32, TtlCache>,
+        rrl: &mut Option<RateLimiter>,
+        buf: &mut Vec<CaptureRecord>,
+        stats: &mut DatasetStats,
+    ) -> u64 {
+        let spec = &fleet.spec;
+        let r_idx = fleet.pick(rng);
+        let resolver = &fleet.resolvers[r_idx];
+
+        let (qname, qtype, signed, cacheable, _domain_idx) = if is_junk {
+            let (name, _) = self.junk.sample(rng);
+            let qt = if rng.gen_bool(0.9) {
+                RType::A
+            } else {
+                RType::Aaaa
+            };
+            (name, qt, false, false, 0u64)
+        } else {
+            let idx = self.zipf.sample(rng);
+            let base = self.zone.registered_domain(idx);
+            let mut qt = pick_qtype(&spec.qtype_mix, rng);
+            // deep names: hosts under the delegation (and NS lookups
+            // clients ask about arbitrary hostnames) — this is what
+            // makes the minimized-qname evidence informative: without
+            // Q-min, a good share of NS queries target deep names
+            let mut qn = if matches!(qt, RType::A | RType::Aaaa | RType::Ns) && rng.gen_bool(0.55) {
+                let sub: &[u8] =
+                    [&b"www"[..], b"mail", b"api", b"cdn", b"img"][rng.gen_range(0..5)];
+                base.child(sub).unwrap_or(base)
+            } else {
+                base
+            };
+            if spec.qmin_active(t) && rng.gen_bool(spec.qmin_frac) {
+                qn = self.zone.minimized_qname(&qn);
+                qt = RType::Ns;
+            }
+            (qn, qt, self.zone.is_signed(idx), true, idx)
+        };
+
+        let ckey = CacheKey {
+            domain: name_key(&qname),
+            rtype: qtype.to_u16(),
+        };
+        let cache = caches
+            .entry(r_idx as u32)
+            .or_insert_with(|| TtlCache::new(CACHE_CAP));
+        if cacheable && cache.lookup(ckey, t) {
+            stats.cache_hits += 1;
+            return 0;
+        }
+
+        let mut emitted = self.emit_exchange(
+            fleet, resolver, &qname, qtype, signed, t, rng, rrl, buf, stats,
+        );
+        if is_junk {
+            stats.junk_queries += emitted;
+        }
+        if cacheable {
+            let ttl = SimDuration::from_secs(spec.cache_ttl.as_secs());
+            caches
+                .entry(r_idx as u32)
+                .or_insert_with(|| TtlCache::new(CACHE_CAP))
+                .insert(ckey, t, ttl);
+        }
+
+        // DNSSEC validation follow-ups
+        if spec.validates && !is_junk && signed && qtype != RType::Ds && rng.gen_bool(spec.ds_prob)
+        {
+            let delegation = self.zone.minimized_qname(&qname);
+            let dkey = CacheKey {
+                domain: name_key(&delegation),
+                rtype: RType::Ds.to_u16(),
+            };
+            let cache = caches
+                .entry(r_idx as u32)
+                .or_insert_with(|| TtlCache::new(CACHE_CAP));
+            if !cache.lookup(dkey, t) {
+                emitted += self.emit_exchange(
+                    fleet,
+                    resolver,
+                    &delegation,
+                    RType::Ds,
+                    true,
+                    t + SimDuration::from_millis(5),
+                    rng,
+                    rrl,
+                    buf,
+                    stats,
+                );
+                caches
+                    .entry(r_idx as u32)
+                    .or_insert_with(|| TtlCache::new(CACHE_CAP))
+                    .insert(dkey, t, SimDuration::from_secs(3600));
+            }
+        }
+        if spec.validates && rng.gen_bool(spec.dnskey_prob) {
+            let apex = self.zone.apex().clone();
+            emitted += self.emit_exchange(
+                fleet,
+                resolver,
+                &apex,
+                RType::Dnskey,
+                true,
+                t + SimDuration::from_millis(8),
+                rng,
+                rrl,
+                buf,
+                stats,
+            );
+        }
+        emitted
+    }
+
+    /// Emit one query/response exchange (plus TCP fallback if the UDP
+    /// response truncates). Returns query records written.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_exchange(
+        &self,
+        fleet: &Fleet,
+        resolver: &Resolver,
+        qname: &Name,
+        qtype: RType,
+        signed: bool,
+        t: SimTime,
+        rng: &mut StdRng,
+        rrl: &mut Option<RateLimiter>,
+        buf: &mut Vec<CaptureRecord>,
+        stats: &mut DatasetStats,
+    ) -> u64 {
+        let spec = &fleet.spec;
+        let server_count = self.spec.servers.len();
+        let (server, family) = choose_server_family(spec, resolver, server_count, rng);
+        let src_ip = resolver.addr_for(family);
+        let server_spec = &self.spec.servers[server];
+        let dst_ip: IpAddr = match family {
+            IpVersion::V4 => IpAddr::V4(server_spec.v4),
+            IpVersion::V6 => IpAddr::V6(server_spec.v6),
+        };
+        let rtt_us = resolver.rtt_us(server, IpVersion::of(src_ip));
+
+        // 0x20 case randomization: the anti-spoofing measure some CPs
+        // apply; the analysis side must (and does) treat names
+        // case-insensitively.
+        let wire_qname = if resolver.mix_case {
+            mix_case_0x20(qname, rng)
+        } else {
+            qname.clone()
+        };
+        let mut builder = MessageBuilder::query(rng.gen(), wire_qname.clone(), qtype);
+        if resolver.edns_size > 0 {
+            builder = builder.with_edns(resolver.edns_size, resolver.do_bit);
+        }
+        let query = builder.build();
+        let answer: Answer = self.auth.respond(&query, signed);
+        let query_bytes = query.encode().expect("generated queries encode");
+
+        let site_tcp_extra = spec
+            .sites
+            .get(resolver.site as usize)
+            .and_then(|s| s.tcp_extra)
+            .unwrap_or(spec.tcp_extra);
+
+        let mut emitted = 0u64;
+        if site_tcp_extra > 0.0 && rng.gen_bool(site_tcp_extra) {
+            emitted += self.write_tcp_exchange(
+                &query_bytes,
+                &answer,
+                src_ip,
+                dst_ip,
+                rtt_us,
+                t,
+                rng,
+                buf,
+                stats,
+            );
+            return emitted;
+        }
+
+        // UDP path
+        let limit = if resolver.edns_size == 0 {
+            512
+        } else {
+            resolver.edns_size.max(512) as usize
+        };
+        // Response Rate Limiting at the authoritative (§4.4): under
+        // pressure, a response may be replaced by a TC=1 slip (forcing
+        // the TCP proof-of-path) or silently dropped.
+        let rrl_action = match rrl {
+            Some(limiter) => {
+                let class = match answer.rcode {
+                    dns_wire::types::Rcode::NoError => ResponseClass::Positive(name_key(qname)),
+                    dns_wire::types::Rcode::NxDomain => ResponseClass::Negative,
+                    _ => ResponseClass::Error,
+                };
+                limiter.check(src_ip, class, t)
+            }
+            None => RrlAction::Respond,
+        };
+        let (resp_bytes, truncated) = match rrl_action {
+            RrlAction::Respond => answer
+                .message
+                .encode_with_limit(limit)
+                .expect("responses always fit after truncation"),
+            RrlAction::Slip => {
+                stats.rrl_slips += 1;
+                let mut slip = answer.message.clone();
+                slip.answers.clear();
+                slip.authorities.clear();
+                slip.additionals.clear();
+                slip.header.truncated = true;
+                (slip.encode().expect("slip encodes"), true)
+            }
+            RrlAction::Drop => {
+                stats.rrl_drops += 1;
+                (Vec::new(), false)
+            }
+        };
+        let src_port = rng.gen_range(1024..u16::MAX);
+        let flow = FlowKey {
+            src: src_ip,
+            src_port,
+            dst: dst_ip,
+            dst_port: 53,
+            transport: Transport::Udp,
+        };
+        buf.push(CaptureRecord {
+            timestamp: t,
+            direction: Direction::Query,
+            flow,
+            tcp_rtt_us: 0,
+            payload: query_bytes.clone(),
+        });
+        stats.queries += 1;
+        emitted += 1;
+        if rrl_action != RrlAction::Drop {
+            buf.push(CaptureRecord {
+                timestamp: t + SimDuration::from_micros(rtt_us as u64),
+                direction: Direction::Response,
+                flow: flow.reversed(),
+                tcp_rtt_us: 0,
+                payload: resp_bytes,
+            });
+            stats.responses += 1;
+        }
+        if truncated {
+            stats.truncated_udp += 1;
+            // TCP retry with a fresh transaction
+            let retry_at = t + SimDuration::from_micros(rtt_us as u64 + 2000);
+            let mut b = MessageBuilder::query(rng.gen(), wire_qname.clone(), qtype);
+            if resolver.edns_size > 0 {
+                b = b.with_edns(resolver.edns_size, resolver.do_bit);
+            }
+            let retry = b.build();
+            let retry_answer = self.auth.respond(&retry, signed);
+            emitted += self.write_tcp_exchange(
+                &retry.encode().expect("queries encode"),
+                &retry_answer,
+                src_ip,
+                dst_ip,
+                rtt_us,
+                retry_at,
+                rng,
+                buf,
+                stats,
+            );
+        }
+        emitted
+    }
+
+    /// Write a TCP query/response pair carrying the measured handshake
+    /// RTT (what the paper's Figure 5 derives its medians from).
+    #[allow(clippy::too_many_arguments)]
+    fn write_tcp_exchange(
+        &self,
+        query_bytes: &[u8],
+        answer: &Answer,
+        src_ip: IpAddr,
+        dst_ip: IpAddr,
+        rtt_us: u32,
+        t: SimTime,
+        rng: &mut StdRng,
+        buf: &mut Vec<CaptureRecord>,
+        stats: &mut DatasetStats,
+    ) -> u64 {
+        // the capture box measures SYN->SYNACK with small kernel jitter
+        let measured = (rtt_us as f64 * rng.gen_range(0.97..1.03)) as u32;
+        let src_port = rng.gen_range(1024..u16::MAX);
+        let flow = FlowKey {
+            src: src_ip,
+            src_port,
+            dst: dst_ip,
+            dst_port: 53,
+            transport: Transport::Tcp,
+        };
+        let after_handshake = t + SimDuration::from_micros(rtt_us as u64);
+        // DNS-over-TCP frames carry the RFC 1035 two-octet length prefix
+        buf.push(CaptureRecord {
+            timestamp: after_handshake,
+            direction: Direction::Query,
+            flow,
+            tcp_rtt_us: measured,
+            payload: dns_wire::tcp::frame(query_bytes).expect("generated queries fit TCP"),
+        });
+        let resp_wire = answer.message.encode().expect("responses encode");
+        buf.push(CaptureRecord {
+            timestamp: after_handshake + SimDuration::from_micros(rtt_us as u64),
+            direction: Direction::Response,
+            flow: flow.reversed(),
+            tcp_rtt_us: measured,
+            payload: dns_wire::tcp::frame(&resp_wire).expect("responses fit TCP"),
+        });
+        stats.queries += 1;
+        stats.responses += 1;
+        stats.tcp_queries += 1;
+        1
+    }
+
+    /// Layer incident traffic (the Feb-2020 cyclic dependency) over a
+    /// slot: cache-defeating A/AAAA floods from Google's resolvers.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_incidents(
+        &self,
+        slot: usize,
+        cum_weights: &[f64],
+        slot_start: SimTime,
+        slot_len: SimDuration,
+        rng: &mut StdRng,
+        rrl: &mut Option<RateLimiter>,
+        buf: &mut Vec<CaptureRecord>,
+        stats: &mut DatasetStats,
+    ) -> std::io::Result<()> {
+        for incident in &self.spec.incidents {
+            let Incident::CyclicDependency {
+                start,
+                end,
+                total_queries,
+                domain_indices,
+            } = incident;
+            let slot_end = slot_start + slot_len;
+            if slot_end <= *start || slot_start >= *end {
+                continue;
+            }
+            // count slots overlapping the incident window; spread evenly
+            let window_slots =
+                ((end.as_micros() - start.as_micros()) / slot_len.as_micros()).max(1);
+            let scaled = (*total_queries as f64 * self.scale.queries) as u64;
+            let quota = scaled / window_slots;
+            let fleet = self
+                .fleets
+                .iter()
+                .find(|f| f.spec.name == "google-public")
+                .unwrap_or(&self.fleets[0]);
+            for i in 0..quota {
+                let t =
+                    slot_start + SimDuration::from_micros(rng.gen_range(0..slot_len.as_micros()));
+                let resolver = &fleet.resolvers[fleet.pick(rng)];
+                let idx = domain_indices[(i % 2) as usize];
+                let qname = self.zone.registered_domain(idx);
+                let qtype = if i % 2 == 0 { RType::A } else { RType::Aaaa };
+                self.emit_exchange(
+                    fleet,
+                    resolver,
+                    &qname,
+                    qtype,
+                    self.zone.is_signed(idx),
+                    t,
+                    rng,
+                    rrl,
+                    buf,
+                    stats,
+                );
+            }
+        }
+        let _ = (slot, cum_weights);
+        Ok(())
+    }
+}
+
+/// Server and address-family choice.
+///
+/// Resolvers prefer lower-RTT authoritatives (Müller et al., ref [30] in
+/// the paper) — softmax over per-server RTT. Dual-stack resolvers then
+/// pick the family by a logistic in the v4-v6 RTT gap plus the fleet's
+/// v6 bias: the mechanism the paper confirms at Facebook's sites.
+fn choose_server_family(
+    spec: &FleetSpec,
+    resolver: &Resolver,
+    server_count: usize,
+    rng: &mut StdRng,
+) -> (usize, IpVersion) {
+    if spec.dual_stack {
+        let mut weights = Vec::with_capacity(server_count);
+        for s in 0..server_count {
+            let best = resolver.rtt_v4_us[s].min(resolver.rtt_v6_us[s]) as f64;
+            weights.push((-best / SERVER_TAU_US).exp());
+        }
+        let server = pick_weighted(&weights, rng);
+        let gap = resolver.rtt_v4_us[server] as f64 - resolver.rtt_v6_us[server] as f64;
+        let p_v6 = sigmoid(spec.v6_bias + gap / FAMILY_TAU_US);
+        let family = if rng.gen_bool(p_v6.clamp(0.001, 0.999)) {
+            IpVersion::V6
+        } else {
+            IpVersion::V4
+        };
+        (server, family)
+    } else {
+        let family = IpVersion::of(resolver.ip);
+        let mut weights = Vec::with_capacity(server_count);
+        for s in 0..server_count {
+            let rtt = resolver.rtt_us(s, family) as f64;
+            weights.push((-rtt / SERVER_TAU_US).exp());
+        }
+        (pick_weighted(&weights, rng), family)
+    }
+}
+
+fn pick_weighted(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Sample a qtype from the fleet mix.
+fn pick_qtype(mix: &[(RType, f64)], rng: &mut StdRng) -> RType {
+    let dist: Vec<(u16, f64)> = mix.iter().map(|(t, w)| (t.to_u16(), *w)).collect();
+    RType::from_u16(sample_dist(&dist, rng.gen()))
+}
+
+/// Diurnal + weekly load shape (cf. "When the Internet Sleeps").
+fn diurnal_weight(t: SimTime) -> f64 {
+    let h = t.hour_of_day_f64();
+    let day = t.weekday();
+    let daily = 1.0 + 0.35 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+    let weekly = if day >= 5 { 0.92 } else { 1.0 };
+    daily * weekly
+}
+
+/// Apply 0x20 case randomization to a name's alphabetic octets.
+fn mix_case_0x20(name: &Name, rng: &mut StdRng) -> Name {
+    let labels: Vec<Vec<u8>> = name
+        .labels()
+        .map(|l| {
+            l.iter()
+                .map(|&b| {
+                    if b.is_ascii_alphabetic() && rng.gen_bool(0.5) {
+                        b ^ 0x20
+                    } else {
+                        b
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Name::from_labels(labels.iter().map(|l| l.as_slice())).expect("same shape as input")
+}
+
+/// Case-folded FNV key over a name's wire form (cache identity).
+fn name_key(name: &Name) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_wire() {
+        h = (h ^ b.to_ascii_lowercase() as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    splitmix(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Vantage;
+    use crate::scenario::{dataset, monthly_google, Scale};
+    use dns_wire::message::Message;
+    use netbase::capture::CaptureReader;
+
+    fn generate(vantage: Vantage, year: u16) -> (Engine, Vec<CaptureRecord>, DatasetStats) {
+        let engine = Engine::new(dataset(vantage, year), Scale::tiny(), 42);
+        let mut buf = Vec::new();
+        let stats = {
+            let mut w = CaptureWriter::new(&mut buf).unwrap();
+            let s = engine.generate(&mut w).unwrap();
+            w.finish().unwrap();
+            s
+        };
+        let records: Vec<CaptureRecord> = CaptureReader::new(&buf[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        (engine, records, stats)
+    }
+
+    #[test]
+    fn volume_tracks_scaled_target() {
+        let (engine, records, stats) = generate(Vantage::Nl, 2020);
+        let target = engine.scaled_total();
+        // TCP retries and DS/DNSKEY follow-ups add a few percent
+        assert!(
+            stats.queries >= target && stats.queries < target + target / 4,
+            "target {target}, got {}",
+            stats.queries
+        );
+        assert_eq!(stats.queries + stats.responses, records.len() as u64);
+        assert_eq!(stats.queries, stats.responses);
+    }
+
+    #[test]
+    fn all_payloads_parse_as_dns() {
+        let (_, records, _) = generate(Vantage::Nl, 2020);
+        for rec in &records {
+            // TCP payloads carry the RFC 1035 length prefix
+            let wire = match rec.flow.transport {
+                Transport::Tcp => {
+                    let mut msgs = dns_wire::tcp::deframe_all(&rec.payload).expect("framed");
+                    assert_eq!(msgs.len(), 1);
+                    msgs.remove(0)
+                }
+                Transport::Udp => rec.payload.clone(),
+            };
+            let msg = Message::parse(&wire).expect("wire-valid payloads");
+            match rec.direction {
+                Direction::Query => assert!(!msg.header.response),
+                Direction::Response => assert!(msg.header.response),
+            }
+        }
+    }
+
+    #[test]
+    fn junk_fraction_tracks_table_3() {
+        let (engine, _, stats) = generate(Vantage::Nl, 2020);
+        let junk_target = 1.0 - engine.spec().valid_fraction; // 13.6%
+        let got = stats.junk_queries as f64 / stats.queries as f64;
+        assert!(
+            (got - junk_target).abs() < 0.05,
+            "junk {got} vs target {junk_target}"
+        );
+    }
+
+    #[test]
+    fn broot_is_mostly_junk() {
+        let (_, _, stats) = generate(Vantage::BRoot, 2020);
+        let got = stats.junk_queries as f64 / stats.queries as f64;
+        assert!((0.70..0.90).contains(&got), "root junk {got}");
+    }
+
+    #[test]
+    fn caches_absorb_demand() {
+        let (_, _, stats) = generate(Vantage::Nl, 2020);
+        assert!(stats.cache_hits > 0, "hot names must hit resolver caches");
+    }
+
+    #[test]
+    fn tcp_and_truncation_present() {
+        let (_, records, stats) = generate(Vantage::Nl, 2020);
+        assert!(stats.tcp_queries > 0);
+        assert!(stats.truncated_udp > 0);
+        // every TCP record carries a measured RTT
+        for rec in records
+            .iter()
+            .filter(|r| r.flow.transport == Transport::Tcp)
+        {
+            assert!(rec.tcp_rtt_us > 0, "TCP records carry handshake RTT");
+        }
+        // truncated UDP responses have the TC bit
+        let mut tc = 0;
+        for rec in &records {
+            if rec.direction == Direction::Response && rec.flow.transport == Transport::Udp {
+                let msg = Message::parse(&rec.payload).unwrap();
+                if msg.header.truncated {
+                    tc += 1;
+                    assert!(
+                        msg.answers.len() + msg.authorities.len() == 0 || rec.payload.len() <= 4096
+                    );
+                }
+            }
+        }
+        assert_eq!(tc as u64, stats.truncated_udp);
+    }
+
+    #[test]
+    fn records_are_slot_ordered() {
+        let (_, records, _) = generate(Vantage::Nz, 2019);
+        // within the stream, hour buckets never go backwards
+        let mut last_hour = 0u64;
+        for rec in &records {
+            let hour = rec.timestamp.as_micros() / 3_600_000_000;
+            assert!(hour >= last_hour, "slot order violated");
+            last_hour = hour;
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let engine = Engine::new(dataset(Vantage::Nz, 2020), Scale::tiny(), 7);
+            let mut buf = Vec::new();
+            let mut w = CaptureWriter::new(&mut buf).unwrap();
+            engine.generate(&mut w).unwrap();
+            w.finish().unwrap();
+            buf
+        };
+        assert_eq!(run(), run(), "same seed => byte-identical capture");
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let run = |seed| {
+            let engine = Engine::new(dataset(Vantage::Nz, 2020), Scale::tiny(), seed);
+            let mut buf = Vec::new();
+            let mut w = CaptureWriter::new(&mut buf).unwrap();
+            engine.generate(&mut w).unwrap();
+            w.finish().unwrap();
+            buf
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn queries_target_the_dataset_servers() {
+        let (engine, records, _) = generate(Vantage::Nl, 2020);
+        let servers: Vec<IpAddr> = engine
+            .spec()
+            .servers
+            .iter()
+            .flat_map(|s| [IpAddr::V4(s.v4), IpAddr::V6(s.v6)])
+            .collect();
+        for rec in &records {
+            match rec.direction {
+                Direction::Query => assert!(servers.contains(&rec.flow.dst)),
+                Direction::Response => assert!(servers.contains(&rec.flow.src)),
+            }
+        }
+        // both .nl servers see traffic
+        let a_queries = records
+            .iter()
+            .filter(|r| {
+                r.direction == Direction::Query
+                    && (r.flow.dst == servers[0] || r.flow.dst == servers[1])
+            })
+            .count();
+        let total_queries = records
+            .iter()
+            .filter(|r| r.direction == Direction::Query)
+            .count();
+        assert!(a_queries > 0 && a_queries < total_queries);
+    }
+
+    #[test]
+    fn incident_floods_two_domains() {
+        let spec = monthly_google(Vantage::Nz, 2020, 2);
+        let engine = Engine::new(spec, Scale::tiny(), 9);
+        let mut buf = Vec::new();
+        let mut w = CaptureWriter::new(&mut buf).unwrap();
+        let stats = engine.generate(&mut w).unwrap();
+        w.finish().unwrap();
+        // Compare against January: February must show a large A/AAAA bump.
+        let jan = Engine::new(monthly_google(Vantage::Nz, 2020, 1), Scale::tiny(), 9);
+        let mut jbuf = Vec::new();
+        let mut jw = CaptureWriter::new(&mut jbuf).unwrap();
+        let jstats = jan.generate(&mut jw).unwrap();
+        jw.finish().unwrap();
+        assert!(
+            stats.queries as f64 > jstats.queries as f64 * 1.3,
+            "feb {} vs jan {}",
+            stats.queries,
+            jstats.queries
+        );
+    }
+
+    #[test]
+    fn rrl_slips_and_drops_under_pressure() {
+        let mut spec = dataset(Vantage::Nz, 2020);
+        // draconian limits so the effect is unmistakable at tiny scale
+        spec.rrl = Some(crate::rrl::RrlConfig {
+            responses_per_second: 0,
+            burst: 1,
+            slip: 2,
+            ..Default::default()
+        });
+        let engine = Engine::new(spec, Scale::tiny(), 5);
+        let mut buf = Vec::new();
+        let mut w = CaptureWriter::new(&mut buf).unwrap();
+        let stats = engine.generate(&mut w).unwrap();
+        w.finish().unwrap();
+        assert!(stats.rrl_slips > 0, "slips under a 1 rps budget");
+        assert!(stats.rrl_drops > 0, "drops too");
+        assert!(
+            stats.responses < stats.queries,
+            "dropped responses leave queries unanswered"
+        );
+        // every slip forces a TCP retry, so TCP grows vs baseline
+        let baseline = Engine::new(dataset(Vantage::Nz, 2020), Scale::tiny(), 5);
+        let mut bbuf = Vec::new();
+        let mut bw = CaptureWriter::new(&mut bbuf).unwrap();
+        let bstats = baseline.generate(&mut bw).unwrap();
+        bw.finish().unwrap();
+        let tcp_ratio = |s: &DatasetStats| s.tcp_queries as f64 / s.queries as f64;
+        assert!(
+            tcp_ratio(&stats) > tcp_ratio(&bstats) * 1.5,
+            "RRL drives TCP: {} vs {}",
+            tcp_ratio(&stats),
+            tcp_ratio(&bstats)
+        );
+    }
+
+    #[test]
+    fn case_randomization_applied_by_google_queries() {
+        // Google/Cloudflare fleets apply 0x20 mixing; their qnames on
+        // the wire should show mixed case, and everything downstream is
+        // case-insensitive (the proptests in dns-wire cover equality).
+        let (engine, records, _) = generate(Vantage::Nl, 2020);
+        let plan = engine.plan();
+        let mut mixed = 0usize;
+        let mut google_queries = 0usize;
+        for rec in records.iter().filter(|r| r.direction == Direction::Query) {
+            if plan.mapper.is_public_dns(rec.flow.src) {
+                let wire = match rec.flow.transport {
+                    Transport::Tcp => dns_wire::tcp::deframe_all(&rec.payload).unwrap().remove(0),
+                    Transport::Udp => rec.payload.clone(),
+                };
+                let msg = Message::parse(&wire).unwrap();
+                let qname = msg.question().unwrap().qname.to_string();
+                google_queries += 1;
+                let has_upper = qname.bytes().any(|b| b.is_ascii_uppercase());
+                let has_lower = qname.bytes().any(|b| b.is_ascii_lowercase());
+                if has_upper && has_lower {
+                    mixed += 1;
+                }
+            }
+        }
+        assert!(google_queries > 100, "enough samples: {google_queries}");
+        let share = mixed as f64 / google_queries as f64;
+        assert!(share > 0.9, "0x20 mixing visible: {share}");
+    }
+
+    #[test]
+    fn per_fleet_counts_match_shares() {
+        let (engine, _, stats) = generate(Vantage::Nl, 2019);
+        let total: u64 = stats.per_fleet.iter().map(|(_, c)| c).sum();
+        for (fleet, spec) in stats.per_fleet.iter().zip(engine.spec().fleets()) {
+            let got = fleet.1 as f64 / total as f64;
+            assert!(
+                (got - spec.traffic_share).abs() < 0.05,
+                "{}: got {got}, want {}",
+                fleet.0,
+                spec.traffic_share
+            );
+        }
+    }
+}

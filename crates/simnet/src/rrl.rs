@@ -1,0 +1,326 @@
+//! Response Rate Limiting (RRL), after Vixie & Schryver's scheme as
+//! deployed on TLD authoritatives.
+//!
+//! §4.4 of the paper names RRL as the *other* driver of DNS-over-TCP
+//! (besides truncation): a resolver that trips an authoritative's rate
+//! limit receives a fraction of its answers as TC=1 "slips" — proving
+//! it is not a spoofing victim requires retrying over TCP — and the
+//! rest are silently dropped.
+//!
+//! The classic algorithm: responses are bucketed by *(masked source
+//! network, response class)*; each bucket holds a token balance that
+//! refills at the configured rate. When a bucket is exhausted, every
+//! `slip`-th response is a truncated slip and the others are dropped.
+
+use netbase::time::SimTime;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// What the limiter tells the responder to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrlAction {
+    /// Send the real response.
+    Respond,
+    /// Send a minimal truncated response (TC=1): the "slip".
+    Slip,
+    /// Send nothing.
+    Drop,
+}
+
+/// The response class half of the bucket key (different classes have
+/// different amplification value to an attacker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResponseClass {
+    /// A positive answer or referral for one owner name (hashed).
+    Positive(u64),
+    /// A negative (NXDOMAIN/NODATA) answer from one zone.
+    Negative,
+    /// An error (REFUSED, FORMERR...).
+    Error,
+}
+
+/// RRL configuration.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct RrlConfig {
+    /// Tokens per second per bucket (the `responses-per-second` knob).
+    pub responses_per_second: u32,
+    /// Maximum token balance (burst allowance), in responses.
+    pub burst: u32,
+    /// Every `slip`-th limited response is a TC=1 slip instead of a
+    /// drop; 0 means never slip (pure drop), 1 means always slip.
+    pub slip: u32,
+    /// IPv4 mask length for source aggregation (BIND default 24).
+    pub ipv4_prefix_len: u8,
+    /// IPv6 mask length (BIND default 56).
+    pub ipv6_prefix_len: u8,
+}
+
+impl Default for RrlConfig {
+    fn default() -> Self {
+        RrlConfig {
+            responses_per_second: 5,
+            burst: 15,
+            slip: 2,
+            ipv4_prefix_len: 24,
+            ipv6_prefix_len: 56,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    /// Token balance in millitokens (1000 = one response).
+    balance_milli: i64,
+    last_refill: SimTime,
+    limited_count: u64,
+}
+
+/// The rate limiter state.
+pub struct RateLimiter {
+    config: RrlConfig,
+    buckets: HashMap<(u128, ResponseClass), Bucket>,
+    /// Responses allowed through.
+    pub allowed: u64,
+    /// Slips issued.
+    pub slipped: u64,
+    /// Responses dropped.
+    pub dropped: u64,
+}
+
+impl RateLimiter {
+    /// Build with the given configuration.
+    pub fn new(config: RrlConfig) -> Self {
+        RateLimiter {
+            config,
+            buckets: HashMap::new(),
+            allowed: 0,
+            slipped: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Decide the fate of one response to `src` of `class` at `now`.
+    pub fn check(&mut self, src: IpAddr, class: ResponseClass, now: SimTime) -> RrlAction {
+        let key = (self.mask(src), class);
+        let cfg = self.config;
+        let bucket = self.buckets.entry(key).or_insert(Bucket {
+            balance_milli: cfg.burst as i64 * 1000,
+            last_refill: now,
+            limited_count: 0,
+        });
+        // refill
+        let elapsed_us = now
+            .as_micros()
+            .saturating_sub(bucket.last_refill.as_micros());
+        let refill = (elapsed_us as i64) * (cfg.responses_per_second as i64) / 1000; // millitokens
+        bucket.balance_milli = (bucket.balance_milli + refill).min(cfg.burst as i64 * 1000);
+        bucket.last_refill = now;
+
+        if bucket.balance_milli >= 1000 {
+            bucket.balance_milli -= 1000;
+            bucket.limited_count = 0;
+            self.allowed += 1;
+            return RrlAction::Respond;
+        }
+        bucket.limited_count += 1;
+        if cfg.slip > 0 && bucket.limited_count.is_multiple_of(cfg.slip as u64) {
+            self.slipped += 1;
+            RrlAction::Slip
+        } else {
+            self.dropped += 1;
+            RrlAction::Drop
+        }
+    }
+
+    /// Active bucket count (for memory accounting).
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn mask(&self, src: IpAddr) -> u128 {
+        match src {
+            IpAddr::V4(v4) => {
+                let bits = u32::from(v4);
+                let keep = self.config.ipv4_prefix_len.min(32) as u32;
+                let masked = if keep == 0 {
+                    0
+                } else {
+                    bits & (u32::MAX << (32 - keep))
+                };
+                masked as u128
+            }
+            IpAddr::V6(v6) => {
+                let bits = u128::from(v6);
+                let keep = self.config.ipv6_prefix_len.min(128) as u32;
+                let masked = if keep == 0 {
+                    0
+                } else {
+                    bits & (u128::MAX << (128 - keep))
+                };
+                // disambiguate from v4 keys
+                masked | (1u128 << 127) | 0x6
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::time::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_unix_secs(1_000_000 + secs)
+    }
+
+    #[test]
+    fn under_rate_always_responds() {
+        let mut rrl = RateLimiter::new(RrlConfig::default());
+        let src: IpAddr = "192.0.2.55".parse().unwrap();
+        for i in 0..100 {
+            // 2/sec against a 5/sec limit
+            let now = t(i / 2);
+            assert_eq!(
+                rrl.check(src, ResponseClass::Negative, now),
+                RrlAction::Respond,
+                "i={i}"
+            );
+        }
+        assert_eq!(rrl.dropped + rrl.slipped, 0);
+    }
+
+    #[test]
+    fn burst_exhaustion_limits() {
+        let mut rrl = RateLimiter::new(RrlConfig {
+            slip: 2,
+            ..RrlConfig::default()
+        });
+        let src: IpAddr = "192.0.2.55".parse().unwrap();
+        let now = t(0);
+        // burst = 15 tokens available instantly
+        for _ in 0..15 {
+            assert_eq!(
+                rrl.check(src, ResponseClass::Negative, now),
+                RrlAction::Respond
+            );
+        }
+        // now limited: slip every 2nd
+        let mut slips = 0;
+        let mut drops = 0;
+        for _ in 0..10 {
+            match rrl.check(src, ResponseClass::Negative, now) {
+                RrlAction::Slip => slips += 1,
+                RrlAction::Drop => drops += 1,
+                RrlAction::Respond => panic!("bucket must be empty"),
+            }
+        }
+        assert_eq!(slips, 5);
+        assert_eq!(drops, 5);
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let mut rrl = RateLimiter::new(RrlConfig::default());
+        let src: IpAddr = "192.0.2.55".parse().unwrap();
+        let now = t(0);
+        for _ in 0..15 {
+            rrl.check(src, ResponseClass::Negative, now);
+        }
+        assert_ne!(
+            rrl.check(src, ResponseClass::Negative, now),
+            RrlAction::Respond
+        );
+        // 2 seconds later: 10 tokens refilled
+        let later = now + SimDuration::from_secs(2);
+        for i in 0..10 {
+            assert_eq!(
+                rrl.check(src, ResponseClass::Negative, later),
+                RrlAction::Respond,
+                "i={i}"
+            );
+        }
+        assert_ne!(
+            rrl.check(src, ResponseClass::Negative, later),
+            RrlAction::Respond
+        );
+    }
+
+    #[test]
+    fn source_networks_are_independent() {
+        let mut rrl = RateLimiter::new(RrlConfig::default());
+        let a: IpAddr = "192.0.2.55".parse().unwrap();
+        let b: IpAddr = "198.51.100.9".parse().unwrap();
+        let now = t(0);
+        for _ in 0..20 {
+            rrl.check(a, ResponseClass::Negative, now);
+        }
+        assert_eq!(
+            rrl.check(b, ResponseClass::Negative, now),
+            RrlAction::Respond
+        );
+        assert_eq!(rrl.buckets(), 2);
+    }
+
+    #[test]
+    fn same_slash24_shares_a_bucket() {
+        let mut rrl = RateLimiter::new(RrlConfig::default());
+        let a: IpAddr = "192.0.2.55".parse().unwrap();
+        let b: IpAddr = "192.0.2.200".parse().unwrap();
+        let now = t(0);
+        for _ in 0..15 {
+            rrl.check(a, ResponseClass::Negative, now);
+        }
+        assert_ne!(
+            rrl.check(b, ResponseClass::Negative, now),
+            RrlAction::Respond,
+            "same /24 shares the bucket"
+        );
+        assert_eq!(rrl.buckets(), 1);
+    }
+
+    #[test]
+    fn response_classes_are_independent() {
+        let mut rrl = RateLimiter::new(RrlConfig::default());
+        let src: IpAddr = "192.0.2.55".parse().unwrap();
+        let now = t(0);
+        for _ in 0..15 {
+            rrl.check(src, ResponseClass::Negative, now);
+        }
+        assert_eq!(
+            rrl.check(src, ResponseClass::Positive(42), now),
+            RrlAction::Respond,
+            "positive answers have their own budget"
+        );
+    }
+
+    #[test]
+    fn v4_and_v6_never_collide() {
+        let mut rrl = RateLimiter::new(RrlConfig::default());
+        let v4: IpAddr = "0.0.0.0".parse().unwrap();
+        let v6: IpAddr = "::".parse().unwrap();
+        let now = t(0);
+        rrl.check(v4, ResponseClass::Error, now);
+        rrl.check(v6, ResponseClass::Error, now);
+        assert_eq!(rrl.buckets(), 2);
+    }
+
+    #[test]
+    fn slip_zero_means_pure_drop() {
+        let mut rrl = RateLimiter::new(RrlConfig {
+            slip: 0,
+            ..RrlConfig::default()
+        });
+        let src: IpAddr = "192.0.2.55".parse().unwrap();
+        let now = t(0);
+        for _ in 0..15 {
+            rrl.check(src, ResponseClass::Negative, now);
+        }
+        for _ in 0..10 {
+            assert_eq!(
+                rrl.check(src, ResponseClass::Negative, now),
+                RrlAction::Drop
+            );
+        }
+        assert_eq!(rrl.slipped, 0);
+    }
+}

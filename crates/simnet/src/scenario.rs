@@ -1,0 +1,528 @@
+//! Dataset definitions: the nine (vantage × year) snapshots of the
+//! paper's Table 3, and the monthly Google series behind Figure 3.
+
+use crate::auth::ServerSpec;
+use crate::profile::{self, FleetSpec, Vantage};
+use netbase::time::SimTime;
+use serde::{Deserialize, Serialize};
+use zonedb::zone::ZoneModel;
+
+/// Scaling knobs: the paper analyzes 55.7B queries; we run the same
+/// pipeline on a laptop by scaling volumes while preserving every ratio
+/// (scale-invariance is property-tested in `core`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scale {
+    /// Multiplier on query volumes (1.0 = the paper's billions).
+    pub queries: f64,
+    /// Multiplier on resolver populations and AS counts.
+    pub resolvers: f64,
+}
+
+impl Scale {
+    /// Unit-test scale: tens of thousands of queries per dataset.
+    pub fn tiny() -> Scale {
+        Scale {
+            queries: 1.0 / 400_000.0,
+            resolvers: 1.0 / 1_000.0,
+        }
+    }
+
+    /// Integration-test scale: a few hundred thousand queries.
+    pub fn small() -> Scale {
+        Scale {
+            queries: 1.0 / 40_000.0,
+            resolvers: 1.0 / 200.0,
+        }
+    }
+
+    /// Infrastructure-statistics scale: enough resolvers per fleet for
+    /// per-provider distributions (EDNS CDFs, Table 6) to stabilize.
+    pub fn medium() -> Scale {
+        Scale {
+            queries: 1.0 / 20_000.0,
+            resolvers: 1.0 / 20.0,
+        }
+    }
+
+    /// Report scale: millions of queries, minutes of wall time.
+    pub fn report() -> Scale {
+        Scale {
+            queries: 1.0 / 4_000.0,
+            resolvers: 1.0 / 50.0,
+        }
+    }
+}
+
+/// The zone behind a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ZoneSpec {
+    /// `.nl`: second-level registrations only.
+    Nl {
+        /// Registered SLD count (Table 2).
+        slds: u64,
+    },
+    /// `.nz`: mixed second/third level.
+    Nz {
+        /// Direct second-level registrations.
+        slds: u64,
+        /// Third-level registrations.
+        thirds: u64,
+    },
+    /// The root zone.
+    Root {
+        /// TLD count.
+        tlds: usize,
+    },
+}
+
+impl ZoneSpec {
+    /// Materialize the zone model.
+    pub fn build(&self) -> ZoneModel {
+        match *self {
+            ZoneSpec::Nl { slds } => ZoneModel::nl(slds),
+            ZoneSpec::Nz { slds, thirds } => ZoneModel::nz(slds, thirds),
+            ZoneSpec::Root { tlds } => ZoneModel::root(tlds),
+        }
+    }
+}
+
+/// A special traffic event layered over normal generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Incident {
+    /// The Feb-2020 `.nz` cyclic-dependency misconfiguration (§4.2.1):
+    /// two domains with mutually dependent NS sets defeated caching and
+    /// drew millions of A/AAAA queries from Google.
+    CyclicDependency {
+        /// Incident window start.
+        start: SimTime,
+        /// Incident window end.
+        end: SimTime,
+        /// Extra queries over the window, unscaled.
+        total_queries: u64,
+        /// Zone registration indices of the two affected domains.
+        domain_indices: [u64; 2],
+    },
+}
+
+/// One dataset to generate: everything the engine needs, unscaled.
+/// Serializable, so custom scenarios can live in JSON files
+/// (`dnscentral scenario-template` / `scenario`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Vantage point.
+    pub vantage: Vantage,
+    /// Snapshot year (2018/2019/2020).
+    pub year: u16,
+    /// Collection window start (Table 2/3 dates).
+    pub start: SimTime,
+    /// Window length in days (7 for ccTLDs, 1 for DITL).
+    pub days: u32,
+    /// Total queries observed in the paper (Table 3).
+    pub total_queries: u64,
+    /// Distinct resolvers observed (Table 3).
+    pub total_resolvers: u64,
+    /// Valid (NOERROR) fraction (Table 3).
+    pub valid_fraction: f64,
+    /// ASes observed (Table 3); sizes the synthetic plan.
+    pub as_count: u64,
+    /// The zone (Table 2).
+    pub zone: ZoneSpec,
+    /// Analyzed authoritative servers.
+    pub servers: Vec<ServerSpec>,
+    /// Special events inside the window.
+    pub incidents: Vec<Incident>,
+    /// Override the fleet list (used by the monthly Google series);
+    /// `None` = the full per-vantage calibration.
+    pub fleets_override: Option<Vec<FleetSpec>>,
+    /// Response Rate Limiting at the authoritative (off in the paper's
+    /// nine datasets; used by the RRL what-if studies, cf. §4.4).
+    pub rrl: Option<crate::rrl::RrlConfig>,
+}
+
+impl DatasetSpec {
+    /// Window end.
+    pub fn end(&self) -> SimTime {
+        self.start + netbase::time::SimDuration::from_days(self.days as u64)
+    }
+
+    /// The fleet list for this dataset, resolver counts still unscaled.
+    pub fn fleets(&self) -> Vec<FleetSpec> {
+        match &self.fleets_override {
+            Some(f) => f.clone(),
+            None => profile::fleets_for(
+                self.vantage,
+                self.year,
+                self.total_resolvers as u32,
+                1.0 - self.valid_fraction,
+            ),
+        }
+    }
+
+    /// A short identifier, e.g. `nl-w2020`.
+    pub fn id(&self) -> String {
+        let v = match self.vantage {
+            Vantage::Nl => "nl",
+            Vantage::Nz => "nz",
+            Vantage::BRoot => "broot",
+        };
+        format!("{v}-w{}", self.year)
+    }
+}
+
+fn servers_for(vantage: Vantage) -> Vec<ServerSpec> {
+    match vantage {
+        Vantage::Nl => vec![
+            ServerSpec {
+                name: "nl-A".into(),
+                v4: "194.0.28.53".parse().expect("static"),
+                v6: "2a04:b900::53".parse().expect("static"),
+            },
+            ServerSpec {
+                name: "nl-B".into(),
+                v4: "185.159.198.53".parse().expect("static"),
+                v6: "2a04:b906::53".parse().expect("static"),
+            },
+        ],
+        Vantage::Nz => (0..6)
+            .map(|i| ServerSpec {
+                name: format!("nz-{}", (b'A' + i) as char),
+                v4: format!("202.46.190.{}", 10 + i).parse().expect("static"),
+                v6: format!("2404:4400::{}", 10 + i).parse().expect("static"),
+            })
+            .collect(),
+        Vantage::BRoot => vec![ServerSpec {
+            name: "b-root".into(),
+            v4: "199.9.14.201".parse().expect("static"),
+            v6: "2001:500:200::b".parse().expect("static"),
+        }],
+    }
+}
+
+/// The nine Table 3 datasets.
+pub fn dataset(vantage: Vantage, year: u16) -> DatasetSpec {
+    let (start, days, total_queries, valid, resolvers, as_count, zone) = match (vantage, year) {
+        (Vantage::Nl, 2018) => (
+            SimTime::from_date(2018, 11, 4),
+            7,
+            7_290_000_000,
+            6.53 / 7.29,
+            2_090_000,
+            41_276,
+            ZoneSpec::Nl { slds: 5_800_000 },
+        ),
+        (Vantage::Nl, 2019) => (
+            SimTime::from_date(2019, 11, 3),
+            7,
+            10_160_000_000,
+            9.05 / 10.16,
+            2_180_000,
+            42_727,
+            ZoneSpec::Nl { slds: 5_800_000 },
+        ),
+        (Vantage::Nl, 2020) => (
+            SimTime::from_date(2020, 4, 5),
+            7,
+            13_750_000_000,
+            11.88 / 13.75,
+            1_990_000,
+            41_716,
+            ZoneSpec::Nl { slds: 5_900_000 },
+        ),
+        (Vantage::Nz, 2018) => (
+            SimTime::from_date(2018, 11, 4),
+            7,
+            2_950_000_000,
+            2.00 / 2.95,
+            1_280_000,
+            37_623,
+            ZoneSpec::Nz {
+                slds: 140_000,
+                thirds: 580_000,
+            },
+        ),
+        (Vantage::Nz, 2019) => (
+            SimTime::from_date(2019, 11, 3),
+            7,
+            3_480_000_000,
+            2.81 / 3.48,
+            1_420_000,
+            39_601,
+            ZoneSpec::Nz {
+                slds: 140_000,
+                thirds: 570_000,
+            },
+        ),
+        (Vantage::Nz, 2020) => (
+            SimTime::from_date(2020, 4, 5),
+            7,
+            4_570_000_000,
+            3.03 / 4.57,
+            1_310_000,
+            38_505,
+            ZoneSpec::Nz {
+                slds: 141_000,
+                thirds: 569_000,
+            },
+        ),
+        (Vantage::BRoot, 2018) => (
+            SimTime::from_date(2018, 4, 10),
+            1,
+            2_680_000_000,
+            0.93 / 2.68,
+            4_230_000,
+            45_210,
+            ZoneSpec::Root { tlds: 1530 },
+        ),
+        (Vantage::BRoot, 2019) => (
+            SimTime::from_date(2019, 4, 9),
+            1,
+            4_130_000_000,
+            1.43 / 4.13,
+            4_130_000,
+            48_154,
+            ZoneSpec::Root { tlds: 1530 },
+        ),
+        (Vantage::BRoot, 2020) => (
+            SimTime::from_date(2020, 5, 6),
+            1,
+            6_700_000_000,
+            1.34 / 6.70,
+            6_010_000,
+            51_820,
+            ZoneSpec::Root { tlds: 1514 },
+        ),
+        (v, y) => panic!("no dataset for {v:?} {y}"),
+    };
+    DatasetSpec {
+        vantage,
+        year,
+        start,
+        days,
+        total_queries,
+        total_resolvers: resolvers,
+        valid_fraction: valid,
+        as_count,
+        zone,
+        servers: servers_for(vantage),
+        incidents: Vec::new(),
+        fleets_override: None,
+        rrl: None,
+    }
+}
+
+/// A month of a provider-only longitudinal series (the Figure 3
+/// machinery, generalized): that provider's calibrated fleets,
+/// renormalized to carry the whole sample.
+pub fn monthly_provider(
+    vantage: Vantage,
+    provider: asdb::cloud::Provider,
+    year: i32,
+    month: u32,
+) -> DatasetSpec {
+    use asdb::cloud::Provider;
+    let mut spec = monthly_google(vantage, year, month);
+    if provider == Provider::Google {
+        return spec;
+    }
+    // swap the fleet list for the chosen provider's
+    let months_since = (year - 2018) * 12 + month as i32 - 11;
+    let year_key: u16 = if months_since < 12 { 2019 } else { 2020 };
+    let mut fleets = match provider {
+        Provider::Google => unreachable!(),
+        Provider::Amazon => vec![profile::amazon_fleet(vantage, year_key)],
+        Provider::Microsoft => vec![profile::microsoft_fleet(vantage, year_key)],
+        Provider::Facebook => vec![profile::facebook_fleet(vantage, year_key)],
+        Provider::Cloudflare => vec![profile::cloudflare_fleet(vantage, year_key)],
+    };
+    let share_sum: f64 = fleets.iter().map(|f| f.traffic_share).sum();
+    for f in &mut fleets {
+        f.traffic_share /= share_sum;
+    }
+    // provider volumes are a fraction of Google's; scale the sample
+    spec.total_queries = (spec.total_queries as f64 * 0.4) as u64;
+    spec.total_resolvers = fleets.iter().map(|f| f.resolver_count as u64).sum();
+    spec.incidents.clear(); // the Feb-2020 incident was Google traffic
+    spec.fleets_override = Some(fleets);
+    spec
+}
+
+/// A month of the Figure 3 longitudinal series: Google-only traffic to
+/// one ccTLD, sampled over the first three days of the month. The
+/// Feb-2020 `.nz` month carries the cyclic-dependency incident.
+pub fn monthly_google(vantage: Vantage, year: i32, month: u32) -> DatasetSpec {
+    assert!(
+        matches!(vantage, Vantage::Nl | Vantage::Nz),
+        "Figure 3 is ccTLD-only"
+    );
+    let start = SimTime::from_date(year, month, 1);
+    // Anchor Google's weekly volumes (Tables 4/7) and interpolate a
+    // 3-day sample linearly across the series.
+    let (w2018, w2019, w2020) = match vantage {
+        Vantage::Nl => (1.09e9, 1.6e9, 1.81e9),
+        Vantage::Nz => (2.2e8, 2.638e8, 3.287e8),
+        Vantage::BRoot => unreachable!(),
+    };
+    let months_since = (year - 2018) * 12 + month as i32 - 11; // 0 at Nov 2018
+    let frac = (months_since as f64 / 17.0).clamp(0.0, 1.0);
+    let weekly = if frac < 0.7 {
+        w2018 + (w2019 - w2018) * (frac / 0.7)
+    } else {
+        w2019 + (w2020 - w2019) * ((frac - 0.7) / 0.3)
+    };
+    let total = (weekly * 3.0 / 7.0) as u64;
+
+    // resolver-count anchors for the Google fleets
+    let year_key: u16 = if months_since < 12 { 2019 } else { 2020 };
+    let mut fleets = profile::google_fleets(vantage, year_key);
+    // Re-normalize: Google-only dataset => shares sum to 1.
+    let share_sum: f64 = fleets.iter().map(|f| f.traffic_share).sum();
+    for f in &mut fleets {
+        f.traffic_share /= share_sum;
+    }
+
+    let mut incidents = Vec::new();
+    if vantage == Vantage::Nz && year == 2020 && month == 2 {
+        incidents.push(Incident::CyclicDependency {
+            start: SimTime::from_date(2020, 2, 1),
+            end: SimTime::from_date(2020, 2, 4),
+            total_queries: (total as f64 * 0.9) as u64,
+            domain_indices: [3, 4],
+        });
+    }
+
+    let mut spec = dataset(vantage, 2020);
+    spec.start = start;
+    spec.days = 3;
+    spec.total_queries = total;
+    spec.total_resolvers = fleets.iter().map(|f| f.resolver_count as u64).sum();
+    spec.valid_fraction = 0.9;
+    spec.incidents = incidents;
+    spec.fleets_override = Some(fleets);
+    spec
+}
+
+/// The 18 months of the Figure 3 series: Nov 2018 through Apr 2020.
+pub fn figure3_months() -> Vec<(i32, u32)> {
+    let mut out = Vec::new();
+    let (mut y, mut m) = (2018, 11);
+    loop {
+        out.push((y, m));
+        if (y, m) == (2020, 4) {
+            break;
+        }
+        m += 1;
+        if m > 12 {
+            m = 1;
+            y += 1;
+        }
+    }
+    out
+}
+
+/// A named (start, days) window, exported for bench/report labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Week {
+    /// First day, midnight UTC.
+    pub start: SimTime,
+    /// Length in days.
+    pub days: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_datasets_match_table_3() {
+        let d = dataset(Vantage::Nl, 2020);
+        assert_eq!(d.total_queries, 13_750_000_000);
+        assert!((d.valid_fraction - 0.864).abs() < 0.001);
+        assert_eq!(d.total_resolvers, 1_990_000);
+        assert_eq!(d.as_count, 41_716);
+        assert_eq!(d.days, 7);
+        assert_eq!(d.servers.len(), 2);
+        assert_eq!(d.id(), "nl-w2020");
+
+        let d = dataset(Vantage::Nz, 2018);
+        assert_eq!(d.total_queries, 2_950_000_000);
+        assert!((d.valid_fraction - 0.678).abs() < 0.001);
+        assert_eq!(d.servers.len(), 6);
+
+        let d = dataset(Vantage::BRoot, 2020);
+        assert_eq!(d.days, 1, "DITL one-day sample");
+        assert!((d.valid_fraction - 0.20).abs() < 0.001);
+        assert_eq!(d.servers.len(), 1);
+        assert_eq!(d.start, SimTime::from_date(2020, 5, 6));
+    }
+
+    #[test]
+    fn zone_specs_match_table_2() {
+        match dataset(Vantage::Nl, 2018).zone {
+            ZoneSpec::Nl { slds } => assert_eq!(slds, 5_800_000),
+            _ => panic!("wrong zone kind"),
+        }
+        match dataset(Vantage::Nz, 2020).zone {
+            ZoneSpec::Nz { slds, thirds } => {
+                assert_eq!(slds, 141_000);
+                assert_eq!(thirds, 569_000);
+                assert_eq!(slds + thirds, 710_000, "Table 2: 710K");
+            }
+            _ => panic!("wrong zone kind"),
+        }
+    }
+
+    #[test]
+    fn fleet_lists_realize() {
+        for v in [Vantage::Nl, Vantage::Nz, Vantage::BRoot] {
+            for y in [2018, 2019, 2020] {
+                let spec = dataset(v, y);
+                let fleets = spec.fleets();
+                assert_eq!(fleets.len(), 8, "5 CPs (Google split) + 2 other");
+                let share: f64 = fleets.iter().map(|f| f.traffic_share).sum();
+                assert!((share - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_series_is_18_months() {
+        let months = figure3_months();
+        assert_eq!(months.len(), 18);
+        assert_eq!(months[0], (2018, 11));
+        assert_eq!(months[13], (2019, 12), "the Q-min month");
+        assert_eq!(months[17], (2020, 4));
+    }
+
+    #[test]
+    fn monthly_series_interpolates_upward() {
+        let early = monthly_google(Vantage::Nl, 2018, 11);
+        let late = monthly_google(Vantage::Nl, 2020, 4);
+        assert!(late.total_queries > early.total_queries);
+        assert!(early.fleets_override.is_some());
+        let fleets = early.fleets();
+        let share: f64 = fleets.iter().map(|f| f.traffic_share).sum();
+        assert!((share - 1.0).abs() < 1e-9, "google-only, renormalized");
+        assert!(fleets.iter().all(|f| f.name.starts_with("google")));
+    }
+
+    #[test]
+    fn incident_only_in_feb_2020_nz() {
+        assert!(monthly_google(Vantage::Nz, 2020, 2).incidents.len() == 1);
+        assert!(monthly_google(Vantage::Nz, 2020, 1).incidents.is_empty());
+        assert!(monthly_google(Vantage::Nl, 2020, 2).incidents.is_empty());
+        assert!(monthly_google(Vantage::Nz, 2019, 2).incidents.is_empty());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::tiny().queries < Scale::small().queries);
+        assert!(Scale::small().queries < Scale::medium().queries);
+        assert!(Scale::medium().queries < Scale::report().queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "no dataset")]
+    fn unknown_year_panics() {
+        dataset(Vantage::Nl, 2017);
+    }
+}

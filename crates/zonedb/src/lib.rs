@@ -1,0 +1,28 @@
+//! Zone models for the three vantage points of the IMC 2020 study:
+//! `.nl` (second-level registrations only), `.nz` (second- *and*
+//! third-level registrations, analyzed together with its subzones), and
+//! the root zone served by B-Root.
+//!
+//! The real registries hold millions of names we cannot ship, so names
+//! are *generated*: an invertible syllable encoding maps a domain index
+//! to a pronounceable label and back, which lets an authoritative-server
+//! model answer membership queries (`NOERROR` vs `NXDOMAIN`) over a
+//! multi-million-name zone without materializing it.
+//!
+//! [`popularity`] provides the Zipf sampler that makes some domains hot
+//! (what resolver caches then flatten into the cache-miss stream the
+//! vantages observe), and [`junk`] generates the paper's §3 "junk"
+//! traffic, including Chromium's random-TLD probes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod junk;
+pub mod names;
+pub mod popularity;
+pub mod zone;
+
+pub use junk::JunkGenerator;
+pub use names::{decode_label, encode_label};
+pub use popularity::ZipfSampler;
+pub use zone::{Lookup, ZoneModel};

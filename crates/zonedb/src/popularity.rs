@@ -1,0 +1,160 @@
+//! Zipf-distributed domain popularity.
+//!
+//! Query volume across domains in a TLD is heavy-tailed: a few names
+//! absorb most traffic. The sampler uses continuous inverse-CDF
+//! approximation of the Zipf(s, n) distribution — cheap (O(1) per
+//! draw), deterministic under a seeded RNG, and accurate enough that
+//! the rank-frequency slope matches the configured exponent.
+
+use rand::Rng;
+
+/// Approximate Zipf sampler over ranks `0..n` (rank 0 is the hottest).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    s: f64,
+    /// H(n+1) with H the continuous harmonic integral, precomputed.
+    h_total: f64,
+}
+
+impl ZipfSampler {
+    /// Build for `n` items with exponent `s` (s=1.0 is classic Zipf).
+    ///
+    /// # Panics
+    /// If `n` is 0 or `s` is negative/non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "empty population");
+        assert!(s.is_finite() && s >= 0.0, "bad exponent");
+        ZipfSampler {
+            n,
+            s,
+            h_total: h(n as f64 + 1.0, s),
+        }
+    }
+
+    /// Number of items.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let x = h_inv(u * self.h_total, self.s);
+        // x is in [1, n+1); shift to 0-based rank and clamp defensively.
+        ((x.floor() as u64).saturating_sub(1)).min(self.n - 1)
+    }
+}
+
+/// Continuous harmonic integral: ∫ 1..x t^-s dt (plus the s=1 limit).
+fn h(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h`].
+fn h_inv(y: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        y.exp()
+    } else {
+        (1.0 + y * (1.0 - s)).powf(1.0 / (1.0 - s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let z = ZipfSampler::new(10_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u64; 10_000];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[9], "{} !> {}", counts[0], counts[9]);
+        assert!(counts[0] > counts[99]);
+        assert!(counts[0] > counts[999]);
+        // head concentration: top-100 of 10k should hold a large share
+        let head: u64 = counts[..100].iter().sum();
+        let total: u64 = counts.iter().sum();
+        assert!(
+            head as f64 / total as f64 > 0.35,
+            "top-1% share {}",
+            head as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn exponent_zero_is_roughly_uniform() {
+        let z = ZipfSampler::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(
+            (*max as f64) / (*min as f64) < 1.5,
+            "uniform-ish expected: min={min} max={max}"
+        );
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_more() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let share = |s: f64, rng: &mut StdRng| {
+            let z = ZipfSampler::new(1000, s);
+            let mut top = 0u64;
+            for _ in 0..50_000 {
+                if z.sample(rng) < 10 {
+                    top += 1;
+                }
+            }
+            top as f64 / 50_000.0
+        };
+        let light = share(0.6, &mut rng);
+        let heavy = share(1.4, &mut rng);
+        assert!(heavy > light + 0.1, "heavy={heavy} light={light}");
+    }
+
+    #[test]
+    fn single_item_population() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn zero_population_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let z = ZipfSampler::new(500, 0.9);
+        let mut a = StdRng::seed_from_u64(8);
+        let mut b = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Reproduce Figure 6 and the §4.4 truncation analysis: each cloud
+//! provider's advertised EDNS(0) UDP size distribution, and the
+//! truncation (TC=1) rate it mechanically produces against a
+//! DNSSEC-signed zone.
+//!
+//! ```sh
+//! cargo run --release --example edns_truncation
+//! ```
+
+use asdb::cloud::Provider;
+use dnscentral_core::ednssize;
+use dnscentral_core::experiments::run_dataset;
+use dnscentral_core::report;
+use simnet::profile::Vantage;
+use simnet::scenario::Scale;
+
+fn main() {
+    eprintln!("generating .nl w2020 at medium scale ...");
+    let mut run = run_dataset(Vantage::Nl, 2020, Scale::medium(), 42);
+    let reports = ednssize::edns_report(&mut run.analysis);
+    print!("{}", report::render_fig6(&reports));
+    println!();
+
+    let get = |p: Provider| reports.iter().find(|r| r.provider == p.name()).unwrap();
+    let fb = get(Provider::Facebook);
+    let google = get(Provider::Google);
+    let ms = get(Provider::Microsoft);
+
+    println!(
+        "Facebook advertises <=512 bytes on {:.0}% of queries; on a zone where \
+         most delegations are DNSSEC-signed, the signed referral (~600-700 B) \
+         cannot fit, so {:.2}% of its UDP answers truncate and retry over TCP.",
+        fb.fraction_at_most(512) * 100.0,
+        fb.truncation_ratio * 100.0
+    );
+    println!(
+        "Google and Microsoft advertise 1232+ bytes; their truncation rates are \
+         {:.2}% and {:.2}% — only oversized DNSKEY answers ever trip them.",
+        google.truncation_ratio * 100.0,
+        ms.truncation_ratio * 100.0
+    );
+    println!(
+        "(The paper reports 17.16% vs 0.04% vs 0.01% for w2020 .nl — the same \
+         orders of magnitude, produced by the same mechanism.)"
+    );
+}

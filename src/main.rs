@@ -1,0 +1,574 @@
+//! `dnscentral` — the command-line front end of the IMC'20 reproduction.
+//!
+//! ```text
+//! dnscentral table1                      # Table 1 (static ground truth)
+//! dnscentral generate nl 2020 out.dnscap # synthesize one dataset capture
+//! dnscentral analyze  nl 2020 out.dnscap # analyze a capture
+//! dnscentral dataset  nl 2020            # generate + analyze in one go
+//! dnscentral qmin     nl                 # Figure 3 series + change-point
+//! dnscentral report                      # every table and figure
+//! ```
+//!
+//! Common flags: `--scale=tiny|small|report` (default small) and
+//! `--seed=N` (default 42).
+
+use dnscentral_core::dualstack::DualStackAnalysis;
+use dnscentral_core::experiments::{
+    analyze_capture, generate_capture, run_dataset, run_monthly_series,
+};
+use dnscentral_core::{ednssize, junk, metrics, qmin, report, transport};
+use simnet::profile::Vantage;
+use simnet::scenario::{dataset, Scale};
+use std::net::IpAddr;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional): (Vec<&String>, Vec<&String>) =
+        args.iter().partition(|a| a.starts_with("--"));
+    let scale = match flag_value(&flags, "--scale").unwrap_or("small") {
+        "tiny" => Scale::tiny(),
+        "small" => Scale::small(),
+        "medium" => Scale::medium(),
+        "report" => Scale::report(),
+        other => {
+            eprintln!("unknown scale {other:?} (tiny|small|medium|report)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = flag_value(&flags, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+
+    match positional.first().map(|s| s.as_str()) {
+        Some("table1") => print!("{}", report::render_table1()),
+        Some("generate") => {
+            let (vantage, year, path) = dataset_args(&positional);
+            let spec = dataset(vantage, year);
+            let stats =
+                generate_capture(&spec, scale, seed, Path::new(path)).expect("capture generation");
+            println!(
+                "{}: {} queries ({} tcp, {} truncated, {} junk) -> {path}",
+                spec.id(),
+                stats.queries,
+                stats.tcp_queries,
+                stats.truncated_udp,
+                stats.junk_queries
+            );
+        }
+        Some("analyze") => {
+            let (vantage, year, path) = dataset_args(&positional);
+            let spec = dataset(vantage, year);
+            let (analysis, mut dualstack, ingest) =
+                analyze_capture(&spec, scale, seed, Path::new(path)).expect("analysis");
+            print_dataset_report(&spec.id(), vantage, analysis, &mut dualstack, &spec);
+            eprintln!(
+                "[ingest: {} frames, {} malformed, {} unanswered]",
+                ingest.frames, ingest.malformed, ingest.unanswered_queries
+            );
+        }
+        Some("dataset") => {
+            let (vantage, year) = vantage_year(&positional);
+            let run = run_dataset(vantage, year, scale, seed);
+            if flags.iter().any(|f| *f == "--json") {
+                let mut analysis = run.analysis;
+                let doc = report::dataset_json(&run.id, &mut analysis);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&doc).expect("serializes")
+                );
+            } else {
+                let spec = run.spec.clone();
+                let mut dualstack = run.dualstack;
+                print_dataset_report(&run.id, vantage, run.analysis, &mut dualstack, &spec);
+            }
+        }
+        Some("qmin") => {
+            let vantage = parse_vantage(positional.get(1).map(|s| s.as_str()).unwrap_or("nl"));
+            let provider = match flag_value(&flags, "--provider") {
+                None | Some("google") => asdb::cloud::Provider::Google,
+                Some("amazon") => asdb::cloud::Provider::Amazon,
+                Some("microsoft") => asdb::cloud::Provider::Microsoft,
+                Some("facebook") => asdb::cloud::Provider::Facebook,
+                Some("cloudflare") => asdb::cloud::Provider::Cloudflare,
+                Some(other) => panic!("unknown provider {other:?}"),
+            };
+            let series = dnscentral_core::experiments::run_monthly_series_for(
+                vantage, provider, scale, seed,
+            );
+            let detected = qmin::detect_cusum(&series, 0.05, 0.3);
+            print!(
+                "{}",
+                report::render_fig3(
+                    &format!("{} ({provider})", vantage.label()),
+                    &series,
+                    detected
+                )
+            );
+        }
+        Some("report") => full_report(scale, seed),
+        Some("inspect") => {
+            let path = positional.get(1).expect("capture path required");
+            inspect_capture(Path::new(path));
+        }
+        Some("export-pcap") => {
+            let input = positional.get(1).expect("input .dnscap required");
+            let output = positional.get(2).expect("output .pcap required");
+            export_pcap(Path::new(input), Path::new(output));
+        }
+        Some("analyze-pcap") => {
+            let input = positional.get(1).expect("input .pcap required");
+            let zone = match flag_value(&flags, "--zone").unwrap_or("root") {
+                "nl" => zonedb::zone::ZoneModel::nl(5_900_000),
+                "nz" => zonedb::zone::ZoneModel::nz(141_000, 569_000),
+                "root" => zonedb::zone::ZoneModel::root(1514),
+                other => panic!("unknown zone {other:?} (nl|nz|root)"),
+            };
+            analyze_external_pcap(Path::new(input), zone);
+        }
+        Some("import-pcap") => {
+            let input = positional.get(1).expect("input .pcap required");
+            let output = positional.get(2).expect("output .dnscap required");
+            import_pcap_cli(Path::new(input), Path::new(output));
+        }
+        Some("concentration") => {
+            let mut reports = Vec::new();
+            for vantage in [Vantage::Nl, Vantage::Nz, Vantage::BRoot] {
+                let run = run_dataset(vantage, 2020, scale, seed);
+                reports.push(dnscentral_core::concentration::concentration(
+                    &run.id,
+                    &run.analysis,
+                ));
+            }
+            print!("{}", report::render_concentration(&reports));
+        }
+        Some("scenario-template") => {
+            let (vantage, year) = vantage_year(&positional);
+            let mut spec = dataset(vantage, year);
+            // materialize the fleet list so every knob is editable
+            spec.fleets_override = Some(spec.fleets());
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&spec).expect("serializes")
+            );
+        }
+        Some("scenario") => {
+            let path = positional.get(1).expect("scenario JSON path required");
+            let text = std::fs::read_to_string(path).expect("scenario file reads");
+            let spec: simnet::scenario::DatasetSpec =
+                serde_json::from_str(&text).expect("valid scenario JSON");
+            let vantage = spec.vantage;
+            let run = dnscentral_core::experiments::run_spec(spec, scale, seed);
+            let spec = run.spec.clone();
+            let mut dualstack = run.dualstack;
+            print_dataset_report(&run.id, vantage, run.analysis, &mut dualstack, &spec);
+        }
+        Some("experiments") => {
+            let rows = dnscentral_core::paper::compare(scale, seed);
+            print!("{}", dnscentral_core::paper::render_markdown(&rows));
+        }
+        Some("junk-overview") => {
+            let mut measured = Vec::new();
+            for year in [2018u16, 2019, 2020] {
+                let run = run_dataset(Vantage::BRoot, year, scale, seed);
+                measured.push((year, run.analysis.valid_fraction()));
+            }
+            print!("{}", report::render_junk_overview(&measured));
+        }
+        _ => {
+            eprintln!(
+                "usage: dnscentral <table1|generate|analyze|dataset|qmin|report|inspect|export-pcap|import-pcap|analyze-pcap|concentration|junk-overview|experiments|scenario-template|scenario> \
+                 [args] [--scale=tiny|small|medium|report] [--seed=N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn flag_value<'a>(flags: &'a [&'a String], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find_map(|f| f.strip_prefix(name)?.strip_prefix('='))
+}
+
+fn parse_vantage(s: &str) -> Vantage {
+    match s {
+        "nl" => Vantage::Nl,
+        "nz" => Vantage::Nz,
+        "broot" | "b-root" => Vantage::BRoot,
+        other => panic!("unknown vantage {other:?} (nl|nz|broot)"),
+    }
+}
+
+fn vantage_year(positional: &[&String]) -> (Vantage, u16) {
+    let vantage = parse_vantage(positional.get(1).expect("vantage required"));
+    let year: u16 = positional
+        .get(2)
+        .expect("year required")
+        .parse()
+        .expect("year");
+    (vantage, year)
+}
+
+fn dataset_args<'a>(positional: &[&'a String]) -> (Vantage, u16, &'a str) {
+    let (vantage, year) = vantage_year(positional);
+    let path = positional.get(3).expect("capture path required");
+    (vantage, year, path)
+}
+
+/// Print the per-dataset exhibits.
+fn print_dataset_report(
+    id: &str,
+    vantage: Vantage,
+    mut analysis: dnscentral_core::DatasetAnalysis,
+    dualstack: &mut DualStackAnalysis,
+    spec: &simnet::scenario::DatasetSpec,
+) {
+    println!("=== {id} ===");
+    print!(
+        "{}",
+        report::render_table3(&[metrics::dataset_summary(id, &analysis)])
+    );
+    print!(
+        "{}",
+        report::render_fig1(&[metrics::cloud_share(id, &analysis)])
+    );
+    print!(
+        "{}",
+        report::render_table4(&[metrics::google_split(id, &analysis)])
+    );
+    let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
+        .iter()
+        .map(|&p| metrics::qtype_mix(id, &analysis, Some(p)))
+        .collect();
+    print!("{}", report::render_fig2(&mixes));
+    print!(
+        "{}",
+        report::render_fig4(&[junk::junk_report(id, &analysis)])
+    );
+    print!(
+        "{}",
+        report::render_table5(&[transport::transport_report(id, &analysis)])
+    );
+    let t6: Vec<_> = [
+        asdb::cloud::Provider::Amazon,
+        asdb::cloud::Provider::Microsoft,
+    ]
+    .iter()
+    .map(|&p| (id.to_string(), transport::resolver_families(&analysis, p)))
+    .collect();
+    print!("{}", report::render_table6(&t6));
+    print!(
+        "{}",
+        report::render_fig6(&ednssize::edns_report(&mut analysis))
+    );
+    if vantage == Vantage::BRoot {
+        print!("{}", report::render_as_ranking(&analysis, 8));
+    }
+    for server in spec.servers.iter().take(2) {
+        let sites = dualstack.report_for_server(IpAddr::V4(server.v4));
+        if sites.iter().any(|s| s.queries_v4 + s.queries_v6 > 0) {
+            print!("{}", report::render_fig5(&server.name, &sites));
+        }
+    }
+}
+
+/// Run everything: the nine datasets, then the Figure 3 series.
+fn full_report(scale: Scale, seed: u64) {
+    let mut summaries = Vec::new();
+    let mut shares = Vec::new();
+    let mut splits = Vec::new();
+    let mut junks = Vec::new();
+    let mut transports = Vec::new();
+    let mut t6 = Vec::new();
+    print!("{}", report::render_table1());
+    println!();
+    print!("{}", report::render_table2());
+    println!();
+    let mut broot_valid = Vec::new();
+    for vantage in [Vantage::Nl, Vantage::Nz, Vantage::BRoot] {
+        for year in [2018u16, 2019, 2020] {
+            let run = run_dataset(vantage, year, scale, seed);
+            let id = run.id.clone();
+            let mut analysis = run.analysis;
+            summaries.push(metrics::dataset_summary(&id, &analysis));
+            shares.push(metrics::cloud_share(&id, &analysis));
+            if year >= 2019 && vantage != Vantage::BRoot {
+                splits.push(metrics::google_split(&id, &analysis));
+            }
+            junks.push(junk::junk_report(&id, &analysis));
+            transports.push(transport::transport_report(&id, &analysis));
+            if year == 2020 && vantage != Vantage::BRoot {
+                for p in [
+                    asdb::cloud::Provider::Amazon,
+                    asdb::cloud::Provider::Microsoft,
+                ] {
+                    t6.push((id.clone(), transport::resolver_families(&analysis, p)));
+                }
+            }
+            if vantage == Vantage::Nl && year == 2020 {
+                // the .nl w2020 exhibits: Figure 2 panel, Figure 6, Figure 5/8
+                let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
+                    .iter()
+                    .map(|&p| metrics::qtype_mix(&id, &analysis, Some(p)))
+                    .collect();
+                print!("{}", report::render_fig2(&mixes));
+                println!();
+                print!(
+                    "{}",
+                    report::render_fig6(&ednssize::edns_report(&mut analysis))
+                );
+                println!();
+                let mut dualstack = run.dualstack;
+                for server in &run.spec.servers {
+                    let sites = dualstack.report_for_server(IpAddr::V4(server.v4));
+                    print!("{}", report::render_fig5(&server.name, &sites));
+                    println!();
+                }
+            }
+            if vantage == Vantage::Nl && year == 2019 {
+                // Appendix B, Figure 7: the 2019 qtype panels
+                let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
+                    .iter()
+                    .map(|&p| metrics::qtype_mix(&id, &analysis, Some(p)))
+                    .collect();
+                print!(
+                    "{}",
+                    report::render_fig2(&mixes).replace("Figure 2", "Figure 7")
+                );
+                println!();
+            }
+            if vantage == Vantage::BRoot {
+                broot_valid.push((year, analysis.valid_fraction()));
+                if year == 2020 {
+                    print!("{}", report::render_as_ranking(&analysis, 8));
+                    println!();
+                }
+            }
+        }
+    }
+    print!("{}", report::render_table3(&summaries));
+    println!();
+    print!("{}", report::render_fig1(&shares));
+    println!();
+    print!("{}", report::render_table4(&splits));
+    println!();
+    print!("{}", report::render_fig4(&junks));
+    println!();
+    print!("{}", report::render_table5(&transports));
+    println!();
+    print!("{}", report::render_table6(&t6));
+    println!();
+    print!("{}", report::render_junk_overview(&broot_valid));
+    println!();
+    for vantage in [Vantage::Nl, Vantage::Nz] {
+        let series = run_monthly_series(vantage, scale, seed);
+        let detected = qmin::detect_cusum(&series, 0.05, 0.3);
+        print!(
+            "{}",
+            report::render_fig3(vantage.label(), &series, detected)
+        );
+        println!();
+    }
+}
+
+/// Convert a `.dnscap` into a classic libpcap file (Ethernet/IP/UDP/TCP
+/// with valid checksums) for tcpdump/Wireshark.
+fn export_pcap(input: &Path, output: &Path) {
+    use netbase::capture::CaptureReader;
+    use netbase::pcap::PcapWriter;
+    let infile = std::fs::File::open(input).expect("input opens");
+    let reader = CaptureReader::new(std::io::BufReader::new(infile)).expect("valid .dnscap header");
+    let outfile = std::fs::File::create(output).expect("output creates");
+    let mut writer = PcapWriter::new(std::io::BufWriter::new(outfile)).expect("pcap header writes");
+    let mut errors = 0u64;
+    for item in reader {
+        match item {
+            Ok(rec) => writer.write_record(&rec).expect("pcap frame writes"),
+            Err(_) => errors += 1,
+        }
+    }
+    let frames = writer.frames_written();
+    writer.finish().expect("flush");
+    println!(
+        "{frames} frames -> {} ({errors} capture errors skipped)",
+        output.display()
+    );
+}
+
+/// Analyze an externally captured pcap without a scenario: cloud
+/// attribution uses the providers' real published address ranges, so
+/// the Figure 1/4/5-style numbers are meaningful on real traffic; the
+/// synthetic rest-of-Internet plan is NOT used (non-CP sources simply
+/// stay unattributed).
+fn analyze_external_pcap(input: &Path, zone: zonedb::zone::ZoneModel) {
+    use asdb::mapping::AsMapper;
+    use asdb::registry::AsRegistry;
+    use dnscentral_core::DatasetAnalysis;
+    use entrada::enrich::Enricher;
+    use entrada::ingest::CaptureIngest;
+    use netbase::capture::{CaptureReader, CaptureWriter};
+    use netbase::trie::PrefixTrie;
+
+    let data = std::fs::read(input).expect("input reads");
+    let (records, skipped) = netbase::pcap::import_pcap(&data).expect("valid pcap");
+    eprintln!("[{} DNS frames imported, {skipped} skipped]", records.len());
+
+    // a CP-only mapper: real, published address space only
+    let mut trie = PrefixTrie::new();
+    for provider in asdb::cloud::ALL_PROVIDERS {
+        for (i, pool) in provider.v4_pools().into_iter().enumerate() {
+            trie.insert(pool, provider.asn_for_pool(i));
+        }
+        for (i, pool) in provider.v6_pools().into_iter().enumerate() {
+            trie.insert(pool, provider.asn_for_pool(i));
+        }
+    }
+    let mapper = AsMapper::new(trie, AsRegistry::with_cloud_providers());
+
+    // feed through the normal ingest path via an in-memory capture
+    let mut buf = Vec::new();
+    {
+        let mut w = CaptureWriter::new(&mut buf).expect("writer");
+        for rec in &records {
+            w.write(rec).expect("write");
+        }
+        w.finish().expect("flush");
+    }
+    let mut ingest = CaptureIngest::new(
+        CaptureReader::new(&buf[..]).expect("header"),
+        Enricher::new(mapper),
+    );
+    let mut analysis = DatasetAnalysis::new(zone);
+    let mut chromium = dnscentral_core::junk::ChromiumProbeStats::default();
+    for row in ingest.by_ref() {
+        analysis.push(&row);
+        chromium.push(&row);
+    }
+    let id = input
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "pcap".into());
+    print!(
+        "{}",
+        report::render_table3(&[metrics::dataset_summary(&id, &analysis)])
+    );
+    print!(
+        "{}",
+        report::render_fig1(&[metrics::cloud_share(&id, &analysis)])
+    );
+    print!(
+        "{}",
+        report::render_fig4(&[junk::junk_report(&id, &analysis)])
+    );
+    print!(
+        "{}",
+        report::render_table5(&[transport::transport_report(&id, &analysis)])
+    );
+    print!(
+        "{}",
+        report::render_fig6(&ednssize::edns_report(&mut analysis))
+    );
+    println!(
+        "Chromium-probe share of junk: {:.1}%",
+        chromium.probe_share() * 100.0
+    );
+    let stats = ingest.stats();
+    eprintln!(
+        "[ingest: {} frames, {} malformed, {} unanswered]",
+        stats.frames, stats.malformed, stats.unanswered_queries
+    );
+}
+
+/// Convert a libpcap file back into a `.dnscap` (externally captured
+/// DNS traffic entering the analysis pipeline).
+fn import_pcap_cli(input: &Path, output: &Path) {
+    use netbase::capture::CaptureWriter;
+    let data = std::fs::read(input).expect("input reads");
+    let (records, skipped) = netbase::pcap::import_pcap(&data).expect("valid pcap file");
+    let outfile = std::fs::File::create(output).expect("output creates");
+    let mut writer = CaptureWriter::new(std::io::BufWriter::new(outfile)).expect("header writes");
+    for rec in &records {
+        writer.write(rec).expect("record writes");
+    }
+    writer.finish().expect("flush");
+    println!(
+        "{} records -> {} ({skipped} non-DNS frames skipped)",
+        records.len(),
+        output.display()
+    );
+}
+
+/// Capture forensics: walk any `.dnscap` without needing the scenario
+/// that produced it.
+fn inspect_capture(path: &Path) {
+    use dns_wire::message::Message;
+    use netbase::capture::{CaptureReader, Direction};
+    use netbase::flow::Transport;
+    use std::collections::HashMap;
+
+    let file = std::fs::File::open(path).expect("capture opens");
+    let reader = CaptureReader::new(std::io::BufReader::new(file)).expect("valid header");
+    let (mut frames, mut queries, mut responses, mut tcp, mut malformed) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut first: Option<netbase::time::SimTime> = None;
+    let mut last: Option<netbase::time::SimTime> = None;
+    let mut qtypes: HashMap<String, u64> = HashMap::new();
+    let mut sources: HashMap<IpAddr, u64> = HashMap::new();
+    for item in reader {
+        let rec = match item {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("stream error after {frames} frames: {e}");
+                break;
+            }
+        };
+        frames += 1;
+        first.get_or_insert(rec.timestamp);
+        last = Some(rec.timestamp);
+        if rec.flow.transport == Transport::Tcp {
+            tcp += 1;
+        }
+        match rec.direction {
+            Direction::Query => {
+                queries += 1;
+                *sources.entry(rec.flow.src).or_insert(0) += 1;
+                // TCP payloads carry the RFC 1035 length prefix
+                let wire: Vec<u8> = match rec.flow.transport {
+                    Transport::Tcp => match dns_wire::tcp::deframe_all(&rec.payload) {
+                        Ok(mut m) if m.len() == 1 => m.remove(0),
+                        _ => {
+                            malformed += 1;
+                            continue;
+                        }
+                    },
+                    Transport::Udp => rec.payload.clone(),
+                };
+                match Message::parse(&wire) {
+                    Ok(msg) => {
+                        if let Some(q) = msg.question() {
+                            *qtypes.entry(q.qtype.mnemonic()).or_insert(0) += 1;
+                        }
+                    }
+                    Err(_) => malformed += 1,
+                }
+            }
+            Direction::Response => responses += 1,
+        }
+    }
+    println!("frames     : {frames} ({queries} queries, {responses} responses)");
+    println!("tcp frames : {tcp}");
+    println!("malformed  : {malformed}");
+    if let (Some(a), Some(b)) = (first, last) {
+        println!("time span  : {a} .. {b}");
+    }
+    println!("resolvers  : {}", sources.len());
+    let mut top: Vec<(String, u64)> = qtypes.into_iter().collect();
+    top.sort_by_key(|e| std::cmp::Reverse(e.1));
+    println!("qtypes     :");
+    for (t, n) in top.iter().take(8) {
+        println!("  {t:<8} {n}");
+    }
+}

@@ -1,0 +1,281 @@
+//! End-to-end CLI tests: drive the `dnscentral` binary the way a user
+//! would and check its outputs (and its file artifacts round-trip).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dnscentral"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dnscentral-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn table1_prints_ground_truth() {
+    let out = bin().arg("table1").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("15169"));
+    assert!(text.contains("Cloudflare"));
+    assert!(text.contains("8075"));
+}
+
+#[test]
+fn usage_on_bad_args() {
+    let out = bin().arg("frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"));
+    let out = bin().output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_scale_is_rejected() {
+    let out = bin()
+        .args(["table1", "--scale=galactic"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown scale"));
+}
+
+#[test]
+fn generate_analyze_inspect_roundtrip() {
+    let cap = tmp("gen.dnscap");
+    let out = bin()
+        .args([
+            "generate",
+            "nz",
+            "2019",
+            cap.to_str().unwrap(),
+            "--scale=tiny",
+            "--seed=5",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout).unwrap().contains("queries"));
+    assert!(cap.exists());
+
+    let out = bin()
+        .args([
+            "analyze",
+            "nz",
+            "2019",
+            cap.to_str().unwrap(),
+            "--scale=tiny",
+            "--seed=5",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("=== nz-w2019 ==="));
+    assert!(text.contains("Figure 1"));
+    assert!(text.contains("Table 5"));
+
+    let out = bin()
+        .args(["inspect", cap.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("malformed  : 0"), "{text}");
+    assert!(text.contains("qtypes"));
+
+    let _ = std::fs::remove_file(&cap);
+}
+
+#[test]
+fn pcap_export_import_roundtrip() {
+    let cap = tmp("x.dnscap");
+    let pcap = tmp("x.pcap");
+    let back = tmp("x2.dnscap");
+    assert!(bin()
+        .args([
+            "generate",
+            "broot",
+            "2018",
+            cap.to_str().unwrap(),
+            "--scale=tiny"
+        ])
+        .status()
+        .expect("runs")
+        .success());
+    assert!(bin()
+        .args(["export-pcap", cap.to_str().unwrap(), pcap.to_str().unwrap()])
+        .status()
+        .expect("runs")
+        .success());
+    let out = bin()
+        .args([
+            "import-pcap",
+            pcap.to_str().unwrap(),
+            back.to_str().unwrap(),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("0 non-DNS frames skipped"));
+    // re-imported capture inspects cleanly
+    let out = bin()
+        .args(["inspect", back.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("malformed  : 0"));
+    for f in [&cap, &pcap, &back] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn dataset_json_is_valid() {
+    let out = bin()
+        .args(["dataset", "nl", "2018", "--scale=tiny", "--json"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(doc["id"], "nl-w2018");
+    assert!(doc["figure1"]["total"].as_f64().unwrap() > 0.2);
+    assert!(doc["concentration"]["hhi"].as_f64().unwrap() > 0.0);
+    assert_eq!(doc["table5"]["rows"].as_array().unwrap().len(), 5);
+}
+
+#[test]
+fn deterministic_generation_across_invocations() {
+    let a = tmp("det-a.dnscap");
+    let b = tmp("det-b.dnscap");
+    for p in [&a, &b] {
+        assert!(bin()
+            .args([
+                "generate",
+                "nz",
+                "2018",
+                p.to_str().unwrap(),
+                "--scale=tiny",
+                "--seed=9"
+            ])
+            .status()
+            .expect("runs")
+            .success());
+    }
+    assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
+#[test]
+fn scenario_template_roundtrip() {
+    let out = bin()
+        .args(["scenario-template", "nz", "2018"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(doc["year"], 2018);
+    assert_eq!(doc["fleets_override"].as_array().unwrap().len(), 8);
+
+    let path = tmp("scenario.json");
+    std::fs::write(&path, &out.stdout).unwrap();
+    let out = bin()
+        .args(["scenario", path.to_str().unwrap(), "--scale=tiny"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("=== nz-w2018 ==="));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shipped_scenario_runs() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/microsoft-modernizes.json"
+    );
+    let out = bin()
+        .args(["scenario", path, "--scale=tiny"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    // the counterfactual: Microsoft shows the Q-min + validation signature
+    let ms_line = text
+        .lines()
+        .find(|l| l.starts_with("[Microsoft"))
+        .expect("figure 2 line");
+    assert!(ms_line.contains("NS="), "{ms_line}");
+}
+
+#[test]
+fn analyze_pcap_without_scenario_context() {
+    let cap = tmp("ext.dnscap");
+    let pcap = tmp("ext.pcap");
+    assert!(bin()
+        .args([
+            "generate",
+            "nl",
+            "2019",
+            cap.to_str().unwrap(),
+            "--scale=tiny"
+        ])
+        .status()
+        .expect("runs")
+        .success());
+    assert!(bin()
+        .args(["export-pcap", cap.to_str().unwrap(), pcap.to_str().unwrap()])
+        .status()
+        .expect("runs")
+        .success());
+    let out = bin()
+        .args(["analyze-pcap", pcap.to_str().unwrap(), "--zone=nl"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // CP attribution works from the real published ranges alone
+    assert!(text.contains("All CPs"));
+    let stem = pcap.file_stem().unwrap().to_string_lossy().to_string();
+    let fig1 = text
+        .lines()
+        .skip_while(|l| !l.starts_with("Figure 1"))
+        .find(|l| l.starts_with(&stem))
+        .expect("fig1 row");
+    let total: f64 = fig1
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
+    assert!(total > 20.0, "cloud share visible in raw pcap: {total}");
+    for f in [&cap, &pcap] {
+        let _ = std::fs::remove_file(f);
+    }
+}
