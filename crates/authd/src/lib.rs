@@ -1,0 +1,44 @@
+//! Live authoritative DNS serving over real sockets.
+//!
+//! The rest of the workspace studies DNS centralization *offline*: the
+//! simulator writes a `.dnscap` capture, ENTRADA-style ingestion turns
+//! it into rows, and the analysis crates reproduce the paper's
+//! exhibits. This crate closes the loop over a real network path:
+//!
+//! - [`server`] — a multithreaded authoritative server speaking actual
+//!   UDP and TCP (RFC 1035 length framing), synthesizing responses with
+//!   [`simnet::auth::Authoritative`] and rate-limiting with
+//!   [`simnet::rrl`].
+//! - [`loadgen`] — a closed-loop load generator driven by
+//!   [`simnet::drive::Driver`], replaying the same fleet profiles
+//!   (per-CP qtype mixes, Q-min, EDNS sizes, dual-stack preferences)
+//!   the offline engine uses, with TCP fallback on truncation.
+//! - [`tap`] — a capture tap mirroring every query/response the server
+//!   handles into the same `.dnscap` format, so live traffic flows
+//!   through the unchanged `entrada` → `core` analysis pipeline.
+//! - [`proxy`] — a logical-address preamble that lets loopback traffic
+//!   carry the resolver-fleet/server addresses the analyzer attributes
+//!   cloud share by.
+//! - [`stats`] — lock-free per-worker counters and latency histograms
+//!   (p50/p99) for both sides.
+//! - [`live`] — spawns server and load generator together over
+//!   loopback for one-command end-to-end runs.
+//!
+//! No async runtime and no new dependencies: `std::net` blocking
+//! sockets, one thread per worker, `crossbeam` channels in between.
+
+pub mod live;
+pub mod loadgen;
+pub mod proxy;
+pub mod respond;
+pub mod server;
+pub mod signal;
+pub mod stats;
+pub mod tap;
+
+pub use live::{run_live, LiveConfig, LiveReport};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use respond::Responder;
+pub use server::{Server, ServerConfig};
+pub use stats::{Histogram, Stats, StatsSnapshot};
+pub use tap::Tap;

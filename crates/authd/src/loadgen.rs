@@ -1,0 +1,277 @@
+//! Closed-loop load generator driven by the fleet profiles.
+//!
+//! A producer thread pulls [`PlannedQuery`]s from
+//! [`simnet::drive::Driver`] — the same fleet materialization, qtype
+//! mixes, Q-min schedule, EDNS sizes, and cache model the offline
+//! engine uses — into a bounded channel; N worker threads each run a
+//! closed loop: send the query (UDP, or TCP for the direct-TCP share),
+//! wait for the response, record the latency, and retry truncated
+//! (TC=1) UDP answers over TCP exactly like a real resolver.
+//!
+//! Every datagram carries a [`Preamble`] with the logical
+//! resolver/server addresses so the server's capture tap attributes
+//! traffic the way the offline analyzer expects.
+
+use crate::proxy::Preamble;
+use crate::signal;
+use crate::stats::Stats;
+use dns_wire::message::Message;
+use dns_wire::tcp::frame;
+use netbase::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::drive::{Driver, PlannedQuery};
+use simnet::scenario::{DatasetSpec, Scale};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Load generator parameters.
+pub struct LoadgenConfig {
+    /// Dataset whose fleets drive the traffic.
+    pub spec: DatasetSpec,
+    /// Fleet scale factor.
+    pub scale: Scale,
+    /// Seed — must match the analyzer's seed for live/offline parity.
+    pub seed: u64,
+    /// Server's UDP endpoint.
+    pub server_udp: SocketAddr,
+    /// Server's TCP endpoint.
+    pub server_tcp: SocketAddr,
+    /// Closed-loop worker threads.
+    pub workers: usize,
+    /// Stop after this many queries (None = unbounded).
+    pub max_queries: Option<u64>,
+    /// Stop after this long (None = unbounded).
+    pub duration: Option<Duration>,
+    /// Per-query response timeout.
+    pub timeout: Duration,
+}
+
+impl LoadgenConfig {
+    /// Sensible defaults against a local server.
+    pub fn new(
+        spec: DatasetSpec,
+        scale: Scale,
+        seed: u64,
+        server_udp: SocketAddr,
+        server_tcp: SocketAddr,
+    ) -> LoadgenConfig {
+        LoadgenConfig {
+            spec,
+            scale,
+            seed,
+            server_udp,
+            server_tcp,
+            workers: 4,
+            max_queries: None,
+            duration: None,
+            timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What a load-generation run did.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenReport {
+    /// Queries sent.
+    pub sent: u64,
+    /// Responses received and parsed.
+    pub received: u64,
+    /// Queries that timed out (includes RRL-dropped responses).
+    pub timeouts: u64,
+    /// TC=1 answers retried over TCP.
+    pub tcp_fallbacks: u64,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+}
+
+struct Job {
+    q: PlannedQuery,
+    src_port: u16,
+}
+
+/// Run the closed loop until a stop condition (count, duration, or
+/// SIGINT via [`signal::triggered`]) is hit; workers drain in-flight
+/// queries before returning.
+pub fn run_loadgen(config: &LoadgenConfig, stats: &Stats) -> io::Result<LoadgenReport> {
+    let mut driver = Driver::new(config.spec.clone(), config.scale, config.seed);
+    let started = Instant::now();
+    let start_sim = config.spec.start;
+    let deadline = config.duration.map(|d| started + d);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = crossbeam::channel::bounded::<Job>(1024);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let stop = &stop;
+            s.spawn(move |_| worker_loop(&rx, config, stats, stop));
+        }
+        drop(rx);
+
+        // producer: sample queries until a stop condition fires
+        let mut port_rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_9097);
+        let mut scheduled = 0u64;
+        loop {
+            if signal::triggered()
+                || stop.load(Ordering::SeqCst)
+                || deadline.is_some_and(|d| Instant::now() >= d)
+                || config.max_queries.is_some_and(|m| scheduled >= m)
+            {
+                break;
+            }
+            let now = start_sim
+                + SimDuration::from_micros(started.elapsed().as_micros() as u64);
+            let job = Job {
+                q: driver.sample(now),
+                src_port: port_rng.gen_range(1024..u16::MAX),
+            };
+            // bounded send applies backpressure; poll the stop
+            // conditions while the queue is full
+            let mut job = job;
+            loop {
+                match tx.try_send(job) {
+                    Ok(()) => break,
+                    Err(crossbeam::channel::TrySendError::Full(back)) => {
+                        job = back;
+                        if signal::triggered()
+                            || stop.load(Ordering::SeqCst)
+                            || deadline.is_some_and(|d| Instant::now() >= d)
+                        {
+                            scheduled = u64::MAX; // force outer break
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                        scheduled = u64::MAX;
+                        break;
+                    }
+                }
+            }
+            if scheduled == u64::MAX {
+                break;
+            }
+            scheduled += 1;
+        }
+        drop(tx); // workers drain the queue and exit
+    })
+    .expect("loadgen threads do not panic");
+
+    let ld = Ordering::Relaxed;
+    Ok(LoadgenReport {
+        sent: stats.sent.load(ld),
+        received: stats.responses.load(ld),
+        timeouts: stats.timeouts.load(ld),
+        tcp_fallbacks: stats.tcp_fallbacks.load(ld),
+        elapsed: started.elapsed(),
+    })
+}
+
+fn worker_loop(
+    rx: &crossbeam::channel::Receiver<Job>,
+    config: &LoadgenConfig,
+    stats: &Stats,
+    stop: &AtomicBool,
+) {
+    let sock = match UdpSocket::bind("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(_) => {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    };
+    let _ = sock.set_read_timeout(Some(config.timeout));
+    let mut buf = vec![0u8; 65_535];
+    while let Ok(job) = rx.recv() {
+        run_one(&sock, &mut buf, &job, config, stats);
+        if signal::triggered() {
+            // drain fast: keep consuming jobs so the producer's channel
+            // never wedges, but stop doing network work
+            stop.store(true, Ordering::SeqCst);
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// One closed-loop exchange: UDP (with TCP fallback on TC) or direct TCP.
+fn run_one(sock: &UdpSocket, buf: &mut [u8], job: &Job, config: &LoadgenConfig, stats: &Stats) {
+    let src = SocketAddr::new(job.q.src, job.src_port);
+    let dst = SocketAddr::new(job.q.dst, 53);
+    if job.q.tcp_direct {
+        stats.bump(&stats.sent);
+        if tcp_exchange(config, &job.q.wire, src, dst, stats).is_none() {
+            stats.bump(&stats.timeouts);
+        }
+        return;
+    }
+
+    let preamble = Preamble {
+        src,
+        dst,
+        rtt_us: 0,
+    };
+    let mut datagram = preamble.encode();
+    datagram.extend_from_slice(&job.q.wire);
+    stats.bump(&stats.sent);
+    let sent_at = Instant::now();
+    if sock.send_to(&datagram, config.server_udp).is_err() {
+        stats.bump(&stats.timeouts);
+        return;
+    }
+    let Ok(n) = sock.recv(buf) else {
+        // read timeout, or an RRL drop that looks identical to one
+        stats.bump(&stats.timeouts);
+        return;
+    };
+    stats
+        .latency
+        .record(sent_at.elapsed().as_micros().max(1) as u64);
+    stats.bump(&stats.responses);
+    let Ok(msg) = Message::parse(&buf[..n]) else {
+        stats.bump(&stats.malformed);
+        return;
+    };
+    if msg.header.truncated {
+        // the TCP proof-of-path: retry the same question over TCP
+        stats.bump(&stats.tcp_fallbacks);
+        stats.bump(&stats.sent);
+        if tcp_exchange(config, &job.q.wire, src, dst, stats).is_none() {
+            stats.bump(&stats.timeouts);
+        }
+    }
+}
+
+/// One query/response over a fresh TCP connection; None on any failure.
+fn tcp_exchange(
+    config: &LoadgenConfig,
+    wire: &[u8],
+    src: SocketAddr,
+    dst: SocketAddr,
+    stats: &Stats,
+) -> Option<Vec<u8>> {
+    let connect_at = Instant::now();
+    let mut stream =
+        TcpStream::connect_timeout(&config.server_tcp, config.timeout).ok()?;
+    let rtt_us = connect_at.elapsed().as_micros().max(1) as u32;
+    stream.set_read_timeout(Some(config.timeout)).ok()?;
+    let _ = stream.set_nodelay(true);
+    let preamble = Preamble { src, dst, rtt_us };
+    let mut out = preamble.encode();
+    out.extend_from_slice(&frame(wire).ok()?);
+    stream.write_all(&out).ok()?;
+    let sent_at = Instant::now();
+    let mut len = [0u8; 2];
+    stream.read_exact(&mut len).ok()?;
+    let mut body = vec![0u8; u16::from_be_bytes(len) as usize];
+    stream.read_exact(&mut body).ok()?;
+    stats
+        .latency
+        .record(sent_at.elapsed().as_micros().max(1) as u64);
+    stats.bump(&stats.responses);
+    Some(body)
+}

@@ -1,0 +1,265 @@
+//! The serving hot path: decode → authoritative answer → encode.
+//!
+//! One [`Responder`] is shared read-only across all worker threads; the
+//! only mutable piece of per-query state is the optional RRL limiter,
+//! which callers pass in (the server keeps it behind its own mutex so
+//! the rate buckets are global, as on a real authoritative).
+
+use dns_wire::message::Message;
+use dns_wire::types::Rcode;
+use netbase::flow::Transport;
+use netbase::time::SimTime;
+use simnet::engine::name_key;
+use simnet::rrl::{RateLimiter, ResponseClass, RrlAction};
+use simnet::scenario::DatasetSpec;
+use std::net::IpAddr;
+use zonedb::zone::ZoneModel;
+
+/// What the server should do with one inbound message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Send these bytes back; `truncated` is the UDP TC=1 flag.
+    Reply {
+        /// Encoded response message.
+        bytes: Vec<u8>,
+        /// Response was truncated to the advertised UDP size.
+        truncated: bool,
+        /// RRL replaced the answer with an empty TC=1 slip.
+        slipped: bool,
+    },
+    /// RRL dropped the response; count it, send nothing.
+    RrlDrop,
+    /// Input did not parse as a DNS query; count it, send nothing.
+    Malformed,
+}
+
+/// Stateless response synthesis shared by all workers.
+pub struct Responder {
+    auth: simnet::auth::Authoritative,
+}
+
+impl Responder {
+    /// Build a responder serving `zone`.
+    pub fn new(zone: ZoneModel) -> Responder {
+        Responder {
+            auth: simnet::auth::Authoritative::new(zone),
+        }
+    }
+
+    /// Responder for the zone a dataset spec describes.
+    pub fn for_spec(spec: &DatasetSpec) -> Responder {
+        Responder::new(spec.zone.build())
+    }
+
+    /// The zone being served.
+    pub fn zone(&self) -> &ZoneModel {
+        self.auth.zone()
+    }
+
+    /// Handle one query payload.
+    ///
+    /// For UDP, the response is truncated to the size the query's EDNS
+    /// advertised (512 without EDNS, and never below 512), and `rrl` —
+    /// when the dataset enables it — may slip or drop the response. TCP
+    /// responses are encoded whole and bypass RRL, exactly like the
+    /// offline engine's TCP path.
+    pub fn handle(
+        &self,
+        payload: &[u8],
+        transport: Transport,
+        src: IpAddr,
+        now: SimTime,
+        rrl: Option<&mut RateLimiter>,
+    ) -> Outcome {
+        let Ok(query) = Message::parse(payload) else {
+            return Outcome::Malformed;
+        };
+        if query.header.response {
+            return Outcome::Malformed;
+        }
+        let signed = query
+            .question()
+            .and_then(|q| self.zone().delegation_index(&q.qname))
+            .map(|idx| self.zone().is_signed(idx))
+            .unwrap_or(false);
+        let answer = self.auth.respond(&query, signed);
+
+        if transport == Transport::Tcp {
+            let bytes = answer.message.encode().expect("responses encode");
+            return Outcome::Reply {
+                bytes,
+                truncated: false,
+                slipped: false,
+            };
+        }
+
+        let limit = match &query.edns {
+            None => 512,
+            Some(e) => e.udp_payload_size.max(512) as usize,
+        };
+        let action = match rrl {
+            Some(limiter) => {
+                let class = match answer.rcode {
+                    Rcode::NoError => {
+                        let key = query
+                            .question()
+                            .map(|q| name_key(&q.qname))
+                            .unwrap_or_default();
+                        ResponseClass::Positive(key)
+                    }
+                    Rcode::NxDomain => ResponseClass::Negative,
+                    _ => ResponseClass::Error,
+                };
+                limiter.check(src, class, now)
+            }
+            None => RrlAction::Respond,
+        };
+        match action {
+            RrlAction::Respond => {
+                let (bytes, truncated) = answer
+                    .message
+                    .encode_with_limit(limit)
+                    .expect("responses always fit after truncation");
+                Outcome::Reply {
+                    bytes,
+                    truncated,
+                    slipped: false,
+                }
+            }
+            RrlAction::Slip => {
+                let mut slip = answer.message.clone();
+                slip.answers.clear();
+                slip.authorities.clear();
+                slip.additionals.clear();
+                slip.header.truncated = true;
+                Outcome::Reply {
+                    bytes: slip.encode().expect("slip encodes"),
+                    truncated: true,
+                    slipped: true,
+                }
+            }
+            RrlAction::Drop => Outcome::RrlDrop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::builder::MessageBuilder;
+    use dns_wire::types::RType;
+    use simnet::profile::Vantage;
+    use simnet::rrl::RrlConfig;
+    use simnet::scenario::dataset;
+
+    fn responder() -> Responder {
+        Responder::for_spec(&dataset(Vantage::Nl, 2020))
+    }
+
+    fn query_bytes(name: &str, edns: Option<u16>) -> Vec<u8> {
+        let mut b = MessageBuilder::query(7, name.parse().unwrap(), RType::A);
+        if let Some(size) = edns {
+            b = b.with_edns(size, true);
+        }
+        b.build().encode().unwrap()
+    }
+
+    #[test]
+    fn answers_inzone_query() {
+        let r = responder();
+        let q = r.zone().registered_domain(0).to_string();
+        let out = r.handle(
+            &query_bytes(&q, Some(4096)),
+            Transport::Udp,
+            "192.0.2.1".parse().unwrap(),
+            SimTime(0),
+            None,
+        );
+        let Outcome::Reply { bytes, truncated, slipped } = out else {
+            panic!("expected a reply, got {out:?}");
+        };
+        assert!(!truncated);
+        assert!(!slipped);
+        let msg = Message::parse(&bytes).unwrap();
+        assert!(msg.header.response);
+        assert_eq!(msg.header.rcode, Rcode::NoError);
+        // an A query below a delegation gets a referral: NS records in
+        // the authority section
+        assert!(!msg.authorities.is_empty());
+    }
+
+    #[test]
+    fn garbage_and_responses_are_malformed() {
+        let r = responder();
+        let src = "192.0.2.1".parse().unwrap();
+        assert_eq!(
+            r.handle(b"\x00\x01junk", Transport::Udp, src, SimTime(0), None),
+            Outcome::Malformed
+        );
+        // a response message must not be answered (no reflection loops)
+        let q = r.zone().apex().to_string();
+        let mut resp = Message::parse(&query_bytes(&q, None)).unwrap();
+        resp.header.response = true;
+        let wire = resp.encode().unwrap();
+        assert_eq!(
+            r.handle(&wire, Transport::Udp, src, SimTime(0), None),
+            Outcome::Malformed
+        );
+    }
+
+    #[test]
+    fn udp_truncates_to_advertised_size_tcp_does_not() {
+        let r = responder();
+        let src = "192.0.2.1".parse().unwrap();
+        // find a signed delegation: DNSSEC padding makes the referral
+        // overflow a 512-byte answer
+        let zone = r.zone();
+        let idx = (0..1000)
+            .find(|&i| zone.is_signed(i))
+            .expect("nl zone has signed delegations");
+        let q = zone.registered_domain(idx).to_string();
+        let wire = query_bytes(&q, Some(512));
+        let udp = r.handle(&wire, Transport::Udp, src, SimTime(0), None);
+        let Outcome::Reply { bytes: udp_bytes, truncated, .. } = udp else {
+            panic!("udp reply expected");
+        };
+        assert!(truncated, "signed referral must truncate at 512");
+        assert!(udp_bytes.len() <= 512);
+        assert!(Message::parse(&udp_bytes).unwrap().header.truncated);
+
+        let tcp = r.handle(&wire, Transport::Tcp, src, SimTime(0), None);
+        let Outcome::Reply { bytes: tcp_bytes, truncated, .. } = tcp else {
+            panic!("tcp reply expected");
+        };
+        assert!(!truncated);
+        assert!(tcp_bytes.len() > udp_bytes.len());
+    }
+
+    #[test]
+    fn rrl_slips_then_drops_repeated_queries() {
+        let r = responder();
+        let src: IpAddr = "192.0.2.1".parse().unwrap();
+        let mut rrl = RateLimiter::new(RrlConfig {
+            responses_per_second: 2,
+            burst: 2,
+            slip: 2,
+            ..RrlConfig::default()
+        });
+        let wire = query_bytes(&r.zone().registered_domain(3).to_string(), None);
+        let mut slips = 0;
+        let mut drops = 0;
+        for _ in 0..64 {
+            match r.handle(&wire, Transport::Udp, src, SimTime(0), Some(&mut rrl)) {
+                Outcome::Reply { slipped: true, truncated, .. } => {
+                    assert!(truncated);
+                    slips += 1;
+                }
+                Outcome::RrlDrop => drops += 1,
+                Outcome::Reply { .. } => {}
+                Outcome::Malformed => panic!("well-formed query"),
+            }
+        }
+        assert!(slips > 0, "RRL should slip some responses");
+        assert!(drops > 0, "RRL should drop some responses");
+    }
+}

@@ -1,0 +1,534 @@
+//! Multithreaded authoritative server over real UDP and TCP sockets.
+//!
+//! Layout: N UDP workers share one bound socket (each holds a
+//! `try_clone`, with a short read timeout so the shutdown flag is
+//! polled); one TCP accept thread feeds connections over a crossbeam
+//! channel to M TCP workers. All workers share one [`Responder`], one
+//! optional global RRL limiter, one [`Stats`] block, and (optionally)
+//! one capture [`Tap`].
+//!
+//! TCP robustness: messages arrive through [`dns_wire::tcp::Deframer`]
+//! fed from chunked reads, so RFC 1035 length frames split across
+//! arbitrary segment boundaries reassemble correctly; responses go out
+//! with `write_all` (short writes retried by the stdlib); a connection
+//! buffering more than [`PENDING_CAP`] bytes without completing a
+//! frame is dropped and counted as an overrun.
+
+use crate::proxy::Preamble;
+use crate::respond::{Outcome, Responder};
+use crate::stats::Stats;
+use crate::tap::Tap;
+use dns_wire::tcp::{frame, Deframer};
+use netbase::capture::{CaptureRecord, Direction};
+use netbase::flow::{FlowKey, Transport};
+use netbase::time::{SimDuration, SimTime};
+use simnet::rrl::{RateLimiter, RrlConfig};
+use simnet::scenario::DatasetSpec;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use zonedb::zone::ZoneModel;
+
+/// Largest UDP datagram we accept (preamble + EDNS-sized query).
+const UDP_BUF: usize = 65_535;
+/// Per-connection cap on buffered-but-unframed bytes.
+pub const PENDING_CAP: usize = 64 * 1024;
+/// How often blocked workers poll the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Server construction parameters.
+pub struct ServerConfig {
+    /// Zone to serve.
+    pub zone: ZoneModel,
+    /// Response rate limiting (None = unlimited).
+    pub rrl: Option<RrlConfig>,
+    /// Dataset epoch: capture timestamps are `start + elapsed`.
+    pub start: SimTime,
+    /// Address to bind (UDP and TCP; port 0 picks ephemeral ports).
+    pub bind: SocketAddr,
+    /// UDP worker threads.
+    pub udp_workers: usize,
+    /// TCP worker threads.
+    pub tcp_workers: usize,
+    /// Mirror handled traffic into this tap.
+    pub tap: Option<Tap>,
+}
+
+impl ServerConfig {
+    /// Loopback server for `spec`'s zone, RRL policy, and epoch.
+    pub fn for_spec(spec: &DatasetSpec) -> ServerConfig {
+        ServerConfig {
+            zone: spec.zone.build(),
+            rrl: spec.rrl,
+            start: spec.start,
+            bind: "127.0.0.1:0".parse().expect("static addr"),
+            udp_workers: 4,
+            tcp_workers: 2,
+            tap: None,
+        }
+    }
+}
+
+/// Maps wall-clock progress onto the dataset's simulated timeline.
+#[derive(Clone)]
+struct Clock {
+    start: SimTime,
+    epoch: Instant,
+}
+
+impl Clock {
+    fn now(&self) -> SimTime {
+        self.start + SimDuration::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+/// Everything the worker threads share.
+struct Shared {
+    responder: Responder,
+    rrl: Option<Mutex<RateLimiter>>,
+    stats: Stats,
+    tap: Option<Tap>,
+    clock: Clock,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping it without [`Server::shutdown`] leaks
+/// worker threads until process exit, so call it.
+pub struct Server {
+    udp_addr: SocketAddr,
+    tcp_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind sockets, spawn workers, return immediately.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let udp = UdpSocket::bind(config.bind)?;
+        udp.set_read_timeout(Some(POLL))?;
+        let udp_addr = udp.local_addr()?;
+        let listener = TcpListener::bind(config.bind)?;
+        listener.set_nonblocking(true)?;
+        let tcp_addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            responder: Responder::new(config.zone),
+            rrl: config.rrl.map(|c| Mutex::new(RateLimiter::new(c))),
+            stats: Stats::new(),
+            tap: config.tap,
+            clock: Clock {
+                start: config.start,
+                epoch: Instant::now(),
+            },
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::new();
+        for i in 0..config.udp_workers.max(1) {
+            let sock = udp.try_clone()?;
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("authd-udp-{i}"))
+                    .spawn(move || udp_worker(&sock, &shared))?,
+            );
+        }
+
+        let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(64);
+        for i in 0..config.tcp_workers.max(1) {
+            let rx = conn_rx.clone();
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("authd-tcp-{i}"))
+                    .spawn(move || tcp_worker(&rx, &shared))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("authd-accept".into())
+                    .spawn(move || accept_loop(&listener, &conn_tx, &shared))?,
+            );
+        }
+
+        Ok(Server {
+            udp_addr,
+            tcp_addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// Bound UDP address.
+    pub fn udp_addr(&self) -> SocketAddr {
+        self.udp_addr
+    }
+
+    /// Bound TCP address.
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.tcp_addr
+    }
+
+    /// Live counters (shared with the workers).
+    pub fn stats(&self) -> &Stats {
+        &self.shared.stats
+    }
+
+    /// Seconds since the server started.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.shared.clock.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Ask the workers to stop (returns immediately).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain: stop workers, join them, flush + seal the tap.
+    ///
+    /// Returns the number of capture records flushed (0 without a tap).
+    pub fn shutdown(mut self) -> io::Result<u64> {
+        self.request_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        match &self.shared.tap {
+            Some(tap) => tap.finish(),
+            None => Ok(0),
+        }
+    }
+}
+
+fn udp_worker(sock: &UdpSocket, shared: &Shared) {
+    let mut buf = vec![0u8; UDP_BUF];
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let (n, peer) = match sock.recv_from(&mut buf) {
+            Ok(ok) => ok,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => continue,
+        };
+        handle_udp(sock, &buf[..n], peer, shared);
+    }
+}
+
+fn handle_udp(sock: &UdpSocket, datagram: &[u8], peer: SocketAddr, shared: &Shared) {
+    let t0 = Instant::now();
+    // logical flow: from the preamble when the load generator sent it,
+    // else the real socket addresses (plain clients)
+    let (flow_src, flow_dst, payload) = match Preamble::parse(datagram) {
+        Some((p, used)) => (p.src, p.dst, &datagram[used..]),
+        None => (
+            peer,
+            sock.local_addr().unwrap_or(peer),
+            datagram,
+        ),
+    };
+    let now = shared.clock.now();
+    shared.stats.bump(&shared.stats.udp_queries);
+    let outcome = {
+        let mut rrl_guard = shared.rrl.as_ref().map(|m| m.lock().expect("rrl lock"));
+        shared.responder.handle(
+            payload,
+            Transport::Udp,
+            flow_src.ip(),
+            now,
+            rrl_guard.as_deref_mut(),
+        )
+    };
+    let flow = FlowKey {
+        src: flow_src.ip(),
+        src_port: flow_src.port(),
+        dst: flow_dst.ip(),
+        dst_port: flow_dst.port(),
+        transport: Transport::Udp,
+    };
+    match outcome {
+        Outcome::Malformed => {
+            shared.stats.bump(&shared.stats.malformed);
+        }
+        Outcome::RrlDrop => {
+            shared.stats.bump(&shared.stats.rrl_dropped);
+            tap_exchange(shared, now, flow, 0, payload, None);
+        }
+        Outcome::Reply {
+            bytes,
+            truncated,
+            slipped,
+        } => {
+            shared.stats.bump(&shared.stats.responses);
+            if truncated {
+                shared.stats.bump(&shared.stats.truncated);
+            }
+            if slipped {
+                shared.stats.bump(&shared.stats.rrl_slipped);
+            }
+            tap_exchange(shared, now, flow, 0, payload, Some(&bytes));
+            let _ = sock.send_to(&bytes, peer);
+            shared
+                .stats
+                .latency
+                .record(t0.elapsed().as_micros().max(1) as u64);
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &crossbeam::channel::Sender<TcpStream>,
+    shared: &Shared,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+fn tcp_worker(rx: &crossbeam::channel::Receiver<TcpStream>, shared: &Shared) {
+    loop {
+        match rx.recv_timeout(POLL) {
+            Ok(stream) => serve_tcp_conn(stream, shared),
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serve one TCP connection to completion (peer close, error, overrun,
+/// or server shutdown).
+fn serve_tcp_conn(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let peer = match stream.peer_addr() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    let local = stream.local_addr().unwrap_or(peer);
+
+    let mut deframer = Deframer::new();
+    let mut head: Vec<u8> = Vec::new(); // bytes before the preamble decision
+    let mut preamble: Option<Preamble> = None;
+    let mut preamble_decided = false;
+    let mut chunk = vec![0u8; 4096];
+
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        let mut bytes = &chunk[..n];
+        if !preamble_decided {
+            head.extend_from_slice(bytes);
+            if head.len() >= 4 && head[..4] != crate::proxy::MAGIC {
+                // bare client (dig): everything seen is frame data
+                preamble_decided = true;
+            } else if let Some((p, used)) = Preamble::parse(&head) {
+                preamble = Some(p);
+                head.drain(..used);
+                preamble_decided = true;
+            } else if head.len() > 64 {
+                // claimed the magic but never completed a preamble
+                shared.stats.bump(&shared.stats.malformed);
+                return;
+            } else {
+                continue; // need more bytes to decide
+            }
+            deframer.push(&head);
+            head = Vec::new();
+            bytes = &[];
+        }
+        deframer.push(bytes);
+        if deframer.pending() > PENDING_CAP {
+            shared.stats.bump(&shared.stats.overruns);
+            return;
+        }
+        while let Some(msg) = deframer.next_message() {
+            if !serve_tcp_message(&mut stream, &msg, peer, local, preamble, shared) {
+                return;
+            }
+        }
+    }
+}
+
+/// Handle one framed TCP query; false ends the connection.
+fn serve_tcp_message(
+    stream: &mut TcpStream,
+    msg: &[u8],
+    peer: SocketAddr,
+    local: SocketAddr,
+    preamble: Option<Preamble>,
+    shared: &Shared,
+) -> bool {
+    let t0 = Instant::now();
+    let now = shared.clock.now();
+    shared.stats.bump(&shared.stats.tcp_queries);
+    let (flow_src, flow_dst, rtt_us) = match preamble {
+        Some(p) => (p.src, p.dst, p.rtt_us),
+        None => (peer, local, 0),
+    };
+    let outcome = shared
+        .responder
+        .handle(msg, Transport::Tcp, flow_src.ip(), now, None);
+    let flow = FlowKey {
+        src: flow_src.ip(),
+        src_port: flow_src.port(),
+        dst: flow_dst.ip(),
+        dst_port: flow_dst.port(),
+        transport: Transport::Tcp,
+    };
+    match outcome {
+        Outcome::Malformed => {
+            shared.stats.bump(&shared.stats.malformed);
+            false
+        }
+        Outcome::RrlDrop => unreachable!("TCP responses bypass RRL"),
+        Outcome::Reply { bytes, .. } => {
+            shared.stats.bump(&shared.stats.responses);
+            let framed = match frame(&bytes) {
+                Ok(f) => f,
+                Err(_) => return false,
+            };
+            // capture-format convention: TCP payloads keep the RFC 1035
+            // two-octet length prefix (matches the offline generator)
+            if let Ok(framed_query) = frame(msg) {
+                tap_exchange(shared, now, flow, rtt_us, &framed_query, Some(&framed));
+            }
+            let ok = stream.write_all(&framed).is_ok();
+            shared
+                .stats
+                .latency
+                .record(t0.elapsed().as_micros().max(1) as u64);
+            ok
+        }
+    }
+}
+
+/// Mirror one exchange into the tap (when present).
+fn tap_exchange(
+    shared: &Shared,
+    now: SimTime,
+    flow: FlowKey,
+    tcp_rtt_us: u32,
+    query: &[u8],
+    response: Option<&[u8]>,
+) {
+    let Some(tap) = &shared.tap else { return };
+    let q = CaptureRecord {
+        timestamp: now,
+        direction: Direction::Query,
+        flow,
+        tcp_rtt_us,
+        payload: query.to_vec(),
+    };
+    let r = response.map(|bytes| CaptureRecord {
+        timestamp: now,
+        direction: Direction::Response,
+        flow: flow.reversed(),
+        tcp_rtt_us,
+        payload: bytes.to_vec(),
+    });
+    let _ = tap.write_pair(&q, r.as_ref());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::builder::MessageBuilder;
+    use dns_wire::message::Message;
+    use dns_wire::types::{RType, Rcode};
+    use simnet::profile::Vantage;
+    use simnet::scenario::dataset;
+
+    fn start_server() -> (Server, String) {
+        let spec = dataset(Vantage::Nl, 2020);
+        let config = ServerConfig::for_spec(&spec);
+        let qname = config.zone.registered_domain(0).to_string();
+        (Server::start(config).unwrap(), qname)
+    }
+
+    fn query_wire(qname: &str, id: u16) -> Vec<u8> {
+        MessageBuilder::query(id, qname.parse().unwrap(), RType::A)
+            .with_edns(4096, false)
+            .build()
+            .encode()
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_bare_udp_clients() {
+        let (server, qname) = start_server();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sock.send_to(&query_wire(&qname, 99), server.udp_addr()).unwrap();
+        let mut buf = [0u8; 65_535];
+        let (n, _) = sock.recv_from(&mut buf).unwrap();
+        let msg = Message::parse(&buf[..n]).unwrap();
+        assert!(msg.header.response);
+        assert_eq!(msg.header.id, 99);
+        assert_eq!(msg.header.rcode, Rcode::NoError);
+        assert_eq!(server.stats().snapshot(1.0).udp_queries, 1);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn serves_tcp_with_split_frames() {
+        let (server, qname) = start_server();
+        let wire = query_wire(&qname, 7);
+        let framed = frame(&wire).unwrap();
+        let mut stream = TcpStream::connect(server.tcp_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // dribble the framed query one byte at a time: the server must
+        // reassemble partial reads
+        for b in &framed {
+            stream.write_all(std::slice::from_ref(b)).unwrap();
+            stream.flush().unwrap();
+        }
+        let mut len = [0u8; 2];
+        stream.read_exact(&mut len).unwrap();
+        let mut body = vec![0u8; u16::from_be_bytes(len) as usize];
+        stream.read_exact(&mut body).unwrap();
+        let msg = Message::parse(&body).unwrap();
+        assert!(msg.header.response);
+        assert_eq!(msg.header.id, 7);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn counts_malformed_udp() {
+        let (server, _) = start_server();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.send_to(b"not dns at all", server.udp_addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().snapshot(1.0).malformed == 0 {
+            assert!(Instant::now() < deadline, "malformed datagram never counted");
+            thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal SIGINT hook without a libc dependency.
+//!
+//! The live subcommands want one behavior: first Ctrl-C requests a
+//! graceful drain (workers finish their in-flight exchange, the tap is
+//! flushed and sealed), a second Ctrl-C falls back to the default
+//! handler and kills the process. A full signal crate would be overkill
+//! — and the build environment is offline — so this uses the libc
+//! `signal(2)` symbol directly, which is always present in the
+//! already-linked C runtime on unix.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+        // restore the default disposition so a second Ctrl-C is fatal
+        // even if the drain wedges
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Install the SIGINT handler (no-op on non-unix platforms, where the
+/// run simply ends at its configured duration).
+pub fn install() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+/// Has SIGINT fired since [`install`]?
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Programmatic equivalent of Ctrl-C (tests, embedding).
+pub fn request_shutdown() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Reset the flag (between consecutive in-process runs).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+/// Tests that touch the global flag serialize on this (a concurrent
+/// live-loop test would otherwise see a phantom Ctrl-C).
+#[cfg(test)]
+pub(crate) static TEST_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_lifecycle() {
+        let _guard = TEST_GUARD.lock().unwrap();
+        reset();
+        assert!(!triggered());
+        request_shutdown();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+        install(); // must not crash
+    }
+}

@@ -1,0 +1,241 @@
+//! Lock-free counters and latency histograms.
+//!
+//! Workers on both sides of the loop (server threads, load-generator
+//! threads) bump shared atomics; a reporter thread (or the shutdown
+//! path) takes [`Stats::snapshot`] and renders it. Nothing here blocks
+//! the hot path: counters are `fetch_add(Relaxed)` and the histogram is
+//! a fixed array of atomic buckets.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets (covers 1 µs .. ~4.6 h).
+const BUCKETS: usize = 44;
+
+/// A log2-bucketed latency histogram with atomic buckets.
+///
+/// `record(us)` goes to bucket `floor(log2(us))`; quantiles report the
+/// bucket's upper bound, so values are exact to within a factor of two
+/// — plenty for p50/p99 progress lines.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one latency sample, in microseconds.
+    pub fn record(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (µs) of the bucket holding quantile `q` in `0..=1`,
+    /// or 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// Shared counters for one side of the live loop.
+///
+/// Server threads use the query/response/RRL counters; load-generator
+/// threads use sent/timeouts/fallbacks. Unused counters stay zero and
+/// are omitted from rendering.
+#[derive(Default)]
+pub struct Stats {
+    /// Queries received over UDP (server) .
+    pub udp_queries: AtomicU64,
+    /// Queries received over TCP (server).
+    pub tcp_queries: AtomicU64,
+    /// Responses sent.
+    pub responses: AtomicU64,
+    /// Datagrams / framed messages that failed to parse as DNS.
+    pub malformed: AtomicU64,
+    /// UDP responses truncated to the advertised EDNS size (TC=1).
+    pub truncated: AtomicU64,
+    /// Responses RRL replaced with a TC=1 slip.
+    pub rrl_slipped: AtomicU64,
+    /// Responses RRL dropped outright.
+    pub rrl_dropped: AtomicU64,
+    /// TCP connections closed for exceeding the pending-bytes cap.
+    pub overruns: AtomicU64,
+    /// Load generator: queries sent.
+    pub sent: AtomicU64,
+    /// Load generator: responses that never arrived in time.
+    pub timeouts: AtomicU64,
+    /// Load generator: TC=1 answers retried over TCP.
+    pub tcp_fallbacks: AtomicU64,
+    /// Query→response latency (µs), whichever side measures it.
+    pub latency: Histogram,
+}
+
+impl Stats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy for rendering.
+    pub fn snapshot(&self, elapsed_secs: f64) -> StatsSnapshot {
+        let ld = Ordering::Relaxed;
+        let udp = self.udp_queries.load(ld);
+        let tcp = self.tcp_queries.load(ld);
+        let sent = self.sent.load(ld);
+        let queries = if sent > 0 { sent } else { udp + tcp };
+        StatsSnapshot {
+            udp_queries: udp,
+            tcp_queries: tcp,
+            responses: self.responses.load(ld),
+            malformed: self.malformed.load(ld),
+            truncated: self.truncated.load(ld),
+            rrl_slipped: self.rrl_slipped.load(ld),
+            rrl_dropped: self.rrl_dropped.load(ld),
+            overruns: self.overruns.load(ld),
+            sent,
+            timeouts: self.timeouts.load(ld),
+            tcp_fallbacks: self.tcp_fallbacks.load(ld),
+            qps: if elapsed_secs > 0.0 {
+                queries as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            p50_us: self.latency.quantile_us(0.50),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// Point-in-time copy of [`Stats`], plus derived rates.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub qps: f64,
+    pub udp_queries: u64,
+    pub tcp_queries: u64,
+    pub responses: u64,
+    pub malformed: u64,
+    pub truncated: u64,
+    pub rrl_slipped: u64,
+    pub rrl_dropped: u64,
+    pub overruns: u64,
+    pub sent: u64,
+    pub timeouts: u64,
+    pub tcp_fallbacks: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+}
+
+impl StatsSnapshot {
+    /// Queries handled (server side).
+    pub fn queries(&self) -> u64 {
+        self.udp_queries + self.tcp_queries
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "qps {:.0} | udp {} tcp {} resp {} | malformed {} trunc {} \
+             rrl-slip {} rrl-drop {} | p50 {}us p99 {}us",
+            self.qps,
+            self.udp_queries,
+            self.tcp_queries,
+            self.responses,
+            self.malformed,
+            self.truncated,
+            self.rrl_slipped,
+            self.rrl_dropped,
+            self.p50_us,
+            self.p99_us,
+        )?;
+        if self.sent > 0 {
+            write!(
+                f,
+                " | sent {} timeouts {} tcp-fallbacks {}",
+                self.sent, self.timeouts, self.tcp_fallbacks
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6 (64..128)
+        }
+        h.record(1_000_000); // far tail
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.50);
+        assert!((64..=256).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 <= 256, "p99 {p99} still in the main mass");
+        assert!(h.quantile_us(1.0) >= 1_000_000);
+    }
+
+    #[test]
+    fn histogram_empty_and_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        h.record(0); // clamped to 1
+        h.record(u64::MAX); // clamped to the last bucket
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_qps_and_render() {
+        let s = Stats::new();
+        for _ in 0..500 {
+            s.bump(&s.udp_queries);
+        }
+        s.bump(&s.truncated);
+        s.latency.record(80);
+        let snap = s.snapshot(2.0);
+        assert_eq!(snap.queries(), 500);
+        assert!((snap.qps - 250.0).abs() < 1e-9);
+        let line = snap.to_string();
+        assert!(line.contains("qps 250"), "{line}");
+        assert!(line.contains("trunc 1"), "{line}");
+        assert!(!line.contains("sent"), "loadgen fields omitted: {line}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Live capture tap: mirror served traffic into a `.dnscap` file.
+//!
+//! Every query the server handles — and the response it sends — is
+//! appended to a shared [`CaptureWriter`] so the live run leaves behind
+//! exactly the artifact the offline generator produces, consumable by
+//! the unchanged `entrada` → `core` pipeline.
+//!
+//! The writer sits behind one mutex; a query/response pair is written
+//! under a *single* lock acquisition, so records from concurrent
+//! workers never interleave mid-pair and a SIGINT flush can never tear
+//! a record (the capture format itself is length-prefixed, and
+//! [`Tap::finish`] drains the `BufWriter` before the file handle
+//! drops).
+
+use netbase::capture::{CaptureRecord, CaptureWriter};
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Shared, thread-safe `.dnscap` sink.
+#[derive(Clone)]
+pub struct Tap {
+    inner: Arc<Mutex<Option<CaptureWriter<BufWriter<File>>>>>,
+}
+
+impl Tap {
+    /// Create (truncate) `path` and write the capture header.
+    pub fn create(path: &Path) -> io::Result<Tap> {
+        let writer = CaptureWriter::new(BufWriter::new(File::create(path)?))?;
+        Ok(Tap {
+            inner: Arc::new(Mutex::new(Some(writer))),
+        })
+    }
+
+    /// Append a query record and (when the server actually responded —
+    /// RRL drops do not) its response record, atomically with respect
+    /// to other workers.
+    pub fn write_pair(
+        &self,
+        query: &CaptureRecord,
+        response: Option<&CaptureRecord>,
+    ) -> io::Result<()> {
+        let mut guard = self.inner.lock().expect("tap lock");
+        let Some(writer) = guard.as_mut() else {
+            // shutdown race: a worker finished its last exchange after
+            // the flush; dropping the records is fine, the capture is
+            // already sealed
+            return Ok(());
+        };
+        writer.write(query)?;
+        if let Some(resp) = response {
+            writer.write(resp)?;
+        }
+        Ok(())
+    }
+
+    /// Records appended so far (0 after [`Tap::finish`]).
+    pub fn records_written(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("tap lock")
+            .as_ref()
+            .map(|w| w.records_written())
+            .unwrap_or(0)
+    }
+
+    /// Flush buffered records to disk and seal the tap. Idempotent.
+    pub fn finish(&self) -> io::Result<u64> {
+        let mut guard = self.inner.lock().expect("tap lock");
+        match guard.take() {
+            Some(writer) => {
+                let written = writer.records_written();
+                let mut buf = writer.finish()?;
+                io::Write::flush(&mut buf)?;
+                Ok(written)
+            }
+            None => Ok(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::capture::{CaptureReader, Direction};
+    use netbase::flow::{FlowKey, Transport};
+    use netbase::time::SimTime;
+    use std::fs;
+
+    fn rec(dir: Direction, n: u8) -> CaptureRecord {
+        let flow = FlowKey {
+            src: "192.0.2.1".parse().unwrap(),
+            src_port: 1234,
+            dst: "198.51.100.1".parse().unwrap(),
+            dst_port: 53,
+            transport: Transport::Udp,
+        };
+        CaptureRecord {
+            timestamp: SimTime(n as u64),
+            direction: dir,
+            flow: match dir {
+                Direction::Query => flow,
+                Direction::Response => flow.reversed(),
+            },
+            tcp_rtt_us: 0,
+            payload: vec![n; 8],
+        }
+    }
+
+    #[test]
+    fn pairs_survive_concurrent_writers_and_finish() {
+        let dir = std::env::temp_dir().join("authd-tap-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pairs.dnscap");
+        let tap = Tap::create(&path).unwrap();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let tap = tap.clone();
+                s.spawn(move |_| {
+                    for i in 0..50u8 {
+                        tap.write_pair(&rec(Direction::Query, i), Some(&rec(Direction::Response, i)))
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(tap.finish().unwrap(), 400);
+        assert_eq!(tap.finish().unwrap(), 0, "finish is idempotent");
+        // sealed tap swallows late writes instead of panicking
+        tap.write_pair(&rec(Direction::Query, 0), None).unwrap();
+
+        let bytes = fs::read(&path).unwrap();
+        let records: Vec<CaptureRecord> = CaptureReader::new(&bytes[..])
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(records.len(), 400);
+        // every query is immediately followed by its response
+        for pair in records.chunks(2) {
+            assert_eq!(pair[0].direction, Direction::Query);
+            assert_eq!(pair[1].direction, Direction::Response);
+            assert_eq!(pair[0].payload, pair[1].payload);
+        }
+        fs::remove_file(&path).ok();
+    }
+}

@@ -503,7 +503,7 @@ mod tests {
             } else if rng.gen_bool(0.20) {
                 13
             } else {
-                1000 + rng.gen_range(0..10_000)
+                1000 + rng.gen_range(0..10_000u32)
             };
             ss.observe(key);
             *truth.entry(key).or_insert(0) += 1;

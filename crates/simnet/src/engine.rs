@@ -77,12 +77,12 @@ pub struct Engine {
     scale: Scale,
     seed: u64,
     zone: ZoneModel,
-    auth: Authoritative,
-    fleets: Vec<Fleet>,
+    pub(crate) auth: Authoritative,
+    pub(crate) fleets: Vec<Fleet>,
     ptr: PtrDb,
     plan: InternetPlan,
-    zipf: ZipfSampler,
-    junk: JunkGenerator,
+    pub(crate) zipf: ZipfSampler,
+    pub(crate) junk: JunkGenerator,
 }
 
 impl Engine {
@@ -287,7 +287,7 @@ impl Engine {
             // Q-min, a good share of NS queries target deep names
             let mut qn = if matches!(qt, RType::A | RType::Aaaa | RType::Ns) && rng.gen_bool(0.55) {
                 let sub: &[u8] =
-                    [&b"www"[..], b"mail", b"api", b"cdn", b"img"][rng.gen_range(0..5)];
+                    [&b"www"[..], b"mail", b"api", b"cdn", b"img"][rng.gen_range(0..5usize)];
                 base.child(sub).unwrap_or(base)
             } else {
                 base
@@ -644,7 +644,7 @@ impl Engine {
 /// the paper) — softmax over per-server RTT. Dual-stack resolvers then
 /// pick the family by a logistic in the v4-v6 RTT gap plus the fleet's
 /// v6 bias: the mechanism the paper confirms at Facebook's sites.
-fn choose_server_family(
+pub(crate) fn choose_server_family(
     spec: &FleetSpec,
     resolver: &Resolver,
     server_count: usize,
@@ -693,7 +693,7 @@ fn sigmoid(x: f64) -> f64 {
 }
 
 /// Sample a qtype from the fleet mix.
-fn pick_qtype(mix: &[(RType, f64)], rng: &mut StdRng) -> RType {
+pub(crate) fn pick_qtype(mix: &[(RType, f64)], rng: &mut StdRng) -> RType {
     let dist: Vec<(u16, f64)> = mix.iter().map(|(t, w)| (t.to_u16(), *w)).collect();
     RType::from_u16(sample_dist(&dist, rng.gen()))
 }
@@ -708,7 +708,7 @@ fn diurnal_weight(t: SimTime) -> f64 {
 }
 
 /// Apply 0x20 case randomization to a name's alphabetic octets.
-fn mix_case_0x20(name: &Name, rng: &mut StdRng) -> Name {
+pub(crate) fn mix_case_0x20(name: &Name, rng: &mut StdRng) -> Name {
     let labels: Vec<Vec<u8>> = name
         .labels()
         .map(|l| {
@@ -726,8 +726,10 @@ fn mix_case_0x20(name: &Name, rng: &mut StdRng) -> Name {
     Name::from_labels(labels.iter().map(|l| l.as_slice())).expect("same shape as input")
 }
 
-/// Case-folded FNV key over a name's wire form (cache identity).
-fn name_key(name: &Name) -> u64 {
+/// Case-folded FNV key over a name's wire form (cache identity; also
+/// the RRL positive-response class key, so a live authoritative built
+/// on [`crate::rrl`] buckets identically to the offline engine).
+pub fn name_key(name: &Name) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in name.as_wire() {
         h = (h ^ b.to_ascii_lowercase() as u64).wrapping_mul(0x100_0000_01b3);

@@ -118,12 +118,23 @@ impl Fleet {
             spec.activity_skew,
             &spec.edns_dist,
         );
+        // Every physical site must stay observable: independent weighted
+        // draws can leave a low-weight site with zero resolvers (or only
+        // near-idle ones), hiding it from PTR-based site discovery. Pin
+        // the fleet's hottest `sites.len()` resolvers one-per-site; the
+        // weighted draw places everyone else.
+        let pinned_sites = pin_sites(&spec, seed);
         for i in 0..spec.resolver_count {
-            let site = if spec.sites.is_empty() {
+            let drawn_site = if spec.sites.is_empty() {
                 0u8
             } else {
                 pick_cumulative(&site_cum, rng.gen()) as u8
             };
+            let site = pinned_sites
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, s)| *s)
+                .unwrap_or(drawn_site);
             // Zipf-ish activity skew: weight ~ 1/(rank+1)^skew with the
             // rank shuffled by index hashing so address order is not
             // activity order.
@@ -340,6 +351,30 @@ pub fn sample_dist(dist: &[(u16, f64)], u: f64) -> u16 {
         }
     }
     dist.last().map(|(v, _)| *v).unwrap_or(0)
+}
+
+/// Pick the fleet's hottest `sites.len()` resolver indices and assign
+/// them one site each (site order = spec order, hottest first, so the
+/// dominant site also holds the single most active resolver). Returns
+/// `(resolver_index, site)` pairs; empty for single-site fleets where
+/// coverage is trivial.
+fn pin_sites(spec: &FleetSpec, seed: u64) -> Vec<(u32, u8)> {
+    if spec.sites.len() < 2 || (spec.resolver_count as usize) < spec.sites.len() {
+        return Vec::new();
+    }
+    let mut by_rank: Vec<u32> = (0..spec.resolver_count).collect();
+    by_rank.sort_by_key(|&i| {
+        (
+            splitmix(seed ^ (i as u64) << 1) % spec.resolver_count as u64,
+            i,
+        )
+    });
+    by_rank
+        .iter()
+        .take(spec.sites.len())
+        .enumerate()
+        .map(|(s, &i)| (i, s as u8))
+        .collect()
 }
 
 fn cumulative_weights(weights: impl Iterator<Item = f64>) -> Vec<f64> {

@@ -31,6 +31,7 @@
 
 pub mod auth;
 pub mod cache;
+pub mod drive;
 pub mod engine;
 pub mod fleet;
 pub mod profile;
@@ -38,6 +39,7 @@ pub mod ptr;
 pub mod rrl;
 pub mod scenario;
 
+pub use drive::{Driver, PlannedQuery};
 pub use engine::{DatasetStats, Engine};
 pub use profile::{qmin_start, FleetSpec, SiteSpec, Vantage};
 pub use ptr::PtrDb;

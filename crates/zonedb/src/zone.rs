@@ -3,7 +3,7 @@
 use crate::names::{decode_label, encode_label, tld_label};
 use dns_wire::name::Name;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// The `.nz` second-level subzones under which third-level registrations
 /// live (the paper: ".nz allows registrations as a third-level domain
@@ -73,7 +73,7 @@ pub struct ZoneModel {
     /// Fraction of registered domains that are DNSSEC-signed (have DS
     /// records at the parent); drives DS-query volume.
     pub signed_fraction: f64,
-    tld_cache: Option<HashSet<Name>>,
+    tld_cache: Option<HashMap<Name, u64>>,
 }
 
 impl PartialEq for ZoneModel {
@@ -107,10 +107,10 @@ impl ZoneModel {
 
     /// The root-zone model with `tlds` delegations (~1500 in reality).
     pub fn root(tlds: usize) -> Self {
-        let mut cache = HashSet::with_capacity(tlds);
+        let mut cache = HashMap::with_capacity(tlds);
         for i in 0..tlds {
             let label = tld_label(i);
-            cache.insert(label.parse().expect("generated TLDs parse"));
+            cache.insert(label.parse().expect("generated TLDs parse"), i as u64);
         }
         ZoneModel {
             apex: Name::root(),
@@ -226,7 +226,7 @@ impl ZoneModel {
             ZoneKind::Root { .. } => {
                 let tld = ancestor_at(qname, 1);
                 let cache = self.tld_cache.as_ref().expect("root model has cache");
-                if cache.contains(&tld) {
+                if cache.contains_key(&tld) {
                     Lookup::Delegated
                 } else {
                     Lookup::NxDomain
@@ -257,6 +257,38 @@ impl ZoneModel {
                 ancestor_at(full, apex_depth + 1)
             }
             _ => ancestor_at(full, apex_depth + 1),
+        }
+    }
+
+    /// The registration index of the delegation `qname` equals or falls
+    /// under — the inverse of [`ZoneModel::registered_domain`]. `None`
+    /// for junk, in-zone, and out-of-bailiwick names. This is what lets
+    /// an authoritative server decide, from the qname alone, whether the
+    /// delegation is DNSSEC-signed (`delegation_index` → `is_signed`).
+    pub fn delegation_index(&self, qname: &Name) -> Option<u64> {
+        if self.classify(qname) != Lookup::Delegated {
+            return None;
+        }
+        match &self.kind {
+            ZoneKind::SecondLevel { .. } => leftmost_index(&ancestor_at(qname, 2)),
+            ZoneKind::MixedLevel { slds, thirds } => {
+                let sld = ancestor_at(qname, 2);
+                let sld_label = label_string(&sld);
+                match NZ_SUBZONES.iter().position(|(s, _)| *s == sld_label) {
+                    Some(sub_pos) => {
+                        let local = leftmost_index(&ancestor_at(qname, 3))?;
+                        let start: u64 = (0..sub_pos)
+                            .map(|j| share_of(j, NZ_SUBZONES[j].1, *thirds))
+                            .sum();
+                        Some(slds + start + local)
+                    }
+                    None => leftmost_index(&sld),
+                }
+            }
+            ZoneKind::Root { .. } => {
+                let tld = ancestor_at(qname, 1);
+                self.tld_cache.as_ref().and_then(|c| c.get(&tld).copied())
+            }
         }
     }
 
@@ -341,6 +373,35 @@ mod tests {
 
     fn n(s: &str) -> Name {
         s.parse().unwrap()
+    }
+
+    #[test]
+    fn delegation_index_inverts_registered_domain() {
+        for zone in [
+            ZoneModel::nl(1000),
+            ZoneModel::nz(140, 560),
+            ZoneModel::root(300),
+        ] {
+            for idx in 0..zone.domain_count() {
+                let name = zone.registered_domain(idx);
+                assert_eq!(
+                    zone.delegation_index(&name),
+                    Some(idx),
+                    "{name} in {}",
+                    zone.apex()
+                );
+                // deep names under the delegation resolve to the same index
+                if !zone.is_root_zone() {
+                    let www = name.child(b"www").unwrap();
+                    assert_eq!(zone.delegation_index(&www), Some(idx), "{www}");
+                }
+            }
+            // junk and apex names have no index
+            assert_eq!(zone.delegation_index(zone.apex()), None);
+        }
+        let nl = ZoneModel::nl(50);
+        assert_eq!(nl.delegation_index(&n("not-registered-x.nl")), None);
+        assert_eq!(nl.delegation_index(&n("example.com")), None);
     }
 
     #[test]

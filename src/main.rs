@@ -7,10 +7,15 @@
 //! dnscentral dataset  nl 2020            # generate + analyze in one go
 //! dnscentral qmin     nl                 # Figure 3 series + change-point
 //! dnscentral report                      # every table and figure
+//! dnscentral serve    nl 2020            # live authoritative on real sockets
+//! dnscentral loadgen  nl 2020 --udp A --tcp B  # profile-driven load
+//! dnscentral live     nl 2020 out.dnscap # serve+loadgen over loopback,
+//!                                        # then analyze the live tap
 //! ```
 //!
 //! Common flags: `--scale=tiny|small|report` (default small) and
-//! `--seed=N` (default 42).
+//! `--seed=N` (default 42). Value-taking flags accept both
+//! `--flag=value` and `--flag value`.
 
 use dnscentral_core::dualstack::DualStackAnalysis;
 use dnscentral_core::experiments::{
@@ -24,7 +29,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = normalize_args(std::env::args().skip(1).collect());
     let (flags, positional): (Vec<&String>, Vec<&String>) =
         args.iter().partition(|a| a.starts_with("--"));
     let scale = match flag_value(&flags, "--scale").unwrap_or("small") {
@@ -176,15 +181,233 @@ fn main() -> ExitCode {
             }
             print!("{}", report::render_junk_overview(&measured));
         }
+        Some("serve") => {
+            let (vantage, year) = vantage_year(&positional);
+            return serve_cli(vantage, year, &flags);
+        }
+        Some("loadgen") => {
+            let (vantage, year) = vantage_year(&positional);
+            return loadgen_cli(vantage, year, scale, seed, &flags);
+        }
+        Some("live") => {
+            let (vantage, year) = vantage_year(&positional);
+            let out = positional.get(3).map(|s| s.as_str()).unwrap_or("live.dnscap");
+            return live_cli(vantage, year, scale, seed, out, &flags);
+        }
         _ => {
             eprintln!(
-                "usage: dnscentral <table1|generate|analyze|dataset|qmin|report|inspect|export-pcap|import-pcap|analyze-pcap|concentration|junk-overview|experiments|scenario-template|scenario> \
+                "usage: dnscentral <table1|generate|analyze|dataset|qmin|report|inspect|export-pcap|import-pcap|analyze-pcap|concentration|junk-overview|experiments|scenario-template|scenario|serve|loadgen|live> \
                  [args] [--scale=tiny|small|medium|report] [--seed=N]"
             );
             return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Live authoritative server on real sockets until SIGINT (or
+/// `--duration`); `--out tap.dnscap` mirrors served traffic.
+fn serve_cli(vantage: Vantage, year: u16, flags: &[&String]) -> ExitCode {
+    let spec = dataset(vantage, year);
+    let mut config = authd::ServerConfig::for_spec(&spec);
+    if let Some(port) = flag_value(flags, "--port") {
+        let port: u16 = port.parse().expect("--port takes a port number");
+        config.bind = std::net::SocketAddr::new(IpAddr::from([127, 0, 0, 1]), port);
+    }
+    if let Some(n) = flag_value(flags, "--udp-workers") {
+        config.udp_workers = n.parse().expect("--udp-workers takes a count");
+    }
+    if let Some(n) = flag_value(flags, "--tcp-workers") {
+        config.tcp_workers = n.parse().expect("--tcp-workers takes a count");
+    }
+    if let Some(path) = flag_value(flags, "--out") {
+        config.tap = Some(authd::Tap::create(Path::new(path)).expect("tap creates"));
+    }
+    let duration = flag_value(flags, "--duration").map(parse_duration);
+    let interval = flag_value(flags, "--stats-interval")
+        .map(parse_duration)
+        .unwrap_or(std::time::Duration::from_secs(5));
+
+    authd::signal::install();
+    let server = authd::Server::start(config).expect("server starts");
+    println!(
+        "{} serving on udp {} / tcp {} (Ctrl-C to drain)",
+        spec.id(),
+        server.udp_addr(),
+        server.tcp_addr()
+    );
+    let started = std::time::Instant::now();
+    let mut since_print = std::time::Duration::ZERO;
+    let step = std::time::Duration::from_millis(100);
+    loop {
+        if authd::signal::triggered() || duration.is_some_and(|d| started.elapsed() >= d) {
+            break;
+        }
+        std::thread::sleep(step);
+        since_print += step;
+        if since_print >= interval {
+            since_print = std::time::Duration::ZERO;
+            eprintln!("{}", server.stats().snapshot(started.elapsed().as_secs_f64()));
+        }
+    }
+    let snap = server.stats().snapshot(started.elapsed().as_secs_f64());
+    let records = server.shutdown().expect("drain flushes");
+    println!("final: {snap}");
+    if records > 0 {
+        println!("capture: {records} records flushed");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Closed-loop load against an already-running server
+/// (`--udp addr --tcp addr`, from `dnscentral serve`'s banner).
+fn loadgen_cli(
+    vantage: Vantage,
+    year: u16,
+    scale: Scale,
+    seed: u64,
+    flags: &[&String],
+) -> ExitCode {
+    let spec = dataset(vantage, year);
+    let udp = flag_value(flags, "--udp")
+        .expect("--udp server address required")
+        .parse()
+        .expect("--udp takes host:port");
+    let tcp = flag_value(flags, "--tcp")
+        .expect("--tcp server address required")
+        .parse()
+        .expect("--tcp takes host:port");
+    let mut config = authd::LoadgenConfig::new(spec, scale, seed, udp, tcp);
+    if let Some(n) = flag_value(flags, "--workers") {
+        config.workers = n.parse().expect("--workers takes a count");
+    }
+    config.max_queries = flag_value(flags, "--queries")
+        .map(|v| v.parse().expect("--queries takes a count"));
+    config.duration = flag_value(flags, "--duration").map(parse_duration);
+    if config.max_queries.is_none() && config.duration.is_none() {
+        config.max_queries = Some(10_000);
+    }
+
+    authd::signal::install();
+    let stats = authd::Stats::new();
+    let report = authd::run_loadgen(&config, &stats).expect("loadgen runs");
+    println!("{}", stats.snapshot(report.elapsed.as_secs_f64()));
+    println!(
+        "sent {} received {} timeouts {} tcp-fallbacks {} in {:.2}s",
+        report.sent,
+        report.received,
+        report.timeouts,
+        report.tcp_fallbacks,
+        report.elapsed.as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Serve + loadgen over loopback, seal the tap, then run the standard
+/// offline analysis on the live capture.
+fn live_cli(
+    vantage: Vantage,
+    year: u16,
+    scale: Scale,
+    seed: u64,
+    out: &str,
+    flags: &[&String],
+) -> ExitCode {
+    let spec = dataset(vantage, year);
+    let mut config =
+        authd::LiveConfig::new(spec.clone(), scale, seed, Path::new(out).to_path_buf());
+    if let Some(n) = flag_value(flags, "--workers") {
+        config.loadgen_workers = n.parse().expect("--workers takes a count");
+    }
+    if let Some(q) = flag_value(flags, "--queries") {
+        config.max_queries = Some(q.parse().expect("--queries takes a count"));
+    }
+    if let Some(d) = flag_value(flags, "--duration") {
+        config.duration = Some(parse_duration(d));
+        config.max_queries = flag_value(flags, "--queries")
+            .map(|v| v.parse().expect("--queries takes a count"));
+    }
+    config.stats_interval = flag_value(flags, "--stats-interval").map(parse_duration);
+
+    authd::signal::install();
+    let report = authd::run_live(&config).expect("live loop runs");
+    println!(
+        "live: sent {} ({} tcp-fallbacks, {} timeouts), served {} ({} udp / {} tcp), \
+         {} capture records -> {out}",
+        report.loadgen.sent,
+        report.loadgen.tcp_fallbacks,
+        report.loadgen.timeouts,
+        report.server.queries(),
+        report.server.udp_queries,
+        report.server.tcp_queries,
+        report.records
+    );
+    println!("serve  | {}", report.server);
+    println!("loadgen| {}", report.client);
+    if report.records == 0 {
+        eprintln!("live run produced an empty capture");
+        return ExitCode::FAILURE;
+    }
+
+    let (analysis, mut dualstack, ingest) =
+        analyze_capture(&spec, scale, seed, Path::new(out)).expect("live capture analyzes");
+    print_dataset_report(&spec.id(), vantage, analysis, &mut dualstack, &spec);
+    eprintln!(
+        "[ingest: {} frames, {} malformed, {} unanswered]",
+        ingest.frames, ingest.malformed, ingest.unanswered_queries
+    );
+    ExitCode::SUCCESS
+}
+
+/// Rewrite `--flag value` as `--flag=value` for the known value-taking
+/// flags, so both spellings work.
+fn normalize_args(raw: Vec<String>) -> Vec<String> {
+    const VALUE_FLAGS: &[&str] = &[
+        "--scale",
+        "--seed",
+        "--zone",
+        "--provider",
+        "--duration",
+        "--queries",
+        "--port",
+        "--workers",
+        "--udp-workers",
+        "--tcp-workers",
+        "--udp",
+        "--tcp",
+        "--out",
+        "--stats-interval",
+    ];
+    let mut out = Vec::with_capacity(raw.len());
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            match it.next() {
+                Some(value) => out.push(format!("{arg}={value}")),
+                None => panic!("flag {arg} requires a value"),
+            }
+        } else {
+            out.push(arg);
+        }
+    }
+    out
+}
+
+/// Parse `3s`, `500ms`, `2m`, or bare seconds.
+fn parse_duration(s: &str) -> std::time::Duration {
+    let parse_num = |v: &str, unit: &str| -> f64 {
+        v.parse()
+            .unwrap_or_else(|_| panic!("bad duration {s:?} (want e.g. 3{unit})"))
+    };
+    if let Some(ms) = s.strip_suffix("ms") {
+        std::time::Duration::from_secs_f64(parse_num(ms, "ms") / 1000.0)
+    } else if let Some(m) = s.strip_suffix('m') {
+        std::time::Duration::from_secs_f64(parse_num(m, "m") * 60.0)
+    } else if let Some(secs) = s.strip_suffix('s') {
+        std::time::Duration::from_secs_f64(parse_num(secs, "s"))
+    } else {
+        std::time::Duration::from_secs_f64(parse_num(s, "s"))
+    }
 }
 
 fn flag_value<'a>(flags: &'a [&'a String], name: &str) -> Option<&'a str> {

@@ -1,0 +1,62 @@
+//! End-to-end live loop: serve + loadgen over loopback, ingest the
+//! live capture tap through the unchanged offline analysis, and check
+//! that cloud attribution matches an offline generate+analyze run of
+//! the same dataset within 2 percentage points absolute.
+
+use asdb::cloud::Provider;
+use authd::{run_live, LiveConfig};
+use dnscentral_core::experiments::{analyze_capture, run_dataset};
+use simnet::profile::Vantage;
+use simnet::scenario::{dataset, Scale};
+
+const QUERIES: u64 = 10_000;
+const TOLERANCE_PP: f64 = 0.02;
+
+#[test]
+fn live_capture_matches_offline_cloud_shares() {
+    let spec = dataset(Vantage::Nl, 2020);
+    let scale = Scale::tiny();
+    let seed = 42;
+    let dir = std::env::temp_dir().join("dnscentral-live-loop");
+    std::fs::create_dir_all(&dir).unwrap();
+    let capture = dir.join("live-loop.dnscap");
+
+    let mut config = LiveConfig::new(spec.clone(), scale, seed, capture.clone());
+    config.max_queries = Some(QUERIES);
+    let report = run_live(&config).expect("live loop runs");
+    assert!(report.loadgen.sent >= QUERIES, "sent {}", report.loadgen.sent);
+    assert!(report.records > 0, "capture tap stayed empty");
+    assert_eq!(
+        report.loadgen.timeouts, 0,
+        "loopback queries must not time out"
+    );
+
+    let (live, _dualstack, ingest) =
+        analyze_capture(&spec, scale, seed, &capture).expect("live capture analyzes");
+    assert_eq!(ingest.malformed, 0, "live tap wrote malformed frames");
+    assert_eq!(ingest.unanswered_queries, 0, "unpaired query records");
+
+    let offline = run_dataset(Vantage::Nl, 2020, scale, seed);
+    let live_cloud = live.cloud_share();
+    let offline_cloud = offline.analysis.cloud_share();
+    assert!(
+        (live_cloud - offline_cloud).abs() < TOLERANCE_PP,
+        "total cloud share diverged: live {live_cloud:.4} vs offline {offline_cloud:.4}"
+    );
+    for provider in [
+        Provider::Google,
+        Provider::Amazon,
+        Provider::Microsoft,
+        Provider::Facebook,
+        Provider::Cloudflare,
+    ] {
+        let l = live.provider_share(provider);
+        let o = offline.analysis.provider_share(provider);
+        assert!(
+            (l - o).abs() < TOLERANCE_PP,
+            "{provider:?} share diverged: live {l:.4} vs offline {o:.4}"
+        );
+    }
+
+    std::fs::remove_file(&capture).ok();
+}

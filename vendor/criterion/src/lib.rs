@@ -1,0 +1,284 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Offline build: implements the subset the `bench` crate drives with
+//! explicit `fn main` harnesses (`harness = false`): `Criterion` with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `benchmark_group` + `Throughput`, `Bencher::iter`/`iter_batched`,
+//! and `final_summary`. Timing is a plain mean over timed batches —
+//! no outlier analysis or HTML reports — printed as
+//! `name  time: [..]  thrpt: [..]`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput labeling for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output a batched iteration consumes.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Fresh setup per iteration.
+    PerIteration,
+    /// Small input: setup cost amortized over small batches.
+    SmallInput,
+    /// Large input: one iteration per setup.
+    LargeInput,
+}
+
+/// Opaque hint to the optimizer that `value` is used.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, id, None, f);
+        self
+    }
+
+    /// Open a named group (shared throughput labeling).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Print the closing line (upstream writes reports here).
+    pub fn final_summary(&mut self) {
+        println!("criterion (vendored): benchmarks complete");
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Label subsequent benches with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_bench(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Hands the measured closure to the timing loop.
+pub struct Bencher {
+    /// Accumulated timed nanoseconds.
+    elapsed: Duration,
+    /// Iterations represented by `elapsed`.
+    iters: u64,
+    /// Iterations to run per measured sample.
+    batch: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.batch;
+    }
+
+    /// Time `routine` over fresh `setup` output, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.batch {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench<F>(config: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // warm-up: also calibrates how long one pass takes
+    let mut calib = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        batch: 1,
+    };
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < config.warm_up_time {
+        f(&mut calib);
+        if calib.iters > 0 && calib.elapsed > config.warm_up_time {
+            break;
+        }
+    }
+    let per_iter = if calib.iters > 0 && !calib.elapsed.is_zero() {
+        calib.elapsed / calib.iters as u32
+    } else {
+        Duration::from_nanos(1)
+    };
+    // size batches so all samples fit roughly in measurement_time
+    let budget = config.measurement_time.max(Duration::from_millis(10));
+    let total_iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+    let batch = (total_iters / config.sample_size as u64).max(1);
+
+    let mut sample_means: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            batch,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            sample_means.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    sample_means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let (lo, mid, hi) = match sample_means.len() {
+        0 => (0.0, 0.0, 0.0),
+        n => (
+            sample_means[0],
+            sample_means[n / 2],
+            sample_means[n - 1],
+        ),
+    };
+    let mut line = format!(
+        "{id:<48} time: [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(mid),
+        fmt_ns(hi)
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        if mid > 0.0 {
+            let rate = amount / (mid / 1e9);
+            line.push_str(&format!("  thrpt: {} {unit}", fmt_rate(rate)));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::PerIteration,
+            );
+        });
+        group.finish();
+        c.final_summary();
+    }
+}

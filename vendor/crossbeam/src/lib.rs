@@ -1,0 +1,389 @@
+//! Vendored minimal stand-in for `crossbeam`.
+//!
+//! Offline build: the workspace vendors the two pieces it uses —
+//! scoped threads (`crossbeam::thread::scope`, a thin veneer over
+//! `std::thread::scope`, available since Rust 1.63) and a bounded
+//! MPMC channel (`crossbeam::channel`, a Mutex+Condvar queue that the
+//! `authd` worker pools drain).
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention:
+    //! the spawn closure takes one (ignored) scope argument and
+    //! `scope` returns a `Result`.
+
+    use std::any::Any;
+
+    /// Error payload of a panicked scope (crossbeam's `thread::Result`).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; exists so `scope.spawn(|_| ...)` reads the same
+    /// as with upstream crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and collect its result.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure's single
+        /// argument exists only for crossbeam signature compatibility
+        /// (upstream passes the scope; every caller here ignores it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! A bounded/unbounded MPMC channel over `Mutex` + `Condvar`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Signals consumers that an item (or disconnect) arrived.
+        readable: Condvar,
+        /// Signals producers that capacity freed up.
+        writable: Condvar,
+        cap: Option<usize>,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; clonable across producer threads.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clonable across worker threads (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The channel is disconnected (all receivers dropped).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Why a `try_send` did not queue the item (which is handed back).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Channel momentarily at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Why a `recv_timeout` returned without an item.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No item arrived within the window.
+        Timeout,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Why a `try_recv` returned without an item.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue momentarily empty.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Create a channel holding at most `cap` queued items.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap))
+    }
+
+    /// Create a channel with no queue bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue an item if there is room right now.
+        pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(item));
+            }
+            if let Some(cap) = self.shared.cap {
+                if state.items.len() >= cap {
+                    return Err(TrySendError::Full(item));
+                }
+            }
+            state.items.push_back(item);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+
+        /// Queue an item, blocking while the channel is full.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(item));
+                }
+                match self.shared.cap {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self.shared.writable.wait(state).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            state.items.push_back(item);
+            self.shared.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue an item, blocking until one arrives or all senders
+        /// disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.readable.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Dequeue an item, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .readable
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel lock");
+                state = guard;
+            }
+        }
+
+        /// Dequeue an item if one is ready right now.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            if let Some(item) = state.items.pop_front() {
+                self.shared.writable.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Items currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel lock").items.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn mpmc_fan_out_sums() {
+            let (tx, rx) = bounded::<u64>(8);
+            let total: u64 = std::thread::scope(|s| {
+                let workers: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        s.spawn(move || {
+                            let mut sum = 0u64;
+                            while let Ok(v) = rx.recv() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                drop(rx);
+                for v in 1..=100 {
+                    tx.send(v).expect("receivers alive");
+                }
+                drop(tx);
+                workers.into_iter().map(|w| w.join().expect("worker")).sum()
+            });
+            assert_eq!(total, 5050);
+        }
+
+        #[test]
+        fn send_fails_after_receivers_gone() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = bounded::<u8>(1);
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_propagates_results() {
+        let mut slots = vec![0u32; 4];
+        crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                handles.push(scope.spawn(move |_| *slot = i as u32 + 1));
+            }
+            for h in handles {
+                h.join().expect("worker");
+            }
+        })
+        .expect("scope join");
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,540 @@
+//! Value-generation strategies (vendored subset: generation only, no
+//! shrink trees).
+
+use crate::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred` (regenerating, with a
+    /// retry bound).
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Keep only values `f` maps to `Some` (regenerating, with a
+    /// retry bound).
+    fn prop_filter_map<R, F, U>(self, reason: R, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy for storage in heterogeneous collections
+/// (the expansion target of `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S, F, U> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U>,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        for _ in 0..1000 {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map exhausted retries: {}", self.reason);
+    }
+}
+
+/// `&str` as a strategy: the pattern is a regex-subset — a sequence of
+/// literal characters and `[...]` character classes (with `a-z` ranges),
+/// each optionally quantified by `{m}`, `{m,n}`, `?`, `*`, or `+`
+/// (unbounded quantifiers capped at 8 repeats). This covers the
+/// hostname-shaped patterns the workspace's property tests use without
+/// pulling in a regex engine.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // one atom: a char class or a literal (possibly escaped)
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let inner = &chars[i + 1..close];
+            i = close + 1;
+            expand_class(inner, pattern)
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        // optional quantifier
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo: usize = lo.trim().parse().expect("quantifier min");
+                    let hi: usize = if hi.trim().is_empty() {
+                        lo + 8
+                    } else {
+                        hi.trim().parse().expect("quantifier max")
+                    };
+                    (lo, hi)
+                }
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '?' || chars[i] == '*' || chars[i] == '+') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+/// Expand a character-class body (`a-z0-9-`) into its member chars.
+fn expand_class(inner: &[char], pattern: &str) -> Vec<char> {
+    assert!(!inner.is_empty(), "empty [] in pattern {pattern:?}");
+    let mut out = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        if j + 2 < inner.len() && inner[j + 1] == '-' {
+            let (lo, hi) = (inner[j] as u32, inner[j + 2] as u32);
+            assert!(lo <= hi, "bad range in pattern {pattern:?}");
+            for c in lo..=hi {
+                out.push(char::from_u32(c).expect("class range"));
+            }
+            j += 3;
+        } else {
+            out.push(inner[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+/// A fixed value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// From the (non-empty) option list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs options");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.gen();
+        }
+        out
+    }
+}
+
+/// The `any::<T>()` strategy object.
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::Strategy;
+    use crate::TestRng;
+    use rand::Rng;
+
+    /// An inclusive length window for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies (`prop::option::of`).
+
+    use super::Strategy;
+    use crate::TestRng;
+    use rand::Rng;
+
+    /// A strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, `Some` otherwise (upstream
+    /// defaults to a 3:1 Some bias too).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps_compose(
+            small in 1u8..=10,
+            label in prop::collection::vec(any::<u8>(), 0..5),
+            choice in prop_oneof![0u32..10, 100u32..110],
+            maybe in prop::option::of(5u64..6),
+        ) {
+            prop_assert!((1..=10).contains(&small));
+            prop_assert!(label.len() < 5, "len {}", label.len());
+            prop_assert!(choice < 10 || (100..110).contains(&choice));
+            if let Some(v) = maybe {
+                prop_assert_eq!(v, 5);
+            }
+        }
+
+        /// Filtering regenerates until the predicate holds.
+        #[test]
+        fn filter_holds(even in (0u32..1000).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(even % 2, 0);
+            prop_assert_ne!(even % 2, 1);
+        }
+
+        /// `prop_filter_map` keeps only `Some` outputs.
+        #[test]
+        fn filter_map_holds(half in (0u32..1000).prop_filter_map("even", |v| {
+            (v % 2 == 0).then_some(v / 2)
+        })) {
+            prop_assert!(half < 500);
+        }
+
+        /// String patterns honor classes, ranges, and quantifiers.
+        #[test]
+        fn pattern_strategy_shape(s in "[a-z0-9-]{1,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 20, "len {}", s.len());
+            prop_assert!(
+                s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "chars {s:?}"
+            );
+        }
+
+        /// Literals, escapes, and fixed counts in patterns.
+        #[test]
+        fn pattern_literals(s in "ab\\.[01]{3}x?") {
+            prop_assert!(s.starts_with("ab."), "{s:?}");
+            let rest = &s[3..];
+            prop_assert!(rest.len() == 3 || (rest.len() == 4 && rest.ends_with('x')));
+            prop_assert!(rest[..3].chars().all(|c| c == '0' || c == '1'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::run_cases(ProptestConfig::with_cases(4), "demo", |rng| {
+            let v = crate::strategy::Strategy::generate(&(0u8..=255), rng);
+            prop_assert!(u32::from(v) > 255, "v was {v}");
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,302 @@
+//! Vendored minimal stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the narrow slice of the `rand 0.8` API it actually
+//! uses: `Rng` (`gen`, `gen_range`, `gen_bool`), `SeedableRng`
+//! (`seed_from_u64`), and `rngs::StdRng`/`rngs::SmallRng`.
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — a
+//! different stream than upstream's ChaCha12, but every consumer in
+//! this workspace only requires a deterministic, well-mixed stream, not
+//! upstream's exact bytes. Determinism tests assert self-consistency
+//! across runs, which holds.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, as in `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of an inferred type from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Uniform value in the given (half-open or inclusive) range.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    /// If `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        uniform_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    /// Seed from a single word (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Map 64 random bits to a double in `[0, 1)`.
+fn uniform_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One SplitMix64 step; also used to expand seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // an all-zero state would be a fixed point; splitmix of any
+            // seed never yields four zero words, but guard anyway
+            if s == [0; 4] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Small fast generator; same engine as [`StdRng`] here.
+    pub type SmallRng = StdRng;
+}
+
+pub mod distributions {
+    use super::{uniform_f64, RngCore};
+
+    /// A sampling distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform over a type's value space
+    /// (`[0, 1)` for floats).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            uniform_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            uniform_f64(rng.next_u64()) as f32
+        }
+    }
+
+    pub mod uniform {
+        use crate::{uniform_f64, RngCore};
+        use core::ops::{Range, RangeInclusive};
+
+        /// A range that `Rng::gen_range` can sample from.
+        pub trait SampleRange<T> {
+            /// Draw one value uniformly from the range.
+            ///
+            /// # Panics
+            /// If the range is empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! range_int {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let draw = (((rng.next_u64() as u128) << 64)
+                            | rng.next_u64() as u128)
+                            % span;
+                        (self.start as i128 + draw as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range");
+                        let span = (end as i128 - start as i128) as u128 + 1;
+                        let draw = (((rng.next_u64() as u128) << 64)
+                            | rng.next_u64() as u128)
+                            % span;
+                        (start as i128 + draw as i128) as $t
+                    }
+                }
+            )*};
+        }
+        range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! range_float {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "empty range");
+                        let u = uniform_f64(rng.next_u64()) as $t;
+                        self.start + (self.end - self.start) * u
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range");
+                        let u = uniform_f64(rng.next_u64()) as $t;
+                        start + (end - start) * u
+                    }
+                }
+            )*};
+        }
+        range_float!(f32, f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn unsized_rng_usable() {
+        fn pick<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+            rng.gen_range(0..100)
+        }
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(pick(&mut r) < 100);
+    }
+}

@@ -1,0 +1,349 @@
+//! JSON text emit/parse for [`Value`].
+
+use crate::value::{Map, Number, Value};
+use crate::Error;
+use core::fmt::Write as _;
+
+/// Compact JSON.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    emit(v, None, 0, &mut out);
+    out
+}
+
+/// Two-space-indented JSON (matching `serde_json::to_string_pretty`).
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    emit(v, Some(2), 0, &mut out);
+    out
+}
+
+fn emit(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => emit_number(n, out),
+        Value::String(s) => emit_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                emit(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                emit_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                emit(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn emit_number(n: &Number, out: &mut String) {
+    match *n {
+        Number::UInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        // {:?} on f64 is shortest-roundtrip with a ".0" on integral
+        // values — the same shape serde_json prints
+        Number::Float(v) if v.is_finite() => {
+            let _ = write!(out, "{v:?}");
+        }
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse JSON text into a [`Value`].
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected {lit:?} at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error(format!("expected ':' at byte {}", *pos)));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                map.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let c = if (0xd800..0xdc00).contains(&hi) {
+                            // surrogate pair: \uD8xx\uDCxx
+                            if b.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err(Error("lone high surrogate".into()));
+                            }
+                            let lo = parse_hex4(b, *pos + 3)?;
+                            *pos += 6;
+                            let code =
+                                0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00));
+                            char::from_u32(code)
+                                .ok_or_else(|| Error("bad surrogate pair".into()))?
+                        } else {
+                            char::from_u32(hi)
+                                .ok_or_else(|| Error("bad \\u escape".into()))?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // consume one UTF-8 scalar; the input is a &str so
+                // boundaries are valid
+                let rest = core::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error("invalid UTF-8".into()))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, Error> {
+    let chunk = b
+        .get(at..at + 4)
+        .ok_or_else(|| Error("truncated \\u escape".into()))?;
+    let s = core::str::from_utf8(chunk).map_err(|_| Error("bad \\u escape".into()))?;
+    u32::from_str_radix(s, 16).map_err(|_| Error("bad \\u escape".into()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if b.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = core::str::from_utf8(&b[start..*pos])
+        .map_err(|_| Error("invalid UTF-8 in number".into()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("expected value at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::UInt(v)));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::Int(v)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| Value::Number(Number::Float(v)))
+        .map_err(|_| Error(format!("bad number {text:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let text = r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "x\ny A"}, "d": 18446744073709551615}"#;
+        let v = parse(text).expect("parses");
+        assert_eq!(v["a"][0], 1u64);
+        assert_eq!(v["a"][1], -2);
+        assert_eq!(v["a"][2], 3.5);
+        assert_eq!(v["b"]["c"], "x\ny A");
+        assert_eq!(v["d"].as_u64(), Some(u64::MAX));
+        let back = parse(&to_string(&v)).expect("reparses");
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains("\n  \"a\": ["));
+        assert_eq!(parse(&pretty).expect("pretty reparses"), v);
+    }
+
+    #[test]
+    fn float_prints_like_serde_json() {
+        assert_eq!(to_string(&Value::from(1.0)), "1.0");
+        assert_eq!(to_string(&Value::from(0.45)), "0.45");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+    }
+}

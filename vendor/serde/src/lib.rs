@@ -1,0 +1,449 @@
+//! Vendored minimal stand-in for `serde` (+ the JSON data model that
+//! `serde_json` re-exports).
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the slice of serde it uses: `Serialize`/`Deserialize`
+//! traits (including hand-written impls generic over
+//! `Serializer`/`Deserializer`), the derive macros, and a JSON
+//! `Value` with emit/parse. Unlike upstream's streaming data model,
+//! everything here routes through [`Value`] — all workspace types are
+//! small config/report structures, so the intermediate tree costs
+//! nothing observable.
+//!
+//! Representation matches `serde_json` where the workspace depends on
+//! it: structs are objects in field order, newtype structs are
+//! transparent, unit enum variants are strings, struct variants are
+//! externally tagged (`{"Variant": {...}}`), `Option` is
+//! null-or-value with missing fields reading as `None`, and IP
+//! addresses are display strings.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Serialization-side error plumbing.
+pub mod ser {
+    use core::fmt::Display;
+
+    /// The trait every `Serializer::Error` implements.
+    pub trait Error: Sized + Display {
+        /// Build an error from any message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error plumbing.
+pub mod de {
+    use core::fmt::Display;
+
+    /// The trait every `Deserializer::Error` implements.
+    pub trait Error: Sized + Display {
+        /// Build an error from any message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// The concrete error produced by [`to_value`] / [`from_value`].
+#[derive(Debug, Clone)]
+pub struct Error(pub(crate) String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A format backend. In this vendored serde the only backend is the
+/// in-memory [`Value`] tree; custom `Serialize` impls drive it through
+/// the same generic surface upstream exposes.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type, constructible from messages.
+    type Error: ser::Error;
+
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize an already-built JSON tree (the workhorse the derive
+    /// macro and all container impls feed).
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A format backend for deserialization; yields the [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type, constructible from messages.
+    type Error: de::Error;
+
+    /// Surrender the underlying JSON tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can serialize itself.
+pub trait Serialize {
+    /// Serialize into the given backend.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can deserialize itself.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from the given backend.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The [`Serializer`] that builds a [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+
+    fn serialize_value(self, v: Value) -> Result<Value, Error> {
+        Ok(v)
+    }
+}
+
+/// The [`Deserializer`] that reads back a [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Serialize any value to the JSON tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, Error> {
+    v.serialize(ValueSerializer)
+}
+
+/// Deserialize any value from the JSON tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+// ---- Serialize impls for std types ----------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Number(Number::UInt(*self as u64)))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Number(Number::Int(*self as i64)))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Number(Number::Float(*self)))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Number(Number::Float(*self as f64)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(ser::Error::custom)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let out = vec![
+                    $(to_value(&self.$n).map_err(|e| ser::Error::custom(e))?,)+
+                ];
+                s.serialize_value(Value::Array(out))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.to_string(), to_value(v).map_err(ser::Error::custom)?);
+        }
+        s.serialize_value(Value::Object(map))
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for std::net::Ipv6Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for std::net::IpAddr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_string())
+    }
+}
+
+// ---- Deserialize impls for std types --------------------------------
+
+macro_rules! de_num {
+    ($($t:ty : $conv:ident),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                match &v {
+                    Value::Number(n) => n.$conv().map(|x| x as $t).ok_or_else(|| {
+                        de::Error::custom(format!(
+                            "number {v:?} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    _ => Err(de::Error::custom(format!(
+                        "expected number, got {v:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_num!(
+    u8: as_u64, u16: as_u64, u32: as_u64, u64: as_u64, usize: as_u64,
+    i8: as_i64, i16: as_i64, i32: as_i64, i64: as_i64, isize: as_i64
+);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match &v {
+            Value::Number(n) => Ok(n.as_f64_lossy()),
+            _ => Err(de::Error::custom(format!("expected number, got {v:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            v => Err(de::Error::custom(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::String(s) => Ok(s),
+            v => Err(de::Error::custom(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value::<T>(v)
+                .map(Some)
+                .map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value::<T>(v).map_err(de::Error::custom))
+                .collect(),
+            v => Err(de::Error::custom(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            de::Error::custom(format!("expected array of length {N}, got {len}"))
+        })
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let items = match v {
+                    Value::Array(items) if items.len() == $len => items,
+                    other => {
+                        return Err(de::Error::custom(format!(
+                            "expected {}-tuple array, got {other:?}",
+                            $len
+                        )))
+                    }
+                };
+                let mut it = items.into_iter();
+                Ok(($(
+                    from_value::<$t>(it.next().expect("length checked"))
+                        .map_err(|e| de::Error::custom(format!("tuple slot {}: {e}", $n)))?,
+                )+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1, 0 TA)
+    (2, 0 TA, 1 TB)
+    (3, 0 TA, 1 TB, 2 TC)
+    (4, 0 TA, 1 TB, 2 TC, 3 TD)
+}
+
+macro_rules! de_fromstr {
+    ($($t:ty : $what:literal),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let s = String::deserialize(d)?;
+                s.parse().map_err(|_| {
+                    de::Error::custom(format!("invalid {}: {s:?}", $what))
+                })
+            }
+        }
+    )*};
+}
+de_fromstr!(
+    std::net::Ipv4Addr: "IPv4 address",
+    std::net::Ipv6Addr: "IPv6 address",
+    std::net::IpAddr: "IP address"
+);

@@ -1,0 +1,438 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Hand-written over `proc_macro::TokenStream` (no syn/quote — the
+//! build has no network access to crates.io). Supports exactly the
+//! shapes this workspace uses:
+//!
+//! - structs with named fields → JSON objects in field order
+//! - newtype/tuple structs → transparent value / array
+//! - enums with unit variants → the variant name as a string
+//! - enums with struct variants → externally tagged
+//!   (`{"Variant": {fields...}}`)
+//!
+//! No `#[serde(...)]` attributes, no generics — the workspace uses
+//! neither. Missing `Option` fields deserialize to `None` (a missing
+//! key reads as `null`, and `Option` accepts `null`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// What one container declaration looks like after parsing.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `enum E { Unit, Struct { f: F }, Tuple(A) }`.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Parse the container name and shape out of the derive input.
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // skip attributes (`#[...]`) and visibility/qualifiers up to the
+    // `struct` / `enum` keyword
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [...]
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                i += 1; // pub / crate / etc.
+            }
+            TokenTree::Group(_) => i += 1, // pub(crate) scope group
+            t => panic!("unexpected token before container keyword: {t}"),
+        }
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected container name, found {t}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize): generics are not supported for {name}");
+        }
+    }
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            _ => panic!("unsupported struct shape for {name}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(variants(g.stream()))
+            }
+            _ => panic!("expected enum body for {name}"),
+        }
+    };
+    (name, shape)
+}
+
+/// Split a brace-group body into top-level comma-separated chunks.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().expect("non-empty").push(tok),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a named-struct body (skipping attrs/docs/vis; the
+/// field name is the last ident before the `:`).
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut name = None;
+            for (j, tok) in chunk.iter().enumerate() {
+                if let TokenTree::Punct(p) = tok {
+                    if p.as_char() == ':' {
+                        match &chunk[j - 1] {
+                            TokenTree::Ident(id) => name = Some(id.to_string()),
+                            t => panic!("expected field name before ':', found {t}"),
+                        }
+                        break;
+                    }
+                }
+            }
+            name.expect("field with ':' type annotation")
+        })
+        .collect()
+}
+
+/// Count the fields of a tuple-struct body: top-level commas + 1.
+fn tuple_arity(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+/// Parse enum variants: `Name`, `Name { .. }`, or `Name(..)`.
+fn variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            // skip doc attrs: `#` followed by a bracket group
+            let mut toks = chunk.into_iter().peekable();
+            let mut name = None;
+            let mut kind = VariantKind::Unit;
+            while let Some(tok) = toks.next() {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        toks.next(); // the [...] group
+                    }
+                    TokenTree::Ident(id) => {
+                        name = Some(id.to_string());
+                        match toks.peek() {
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Brace =>
+                            {
+                                kind = VariantKind::Named(named_fields(g.stream()));
+                            }
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                kind = VariantKind::Tuple(tuple_arity(g.stream()));
+                            }
+                            _ => {}
+                        }
+                        break;
+                    }
+                    t => panic!("unexpected token in enum variant: {t}"),
+                }
+            }
+            Variant {
+                name: name.expect("variant name"),
+                kind,
+            }
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("let mut __obj = ::serde::Map::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    b,
+                    "__obj.insert({f:?}.to_string(), ::serde::to_value(&self.{f}) \
+                     .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?);"
+                );
+            }
+            b.push_str("__serializer.serialize_value(::serde::Value::Object(__obj))");
+            b
+        }
+        Shape::TupleStruct(1) => {
+            "__serializer.serialize_value(::serde::to_value(&self.0) \
+             .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?)"
+                .to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let mut b = String::from("let mut __arr = ::std::vec::Vec::new();\n");
+            for i in 0..*n {
+                let _ = writeln!(
+                    b,
+                    "__arr.push(::serde::to_value(&self.{i}) \
+                     .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?);"
+                );
+            }
+            b.push_str("__serializer.serialize_value(::serde::Value::Array(__arr))");
+            b
+        }
+        Shape::Enum(vars) => {
+            let mut b = String::from("match self {\n");
+            for v in vars {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            b,
+                            "{name}::{vn} => __serializer.serialize_value( \
+                             ::serde::Value::String({vn:?}.to_string())),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut arm = format!(
+                            "{name}::{vn} {{ {bindings} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n"
+                        );
+                        for f in fields {
+                            let _ = writeln!(
+                                arm,
+                                "__inner.insert({f:?}.to_string(), ::serde::to_value({f}) \
+                                 .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?);"
+                            );
+                        }
+                        let _ = writeln!(
+                            arm,
+                            "let mut __tag = ::serde::Map::new();\n\
+                             __tag.insert({vn:?}.to_string(), ::serde::Value::Object(__inner));\n\
+                             __serializer.serialize_value(::serde::Value::Object(__tag))\n}},"
+                        );
+                        b.push_str(&arm);
+                    }
+                    VariantKind::Tuple(n) => {
+                        let bindings: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut __arr = ::std::vec::Vec::new();\n",
+                            bindings.join(", ")
+                        );
+                        for f in &bindings {
+                            let _ = writeln!(
+                                arm,
+                                "__arr.push(::serde::to_value({f}) \
+                                 .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?);"
+                            );
+                        }
+                        let inner = if *n == 1 {
+                            "__arr.into_iter().next().expect(\"one field\")".to_string()
+                        } else {
+                            "::serde::Value::Array(__arr)".to_string()
+                        };
+                        let _ = writeln!(
+                            arm,
+                            "let mut __tag = ::serde::Map::new();\n\
+                             __tag.insert({vn:?}.to_string(), {inner});\n\
+                             __serializer.serialize_value(::serde::Value::Object(__tag))\n}},"
+                        );
+                        b.push_str(&arm);
+                    }
+                }
+            }
+            b.push('}');
+            b
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, __serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = format!(
+                "let __v = ::serde::Value::deserialize(__deserializer)?;\n\
+                 let mut __obj = match __v {{\n\
+                 ::serde::Value::Object(m) => m,\n\
+                 other => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"expected object for {name}, got {{other:?}}\"))),\n}};\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                let _ = writeln!(
+                    b,
+                    "{f}: ::serde::from_value(__obj.remove({f:?}) \
+                     .unwrap_or(::serde::Value::Null)) \
+                     .map_err(|e| <D::Error as ::serde::de::Error>::custom( \
+                     format!(\"{name}.{f}: {{e}}\")))?,"
+                );
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::TupleStruct(1) => format!(
+            "let __v = ::serde::Value::deserialize(__deserializer)?;\n\
+             Ok({name}(::serde::from_value(__v) \
+             .map_err(|e| <D::Error as ::serde::de::Error>::custom( \
+             format!(\"{name}: {{e}}\")))?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let mut b = format!(
+                "let __v = ::serde::Value::deserialize(__deserializer)?;\n\
+                 let __arr = match __v {{\n\
+                 ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                 other => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"expected {n}-element array for {name}, got {{other:?}}\"))),\n}};\n\
+                 let mut __it = __arr.into_iter();\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                let _ = writeln!(
+                    b,
+                    "::serde::from_value(__it.next().expect(\"length checked\")) \
+                     .map_err(|e| <D::Error as ::serde::de::Error>::custom( \
+                     format!(\"{name}.{i}: {{e}}\")))?,"
+                );
+            }
+            b.push_str("))");
+            b
+        }
+        Shape::Enum(vars) => {
+            let mut b = String::from(
+                "let __v = ::serde::Value::deserialize(__deserializer)?;\n\
+                 match __v {\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {\n",
+            );
+            for v in vars {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    let _ = writeln!(b, "{vn:?} => Ok({name}::{vn}),");
+                }
+            }
+            let _ = writeln!(
+                b,
+                "other => Err(<D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n}},\n\
+                 ::serde::Value::Object(mut __m) => {{\n\
+                 let __key = match __m.keys().next() {{\n\
+                 Some(k) if __m.len() == 1 => k.clone(),\n\
+                 _ => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                 \"expected single-key object for externally tagged {name}\")),\n}};\n\
+                 let __inner = __m.remove(&__key).expect(\"key exists\");\n\
+                 match __key.as_str() {{"
+            );
+            for v in vars {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        // `{"Variant": null}` also acceptable
+                        let _ = writeln!(
+                            b,
+                            "{vn:?} if __inner.is_null() => Ok({name}::{vn}),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut arm = format!(
+                            "{vn:?} => {{\n\
+                             let mut __obj = match __inner {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             other => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"expected object for {name}::{vn}, got {{other:?}}\"))),\n}};\n\
+                             Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            let _ = writeln!(
+                                arm,
+                                "{f}: ::serde::from_value(__obj.remove({f:?}) \
+                                 .unwrap_or(::serde::Value::Null)) \
+                                 .map_err(|e| <D::Error as ::serde::de::Error>::custom( \
+                                 format!(\"{name}::{vn}.{f}: {{e}}\")))?,"
+                            );
+                        }
+                        arm.push_str("})\n},");
+                        b.push_str(&arm);
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            b,
+                            "{vn:?} => Ok({name}::{vn}(::serde::from_value(__inner) \
+                             .map_err(|e| <D::Error as ::serde::de::Error>::custom( \
+                             format!(\"{name}::{vn}: {{e}}\")))?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut arm = format!(
+                            "{vn:?} => {{\n\
+                             let __arr = match __inner {{\n\
+                             ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                             other => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"expected array for {name}::{vn}, got {{other:?}}\"))),\n}};\n\
+                             let mut __it = __arr.into_iter();\n\
+                             Ok({name}::{vn}(\n"
+                        );
+                        for i in 0..*n {
+                            let _ = writeln!(
+                                arm,
+                                "::serde::from_value(__it.next().expect(\"length checked\")) \
+                                 .map_err(|e| <D::Error as ::serde::de::Error>::custom( \
+                                 format!(\"{name}::{vn}.{i}: {{e}}\")))?,"
+                            );
+                        }
+                        arm.push_str("))\n},");
+                        b.push_str(&arm);
+                    }
+                }
+            }
+            let _ = writeln!(
+                b,
+                "other => Err(<D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"unknown {name} variant {{other:?}}\"))),\n}}\n}},\n\
+                 other => Err(<D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"expected {name}, got {{other:?}}\"))),\n}}"
+            );
+            b
+        }
+    };
+    let out = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(__deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}

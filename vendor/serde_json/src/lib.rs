@@ -1,0 +1,151 @@
+//! Vendored minimal stand-in for `serde_json`, backed by the vendored
+//! `serde`'s [`Value`] tree and JSON codec.
+
+#![forbid(unsafe_code)]
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string(&serde::to_value(value)?))
+}
+
+/// Serialize a value to two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string_pretty(&serde::to_value(value)?))
+}
+
+/// Serialize a value into the JSON tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    serde::to_value(value)
+}
+
+/// Deserialize a value from the JSON tree.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    serde::from_value(value)
+}
+
+/// Parse JSON text into a value.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    serde::from_value(serde::json::parse(text)?)
+}
+
+/// Parse JSON bytes into a value.
+pub fn from_slice<T: for<'de> serde::Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+    let text = core::str::from_utf8(bytes)
+        .map_err(|e| <Error as serde::de::Error>::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Build a [`Value`] in place, `serde_json::json!` style.
+///
+/// Object values and array elements may be arbitrary expressions of
+/// any `Serialize` type (nest further `json!` calls for literal
+/// sub-objects); serialization failures panic (the macro is used for
+/// infallible report structures).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Inner(u32);
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Fancy { level: u8, tags: Vec<String> },
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        id: String,
+        count: Inner,
+        ratio: f64,
+        kind: Kind,
+        unit: Kind,
+        maybe: Option<u16>,
+        missing: Option<u16>,
+        addr: std::net::Ipv4Addr,
+        pair: (u16, f64),
+        arr: [u64; 2],
+    }
+
+    fn sample() -> Doc {
+        Doc {
+            id: "doc-1".into(),
+            count: Inner(7),
+            ratio: 0.25,
+            kind: Kind::Fancy {
+                level: 3,
+                tags: vec!["a".into(), "b".into()],
+            },
+            unit: Kind::Plain,
+            maybe: Some(9),
+            missing: None,
+            addr: std::net::Ipv4Addr::new(194, 0, 28, 53),
+            pair: (512, 0.5),
+            arr: [10, 20],
+        }
+    }
+
+    #[test]
+    fn derive_roundtrip_through_text() {
+        let doc = sample();
+        let text = crate::to_string_pretty(&doc).expect("serializes");
+        let back: Doc = crate::from_str(&text).expect("parses");
+        assert_eq!(back, doc);
+        // spot-check representation choices against upstream serde_json
+        let v: crate::Value = crate::from_str(&text).expect("as value");
+        assert_eq!(v["count"], 7u64, "newtype is transparent");
+        assert_eq!(v["unit"], "Plain", "unit variant is a string");
+        assert_eq!(v["kind"]["Fancy"]["level"], 3u64, "externally tagged");
+        assert_eq!(v["addr"], "194.0.28.53");
+        assert!(v["missing"].is_null());
+        assert_eq!(v["pair"][0], 512u64);
+    }
+
+    #[test]
+    fn missing_option_field_reads_none() {
+        let back: Doc = crate::from_str(
+            r#"{"id":"x","count":1,"ratio":1.5,"kind":"Plain","unit":"Plain",
+               "maybe":null,"addr":"1.2.3.4","pair":[1,2.0],"arr":[1,2]}"#,
+        )
+        .expect("parses without the missing field");
+        assert_eq!(back.missing, None);
+        assert_eq!(back.maybe, None);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let id = "abc";
+        let doc = crate::json!({
+            "id": id,
+            "nested": crate::json!({ "k": 3 }),
+            "list": [1, 2, 3],
+            "null_it": crate::Value::Null,
+            "typed": sample().pair,
+        });
+        assert_eq!(doc["id"], "abc");
+        assert_eq!(doc["nested"]["k"], 3);
+        assert_eq!(doc["list"].as_array().unwrap().len(), 3);
+        assert!(doc["null_it"].is_null());
+        assert_eq!(doc["typed"][0], 512u64);
+    }
+}
