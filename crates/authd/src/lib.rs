@@ -38,7 +38,8 @@ pub mod tap;
 
 pub use live::{run_live, LiveConfig, LiveReport};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use obs::Histogram;
 pub use respond::Responder;
 pub use server::{Server, ServerConfig};
-pub use stats::{Histogram, Stats, StatsSnapshot};
+pub use stats::{Stats, StatsSnapshot};
 pub use tap::Tap;

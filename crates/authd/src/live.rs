@@ -97,10 +97,16 @@ pub fn run_live(config: &LiveConfig) -> io::Result<LiveReport> {
     let started = Instant::now();
     let done = AtomicBool::new(false);
     let report = crossbeam::thread::scope(|s| {
-        if let Some(interval) = config.stats_interval {
+        // The monitor always runs: it keeps the qps gauges fresh for
+        // `--metrics-addr` scrapes, and additionally prints stats lines
+        // when an interval was requested.
+        {
             let server = &server;
             let client_stats = &client_stats;
             let done = &done;
+            let interval = config.stats_interval;
+            let server_qps = obs::gauge("authd_server_qps", "server-side queries per second");
+            let loadgen_qps = obs::gauge("authd_loadgen_qps", "load generator queries per second");
             s.spawn(move |_| {
                 // sleep in short steps so `done` stays responsive even
                 // with a long stats interval
@@ -108,14 +114,17 @@ pub fn run_live(config: &LiveConfig) -> io::Result<LiveReport> {
                 let mut since_print = Duration::ZERO;
                 while !done.load(Ordering::SeqCst) {
                     std::thread::sleep(step);
-                    since_print += step;
-                    if since_print < interval {
-                        continue;
-                    }
-                    since_print = Duration::ZERO;
                     let elapsed = started.elapsed().as_secs_f64();
-                    eprintln!("serve  | {}", server.stats().snapshot(elapsed));
-                    eprintln!("loadgen| {}", client_stats.snapshot(elapsed));
+                    let server_snap = server.stats().snapshot(elapsed);
+                    let client_snap = client_stats.snapshot(elapsed);
+                    server_qps.set(server_snap.qps);
+                    loadgen_qps.set(client_snap.qps);
+                    since_print += step;
+                    if interval.is_some_and(|iv| since_print >= iv) {
+                        since_print = Duration::ZERO;
+                        eprintln!("serve  | {server_snap}");
+                        eprintln!("loadgen| {client_snap}");
+                    }
                 }
             });
         }
@@ -167,12 +176,10 @@ mod tests {
         assert!(report.server.queries() >= 300);
 
         let bytes = fs::read(&capture).unwrap();
-        let records = CaptureReader::new(&bytes[..])
-            .unwrap()
-            .fold(0u64, |n, r| {
-                r.expect("no torn records");
-                n + 1
-            });
+        let records = CaptureReader::new(&bytes[..]).unwrap().fold(0u64, |n, r| {
+            r.expect("no torn records");
+            n + 1
+        });
         assert_eq!(records, report.records);
         fs::remove_file(&capture).ok();
     }

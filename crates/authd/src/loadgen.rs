@@ -96,6 +96,7 @@ struct Job {
 /// SIGINT via [`signal::triggered`]) is hit; workers drain in-flight
 /// queries before returning.
 pub fn run_loadgen(config: &LoadgenConfig, stats: &Stats) -> io::Result<LoadgenReport> {
+    stats.publish("authd_loadgen");
     let mut driver = Driver::new(config.spec.clone(), config.scale, config.seed);
     let started = Instant::now();
     let start_sim = config.spec.start;
@@ -122,8 +123,7 @@ pub fn run_loadgen(config: &LoadgenConfig, stats: &Stats) -> io::Result<LoadgenR
             {
                 break;
             }
-            let now = start_sim
-                + SimDuration::from_micros(started.elapsed().as_micros() as u64);
+            let now = start_sim + SimDuration::from_micros(started.elapsed().as_micros() as u64);
             let job = Job {
                 q: driver.sample(now),
                 src_port: port_rng.gen_range(1024..u16::MAX),
@@ -160,12 +160,11 @@ pub fn run_loadgen(config: &LoadgenConfig, stats: &Stats) -> io::Result<LoadgenR
     })
     .expect("loadgen threads do not panic");
 
-    let ld = Ordering::Relaxed;
     Ok(LoadgenReport {
-        sent: stats.sent.load(ld),
-        received: stats.responses.load(ld),
-        timeouts: stats.timeouts.load(ld),
-        tcp_fallbacks: stats.tcp_fallbacks.load(ld),
+        sent: stats.sent.get(),
+        received: stats.responses.get(),
+        timeouts: stats.timeouts.get(),
+        tcp_fallbacks: stats.tcp_fallbacks.get(),
         elapsed: started.elapsed(),
     })
 }
@@ -255,8 +254,7 @@ fn tcp_exchange(
     stats: &Stats,
 ) -> Option<Vec<u8>> {
     let connect_at = Instant::now();
-    let mut stream =
-        TcpStream::connect_timeout(&config.server_tcp, config.timeout).ok()?;
+    let mut stream = TcpStream::connect_timeout(&config.server_tcp, config.timeout).ok()?;
     let rtt_us = connect_at.elapsed().as_micros().max(1) as u32;
     stream.set_read_timeout(Some(config.timeout)).ok()?;
     let _ = stream.set_nodelay(true);

@@ -65,10 +65,7 @@ impl Preamble {
         let dst = pull_addr(buf, &mut pos)?;
         let rtt_us = u32::from_be_bytes(buf.get(pos..pos + 4)?.try_into().ok()?);
         pos += 4;
-        Some((
-            Preamble { src, dst, rtt_us },
-            pos,
-        ))
+        Some((Preamble { src, dst, rtt_us }, pos))
     }
 }
 

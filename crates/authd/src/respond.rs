@@ -175,7 +175,12 @@ mod tests {
             SimTime(0),
             None,
         );
-        let Outcome::Reply { bytes, truncated, slipped } = out else {
+        let Outcome::Reply {
+            bytes,
+            truncated,
+            slipped,
+        } = out
+        else {
             panic!("expected a reply, got {out:?}");
         };
         assert!(!truncated);
@@ -220,7 +225,12 @@ mod tests {
         let q = zone.registered_domain(idx).to_string();
         let wire = query_bytes(&q, Some(512));
         let udp = r.handle(&wire, Transport::Udp, src, SimTime(0), None);
-        let Outcome::Reply { bytes: udp_bytes, truncated, .. } = udp else {
+        let Outcome::Reply {
+            bytes: udp_bytes,
+            truncated,
+            ..
+        } = udp
+        else {
             panic!("udp reply expected");
         };
         assert!(truncated, "signed referral must truncate at 512");
@@ -228,7 +238,12 @@ mod tests {
         assert!(Message::parse(&udp_bytes).unwrap().header.truncated);
 
         let tcp = r.handle(&wire, Transport::Tcp, src, SimTime(0), None);
-        let Outcome::Reply { bytes: tcp_bytes, truncated, .. } = tcp else {
+        let Outcome::Reply {
+            bytes: tcp_bytes,
+            truncated,
+            ..
+        } = tcp
+        else {
             panic!("tcp reply expected");
         };
         assert!(!truncated);
@@ -250,7 +265,11 @@ mod tests {
         let mut drops = 0;
         for _ in 0..64 {
             match r.handle(&wire, Transport::Udp, src, SimTime(0), Some(&mut rrl)) {
-                Outcome::Reply { slipped: true, truncated, .. } => {
+                Outcome::Reply {
+                    slipped: true,
+                    truncated,
+                    ..
+                } => {
                     assert!(truncated);
                     slips += 1;
                 }

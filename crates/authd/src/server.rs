@@ -114,10 +114,12 @@ impl Server {
         listener.set_nonblocking(true)?;
         let tcp_addr = listener.local_addr()?;
 
+        let stats = Stats::new();
+        stats.publish("authd_server");
         let shared = Arc::new(Shared {
             responder: Responder::new(config.zone),
             rrl: config.rrl.map(|c| Mutex::new(RateLimiter::new(c))),
-            stats: Stats::new(),
+            stats,
             tap: config.tap,
             clock: Clock {
                 start: config.start,
@@ -210,8 +212,7 @@ fn udp_worker(sock: &UdpSocket, shared: &Shared) {
         let (n, peer) = match sock.recv_from(&mut buf) {
             Ok(ok) => ok,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue
             }
@@ -227,11 +228,7 @@ fn handle_udp(sock: &UdpSocket, datagram: &[u8], peer: SocketAddr, shared: &Shar
     // else the real socket addresses (plain clients)
     let (flow_src, flow_dst, payload) = match Preamble::parse(datagram) {
         Some((p, used)) => (p.src, p.dst, &datagram[used..]),
-        None => (
-            peer,
-            sock.local_addr().unwrap_or(peer),
-            datagram,
-        ),
+        None => (peer, sock.local_addr().unwrap_or(peer), datagram),
     };
     let now = shared.clock.now();
     shared.stats.bump(&shared.stats.udp_queries);
@@ -335,8 +332,7 @@ fn serve_tcp_conn(mut stream: TcpStream, shared: &Shared) {
             Ok(0) => return, // peer closed
             Ok(n) => n,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue
             }
@@ -485,7 +481,8 @@ mod tests {
         let (server, qname) = start_server();
         let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
         sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        sock.send_to(&query_wire(&qname, 99), server.udp_addr()).unwrap();
+        sock.send_to(&query_wire(&qname, 99), server.udp_addr())
+            .unwrap();
         let mut buf = [0u8; 65_535];
         let (n, _) = sock.recv_from(&mut buf).unwrap();
         let msg = Message::parse(&buf[..n]).unwrap();
@@ -502,7 +499,9 @@ mod tests {
         let wire = query_wire(&qname, 7);
         let framed = frame(&wire).unwrap();
         let mut stream = TcpStream::connect(server.tcp_addr()).unwrap();
-        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
         // dribble the framed query one byte at a time: the server must
         // reassemble partial reads
         for b in &framed {
@@ -526,7 +525,10 @@ mod tests {
         sock.send_to(b"not dns at all", server.udp_addr()).unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         while server.stats().snapshot(1.0).malformed == 0 {
-            assert!(Instant::now() < deadline, "malformed datagram never counted");
+            assert!(
+                Instant::now() < deadline,
+                "malformed datagram never counted"
+            );
             thread::sleep(Duration::from_millis(10));
         }
         server.shutdown().unwrap();

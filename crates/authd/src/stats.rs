@@ -1,69 +1,20 @@
-//! Lock-free counters and latency histograms.
+//! Lock-free counters and latency histograms for the live loop.
 //!
 //! Workers on both sides of the loop (server threads, load-generator
-//! threads) bump shared atomics; a reporter thread (or the shutdown
-//! path) takes [`Stats::snapshot`] and renders it. Nothing here blocks
-//! the hot path: counters are `fetch_add(Relaxed)` and the histogram is
-//! a fixed array of atomic buckets.
+//! threads) bump shared handles from the workspace [`obs`] crate; a
+//! reporter thread (or the shutdown path) takes [`Stats::snapshot`] and
+//! renders it. Nothing here blocks the hot path: counters are
+//! `fetch_add(Relaxed)` and the histogram is a fixed array of atomic
+//! log-linear buckets (see `obs::Histogram` — quantiles report bucket
+//! midpoints, accurate to ±6.25%).
+//!
+//! [`Stats::publish`] exposes the same live handles through the global
+//! metrics registry, so a `--metrics-addr` scrape sees exactly the
+//! counters the workers are bumping.
 
+use obs::{Counter, Histogram};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Number of power-of-two latency buckets (covers 1 µs .. ~4.6 h).
-const BUCKETS: usize = 44;
-
-/// A log2-bucketed latency histogram with atomic buckets.
-///
-/// `record(us)` goes to bucket `floor(log2(us))`; quantiles report the
-/// bucket's upper bound, so values are exact to within a factor of two
-/// — plenty for p50/p99 progress lines.
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Histogram {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    /// Record one latency sample, in microseconds.
-    pub fn record(&self, us: u64) {
-        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total samples recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Upper bound (µs) of the bucket holding quantile `q` in `0..=1`,
-    /// or 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << BUCKETS
-    }
-}
+use std::sync::Arc;
 
 /// Shared counters for one side of the live loop.
 ///
@@ -72,30 +23,30 @@ impl Histogram {
 /// are omitted from rendering.
 #[derive(Default)]
 pub struct Stats {
-    /// Queries received over UDP (server) .
-    pub udp_queries: AtomicU64,
+    /// Queries received over UDP (server).
+    pub udp_queries: Arc<Counter>,
     /// Queries received over TCP (server).
-    pub tcp_queries: AtomicU64,
+    pub tcp_queries: Arc<Counter>,
     /// Responses sent.
-    pub responses: AtomicU64,
+    pub responses: Arc<Counter>,
     /// Datagrams / framed messages that failed to parse as DNS.
-    pub malformed: AtomicU64,
+    pub malformed: Arc<Counter>,
     /// UDP responses truncated to the advertised EDNS size (TC=1).
-    pub truncated: AtomicU64,
+    pub truncated: Arc<Counter>,
     /// Responses RRL replaced with a TC=1 slip.
-    pub rrl_slipped: AtomicU64,
+    pub rrl_slipped: Arc<Counter>,
     /// Responses RRL dropped outright.
-    pub rrl_dropped: AtomicU64,
+    pub rrl_dropped: Arc<Counter>,
     /// TCP connections closed for exceeding the pending-bytes cap.
-    pub overruns: AtomicU64,
+    pub overruns: Arc<Counter>,
     /// Load generator: queries sent.
-    pub sent: AtomicU64,
+    pub sent: Arc<Counter>,
     /// Load generator: responses that never arrived in time.
-    pub timeouts: AtomicU64,
+    pub timeouts: Arc<Counter>,
     /// Load generator: TC=1 answers retried over TCP.
-    pub tcp_fallbacks: AtomicU64,
+    pub tcp_fallbacks: Arc<Counter>,
     /// Query→response latency (µs), whichever side measures it.
-    pub latency: Histogram,
+    pub latency: Arc<Histogram>,
 }
 
 impl Stats {
@@ -105,36 +56,98 @@ impl Stats {
     }
 
     /// Bump a counter by one.
-    pub fn bump(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub fn bump(&self, counter: &Counter) {
+        counter.inc();
+    }
+
+    /// Expose these live handles in the global metrics registry under
+    /// `{prefix}_*` names (e.g. `authd_server_udp_queries_total`).
+    /// Re-publishing (a restarted server) replaces the previous
+    /// occupant, so scrapes always see the current run's counters.
+    pub fn publish(&self, prefix: &str) {
+        let reg = obs::Registry::global();
+        let pc = |name: &str, help: &str, handle: &Arc<Counter>| {
+            reg.publish_counter(&format!("{prefix}_{name}"), help, Arc::clone(handle));
+        };
+        pc(
+            "udp_queries_total",
+            "queries received over UDP",
+            &self.udp_queries,
+        );
+        pc(
+            "tcp_queries_total",
+            "queries received over TCP",
+            &self.tcp_queries,
+        );
+        pc("responses_total", "responses sent", &self.responses);
+        pc(
+            "malformed_total",
+            "messages that failed to parse as DNS",
+            &self.malformed,
+        );
+        pc(
+            "truncated_total",
+            "UDP responses truncated (TC=1)",
+            &self.truncated,
+        );
+        pc(
+            "rrl_slipped_total",
+            "responses replaced by RRL TC=1 slips",
+            &self.rrl_slipped,
+        );
+        pc(
+            "rrl_dropped_total",
+            "responses dropped by RRL",
+            &self.rrl_dropped,
+        );
+        pc(
+            "overruns_total",
+            "TCP connections closed for pending-bytes overrun",
+            &self.overruns,
+        );
+        pc("sent_total", "load generator queries sent", &self.sent);
+        pc(
+            "timeouts_total",
+            "load generator response timeouts",
+            &self.timeouts,
+        );
+        pc(
+            "tcp_fallbacks_total",
+            "TC=1 answers retried over TCP",
+            &self.tcp_fallbacks,
+        );
+        reg.publish_histogram(
+            &format!("{prefix}_latency_us"),
+            "query-response latency in microseconds",
+            Arc::clone(&self.latency),
+        );
     }
 
     /// Consistent-enough point-in-time copy for rendering.
     pub fn snapshot(&self, elapsed_secs: f64) -> StatsSnapshot {
-        let ld = Ordering::Relaxed;
-        let udp = self.udp_queries.load(ld);
-        let tcp = self.tcp_queries.load(ld);
-        let sent = self.sent.load(ld);
+        let udp = self.udp_queries.get();
+        let tcp = self.tcp_queries.get();
+        let sent = self.sent.get();
         let queries = if sent > 0 { sent } else { udp + tcp };
         StatsSnapshot {
             udp_queries: udp,
             tcp_queries: tcp,
-            responses: self.responses.load(ld),
-            malformed: self.malformed.load(ld),
-            truncated: self.truncated.load(ld),
-            rrl_slipped: self.rrl_slipped.load(ld),
-            rrl_dropped: self.rrl_dropped.load(ld),
-            overruns: self.overruns.load(ld),
+            responses: self.responses.get(),
+            malformed: self.malformed.get(),
+            truncated: self.truncated.get(),
+            rrl_slipped: self.rrl_slipped.get(),
+            rrl_dropped: self.rrl_dropped.get(),
+            overruns: self.overruns.get(),
             sent,
-            timeouts: self.timeouts.load(ld),
-            tcp_fallbacks: self.tcp_fallbacks.load(ld),
+            timeouts: self.timeouts.get(),
+            tcp_fallbacks: self.tcp_fallbacks.get(),
             qps: if elapsed_secs > 0.0 {
                 queries as f64 / elapsed_secs
             } else {
                 0.0
             },
-            p50_us: self.latency.quantile_us(0.50),
-            p99_us: self.latency.quantile_us(0.99),
+            p50_us: self.latency.quantile(0.50),
+            p99_us: self.latency.quantile(0.99),
         }
     }
 }
@@ -202,22 +215,22 @@ mod tests {
     fn histogram_quantiles_bracket_samples() {
         let h = Histogram::new();
         for _ in 0..99 {
-            h.record(100); // bucket 6 (64..128)
+            h.record(100);
         }
         h.record(1_000_000); // far tail
         assert_eq!(h.count(), 100);
-        let p50 = h.quantile_us(0.50);
-        assert!((64..=256).contains(&p50), "p50 {p50}");
-        let p99 = h.quantile_us(0.99);
-        assert!(p99 <= 256, "p99 {p99} still in the main mass");
-        assert!(h.quantile_us(1.0) >= 1_000_000);
+        let p50 = h.quantile(0.50);
+        assert!((94..=106).contains(&p50), "p50 {p50} within ±6.25% of 100");
+        let p99 = h.quantile(0.99);
+        assert!(p99 < 128, "p99 {p99} free of the old log2 upper-bound bias");
+        assert!(h.quantile(1.0) >= 900_000);
     }
 
     #[test]
     fn histogram_empty_and_extremes() {
         let h = Histogram::new();
-        assert_eq!(h.quantile_us(0.5), 0);
-        h.record(0); // clamped to 1
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(0);
         h.record(u64::MAX); // clamped to the last bucket
         assert_eq!(h.count(), 2);
     }
@@ -237,5 +250,22 @@ mod tests {
         assert!(line.contains("qps 250"), "{line}");
         assert!(line.contains("trunc 1"), "{line}");
         assert!(!line.contains("sent"), "loadgen fields omitted: {line}");
+    }
+
+    #[test]
+    fn publish_exposes_live_handles() {
+        let s = Stats::new();
+        s.publish("authd_stats_test");
+        s.bump(&s.udp_queries);
+        s.latency.record(200);
+        let text = obs::Registry::global().render_prometheus();
+        assert!(
+            text.contains("authd_stats_test_udp_queries_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("authd_stats_test_latency_us_count 1"),
+            "{text}"
+        );
     }
 }

@@ -119,8 +119,11 @@ mod tests {
                 let tap = tap.clone();
                 s.spawn(move |_| {
                     for i in 0..50u8 {
-                        tap.write_pair(&rec(Direction::Query, i), Some(&rec(Direction::Response, i)))
-                            .unwrap();
+                        tap.write_pair(
+                            &rec(Direction::Query, i),
+                            Some(&rec(Direction::Response, i)),
+                        )
+                        .unwrap();
                     }
                 });
             }

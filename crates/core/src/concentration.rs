@@ -36,6 +36,8 @@ pub struct ConcentrationReport {
 
 /// Compute the indices from a dataset analysis.
 pub fn concentration(id: &str, a: &DatasetAnalysis) -> ConcentrationReport {
+    let mut stage = obs::stage("analysis.concentration");
+    stage.add_items(a.total_queries);
     let mut volumes: Vec<u64> = a.as_volume.iter().map(|(_, c)| c).collect();
     volumes.sort_unstable_by(|x, y| y.cmp(x));
     let total: u64 = volumes.iter().sum();

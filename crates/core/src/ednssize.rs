@@ -26,10 +26,13 @@ pub struct EdnsCdfReport {
 
 /// Build the Figure 6 curves for every provider.
 pub fn edns_report(a: &mut DatasetAnalysis) -> Vec<EdnsCdfReport> {
-    ALL_PROVIDERS
+    let mut stage = obs::stage("analysis.ednssize");
+    let reports: Vec<EdnsCdfReport> = ALL_PROVIDERS
         .iter()
         .map(|&p| edns_report_for(a, p))
-        .collect()
+        .collect();
+    stage.add_items(reports.iter().map(|r| r.samples).sum());
+    reports
 }
 
 /// Build one provider's curve.

@@ -49,11 +49,14 @@ pub fn generate_capture(
     seed: u64,
     path: &Path,
 ) -> std::io::Result<DatasetStats> {
+    let mut stage = obs::stage("pipeline.generate");
+    let _span = obs::span(format!("generate {}", spec.id()));
     let engine = Engine::new(spec.clone(), scale, seed);
     let file = File::create(path)?;
     let mut writer = CaptureWriter::new(BufWriter::new(file))?;
     let stats = engine.generate(&mut writer)?;
     writer.finish()?;
+    stage.add_items(stats.queries + stats.responses);
     Ok(stats)
 }
 
@@ -64,6 +67,8 @@ pub fn analyze_capture(
     seed: u64,
     path: &Path,
 ) -> std::io::Result<(DatasetAnalysis, DualStackAnalysis, IngestStats)> {
+    let mut stage = obs::stage("pipeline.analyze");
+    let _span = obs::span(format!("analyze {}", spec.id()));
     // Reconstruct the enrichment context deterministically.
     let plan = InternetPlan::build(&plan_config_for(spec, scale, seed));
     let engine = Engine::new(spec.clone(), scale, seed); // zone + PTR view
@@ -74,11 +79,14 @@ pub fn analyze_capture(
     let mut ingest = CaptureIngest::new(reader, enricher);
     let mut analysis = DatasetAnalysis::new(engine.zone().clone());
     let mut dualstack = DualStackAnalysis::with_servers(&spec.servers);
+    let mut progress = obs::Progress::new(format!("analyze {}", spec.id()), None);
     for row in ingest.by_ref() {
         analysis.push(&row);
         dualstack.push(&row, engine.ptr_db());
+        progress.tick(1);
     }
     let stats = ingest.stats().clone();
+    stage.add_items(stats.rows);
     Ok((analysis, dualstack, stats))
 }
 
@@ -120,9 +128,15 @@ pub fn run_monthly_series_for(
     scale: Scale,
     seed: u64,
 ) -> Vec<MonthlySample> {
-    figure3_months()
+    let months = figure3_months();
+    let mut progress = obs::Progress::new(
+        format!("monthly series {provider:?}"),
+        Some(months.len() as u64),
+    );
+    months
         .into_iter()
         .map(|(year, month)| {
+            progress.tick(1);
             let spec = if provider == asdb::cloud::Provider::Google {
                 monthly_google(vantage, year, month)
             } else {
@@ -151,6 +165,7 @@ pub fn run_all_datasets(scale: Scale, seed: u64) -> Vec<DatasetRun> {
         .flat_map(|v| [2018u16, 2019, 2020].map(|y| dataset(v, y)))
         .collect();
     let mut slots: Vec<Option<DatasetRun>> = specs.iter().map(|_| None).collect();
+    let mut progress = obs::Progress::new("datasets", Some(slots.len() as u64));
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, spec) in specs.into_iter().enumerate() {
@@ -158,6 +173,7 @@ pub fn run_all_datasets(scale: Scale, seed: u64) -> Vec<DatasetRun> {
         }
         for (i, handle) in handles {
             slots[i] = Some(handle.join().expect("dataset worker panicked"));
+            progress.tick(1);
         }
     })
     .expect("scope join");

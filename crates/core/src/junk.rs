@@ -21,6 +21,8 @@ pub struct JunkReport {
 
 /// Build the Figure 4 panel.
 pub fn junk_report(id: &str, a: &DatasetAnalysis) -> JunkReport {
+    let mut stage = obs::stage("analysis.junk");
+    stage.add_items(a.total_queries);
     JunkReport {
         id: id.to_string(),
         overall: 1.0 - a.valid_fraction(),

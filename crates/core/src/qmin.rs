@@ -102,6 +102,8 @@ pub fn detect_threshold(series: &[MonthlySample], min_jump: f64) -> Option<Chang
 /// slow growth; `alarm` is the decision threshold. The reported
 /// change-point is the month the cumulative sum started rising.
 pub fn detect_cusum(series: &[MonthlySample], drift: f64, alarm: f64) -> Option<ChangePoint> {
+    let mut stage = obs::stage("analysis.qmin");
+    stage.add_items(series.len() as u64);
     if series.len() < 4 {
         return detect_threshold(series, 0.15);
     }

@@ -47,6 +47,9 @@ pub struct CaptureIngest<R: Read> {
     pending: HashMap<TxnKey, QueryRow>,
     stats: IngestStats,
     drained: Option<std::vec::IntoIter<QueryRow>>,
+    frames_metric: std::sync::Arc<obs::Counter>,
+    rows_metric: std::sync::Arc<obs::Counter>,
+    malformed_metric: std::sync::Arc<obs::Counter>,
 }
 
 impl<R: Read> CaptureIngest<R> {
@@ -58,6 +61,12 @@ impl<R: Read> CaptureIngest<R> {
             pending: HashMap::new(),
             stats: IngestStats::default(),
             drained: None,
+            frames_metric: obs::counter("entrada_frames_total", "capture frames ingested"),
+            rows_metric: obs::counter("entrada_rows_total", "query rows emitted by ingest"),
+            malformed_metric: obs::counter(
+                "entrada_malformed_total",
+                "capture frames whose DNS payload failed to parse",
+            ),
         }
     }
 
@@ -68,6 +77,7 @@ impl<R: Read> CaptureIngest<R> {
 
     fn absorb(&mut self, rec: CaptureRecord) -> Option<QueryRow> {
         self.stats.frames += 1;
+        self.frames_metric.inc();
         // TCP payloads carry the RFC 1035 two-octet length prefix;
         // deframe before parsing (one message per captured frame).
         let wire: std::borrow::Cow<'_, [u8]> = match rec.flow.transport {
@@ -77,6 +87,7 @@ impl<R: Read> CaptureIngest<R> {
                 }
                 _ => {
                     self.stats.malformed += 1;
+                    self.malformed_metric.inc();
                     return None;
                 }
             },
@@ -86,6 +97,7 @@ impl<R: Read> CaptureIngest<R> {
             Ok(m) => m,
             Err(_) => {
                 self.stats.malformed += 1;
+                self.malformed_metric.inc();
                 return None;
             }
         };
@@ -120,6 +132,7 @@ impl<R: Read> CaptureIngest<R> {
                     // flush the old one as unanswered
                     self.stats.unanswered_queries += 1;
                     self.stats.rows += 1;
+                    self.rows_metric.inc();
                     return Some(orphan);
                 }
                 None
@@ -138,6 +151,7 @@ impl<R: Read> CaptureIngest<R> {
                             row.tcp_rtt_us = rec.tcp_rtt_us;
                         }
                         self.stats.rows += 1;
+                        self.rows_metric.inc();
                         Some(row)
                     }
                     None => {
@@ -171,6 +185,7 @@ impl<R: Read> Iterator for CaptureIngest<R> {
                     rest.sort_by_key(|r| (r.timestamp, r.src_port));
                     self.stats.unanswered_queries += rest.len() as u64;
                     self.stats.rows += rest.len() as u64;
+                    self.rows_metric.add(rest.len() as u64);
                     self.drained = Some(rest.into_iter());
                     return self.drained.as_mut().expect("just set").next();
                 }

@@ -1,0 +1,33 @@
+//! `obs` — the workspace observability layer.
+//!
+//! ENTRADA's operational value comes from knowing what the pipeline is
+//! doing while billions of queries flow through it; this crate is the
+//! reproduction's equivalent, shared by the simulator, the analytics
+//! pipeline, and the live serving loop:
+//!
+//! - [`metrics`] — a lock-free registry of named atomic counters,
+//!   gauges, and log-linear histograms. Handles are `Arc`-cheap and
+//!   every hot-path update is a single `fetch_add(Relaxed)`.
+//! - [`trace`] — scoped RAII span timers on a per-thread id, exported
+//!   as Chrome trace-event JSONL (`chrome://tracing`, Perfetto).
+//!   Disabled spans cost one atomic load.
+//! - [`mod@stage`] — per-stage duration/throughput accounting behind the
+//!   CLI's `--stats` summary table, plus a throttled [`stage::Progress`]
+//!   reporter (records/s, ETA) for `report`-scale runs.
+//! - [`prom`] — Prometheus text-format exposition of the registry,
+//!   served by a tiny built-in HTTP listener (`--metrics-addr`).
+//!
+//! Everything is std-only: no external dependencies, no async runtime,
+//! nothing blocking on the instrumented paths.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod prom;
+pub mod stage;
+pub mod trace;
+
+pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry};
+pub use stage::{stage, Progress, StageTimer};
+pub use trace::span;

@@ -1,0 +1,486 @@
+//! Lock-free metrics: counters, gauges, log-linear histograms, and the
+//! registry that names them.
+//!
+//! Hot-path discipline: recording is always a `fetch_add(Relaxed)` (two
+//! for histograms, which also track the sum) on pre-fetched `Arc`
+//! handles — the registry's `RwLock` is touched only at registration
+//! and render time, never per sample.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter (unregistered; see [`Registry::counter`]).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding the latest `f64` sample (stored as bits).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Replace the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per octave, bounding the
+/// relative quantile error at 1/16 (±6.25%) above the linear region.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave group.
+const SUBS: usize = 1 << SUB_BITS;
+/// Bucket groups: group 0 is exact 0..8; group g ≥ 1 covers
+/// `[8 << (g-1), 16 << (g-1))` with width `1 << (g-1)` each. 40 groups
+/// span microseconds to ~50 days.
+const GROUPS: usize = 40;
+/// Total atomic buckets per histogram.
+const BUCKETS: usize = GROUPS * SUBS;
+
+/// A log-linear histogram with atomic buckets.
+///
+/// Values 0..7 get exact buckets; above that each power-of-two octave
+/// is split into 8 linear sub-buckets, so any recorded value lands in a
+/// bucket no wider than 1/8 of its magnitude. Quantiles report the
+/// bucket *midpoint* (not the upper bound), keeping the estimate within
+/// ±6.25% of the true sample — unlike a pure log2 histogram, whose
+/// upper-bound reporting is biased high by up to 2×.
+pub struct Histogram {
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a recorded value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // ≥ SUB_BITS
+    let group = octave - SUB_BITS as usize + 1;
+    if group >= GROUPS {
+        return BUCKETS - 1;
+    }
+    let sub = ((v >> (octave - SUB_BITS as usize)) & (SUBS as u64 - 1)) as usize;
+    group * SUBS + sub
+}
+
+/// `(lower_bound, width)` of bucket `i`; the bucket covers the integer
+/// values `lower .. lower + width`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    let g = i / SUBS;
+    let s = (i % SUBS) as u64;
+    if g == 0 {
+        (s, 1)
+    } else {
+        let w = 1u64 << (g - 1);
+        ((SUBS as u64 + s) * w, w)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Midpoint of the bucket holding quantile `q` in `0..=1`, or 0
+    /// when empty. Within ±6.25% of the true sample value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                let (lower, width) = bucket_bounds(i);
+                return lower + (width - 1) / 2;
+            }
+        }
+        let (lower, width) = bucket_bounds(BUCKETS - 1);
+        lower + (width - 1) / 2
+    }
+}
+
+/// One named metric slot.
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    slot: Slot,
+}
+
+/// A named collection of metrics; [`Registry::global`] is the
+/// process-wide instance everything registers into by default.
+#[derive(Default)]
+pub struct Registry {
+    entries: RwLock<HashMap<String, Entry>>,
+}
+
+impl Registry {
+    /// A fresh empty registry (tests; production code uses
+    /// [`Registry::global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Get or register a counter under `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        if let Some(Entry {
+            slot: Slot::Counter(c),
+            ..
+        }) = self.entries.read().expect("registry lock").get(name)
+        {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        self.insert(name, help, Slot::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Get or register a gauge under `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        if let Some(Entry {
+            slot: Slot::Gauge(g),
+            ..
+        }) = self.entries.read().expect("registry lock").get(name)
+        {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        self.insert(name, help, Slot::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Get or register a histogram under `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        if let Some(Entry {
+            slot: Slot::Histogram(h),
+            ..
+        }) = self.entries.read().expect("registry lock").get(name)
+        {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        self.insert(name, help, Slot::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Expose an externally owned counter under `name`, replacing any
+    /// previous occupant (a restarted subsystem re-publishes its own
+    /// live handles).
+    pub fn publish_counter(&self, name: &str, help: &str, handle: Arc<Counter>) {
+        self.insert(name, help, Slot::Counter(handle));
+    }
+
+    /// Expose an externally owned gauge under `name` (see
+    /// [`Registry::publish_counter`]).
+    pub fn publish_gauge(&self, name: &str, help: &str, handle: Arc<Gauge>) {
+        self.insert(name, help, Slot::Gauge(handle));
+    }
+
+    /// Expose an externally owned histogram under `name` (see
+    /// [`Registry::publish_counter`]).
+    pub fn publish_histogram(&self, name: &str, help: &str, handle: Arc<Histogram>) {
+        self.insert(name, help, Slot::Histogram(handle));
+    }
+
+    fn insert(&self, name: &str, help: &str, slot: Slot) {
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+                && !name.starts_with(|c: char| c.is_ascii_digit()),
+            "invalid metric name {name:?}"
+        );
+        self.entries.write().expect("registry lock").insert(
+            name.to_string(),
+            Entry {
+                help: help.to_string(),
+                slot,
+            },
+        );
+    }
+
+    /// Render every metric in Prometheus text exposition format
+    /// (version 0.0.4), names sorted for deterministic output.
+    /// Histograms render as summaries with p50/p90/p99/p999 quantiles.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let entries = self.entries.read().expect("registry lock");
+        let mut names: Vec<&String> = entries.keys().collect();
+        names.sort();
+        let mut out = String::new();
+        for name in names {
+            let entry = &entries[name];
+            if !entry.help.is_empty() {
+                writeln!(out, "# HELP {name} {}", entry.help).expect("string write");
+            }
+            match &entry.slot {
+                Slot::Counter(c) => {
+                    writeln!(out, "# TYPE {name} counter").expect("string write");
+                    writeln!(out, "{name} {}", c.get()).expect("string write");
+                }
+                Slot::Gauge(g) => {
+                    writeln!(out, "# TYPE {name} gauge").expect("string write");
+                    writeln!(out, "{name} {}", g.get()).expect("string write");
+                }
+                Slot::Histogram(h) => {
+                    writeln!(out, "# TYPE {name} summary").expect("string write");
+                    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)]
+                    {
+                        writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.quantile(q))
+                            .expect("string write");
+                    }
+                    writeln!(out, "{name}_sum {}", h.sum()).expect("string write");
+                    writeln!(out, "{name}_count {}", h.count()).expect("string write");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Get or register a counter in the global registry.
+pub fn counter(name: &str, help: &str) -> Arc<Counter> {
+    Registry::global().counter(name, help)
+}
+
+/// Get or register a gauge in the global registry.
+pub fn gauge(name: &str, help: &str) -> Arc<Gauge> {
+    Registry::global().gauge(name, help)
+}
+
+/// Get or register a histogram in the global registry.
+pub fn histogram(name: &str, help: &str) -> Arc<Histogram> {
+    Registry::global().histogram(name, help)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(2.5);
+        assert!((g.get() - 2.5).abs() < 1e-12);
+        g.set(-1.0);
+        assert!((g.get() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        let mut last = 0usize;
+        for v in 0..100_000u64 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            // the value lands inside its bucket's bounds
+            let (lower, width) = bucket_bounds(i);
+            assert!(
+                v >= lower && v < lower + width,
+                "{v} outside bucket {i}: [{lower}, {})",
+                lower + width
+            );
+            last = i;
+        }
+    }
+
+    #[test]
+    fn quantiles_on_constant_distribution() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q) as f64;
+            assert!((est - 100.0).abs() / 100.0 <= 0.0625, "q{q}: {est} vs 100");
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 100_000);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        // 1..=10_000 once each: true quantile q is ~q*10_000
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.25, 2500.0), (0.5, 5000.0), (0.9, 9000.0), (0.99, 9900.0)] {
+            let est = h.quantile(q) as f64;
+            let rel = (est - truth).abs() / truth;
+            assert!(rel <= 0.07, "q{q}: {est} vs {truth} (rel {rel:.4})");
+        }
+    }
+
+    #[test]
+    fn quantiles_not_biased_high() {
+        // A pure log2 histogram reporting upper bounds would put every
+        // 100µs sample at 128; midpoint reporting must stay below that
+        // and within the sub-bucket of the sample.
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000); // far-tail outlier
+        let p50 = h.quantile(0.5);
+        assert!((94..=106).contains(&p50), "p50 {p50} not ≈100");
+        let p99 = h.quantile(0.99);
+        assert!(p99 < 128, "p99 {p99} leaked the log2 upper-bound bias");
+        assert!(h.quantile(1.0) >= 900_000, "max reaches the outlier");
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        let h = Histogram::new();
+        for _ in 0..900 {
+            h.record(50);
+        }
+        for _ in 0..100 {
+            h.record(5_000);
+        }
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 50.0).abs() / 50.0 <= 0.0625, "p50 {p50}");
+        let p95 = h.quantile(0.95) as f64;
+        assert!((p95 - 5000.0).abs() / 5000.0 <= 0.0625, "p95 {p95}");
+    }
+
+    #[test]
+    fn histogram_empty_and_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(0);
+        h.record(u64::MAX); // clamps to the last bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(1.0) > 1u64 << 40);
+    }
+
+    #[test]
+    fn registry_get_or_register_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("obs_test_total", "a test counter");
+        let b = r.counter("obs_test_total", "ignored on re-register");
+        a.add(3);
+        assert_eq!(b.get(), 3, "same underlying counter");
+    }
+
+    #[test]
+    fn publish_replaces_previous_handle() {
+        let r = Registry::new();
+        let old = Arc::new(Counter::new());
+        old.add(7);
+        r.publish_counter("obs_replaced_total", "h", Arc::clone(&old));
+        let new = Arc::new(Counter::new());
+        new.add(1);
+        r.publish_counter("obs_replaced_total", "h", Arc::clone(&new));
+        let text = r.render_prometheus();
+        assert!(text.contains("obs_replaced_total 1"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let r = Registry::new();
+        r.counter("demo_queries_total", "queries handled").add(123);
+        r.gauge("demo_qps", "current rate").set(42.5);
+        let h = r.histogram("demo_latency_us", "latency in microseconds");
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let expected = "\
+# HELP demo_latency_us latency in microseconds
+# TYPE demo_latency_us summary
+demo_latency_us{quantile=\"0.5\"} 99
+demo_latency_us{quantile=\"0.9\"} 99
+demo_latency_us{quantile=\"0.99\"} 99
+demo_latency_us{quantile=\"0.999\"} 99
+demo_latency_us_sum 10000
+demo_latency_us_count 100
+# HELP demo_qps current rate
+# TYPE demo_qps gauge
+demo_qps 42.5
+# HELP demo_queries_total queries handled
+# TYPE demo_queries_total counter
+demo_queries_total 123
+";
+        assert_eq!(r.render_prometheus(), expected);
+    }
+}

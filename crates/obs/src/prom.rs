@@ -1,0 +1,162 @@
+//! Prometheus text-format exposition over a tiny built-in HTTP server.
+//!
+//! [`serve`] binds a `TcpListener` on a background thread and answers
+//! every GET with the global registry rendered by
+//! [`crate::metrics::Registry::render_prometheus`] — enough HTTP for
+//! `curl` and a Prometheus scraper, with no dependencies. Dropping the
+//! returned [`MetricsServer`] (or calling
+//! [`MetricsServer::shutdown`]) stops the listener.
+
+use crate::metrics::Registry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop polls the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+/// Cap on request bytes read before responding.
+const REQUEST_CAP: usize = 8 * 1024;
+
+/// A running exposition endpoint; see [`serve`].
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serve the global registry at `http://{addr}/metrics` (any path
+/// answers). Returns once the socket is bound; requests are handled on
+/// a background thread.
+pub fn serve(addr: SocketAddr) -> io::Result<MetricsServer> {
+    serve_registry(addr, Registry::global())
+}
+
+/// [`serve`] for an explicit registry (tests).
+pub fn serve_registry(addr: SocketAddr, registry: &'static Registry) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("obs-metrics".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => handle_conn(stream, registry),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(_) => std::thread::sleep(POLL),
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: bound,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_conn(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+    // read until the end of the request head (we ignore its contents:
+    // every method/path gets the metrics page)
+    let mut req = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&chunk[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > REQUEST_CAP {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if req.is_empty() {
+        return;
+    }
+    let body = registry.render_prometheus();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrape_roundtrip() {
+        let c = crate::metrics::counter("obs_prom_test_total", "prom module test counter");
+        c.add(5);
+        let server = serve("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.addr();
+        let response = http_get(addr);
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            response.contains("Content-Type: text/plain; version=0.0.4"),
+            "{response}"
+        );
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        assert!(
+            body.contains("# TYPE obs_prom_test_total counter"),
+            "{body}"
+        );
+        assert!(body.contains("obs_prom_test_total 5"), "{body}");
+        // a second scrape sees updated values
+        c.add(1);
+        assert!(http_get(addr).contains("obs_prom_test_total 6"));
+        server.shutdown();
+        // the port is released: connecting now fails (or is refused fast)
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-stage pipeline accounting and throttled progress reporting.
+//!
+//! Every instrumented pipeline stage (simnet generation, entrada
+//! ingest, the analysis passes, report rendering) opens a [`StageTimer`]
+//! around its work and sets the number of items it processed; the
+//! global table accumulates wall time and throughput per stage across
+//! the whole run and renders as the `--stats` summary table.
+//!
+//! [`Progress`] emits throttled `records/s` + ETA lines to stderr for
+//! long `report`-scale runs; it is silent unless [`set_progress`] was
+//! called (the CLI ties it to `--stats`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+#[derive(Default, Clone)]
+struct StageAgg {
+    calls: u64,
+    total: Duration,
+    items: u64,
+}
+
+fn table() -> &'static Mutex<HashMap<String, StageAgg>> {
+    static TABLE: OnceLock<Mutex<HashMap<String, StageAgg>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Times one stage invocation; records duration + item count into the
+/// global stage table (and a trace span) on drop.
+pub struct StageTimer {
+    name: &'static str,
+    started: Instant,
+    items: u64,
+    span: crate::trace::Span,
+}
+
+/// Open a stage timer named `name`.
+pub fn stage(name: &'static str) -> StageTimer {
+    StageTimer {
+        name,
+        started: Instant::now(),
+        items: 0,
+        span: crate::trace::span(name),
+    }
+}
+
+impl StageTimer {
+    /// Add `n` processed items (shown as records + records/s).
+    pub fn add_items(&mut self, n: u64) {
+        self.items += n;
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        let mut table = table().lock().expect("stage table lock");
+        let agg = table.entry(self.name.to_string()).or_default();
+        agg.calls += 1;
+        agg.total += elapsed;
+        agg.items += self.items;
+        drop(table);
+        // the trace span closes here too, covering the same interval
+        let _ = &self.span;
+    }
+}
+
+/// Human-scaled count (`975`, `12.3k`, `4.56M`).
+fn human(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.2}G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.2}M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1}k", n / 1e3)
+    } else {
+        format!("{n:.0}")
+    }
+}
+
+/// Human-scaled duration (`850ms`, `2.41s`, `3m12s`).
+fn human_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 60.0 {
+        format!("{}m{:02.0}s", (s / 60.0) as u64, s % 60.0)
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.0}ms", s * 1000.0)
+    }
+}
+
+/// Render the per-stage summary table (stages sorted by total time,
+/// descending). Empty string when nothing was recorded.
+pub fn render_table() -> String {
+    use std::fmt::Write;
+    let table = table().lock().expect("stage table lock");
+    if table.is_empty() {
+        return String::new();
+    }
+    let mut rows: Vec<(String, StageAgg)> =
+        table.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    drop(table);
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.total));
+    let mut out = String::new();
+    writeln!(out, "== per-stage summary ==").expect("string write");
+    writeln!(
+        out,
+        "{:<28} {:>6} {:>10} {:>12} {:>12}",
+        "stage", "calls", "time", "records", "records/s"
+    )
+    .expect("string write");
+    for (name, agg) in &rows {
+        let rate = if agg.total.as_secs_f64() > 0.0 {
+            human(agg.items as f64 / agg.total.as_secs_f64())
+        } else {
+            "-".to_string()
+        };
+        writeln!(
+            out,
+            "{:<28} {:>6} {:>10} {:>12} {:>12}",
+            name,
+            agg.calls,
+            human_duration(agg.total),
+            if agg.items > 0 {
+                agg.items.to_string()
+            } else {
+                "-".to_string()
+            },
+            if agg.items > 0 { rate } else { "-".to_string() },
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Drop all recorded stages (tests).
+pub fn reset() {
+    table().lock().expect("stage table lock").clear();
+}
+
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Turn periodic progress lines on or off (default off).
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether progress lines are enabled.
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Throttled progress reporter: call [`Progress::tick`] as often as you
+/// like; at most one line per second reaches stderr, carrying counts,
+/// rate, and (when a total is known) percent complete and ETA.
+pub struct Progress {
+    label: String,
+    total: Option<u64>,
+    done: u64,
+    started: Instant,
+    last_print: Instant,
+}
+
+impl Progress {
+    /// A reporter for `label`; `total` enables percent + ETA.
+    pub fn new(label: impl Into<String>, total: Option<u64>) -> Progress {
+        let now = Instant::now();
+        Progress {
+            label: label.into(),
+            total,
+            done: 0,
+            started: now,
+            last_print: now,
+        }
+    }
+
+    /// Record `n` more items; maybe emit a line.
+    pub fn tick(&mut self, n: u64) {
+        self.done += n;
+        if !progress_enabled() || self.last_print.elapsed() < Duration::from_secs(1) {
+            return;
+        }
+        self.last_print = Instant::now();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.done as f64 / elapsed
+        } else {
+            0.0
+        };
+        match self.total {
+            Some(total) if total > 0 && rate > 0.0 => {
+                let pct = 100.0 * self.done as f64 / total as f64;
+                let eta = (total.saturating_sub(self.done)) as f64 / rate;
+                eprintln!(
+                    "[{}] {}/{} ({pct:.0}%) {}/s eta {}",
+                    self.label,
+                    self.done,
+                    total,
+                    human(rate),
+                    human_duration(Duration::from_secs_f64(eta)),
+                );
+            }
+            _ => {
+                eprintln!("[{}] {} done, {}/s", self.label, self.done, human(rate));
+            }
+        }
+    }
+
+    /// Items recorded so far.
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_table_accumulates_and_renders() {
+        {
+            let mut t = stage("test.alpha");
+            t.add_items(500);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let mut t = stage("test.alpha");
+            t.add_items(500);
+        }
+        {
+            let _t = stage("test.beta");
+        }
+        let text = render_table();
+        assert!(text.contains("== per-stage summary =="), "{text}");
+        assert!(text.contains("records/s"), "{text}");
+        let alpha = text
+            .lines()
+            .find(|l| l.starts_with("test.alpha"))
+            .expect("alpha row");
+        assert!(alpha.contains("2"), "two calls: {alpha}");
+        assert!(alpha.contains("1000"), "items summed: {alpha}");
+        let beta = text
+            .lines()
+            .find(|l| l.starts_with("test.beta"))
+            .expect("beta row");
+        assert!(beta.contains('-'), "no items recorded: {beta}");
+    }
+
+    #[test]
+    fn progress_is_silent_by_default_and_counts() {
+        let mut p = Progress::new("test", Some(100));
+        p.tick(10);
+        p.tick(20);
+        assert_eq!(p.done(), 30);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(975.0), "975");
+        assert_eq!(human(12_300.0), "12.3k");
+        assert_eq!(human(4_560_000.0), "4.56M");
+        assert_eq!(human_duration(Duration::from_millis(850)), "850ms");
+        assert_eq!(human_duration(Duration::from_secs_f64(2.41)), "2.41s");
+        assert_eq!(human_duration(Duration::from_secs(192)), "3m12s");
+    }
+}

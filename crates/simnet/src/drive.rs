@@ -144,8 +144,7 @@ impl Driver {
         let fi = pick_cum(&self.fleet_cum, self.rng.gen());
         let want_junk = {
             let fleet = &self.engine.fleets[fi];
-            (self.junk_emitted[fi] as f64)
-                < fleet.spec.junk_ratio * (self.emitted[fi] + 1) as f64
+            (self.junk_emitted[fi] as f64) < fleet.spec.junk_ratio * (self.emitted[fi] + 1) as f64
         };
         let r_idx = self.engine.fleets[fi].pick(&mut self.rng);
 
@@ -176,8 +175,7 @@ impl Driver {
         let fi = pick_cum(&self.fleet_cum, self.rng.gen());
         let want_junk = {
             let fleet = &self.engine.fleets[fi];
-            (self.junk_emitted[fi] as f64)
-                < fleet.spec.junk_ratio * (self.emitted[fi] + 1) as f64
+            (self.junk_emitted[fi] as f64) < fleet.spec.junk_ratio * (self.emitted[fi] + 1) as f64
         };
         let r_idx = self.engine.fleets[fi].pick(&mut self.rng);
         let (qname, qtype, signed, cacheable, idx) = self.pick_question(fi, want_junk, t);
@@ -186,7 +184,12 @@ impl Driver {
 
     /// The engine's qname/qtype decision chain: junk vs Zipf-popular
     /// valid names, deep names, Q-min rewriting.
-    fn pick_question(&mut self, fi: usize, is_junk: bool, t: SimTime) -> (Name, RType, bool, bool, u64) {
+    fn pick_question(
+        &mut self,
+        fi: usize,
+        is_junk: bool,
+        t: SimTime,
+    ) -> (Name, RType, bool, bool, u64) {
         let rng = &mut self.rng;
         if is_junk {
             let (name, _) = self.engine.junk.sample(rng);
@@ -201,8 +204,7 @@ impl Driver {
             let idx = self.engine.zipf.sample(rng);
             let base = self.engine.zone().registered_domain(idx);
             let mut qt = pick_qtype(&spec.qtype_mix, rng);
-            let mut qn = if matches!(qt, RType::A | RType::Aaaa | RType::Ns) && rng.gen_bool(0.55)
-            {
+            let mut qn = if matches!(qt, RType::A | RType::Aaaa | RType::Ns) && rng.gen_bool(0.55) {
                 let sub: &[u8] =
                     [&b"www"[..], b"mail", b"api", b"cdn", b"img"][rng.gen_range(0..5usize)];
                 base.child(sub).unwrap_or(base)
@@ -236,7 +238,10 @@ impl Driver {
         }
         let follow_ups = {
             let spec = &self.engine.fleets[fi].spec;
-            spec.validates && cacheable && signed && qtype != RType::Ds
+            spec.validates
+                && cacheable
+                && signed
+                && qtype != RType::Ds
                 && self.rng.gen_bool(spec.ds_prob)
         };
         let dnskey = {
@@ -362,7 +367,11 @@ mod tests {
             .collect();
         for _ in 0..200 {
             let q = d.sample(t);
-            assert!(servers.contains(&q.dst), "dst {} is a dataset server", q.dst);
+            assert!(
+                servers.contains(&q.dst),
+                "dst {} is a dataset server",
+                q.dst
+            );
             assert_ne!(q.src, q.dst);
         }
     }

@@ -157,6 +157,11 @@ impl Engine {
         let slots = (self.spec.days as usize) * 24;
         let slot_len = SimDuration::from_hours(1);
         let total = self.scaled_total();
+        let mut stage = obs::stage("simnet.generate");
+        let mut progress = obs::Progress::new(
+            format!("simnet {:?}-{}", self.spec.vantage, self.spec.year),
+            Some(total),
+        );
 
         // diurnal/weekly slot weights
         let weights: Vec<f64> = (0..slots)
@@ -226,6 +231,7 @@ impl Engine {
                 }
                 emitted[fi] += done;
                 fleet_counts[fi] += done;
+                progress.tick(done);
             }
             self.emit_incidents(
                 slot,
@@ -248,6 +254,22 @@ impl Engine {
             .zip(fleet_counts)
             .map(|(f, c)| (f.spec.name.clone(), c))
             .collect();
+        stage.add_items(stats.queries + stats.responses);
+        obs::counter(
+            "simnet_queries_total",
+            "query records generated by the simnet engine",
+        )
+        .add(stats.queries);
+        obs::counter(
+            "simnet_responses_total",
+            "response records generated by the simnet engine",
+        )
+        .add(stats.responses);
+        obs::counter(
+            "simnet_cache_hits_total",
+            "demand events absorbed by simulated resolver caches",
+        )
+        .add(stats.cache_hits);
         Ok(stats)
     }
 

@@ -16,6 +16,12 @@
 //! Common flags: `--scale=tiny|small|report` (default small) and
 //! `--seed=N` (default 42). Value-taking flags accept both
 //! `--flag=value` and `--flag value`.
+//!
+//! Observability flags (any command): `--stats` prints a per-stage
+//! time/throughput table (and enables progress lines on long runs),
+//! `--trace out.json` writes a Chrome trace-event JSONL of the run, and
+//! `--metrics-addr ip:port` serves live Prometheus metrics over HTTP
+//! (most useful with `serve` and `live`).
 
 use dnscentral_core::dualstack::DualStackAnalysis;
 use dnscentral_core::experiments::{
@@ -29,27 +35,94 @@ use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = normalize_args(std::env::args().skip(1).collect());
+    let args: Vec<String> = match normalize_args(std::env::args().skip(1).collect()) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let (flags, positional): (Vec<&String>, Vec<&String>) =
         args.iter().partition(|a| a.starts_with("--"));
-    let scale = match flag_value(&flags, "--scale").unwrap_or("small") {
+
+    // observability flags apply to every command
+    let trace_path = flag_value(&flags, "--trace").map(std::path::PathBuf::from);
+    if trace_path.is_some() {
+        obs::trace::enable();
+    }
+    let want_stats = flags.iter().any(|f| *f == "--stats");
+    if want_stats {
+        obs::stage::set_progress(true);
+    }
+    let metrics_server = match flag_value(&flags, "--metrics-addr") {
+        Some(addr) => {
+            let addr: std::net::SocketAddr = match addr.parse() {
+                Ok(a) => a,
+                Err(_) => {
+                    eprintln!("--metrics-addr takes ip:port, got {addr:?}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match obs::prom::serve(addr) {
+                Ok(server) => {
+                    println!("metrics: http://{}/metrics", server.addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("cannot bind metrics endpoint {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    let code = match run_command(&flags, &positional) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    };
+
+    if want_stats {
+        let table = obs::stage::render_table();
+        if !table.is_empty() {
+            print!("{table}");
+        }
+    }
+    if let Some(path) = trace_path {
+        match obs::trace::write_jsonl_file(&path) {
+            Ok(n) => eprintln!("trace: {n} spans -> {}", path.display()),
+            Err(e) => {
+                eprintln!("trace: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    drop(metrics_server); // keep the endpoint up until the very end
+    code
+}
+
+/// Parse + dispatch one command; `Err` is a user-facing message.
+fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, String> {
+    let scale = match flag_value(flags, "--scale").unwrap_or("small") {
         "tiny" => Scale::tiny(),
         "small" => Scale::small(),
         "medium" => Scale::medium(),
         "report" => Scale::report(),
         other => {
-            eprintln!("unknown scale {other:?} (tiny|small|medium|report)");
-            return ExitCode::FAILURE;
+            return Err(format!(
+                "unknown scale {other:?} (tiny|small|medium|report)"
+            ))
         }
     };
-    let seed: u64 = flag_value(&flags, "--seed")
-        .map(|v| v.parse().expect("--seed takes an integer"))
-        .unwrap_or(42);
+    let seed: u64 = parsed_flag(flags, "--seed", "an integer")?.unwrap_or(42);
 
     match positional.first().map(|s| s.as_str()) {
         Some("table1") => print!("{}", report::render_table1()),
         Some("generate") => {
-            let (vantage, year, path) = dataset_args(&positional);
+            let (vantage, year, path) = dataset_args(positional)?;
             let spec = dataset(vantage, year);
             let stats =
                 generate_capture(&spec, scale, seed, Path::new(path)).expect("capture generation");
@@ -63,7 +136,7 @@ fn main() -> ExitCode {
             );
         }
         Some("analyze") => {
-            let (vantage, year, path) = dataset_args(&positional);
+            let (vantage, year, path) = dataset_args(positional)?;
             let spec = dataset(vantage, year);
             let (analysis, mut dualstack, ingest) =
                 analyze_capture(&spec, scale, seed, Path::new(path)).expect("analysis");
@@ -74,7 +147,7 @@ fn main() -> ExitCode {
             );
         }
         Some("dataset") => {
-            let (vantage, year) = vantage_year(&positional);
+            let (vantage, year) = vantage_year(positional)?;
             let run = run_dataset(vantage, year, scale, seed);
             if flags.iter().any(|f| *f == "--json") {
                 let mut analysis = run.analysis;
@@ -90,14 +163,18 @@ fn main() -> ExitCode {
             }
         }
         Some("qmin") => {
-            let vantage = parse_vantage(positional.get(1).map(|s| s.as_str()).unwrap_or("nl"));
-            let provider = match flag_value(&flags, "--provider") {
+            let vantage = parse_vantage(positional.get(1).map(|s| s.as_str()).unwrap_or("nl"))?;
+            let provider = match flag_value(flags, "--provider") {
                 None | Some("google") => asdb::cloud::Provider::Google,
                 Some("amazon") => asdb::cloud::Provider::Amazon,
                 Some("microsoft") => asdb::cloud::Provider::Microsoft,
                 Some("facebook") => asdb::cloud::Provider::Facebook,
                 Some("cloudflare") => asdb::cloud::Provider::Cloudflare,
-                Some(other) => panic!("unknown provider {other:?}"),
+                Some(other) => {
+                    return Err(format!(
+                        "unknown provider {other:?} (google|amazon|microsoft|facebook|cloudflare)"
+                    ))
+                }
             };
             let series = dnscentral_core::experiments::run_monthly_series_for(
                 vantage, provider, scale, seed,
@@ -114,27 +191,29 @@ fn main() -> ExitCode {
         }
         Some("report") => full_report(scale, seed),
         Some("inspect") => {
-            let path = positional.get(1).expect("capture path required");
-            inspect_capture(Path::new(path));
+            let path = positional
+                .get(1)
+                .ok_or("usage: dnscentral inspect <capture.dnscap>")?;
+            inspect_capture(Path::new(path.as_str()));
         }
         Some("export-pcap") => {
-            let input = positional.get(1).expect("input .dnscap required");
-            let output = positional.get(2).expect("output .pcap required");
+            let [input, output] = two_paths(positional, "export-pcap <in.dnscap> <out.pcap>")?;
             export_pcap(Path::new(input), Path::new(output));
         }
         Some("analyze-pcap") => {
-            let input = positional.get(1).expect("input .pcap required");
-            let zone = match flag_value(&flags, "--zone").unwrap_or("root") {
+            let input = positional
+                .get(1)
+                .ok_or("usage: dnscentral analyze-pcap <in.pcap> [--zone=nl|nz|root]")?;
+            let zone = match flag_value(flags, "--zone").unwrap_or("root") {
                 "nl" => zonedb::zone::ZoneModel::nl(5_900_000),
                 "nz" => zonedb::zone::ZoneModel::nz(141_000, 569_000),
                 "root" => zonedb::zone::ZoneModel::root(1514),
-                other => panic!("unknown zone {other:?} (nl|nz|root)"),
+                other => return Err(format!("unknown zone {other:?} (nl|nz|root)")),
             };
-            analyze_external_pcap(Path::new(input), zone);
+            analyze_external_pcap(Path::new(input.as_str()), zone);
         }
         Some("import-pcap") => {
-            let input = positional.get(1).expect("input .pcap required");
-            let output = positional.get(2).expect("output .dnscap required");
+            let [input, output] = two_paths(positional, "import-pcap <in.pcap> <out.dnscap>")?;
             import_pcap_cli(Path::new(input), Path::new(output));
         }
         Some("concentration") => {
@@ -149,7 +228,7 @@ fn main() -> ExitCode {
             print!("{}", report::render_concentration(&reports));
         }
         Some("scenario-template") => {
-            let (vantage, year) = vantage_year(&positional);
+            let (vantage, year) = vantage_year(positional)?;
             let mut spec = dataset(vantage, year);
             // materialize the fleet list so every knob is editable
             spec.fleets_override = Some(spec.fleets());
@@ -159,7 +238,9 @@ fn main() -> ExitCode {
             );
         }
         Some("scenario") => {
-            let path = positional.get(1).expect("scenario JSON path required");
+            let path = positional
+                .get(1)
+                .ok_or("usage: dnscentral scenario <scenario.json>")?;
             let text = std::fs::read_to_string(path).expect("scenario file reads");
             let spec: simnet::scenario::DatasetSpec =
                 serde_json::from_str(&text).expect("valid scenario JSON");
@@ -182,50 +263,78 @@ fn main() -> ExitCode {
             print!("{}", report::render_junk_overview(&measured));
         }
         Some("serve") => {
-            let (vantage, year) = vantage_year(&positional);
-            return serve_cli(vantage, year, &flags);
+            let (vantage, year) = vantage_year(positional)?;
+            return serve_cli(vantage, year, flags);
         }
         Some("loadgen") => {
-            let (vantage, year) = vantage_year(&positional);
-            return loadgen_cli(vantage, year, scale, seed, &flags);
+            let (vantage, year) = vantage_year(positional)?;
+            return loadgen_cli(vantage, year, scale, seed, flags);
         }
         Some("live") => {
-            let (vantage, year) = vantage_year(&positional);
-            let out = positional.get(3).map(|s| s.as_str()).unwrap_or("live.dnscap");
-            return live_cli(vantage, year, scale, seed, out, &flags);
+            let (vantage, year) = vantage_year(positional)?;
+            let out = positional
+                .get(3)
+                .map(|s| s.as_str())
+                .unwrap_or("live.dnscap");
+            return live_cli(vantage, year, scale, seed, out, flags);
         }
         _ => {
-            eprintln!(
+            return Err(
                 "usage: dnscentral <table1|generate|analyze|dataset|qmin|report|inspect|export-pcap|import-pcap|analyze-pcap|concentration|junk-overview|experiments|scenario-template|scenario|serve|loadgen|live> \
-                 [args] [--scale=tiny|small|medium|report] [--seed=N]"
+                 [args] [--scale=tiny|small|medium|report] [--seed=N] [--stats] [--trace=out.json] [--metrics-addr=ip:port]"
+                    .to_string(),
             );
-            return ExitCode::FAILURE;
         }
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Two required positional path arguments (friendly usage on absence).
+fn two_paths<'a>(positional: &[&'a String], usage: &str) -> Result<[&'a str; 2], String> {
+    match (positional.get(1), positional.get(2)) {
+        (Some(a), Some(b)) => Ok([a.as_str(), b.as_str()]),
+        _ => Err(format!("usage: dnscentral {usage}")),
+    }
+}
+
+/// Parse a value-taking flag with a friendly error instead of a panic.
+fn parsed_flag<T: std::str::FromStr>(
+    flags: &[&String],
+    name: &str,
+    what: &str,
+) -> Result<Option<T>, String> {
+    match flag_value(flags, name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name} takes {what}, got {v:?}")),
+    }
 }
 
 /// Live authoritative server on real sockets until SIGINT (or
 /// `--duration`); `--out tap.dnscap` mirrors served traffic.
-fn serve_cli(vantage: Vantage, year: u16, flags: &[&String]) -> ExitCode {
+fn serve_cli(vantage: Vantage, year: u16, flags: &[&String]) -> Result<ExitCode, String> {
     let spec = dataset(vantage, year);
     let mut config = authd::ServerConfig::for_spec(&spec);
-    if let Some(port) = flag_value(flags, "--port") {
-        let port: u16 = port.parse().expect("--port takes a port number");
+    if let Some(port) = parsed_flag::<u16>(flags, "--port", "a port number")? {
         config.bind = std::net::SocketAddr::new(IpAddr::from([127, 0, 0, 1]), port);
     }
-    if let Some(n) = flag_value(flags, "--udp-workers") {
-        config.udp_workers = n.parse().expect("--udp-workers takes a count");
+    if let Some(n) = parsed_flag(flags, "--udp-workers", "a count")? {
+        config.udp_workers = n;
     }
-    if let Some(n) = flag_value(flags, "--tcp-workers") {
-        config.tcp_workers = n.parse().expect("--tcp-workers takes a count");
+    if let Some(n) = parsed_flag(flags, "--tcp-workers", "a count")? {
+        config.tcp_workers = n;
     }
     if let Some(path) = flag_value(flags, "--out") {
         config.tap = Some(authd::Tap::create(Path::new(path)).expect("tap creates"));
     }
-    let duration = flag_value(flags, "--duration").map(parse_duration);
+    let duration = flag_value(flags, "--duration")
+        .map(parse_duration)
+        .transpose()?;
     let interval = flag_value(flags, "--stats-interval")
         .map(parse_duration)
+        .transpose()?
         .unwrap_or(std::time::Duration::from_secs(5));
 
     authd::signal::install();
@@ -239,15 +348,18 @@ fn serve_cli(vantage: Vantage, year: u16, flags: &[&String]) -> ExitCode {
     let started = std::time::Instant::now();
     let mut since_print = std::time::Duration::ZERO;
     let step = std::time::Duration::from_millis(100);
+    let qps_gauge = obs::gauge("authd_server_qps", "server-side queries per second");
     loop {
         if authd::signal::triggered() || duration.is_some_and(|d| started.elapsed() >= d) {
             break;
         }
         std::thread::sleep(step);
         since_print += step;
+        let snap = server.stats().snapshot(started.elapsed().as_secs_f64());
+        qps_gauge.set(snap.qps);
         if since_print >= interval {
             since_print = std::time::Duration::ZERO;
-            eprintln!("{}", server.stats().snapshot(started.elapsed().as_secs_f64()));
+            eprintln!("{snap}");
         }
     }
     let snap = server.stats().snapshot(started.elapsed().as_secs_f64());
@@ -256,7 +368,7 @@ fn serve_cli(vantage: Vantage, year: u16, flags: &[&String]) -> ExitCode {
     if records > 0 {
         println!("capture: {records} records flushed");
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Closed-loop load against an already-running server
@@ -267,23 +379,18 @@ fn loadgen_cli(
     scale: Scale,
     seed: u64,
     flags: &[&String],
-) -> ExitCode {
+) -> Result<ExitCode, String> {
     let spec = dataset(vantage, year);
-    let udp = flag_value(flags, "--udp")
-        .expect("--udp server address required")
-        .parse()
-        .expect("--udp takes host:port");
-    let tcp = flag_value(flags, "--tcp")
-        .expect("--tcp server address required")
-        .parse()
-        .expect("--tcp takes host:port");
+    let udp = parsed_flag(flags, "--udp", "host:port")?.ok_or("--udp server address required")?;
+    let tcp = parsed_flag(flags, "--tcp", "host:port")?.ok_or("--tcp server address required")?;
     let mut config = authd::LoadgenConfig::new(spec, scale, seed, udp, tcp);
-    if let Some(n) = flag_value(flags, "--workers") {
-        config.workers = n.parse().expect("--workers takes a count");
+    if let Some(n) = parsed_flag(flags, "--workers", "a count")? {
+        config.workers = n;
     }
-    config.max_queries = flag_value(flags, "--queries")
-        .map(|v| v.parse().expect("--queries takes a count"));
-    config.duration = flag_value(flags, "--duration").map(parse_duration);
+    config.max_queries = parsed_flag(flags, "--queries", "a count")?;
+    config.duration = flag_value(flags, "--duration")
+        .map(parse_duration)
+        .transpose()?;
     if config.max_queries.is_none() && config.duration.is_none() {
         config.max_queries = Some(10_000);
     }
@@ -300,7 +407,7 @@ fn loadgen_cli(
         report.tcp_fallbacks,
         report.elapsed.as_secs_f64()
     );
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Serve + loadgen over loopback, seal the tap, then run the standard
@@ -312,22 +419,23 @@ fn live_cli(
     seed: u64,
     out: &str,
     flags: &[&String],
-) -> ExitCode {
+) -> Result<ExitCode, String> {
     let spec = dataset(vantage, year);
     let mut config =
         authd::LiveConfig::new(spec.clone(), scale, seed, Path::new(out).to_path_buf());
-    if let Some(n) = flag_value(flags, "--workers") {
-        config.loadgen_workers = n.parse().expect("--workers takes a count");
+    if let Some(n) = parsed_flag(flags, "--workers", "a count")? {
+        config.loadgen_workers = n;
     }
-    if let Some(q) = flag_value(flags, "--queries") {
-        config.max_queries = Some(q.parse().expect("--queries takes a count"));
+    if let Some(q) = parsed_flag(flags, "--queries", "a count")? {
+        config.max_queries = Some(q);
     }
     if let Some(d) = flag_value(flags, "--duration") {
-        config.duration = Some(parse_duration(d));
-        config.max_queries = flag_value(flags, "--queries")
-            .map(|v| v.parse().expect("--queries takes a count"));
+        config.duration = Some(parse_duration(d)?);
+        config.max_queries = parsed_flag(flags, "--queries", "a count")?;
     }
-    config.stats_interval = flag_value(flags, "--stats-interval").map(parse_duration);
+    config.stats_interval = flag_value(flags, "--stats-interval")
+        .map(parse_duration)
+        .transpose()?;
 
     authd::signal::install();
     let report = authd::run_live(&config).expect("live loop runs");
@@ -346,7 +454,7 @@ fn live_cli(
     println!("loadgen| {}", report.client);
     if report.records == 0 {
         eprintln!("live run produced an empty capture");
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     }
 
     let (analysis, mut dualstack, ingest) =
@@ -356,12 +464,12 @@ fn live_cli(
         "[ingest: {} frames, {} malformed, {} unanswered]",
         ingest.frames, ingest.malformed, ingest.unanswered_queries
     );
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Rewrite `--flag value` as `--flag=value` for the known value-taking
 /// flags, so both spellings work.
-fn normalize_args(raw: Vec<String>) -> Vec<String> {
+fn normalize_args(raw: Vec<String>) -> Result<Vec<String>, String> {
     const VALUE_FLAGS: &[&str] = &[
         "--scale",
         "--seed",
@@ -377,6 +485,8 @@ fn normalize_args(raw: Vec<String>) -> Vec<String> {
         "--tcp",
         "--out",
         "--stats-interval",
+        "--trace",
+        "--metrics-addr",
     ];
     let mut out = Vec::with_capacity(raw.len());
     let mut it = raw.into_iter();
@@ -384,30 +494,34 @@ fn normalize_args(raw: Vec<String>) -> Vec<String> {
         if VALUE_FLAGS.contains(&arg.as_str()) {
             match it.next() {
                 Some(value) => out.push(format!("{arg}={value}")),
-                None => panic!("flag {arg} requires a value"),
+                None => return Err(format!("flag {arg} requires a value")),
             }
         } else {
             out.push(arg);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Parse `3s`, `500ms`, `2m`, or bare seconds.
-fn parse_duration(s: &str) -> std::time::Duration {
-    let parse_num = |v: &str, unit: &str| -> f64 {
+fn parse_duration(s: &str) -> Result<std::time::Duration, String> {
+    let parse_num = |v: &str, unit: &str| -> Result<f64, String> {
         v.parse()
-            .unwrap_or_else(|_| panic!("bad duration {s:?} (want e.g. 3{unit})"))
+            .map_err(|_| format!("bad duration {s:?} (want e.g. 3{unit})"))
     };
-    if let Some(ms) = s.strip_suffix("ms") {
-        std::time::Duration::from_secs_f64(parse_num(ms, "ms") / 1000.0)
+    let secs = if let Some(ms) = s.strip_suffix("ms") {
+        parse_num(ms, "ms")? / 1000.0
     } else if let Some(m) = s.strip_suffix('m') {
-        std::time::Duration::from_secs_f64(parse_num(m, "m") * 60.0)
+        parse_num(m, "m")? * 60.0
     } else if let Some(secs) = s.strip_suffix('s') {
-        std::time::Duration::from_secs_f64(parse_num(secs, "s"))
+        parse_num(secs, "s")?
     } else {
-        std::time::Duration::from_secs_f64(parse_num(s, "s"))
+        parse_num(s, "s")?
+    };
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("bad duration {s:?} (must be non-negative)"));
     }
+    Ok(std::time::Duration::from_secs_f64(secs))
 }
 
 fn flag_value<'a>(flags: &'a [&'a String], name: &str) -> Option<&'a str> {
@@ -416,29 +530,30 @@ fn flag_value<'a>(flags: &'a [&'a String], name: &str) -> Option<&'a str> {
         .find_map(|f| f.strip_prefix(name)?.strip_prefix('='))
 }
 
-fn parse_vantage(s: &str) -> Vantage {
+fn parse_vantage(s: &str) -> Result<Vantage, String> {
     match s {
-        "nl" => Vantage::Nl,
-        "nz" => Vantage::Nz,
-        "broot" | "b-root" => Vantage::BRoot,
-        other => panic!("unknown vantage {other:?} (nl|nz|broot)"),
+        "nl" => Ok(Vantage::Nl),
+        "nz" => Ok(Vantage::Nz),
+        "broot" | "b-root" => Ok(Vantage::BRoot),
+        other => Err(format!("unknown vantage {other:?} (nl|nz|broot)")),
     }
 }
 
-fn vantage_year(positional: &[&String]) -> (Vantage, u16) {
-    let vantage = parse_vantage(positional.get(1).expect("vantage required"));
-    let year: u16 = positional
-        .get(2)
-        .expect("year required")
+fn vantage_year(positional: &[&String]) -> Result<(Vantage, u16), String> {
+    let vantage = parse_vantage(positional.get(1).ok_or("vantage required (nl|nz|broot)")?)?;
+    let year_str = positional.get(2).ok_or("year required (2018|2019|2020)")?;
+    let year: u16 = year_str
         .parse()
-        .expect("year");
-    (vantage, year)
+        .map_err(|_| format!("year must be a number, got {year_str:?}"))?;
+    Ok((vantage, year))
 }
 
-fn dataset_args<'a>(positional: &[&'a String]) -> (Vantage, u16, &'a str) {
-    let (vantage, year) = vantage_year(positional);
-    let path = positional.get(3).expect("capture path required");
-    (vantage, year, path)
+fn dataset_args<'a>(positional: &[&'a String]) -> Result<(Vantage, u16, &'a str), String> {
+    let (vantage, year) = vantage_year(positional)?;
+    let path = positional
+        .get(3)
+        .ok_or("capture path required (e.g. out.dnscap)")?;
+    Ok((vantage, year, path.as_str()))
 }
 
 /// Print the per-dataset exhibits.

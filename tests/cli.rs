@@ -47,6 +47,35 @@ fn bad_scale_is_rejected() {
 }
 
 #[test]
+fn bad_flag_values_fail_with_friendly_errors() {
+    // every case: non-zero exit, a readable message, and no panic text
+    for (args, expect) in [
+        (&["table1", "--seed=banana"][..], "--seed takes an integer"),
+        (
+            &["live", "nl", "2020", "x.dnscap", "--duration=banana"][..],
+            "bad duration",
+        ),
+        (
+            &["serve", "nl", "2020", "--port=notaport"][..],
+            "--port takes a port number",
+        ),
+        (&["table1", "--metrics-addr=nonsense"][..], "ip:port"),
+        (
+            &["generate", "nl", "2019", "--scale"][..],
+            "requires a value",
+        ),
+        (&["dataset", "mars", "2020"][..], "unknown vantage"),
+        (&["dataset", "nl", "twenty"][..], "year must be a number"),
+    ] {
+        let out = bin().args(args).output().expect("runs");
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains(expect), "{args:?}: {err}");
+        assert!(!err.contains("panicked"), "{args:?}: {err}");
+    }
+}
+
+#[test]
 fn generate_analyze_inspect_roundtrip() {
     let cap = tmp("gen.dnscap");
     let out = bin()

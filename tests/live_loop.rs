@@ -24,7 +24,11 @@ fn live_capture_matches_offline_cloud_shares() {
     let mut config = LiveConfig::new(spec.clone(), scale, seed, capture.clone());
     config.max_queries = Some(QUERIES);
     let report = run_live(&config).expect("live loop runs");
-    assert!(report.loadgen.sent >= QUERIES, "sent {}", report.loadgen.sent);
+    assert!(
+        report.loadgen.sent >= QUERIES,
+        "sent {}",
+        report.loadgen.sent
+    );
     assert!(report.records > 0, "capture tap stayed empty");
     assert_eq!(
         report.loadgen.timeouts, 0,

@@ -207,11 +207,7 @@ where
     sample_means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let (lo, mid, hi) = match sample_means.len() {
         0 => (0.0, 0.0, 0.0),
-        n => (
-            sample_means[0],
-            sample_means[n / 2],
-            sample_means[n - 1],
-        ),
+        n => (sample_means[0], sample_means[n / 2], sample_means[n - 1]),
     };
     let mut line = format!(
         "{id:<48} time: [{} {} {}]",

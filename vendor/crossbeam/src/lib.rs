@@ -127,9 +127,7 @@ pub mod channel {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             match self {
                 TrySendError::Full(_) => f.write_str("sending on a full channel"),
-                TrySendError::Disconnected(_) => {
-                    f.write_str("sending on a disconnected channel")
-                }
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
             }
         }
     }

@@ -234,13 +234,11 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                             }
                             let lo = parse_hex4(b, *pos + 3)?;
                             *pos += 6;
-                            let code =
-                                0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00));
+                            let code = 0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00));
                             char::from_u32(code)
                                 .ok_or_else(|| Error("bad surrogate pair".into()))?
                         } else {
-                            char::from_u32(hi)
-                                .ok_or_else(|| Error("bad \\u escape".into()))?
+                            char::from_u32(hi).ok_or_else(|| Error("bad \\u escape".into()))?
                         };
                         out.push(c);
                     }
@@ -251,8 +249,8 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
             Some(_) => {
                 // consume one UTF-8 scalar; the input is a &str so
                 // boundaries are valid
-                let rest = core::str::from_utf8(&b[*pos..])
-                    .map_err(|_| Error("invalid UTF-8".into()))?;
+                let rest =
+                    core::str::from_utf8(&b[*pos..]).map_err(|_| Error("invalid UTF-8".into()))?;
                 let c = rest.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -319,7 +317,8 @@ mod tests {
 
     #[test]
     fn roundtrip_nested() {
-        let text = r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "x\ny A"}, "d": 18446744073709551615}"#;
+        let text =
+            r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "x\ny A"}, "d": 18446744073709551615}"#;
         let v = parse(text).expect("parses");
         assert_eq!(v["a"][0], 1u64);
         assert_eq!(v["a"][1], -2);

@@ -371,9 +371,7 @@ impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         match d.take_value()? {
             Value::Null => Ok(None),
-            v => from_value::<T>(v)
-                .map(Some)
-                .map_err(de::Error::custom),
+            v => from_value::<T>(v).map(Some).map_err(de::Error::custom),
         }
     }
 }
@@ -394,9 +392,9 @@ impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N
     fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         let items = Vec::<T>::deserialize(d)?;
         let len = items.len();
-        items.try_into().map_err(|_| {
-            de::Error::custom(format!("expected array of length {N}, got {len}"))
-        })
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of length {N}, got {len}")))
     }
 }
 

@@ -148,9 +148,7 @@ fn variants(stream: TokenStream) -> Vec<Variant> {
                     TokenTree::Ident(id) => {
                         name = Some(id.to_string());
                         match toks.peek() {
-                            Some(TokenTree::Group(g))
-                                if g.delimiter() == Delimiter::Brace =>
-                            {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                                 kind = VariantKind::Named(named_fields(g.stream()));
                             }
                             Some(TokenTree::Group(g))
@@ -189,11 +187,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             b.push_str("__serializer.serialize_value(::serde::Value::Object(__obj))");
             b
         }
-        Shape::TupleStruct(1) => {
-            "__serializer.serialize_value(::serde::to_value(&self.0) \
+        Shape::TupleStruct(1) => "__serializer.serialize_value(::serde::to_value(&self.0) \
              .map_err(|e| <S::Error as ::serde::ser::Error>::custom(e))?)"
-                .to_string()
-        }
+            .to_string(),
         Shape::TupleStruct(n) => {
             let mut b = String::from("let mut __arr = ::std::vec::Vec::new();\n");
             for i in 0..*n {
@@ -240,8 +236,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         b.push_str(&arm);
                     }
                     VariantKind::Tuple(n) => {
-                        let bindings: Vec<String> =
-                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
                         let mut arm = format!(
                             "{name}::{vn}({}) => {{\n\
                              let mut __arr = ::std::vec::Vec::new();\n",
@@ -362,10 +357,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 match &v.kind {
                     VariantKind::Unit => {
                         // `{"Variant": null}` also acceptable
-                        let _ = writeln!(
-                            b,
-                            "{vn:?} if __inner.is_null() => Ok({name}::{vn}),"
-                        );
+                        let _ = writeln!(b, "{vn:?} if __inner.is_null() => Ok({name}::{vn}),");
                     }
                     VariantKind::Named(fields) => {
                         let mut arm = format!(
