@@ -3,6 +3,8 @@
 use bench::{quick, sample_capture_bytes};
 use criterion::{BatchSize, Criterion, Throughput};
 use dnscentral_core::analysis::DatasetAnalysis;
+use dnscentral_core::experiments::{analyze_capture, generate_capture, temp_capture_path};
+use dnscentral_core::pipeline::{run_spec_with, PipelineOpts};
 use entrada::enrich::Enricher;
 use entrada::ingest::CaptureIngest;
 use netbase::capture::{CaptureReader, CaptureWriter};
@@ -61,6 +63,38 @@ fn benches(c: &mut Criterion) {
                 analysis.push(row);
             }
             analysis.total_queries
+        });
+    });
+    group.finish();
+
+    // end-to-end dataset runs: the historical two-pass file round-trip
+    // against the fused streamed pipeline, single- and multi-shard —
+    // the before/after for the pipeline-fusion change.
+    let e2e = dataset(Vantage::Nz, 2020);
+    let e2e_total = Engine::new(e2e.clone(), Scale::tiny(), 5).scaled_total();
+    let mut group = c.benchmark_group("e2e");
+    group.throughput(Throughput::Elements(e2e_total));
+    group.bench_function("file_roundtrip", |b| {
+        b.iter(|| {
+            let path = temp_capture_path("bench-e2e", 5);
+            generate_capture(&e2e, Scale::tiny(), 5, &path).expect("generate");
+            let out = analyze_capture(&e2e, Scale::tiny(), 5, &path).expect("analyze");
+            let _ = std::fs::remove_file(&path);
+            out.0.total_queries
+        });
+    });
+    group.bench_function("streamed_shard1", |b| {
+        b.iter(|| {
+            run_spec_with(e2e.clone(), Scale::tiny(), 5, &PipelineOpts::with_shards(1))
+                .analysis
+                .total_queries
+        });
+    });
+    group.bench_function("streamed_shard4", |b| {
+        b.iter(|| {
+            run_spec_with(e2e.clone(), Scale::tiny(), 5, &PipelineOpts::with_shards(4))
+                .analysis
+                .total_queries
         });
     });
     group.finish();

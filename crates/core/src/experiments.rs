@@ -49,12 +49,24 @@ pub fn generate_capture(
     seed: u64,
     path: &Path,
 ) -> std::io::Result<DatasetStats> {
+    generate_capture_sharded(spec, scale, seed, path, 1)
+}
+
+/// Generate a dataset capture to `path` across `shards` generator
+/// threads. The file is byte-identical for any shard count.
+pub fn generate_capture_sharded(
+    spec: &DatasetSpec,
+    scale: Scale,
+    seed: u64,
+    path: &Path,
+    shards: usize,
+) -> std::io::Result<DatasetStats> {
     let mut stage = obs::stage("pipeline.generate");
     let _span = obs::span(format!("generate {}", spec.id()));
     let engine = Engine::new(spec.clone(), scale, seed);
     let file = File::create(path)?;
     let mut writer = CaptureWriter::new(BufWriter::new(file))?;
-    let stats = engine.generate(&mut writer)?;
+    let stats = engine.generate_sharded(&mut writer, shards)?;
     writer.finish()?;
     stage.add_items(stats.queries + stats.responses);
     Ok(stats)
@@ -87,6 +99,7 @@ pub fn analyze_capture(
     }
     let stats = ingest.stats().clone();
     stage.add_items(stats.rows);
+    crate::pipeline::warn_on_capture_errors(&spec.id(), &stats);
     Ok((analysis, dualstack, stats))
 }
 
@@ -95,22 +108,12 @@ pub fn run_dataset(vantage: Vantage, year: u16, scale: Scale, seed: u64) -> Data
     run_spec(dataset(vantage, year), scale, seed)
 }
 
-/// Generate + analyze an arbitrary dataset spec via a temp file.
+/// Generate + analyze an arbitrary dataset spec. Since the pipeline
+/// fusion this streams records in memory (no intermediate file); use
+/// [`crate::pipeline::run_spec_with`] to shard the generator or keep
+/// the capture on disk.
 pub fn run_spec(spec: DatasetSpec, scale: Scale, seed: u64) -> DatasetRun {
-    let path = temp_capture_path(&spec.id(), seed);
-    let gen_stats =
-        generate_capture(&spec, scale, seed, &path).expect("capture generation succeeds");
-    let (analysis, dualstack, ingest_stats) =
-        analyze_capture(&spec, scale, seed, &path).expect("capture analysis succeeds");
-    let _ = std::fs::remove_file(&path);
-    DatasetRun {
-        id: spec.id(),
-        spec,
-        analysis,
-        dualstack,
-        gen_stats,
-        ingest_stats,
-    }
+    crate::pipeline::run_spec_with(spec, scale, seed, &crate::pipeline::PipelineOpts::default())
 }
 
 /// Run the Figure 3 longitudinal series: one Google-only sample per
@@ -200,7 +203,17 @@ mod tests {
 
     #[test]
     fn roundtrip_through_file_preserves_counts() {
-        let run = run_dataset(Vantage::Nz, 2020, Scale::tiny(), 11);
+        let path = temp_capture_path("roundtrip", 11);
+        let run = crate::pipeline::run_spec_with(
+            dataset(Vantage::Nz, 2020),
+            Scale::tiny(),
+            11,
+            &crate::pipeline::PipelineOpts {
+                shards: 1,
+                keep_capture: Some(path.clone()),
+            },
+        );
+        let _ = std::fs::remove_file(&path);
         assert_eq!(run.id, "nz-w2020");
         assert_eq!(run.gen_stats.queries, run.ingest_stats.rows);
         assert_eq!(run.analysis.total_queries, run.gen_stats.queries);

@@ -16,6 +16,7 @@
 //! | [`rootstats`] | the RSSAC002-style root junk cross-check of §3 |
 //! | [`report`] | text/JSON rendering of every table and figure |
 //! | [`experiments`] | end-to-end experiment runners (generate → ingest → analyze) |
+//! | [`pipeline`] | the fused, sharded streaming pipeline behind the runners |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +29,7 @@ pub mod experiments;
 pub mod junk;
 pub mod metrics;
 pub mod paper;
+pub mod pipeline;
 pub mod qmin;
 pub mod report;
 pub mod rootstats;
@@ -35,3 +37,4 @@ pub mod transport;
 
 pub use analysis::{DatasetAnalysis, ProviderAgg};
 pub use experiments::{run_dataset, run_monthly_series, DatasetRun};
+pub use pipeline::{run_dataset_with, run_spec_with, PipelineOpts};

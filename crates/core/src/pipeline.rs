@@ -1,0 +1,307 @@
+//! The fused generate→ingest pipeline.
+//!
+//! [`crate::experiments`] historically decoupled the generator from the
+//! analyzer with an on-disk `.dnscap` file. That round trip is pure
+//! overhead for experiment runs (ENTRADA itself went streaming for the
+//! same reason), so the default path here pipes [`CaptureRecord`]s
+//! through a bounded crossbeam channel straight from the (optionally
+//! sharded) engine into `entrada`'s ingest — no intermediate file, one
+//! pass, backpressure via the channel bound. [`PipelineOpts::keep_capture`]
+//! retains the two-pass on-disk behaviour (and the capture itself);
+//! both paths produce row-identical results.
+
+use crate::analysis::DatasetAnalysis;
+use crate::dualstack::DualStackAnalysis;
+use crate::experiments::{analyze_capture, DatasetRun};
+use asdb::synth::InternetPlan;
+use entrada::enrich::Enricher;
+use entrada::ingest::{CaptureIngest, IngestStats};
+use netbase::capture::{CaptureError, CaptureRecord, RecordSink, RecordSource};
+use simnet::engine::{plan_config_for, Engine};
+use simnet::profile::Vantage;
+use simnet::scenario::{dataset, DatasetSpec, Scale};
+use std::path::PathBuf;
+
+/// Records move through the channel in batches of this many; per-record
+/// sends would pay a lock round-trip each, which at millions of records
+/// costs more than the disk round-trip the channel replaces.
+const BATCH: usize = 512;
+
+/// Batches buffered in flight between the generator and the ingest
+/// side; bounds memory (`BATCH * CHANNEL_DEPTH` records) and applies
+/// backpressure when ingest lags.
+const CHANNEL_DEPTH: usize = 32;
+
+/// How one pipeline run executes.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOpts {
+    /// Generator worker-thread count (0 and 1 both mean
+    /// single-threaded). Output is byte-identical for any value.
+    pub shards: usize,
+    /// Write the capture to this path and analyze it from disk (the
+    /// two-pass behaviour), keeping the file afterwards.
+    pub keep_capture: Option<PathBuf>,
+}
+
+impl PipelineOpts {
+    /// Streaming pipeline with `shards` generator threads.
+    pub fn with_shards(shards: usize) -> PipelineOpts {
+        PipelineOpts {
+            shards,
+            ..PipelineOpts::default()
+        }
+    }
+
+    /// Effective shard count (at least 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.max(1)
+    }
+}
+
+/// [`RecordSink`] over the sending half of a bounded channel: the
+/// engine pushes records into it; a full channel blocks (backpressure),
+/// a disconnected one (ingest side gone) surfaces as a broken pipe.
+/// Records are coalesced into [`BATCH`]-sized chunks; the tail chunk is
+/// flushed on drop, so the ingest side sees every record the moment the
+/// generator finishes.
+pub struct ChannelSink {
+    tx: crossbeam::channel::Sender<Vec<CaptureRecord>>,
+    batch: Vec<CaptureRecord>,
+}
+
+impl ChannelSink {
+    /// Wrap the sending half of a batch channel.
+    pub fn new(tx: crossbeam::channel::Sender<Vec<CaptureRecord>>) -> ChannelSink {
+        ChannelSink {
+            tx,
+            batch: Vec::with_capacity(BATCH),
+        }
+    }
+}
+
+impl RecordSink for ChannelSink {
+    fn emit(&mut self, rec: CaptureRecord) -> std::io::Result<()> {
+        self.batch.push(rec);
+        if self.batch.len() < BATCH {
+            return Ok(());
+        }
+        let full = std::mem::replace(&mut self.batch, Vec::with_capacity(BATCH));
+        self.tx.send(full).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipeline ingest side disconnected",
+            )
+        })
+    }
+}
+
+impl Drop for ChannelSink {
+    fn drop(&mut self) {
+        if !self.batch.is_empty() {
+            // receiver already gone is fine here: nothing to report to
+            let _ = self.tx.send(std::mem::take(&mut self.batch));
+        }
+    }
+}
+
+/// [`RecordSource`] over the receiving half: sender disconnect (the
+/// generator finished and dropped its sink) is the clean end-of-stream.
+pub struct ChannelSource {
+    rx: crossbeam::channel::Receiver<Vec<CaptureRecord>>,
+    buf: std::vec::IntoIter<CaptureRecord>,
+}
+
+impl ChannelSource {
+    /// Wrap the receiving half of a batch channel.
+    pub fn new(rx: crossbeam::channel::Receiver<Vec<CaptureRecord>>) -> ChannelSource {
+        ChannelSource {
+            rx,
+            buf: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl RecordSource for ChannelSource {
+    fn next_record(&mut self) -> Result<Option<CaptureRecord>, CaptureError> {
+        loop {
+            if let Some(rec) = self.buf.next() {
+                return Ok(Some(rec));
+            }
+            match self.rx.recv() {
+                Ok(batch) => self.buf = batch.into_iter(),
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Generate + analyze one of the Table 3 datasets with explicit
+/// pipeline options.
+pub fn run_dataset_with(
+    vantage: Vantage,
+    year: u16,
+    scale: Scale,
+    seed: u64,
+    opts: &PipelineOpts,
+) -> DatasetRun {
+    run_spec_with(dataset(vantage, year), scale, seed, opts)
+}
+
+/// Generate + analyze an arbitrary dataset spec with explicit pipeline
+/// options: streaming (default) or via a kept on-disk capture, 1..N
+/// generator shards either way.
+pub fn run_spec_with(
+    spec: DatasetSpec,
+    scale: Scale,
+    seed: u64,
+    opts: &PipelineOpts,
+) -> DatasetRun {
+    if let Some(path) = &opts.keep_capture {
+        let gen_stats = crate::experiments::generate_capture_sharded(
+            &spec,
+            scale,
+            seed,
+            path,
+            opts.shard_count(),
+        )
+        .expect("capture generation succeeds");
+        let (analysis, dualstack, ingest_stats) =
+            analyze_capture(&spec, scale, seed, path).expect("capture analysis succeeds");
+        return DatasetRun {
+            id: spec.id(),
+            spec,
+            analysis,
+            dualstack,
+            gen_stats,
+            ingest_stats,
+        };
+    }
+
+    let engine = Engine::new(spec.clone(), scale, seed);
+    let plan = InternetPlan::build(&plan_config_for(&spec, scale, seed));
+    let enricher = Enricher::new(plan.mapper);
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<CaptureRecord>>(CHANNEL_DEPTH);
+    let shards = opts.shard_count();
+    let engine_ref = &engine;
+    let spec_ref = &spec;
+
+    let (gen_stats, analysis, dualstack, ingest_stats) = crossbeam::thread::scope(|scope| {
+        let generator = scope.spawn(move |_| {
+            let mut stage = obs::stage("pipeline.generate");
+            let _span = obs::span(format!("generate {}", spec_ref.id()));
+            let mut sink = ChannelSink::new(tx);
+            let stats = engine_ref.generate_sharded(&mut sink, shards);
+            if let Ok(s) = &stats {
+                stage.add_items(s.queries + s.responses);
+            }
+            stats
+        });
+
+        let mut stage = obs::stage("pipeline.analyze");
+        let _span = obs::span(format!("analyze {}", spec_ref.id()));
+        let mut ingest = CaptureIngest::new(ChannelSource::new(rx), enricher);
+        let mut analysis = DatasetAnalysis::new(engine_ref.zone().clone());
+        let mut dualstack = DualStackAnalysis::with_servers(&spec_ref.servers);
+        let mut progress = obs::Progress::new(format!("analyze {}", spec_ref.id()), None);
+        for row in ingest.by_ref() {
+            analysis.push(&row);
+            dualstack.push(&row, engine_ref.ptr_db());
+            progress.tick(1);
+        }
+        let ingest_stats = ingest.stats().clone();
+        stage.add_items(ingest_stats.rows);
+        let gen_stats = generator
+            .join()
+            .expect("generator thread")
+            .expect("streamed generation succeeds");
+        (gen_stats, analysis, dualstack, ingest_stats)
+    })
+    .expect("pipeline scope join");
+
+    warn_on_capture_errors(&spec.id(), &ingest_stats);
+    DatasetRun {
+        id: spec.id(),
+        spec,
+        analysis,
+        dualstack,
+        gen_stats,
+        ingest_stats,
+    }
+}
+
+/// Surface torn/corrupt capture records: a nonzero count means the
+/// ingest stream ended early and every downstream table is computed
+/// from a partial dataset — loud on stderr, counted for scrapes.
+pub fn warn_on_capture_errors(id: &str, stats: &IngestStats) {
+    if stats.capture_errors > 0 {
+        eprintln!(
+            "warning: {id}: {} torn/corrupt capture record(s) cut the ingest stream short; \
+             results cover only the intact prefix",
+            stats.capture_errors
+        );
+        obs::counter(
+            "pipeline_capture_errors_total",
+            "torn/corrupt capture records observed by experiment runs",
+        )
+        .add(stats.capture_errors);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_spec, temp_capture_path};
+
+    /// The tentpole's correctness claim: the in-memory streamed path
+    /// and the kept-capture disk path produce identical results.
+    #[test]
+    fn streamed_matches_disk_roundtrip() {
+        let spec = dataset(Vantage::Nz, 2020);
+        let streamed = run_spec_with(spec.clone(), Scale::tiny(), 23, &PipelineOpts::default());
+        let path = temp_capture_path("pipeline-disk", 23);
+        let disk = run_spec_with(
+            spec,
+            Scale::tiny(),
+            23,
+            &PipelineOpts {
+                shards: 1,
+                keep_capture: Some(path.clone()),
+            },
+        );
+        assert!(path.exists(), "--keep-capture leaves the file behind");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(streamed.ingest_stats, disk.ingest_stats);
+        assert_eq!(streamed.gen_stats.queries, disk.gen_stats.queries);
+        assert_eq!(streamed.analysis.total_queries, disk.analysis.total_queries);
+        assert_eq!(streamed.analysis.valid_queries, disk.analysis.valid_queries);
+        assert_eq!(streamed.analysis.cloud_share(), disk.analysis.cloud_share());
+    }
+
+    /// Sharded streaming equals single-threaded streaming, run to run.
+    #[test]
+    fn sharded_streaming_matches_single_thread() {
+        let spec = dataset(Vantage::Nz, 2019);
+        let one = run_spec_with(
+            spec.clone(),
+            Scale::tiny(),
+            31,
+            &PipelineOpts::with_shards(1),
+        );
+        let four = run_spec_with(spec, Scale::tiny(), 31, &PipelineOpts::with_shards(4));
+        assert_eq!(one.ingest_stats, four.ingest_stats);
+        assert_eq!(one.gen_stats.queries, four.gen_stats.queries);
+        assert_eq!(one.gen_stats.per_fleet, four.gen_stats.per_fleet);
+        assert_eq!(one.analysis.total_queries, four.analysis.total_queries);
+        assert_eq!(one.analysis.valid_queries, four.analysis.valid_queries);
+    }
+
+    /// The default `run_spec` is the streaming path and its accounting
+    /// balances with zero capture errors.
+    #[test]
+    fn default_run_is_clean() {
+        let run = run_spec(dataset(Vantage::Nl, 2018), Scale::tiny(), 2);
+        assert_eq!(run.ingest_stats.capture_errors, 0);
+        assert!(run.ingest_stats.balanced(), "{:?}", run.ingest_stats);
+        assert_eq!(run.gen_stats.queries, run.ingest_stats.rows);
+    }
+}

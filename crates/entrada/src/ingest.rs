@@ -4,21 +4,35 @@
 //! pending query with the same (reversed) flow 5-tuple and DNS
 //! transaction id. Unmatched responses and malformed frames are counted
 //! in [`IngestStats`], never fatal.
+//!
+//! The ingester is generic over [`RecordSource`], so it consumes a
+//! `.dnscap` file on disk, an in-memory record vector, or a live
+//! channel fed straight from the generator (the streamed pipeline
+//! mode) with identical accounting.
 
 use crate::enrich::Enricher;
 use crate::schema::QueryRow;
 use dns_wire::message::Message;
-use netbase::capture::{CaptureReader, CaptureRecord, Direction};
+use netbase::capture::{CaptureRecord, Direction, RecordSource};
 use netbase::flow::FlowKey;
-use std::collections::HashMap;
-use std::io::Read;
+use std::collections::{HashMap, VecDeque};
 
 /// Ingestion health counters.
+///
+/// The accounting is exact: once the stream is exhausted, every DNS
+/// message that entered the joiner is in exactly one bucket — see
+/// [`IngestStats::balanced`].
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct IngestStats {
     /// Frames read from the capture.
     pub frames: u64,
-    /// Frames whose DNS payload failed to parse.
+    /// DNS messages carried by those frames: one per UDP frame, one or
+    /// more per TCP frame (RFC 1035 framing legitimately coalesces
+    /// several messages per segment). A frame whose TCP deframing fails
+    /// outright counts as one (malformed) message.
+    pub messages: u64,
+    /// Messages whose DNS payload failed to deframe or parse, plus
+    /// query messages carrying no question.
     pub malformed: u64,
     /// Responses with no pending query (late, spoofed, or dropped).
     pub unmatched_responses: u64,
@@ -26,6 +40,26 @@ pub struct IngestStats {
     pub unanswered_queries: u64,
     /// Rows emitted.
     pub rows: u64,
+    /// Torn or corrupt capture records: the stream ended early on an
+    /// error rather than at a clean end-of-stream marker.
+    pub capture_errors: u64,
+}
+
+impl IngestStats {
+    /// Responses that joined a pending query.
+    pub fn matched_responses(&self) -> u64 {
+        self.rows - self.unanswered_queries
+    }
+
+    /// The exact accounting invariant (valid once the ingest iterator
+    /// is exhausted): every message is malformed, a query (one row
+    /// each), a matched response, or an unmatched response.
+    ///
+    /// `messages == malformed + rows + matched_responses + unmatched_responses`
+    pub fn balanced(&self) -> bool {
+        self.messages
+            == self.malformed + self.rows + self.matched_responses() + self.unmatched_responses
+    }
 }
 
 /// Key identifying a DNS transaction in flight.
@@ -41,31 +75,42 @@ struct TxnKey {
 /// end-of-stream for unanswered queries. Emission order therefore
 /// follows response arrival, which is fine for every aggregate in the
 /// paper (nothing downstream requires query order).
-pub struct CaptureIngest<R: Read> {
-    reader: CaptureReader<R>,
+pub struct CaptureIngest<S: RecordSource> {
+    source: S,
     enricher: Enricher,
     pending: HashMap<TxnKey, QueryRow>,
     stats: IngestStats,
-    drained: Option<std::vec::IntoIter<QueryRow>>,
+    /// Rows ready to yield (a TCP frame can produce several at once).
+    ready: VecDeque<QueryRow>,
+    /// The source reached end-of-stream (clean or via capture error)
+    /// and pending queries were flushed.
+    finished: bool,
     frames_metric: std::sync::Arc<obs::Counter>,
     rows_metric: std::sync::Arc<obs::Counter>,
     malformed_metric: std::sync::Arc<obs::Counter>,
+    capture_errors_metric: std::sync::Arc<obs::Counter>,
 }
 
-impl<R: Read> CaptureIngest<R> {
-    /// Start ingesting from a validated capture reader.
-    pub fn new(reader: CaptureReader<R>, enricher: Enricher) -> Self {
+impl<S: RecordSource> CaptureIngest<S> {
+    /// Start ingesting from a record source (a validated
+    /// `CaptureReader`, an in-memory vector, a pipeline channel, ...).
+    pub fn new(source: S, enricher: Enricher) -> Self {
         CaptureIngest {
-            reader,
+            source,
             enricher,
             pending: HashMap::new(),
             stats: IngestStats::default(),
-            drained: None,
+            ready: VecDeque::new(),
+            finished: false,
             frames_metric: obs::counter("entrada_frames_total", "capture frames ingested"),
             rows_metric: obs::counter("entrada_rows_total", "query rows emitted by ingest"),
             malformed_metric: obs::counter(
                 "entrada_malformed_total",
-                "capture frames whose DNS payload failed to parse",
+                "DNS messages that failed to deframe or parse",
+            ),
+            capture_errors_metric: obs::counter(
+                "entrada_capture_errors_total",
+                "torn or corrupt capture records cutting an ingest stream short",
             ),
         }
     }
@@ -75,35 +120,56 @@ impl<R: Read> CaptureIngest<R> {
         &self.stats
     }
 
-    fn absorb(&mut self, rec: CaptureRecord) -> Option<QueryRow> {
+    /// Absorb one capture frame, queueing any rows it completes.
+    fn absorb(&mut self, rec: CaptureRecord) {
         self.stats.frames += 1;
         self.frames_metric.inc();
-        // TCP payloads carry the RFC 1035 two-octet length prefix;
-        // deframe before parsing (one message per captured frame).
-        let wire: std::borrow::Cow<'_, [u8]> = match rec.flow.transport {
+        match rec.flow.transport {
+            // TCP payloads carry RFC 1035 two-octet length prefixes and
+            // may coalesce several DNS messages per captured segment
+            // (real pcap imports do); absorb each message.
             netbase::flow::Transport::Tcp => match dns_wire::tcp::deframe_all(&rec.payload) {
-                Ok(mut messages) if messages.len() == 1 => {
-                    std::borrow::Cow::Owned(messages.remove(0))
+                Ok(messages) if !messages.is_empty() => {
+                    for wire in &messages {
+                        self.absorb_message(&rec, wire);
+                    }
                 }
                 _ => {
+                    // an unframed/truncated TCP payload (or one with no
+                    // messages at all): one malformed message unit
+                    self.stats.messages += 1;
                     self.stats.malformed += 1;
                     self.malformed_metric.inc();
-                    return None;
                 }
             },
-            netbase::flow::Transport::Udp => std::borrow::Cow::Borrowed(&rec.payload),
-        };
-        let msg = match Message::parse(&wire) {
+            netbase::flow::Transport::Udp => self.absorb_message(&rec, &rec.payload.clone()),
+        }
+    }
+
+    /// Absorb one deframed DNS message from frame `rec`.
+    fn absorb_message(&mut self, rec: &CaptureRecord, wire: &[u8]) {
+        self.stats.messages += 1;
+        let msg = match Message::parse(wire) {
             Ok(m) => m,
             Err(_) => {
                 self.stats.malformed += 1;
                 self.malformed_metric.inc();
-                return None;
+                return;
             }
         };
         match rec.direction {
             Direction::Query => {
-                let question = msg.question()?.clone();
+                let question = match msg.question() {
+                    Some(q) => q.clone(),
+                    None => {
+                        // a query with an empty question section joins
+                        // nothing and aggregates nowhere: malformed, so
+                        // the message accounting stays exact
+                        self.stats.malformed += 1;
+                        self.malformed_metric.inc();
+                        return;
+                    }
+                };
                 let (asn, provider, public_dns) = self.enricher.enrich(rec.flow.src);
                 let row = QueryRow {
                     timestamp: rec.timestamp,
@@ -133,9 +199,8 @@ impl<R: Read> CaptureIngest<R> {
                     self.stats.unanswered_queries += 1;
                     self.stats.rows += 1;
                     self.rows_metric.inc();
-                    return Some(orphan);
+                    self.ready.push_back(orphan);
                 }
-                None
             }
             Direction::Response => {
                 let key = TxnKey {
@@ -145,49 +210,61 @@ impl<R: Read> CaptureIngest<R> {
                 match self.pending.remove(&key) {
                     Some(mut row) => {
                         row.rcode = Some(msg.header.rcode);
-                        row.response_size = Some(rec.payload.len() as u32);
+                        // the deframed DNS message length for both
+                        // transports — a raw TCP payload length would
+                        // inflate every TCP response by the 2-byte
+                        // RFC 1035 length prefix relative to UDP
+                        row.response_size = Some(wire.len() as u32);
                         row.response_truncated = msg.header.truncated;
                         if rec.tcp_rtt_us != 0 {
                             row.tcp_rtt_us = rec.tcp_rtt_us;
                         }
                         self.stats.rows += 1;
                         self.rows_metric.inc();
-                        Some(row)
+                        self.ready.push_back(row);
                     }
                     None => {
                         self.stats.unmatched_responses += 1;
-                        None
                     }
                 }
             }
         }
     }
+
+    /// End of stream: flush unanswered queries in deterministic (time)
+    /// order.
+    fn finish(&mut self) {
+        let mut rest: Vec<QueryRow> = self.pending.drain().map(|(_, v)| v).collect();
+        rest.sort_by_key(|r| (r.timestamp, r.src_port));
+        self.stats.unanswered_queries += rest.len() as u64;
+        self.stats.rows += rest.len() as u64;
+        self.rows_metric.add(rest.len() as u64);
+        self.ready.extend(rest);
+        self.finished = true;
+    }
 }
 
-impl<R: Read> Iterator for CaptureIngest<R> {
+impl<S: RecordSource> Iterator for CaptureIngest<S> {
     type Item = QueryRow;
 
     fn next(&mut self) -> Option<QueryRow> {
-        if let Some(drained) = &mut self.drained {
-            return drained.next();
-        }
         loop {
-            match self.reader.next_record() {
-                Ok(Some(rec)) => {
-                    if let Some(row) = self.absorb(rec) {
-                        return Some(row);
-                    }
-                }
-                Ok(None) | Err(_) => {
-                    // stream end (or a fatal capture error): flush
-                    // unanswered queries in deterministic (time) order
-                    let mut rest: Vec<QueryRow> = self.pending.drain().map(|(_, v)| v).collect();
-                    rest.sort_by_key(|r| (r.timestamp, r.src_port));
-                    self.stats.unanswered_queries += rest.len() as u64;
-                    self.stats.rows += rest.len() as u64;
-                    self.rows_metric.add(rest.len() as u64);
-                    self.drained = Some(rest.into_iter());
-                    return self.drained.as_mut().expect("just set").next();
+            if let Some(row) = self.ready.pop_front() {
+                return Some(row);
+            }
+            if self.finished {
+                return None;
+            }
+            match self.source.next_record() {
+                Ok(Some(rec)) => self.absorb(rec),
+                Ok(None) => self.finish(),
+                Err(_) => {
+                    // a torn or corrupt capture record is NOT a clean
+                    // end-of-stream: count it so downstream runs can
+                    // warn, then salvage what was read
+                    self.stats.capture_errors += 1;
+                    self.capture_errors_metric.inc();
+                    self.finish();
                 }
             }
         }
@@ -200,7 +277,7 @@ mod tests {
     use asdb::synth::{InternetPlan, PlanConfig};
     use dns_wire::builder::MessageBuilder;
     use dns_wire::types::{RType, Rcode};
-    use netbase::capture::CaptureWriter;
+    use netbase::capture::{CaptureReader, CaptureWriter};
     use netbase::flow::Transport;
     use netbase::time::SimTime;
 
@@ -259,14 +336,23 @@ mod tests {
         }
     }
 
+    /// Exhaust an ingest run and hand back (rows, final stats), always
+    /// checking the accounting invariant.
+    fn drain(buf: &[u8]) -> (Vec<QueryRow>, IngestStats) {
+        let mut ingest = CaptureIngest::new(CaptureReader::new(buf).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let stats = ingest.stats().clone();
+        assert!(stats.balanced(), "accounting out of balance: {stats:?}");
+        (rows, stats)
+    }
+
     #[test]
     fn join_produces_enriched_rows() {
         let buf = capture(&[
             query_rec("8.8.8.8", 1000, 7, 10),
             response_rec("8.8.8.8", 1000, 7, 20, Rcode::NoError),
         ]);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let (rows, stats) = drain(&buf);
         assert_eq!(rows.len(), 1);
         let row = &rows[0];
         assert_eq!(row.rcode, Some(Rcode::NoError));
@@ -275,30 +361,30 @@ mod tests {
         assert!(row.public_dns);
         assert_eq!(row.edns_size, Some(1232));
         assert!(row.do_bit);
-        let stats = ingest.stats();
         assert_eq!(stats.frames, 2);
+        assert_eq!(stats.messages, 2);
         assert_eq!(stats.rows, 1);
         assert_eq!(stats.malformed, 0);
         assert_eq!(stats.unanswered_queries, 0);
+        assert_eq!(stats.capture_errors, 0);
     }
 
     #[test]
     fn unanswered_query_flushes_at_eof() {
         let buf = capture(&[query_rec("8.8.8.8", 1000, 7, 10)]);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let (rows, stats) = drain(&buf);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].rcode, None);
         assert!(!rows[0].is_valid() && !rows[0].is_junk());
-        assert_eq!(ingest.stats().unanswered_queries, 1);
+        assert_eq!(stats.unanswered_queries, 1);
     }
 
     #[test]
     fn unmatched_response_is_counted_not_emitted() {
         let buf = capture(&[response_rec("8.8.8.8", 1000, 7, 10, Rcode::NoError)]);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        assert_eq!(ingest.by_ref().count(), 0);
-        assert_eq!(ingest.stats().unmatched_responses, 1);
+        let (rows, stats) = drain(&buf);
+        assert!(rows.is_empty());
+        assert_eq!(stats.unmatched_responses, 1);
     }
 
     #[test]
@@ -307,11 +393,10 @@ mod tests {
             query_rec("8.8.8.8", 1000, 7, 10),
             response_rec("8.8.8.8", 1000, 8, 20, Rcode::NoError),
         ]);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let (rows, stats) = drain(&buf);
         assert_eq!(rows.len(), 1, "query flushed unanswered");
         assert_eq!(rows[0].rcode, None);
-        assert_eq!(ingest.stats().unmatched_responses, 1);
+        assert_eq!(stats.unmatched_responses, 1);
     }
 
     #[test]
@@ -320,8 +405,7 @@ mod tests {
             query_rec("8.8.8.8", 1000, 7, 10),
             response_rec("8.8.8.8", 1001, 7, 20, Rcode::NoError),
         ]);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let (rows, _) = drain(&buf);
         assert_eq!(rows[0].rcode, None);
     }
 
@@ -330,11 +414,10 @@ mod tests {
         let mut bad = query_rec("8.8.8.8", 1000, 7, 10);
         bad.payload = vec![1, 2, 3];
         let buf = capture(&[bad, query_rec("1.1.1.1", 2000, 9, 30)]);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let (rows, stats) = drain(&buf);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].src.to_string(), "1.1.1.1");
-        assert_eq!(ingest.stats().malformed, 1);
+        assert_eq!(stats.malformed, 1);
     }
 
     #[test]
@@ -343,8 +426,7 @@ mod tests {
             query_rec("1.1.1.1", 1000, 7, 10),
             response_rec("1.1.1.1", 1000, 7, 20, Rcode::NxDomain),
         ]);
-        let rows: Vec<QueryRow> =
-            CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher()).collect();
+        let (rows, _) = drain(&buf);
         assert!(rows[0].is_junk());
     }
 
@@ -355,8 +437,7 @@ mod tests {
             query_rec("8.8.8.8", 1000, 7, 50),
             response_rec("8.8.8.8", 1000, 7, 60, Rcode::NoError),
         ]);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let (rows, _) = drain(&buf);
         assert_eq!(rows.len(), 2);
         // first emitted is the orphan (unanswered), then the joined one
         assert_eq!(rows[0].rcode, None);
@@ -386,13 +467,12 @@ mod tests {
             },
         ];
         let buf = capture(&records);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let (rows, stats) = drain(&buf);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].transport, Transport::Tcp);
         assert_eq!(rows[0].tcp_rtt_us, 12_000);
         assert_eq!(rows[0].rcode, Some(Rcode::NoError));
-        assert_eq!(ingest.stats().malformed, 0);
+        assert_eq!(stats.malformed, 0);
     }
 
     #[test]
@@ -408,9 +488,10 @@ mod tests {
             payload: q.encode().unwrap(), // missing the length prefix
         };
         let buf = capture(&[rec]);
-        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
-        assert_eq!(ingest.by_ref().count(), 0);
-        assert_eq!(ingest.stats().malformed, 1);
+        let (rows, stats) = drain(&buf);
+        assert!(rows.is_empty());
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.messages, 1);
     }
 
     #[test]
@@ -437,9 +518,148 @@ mod tests {
             },
         ];
         let buf = capture(&records);
-        let rows: Vec<QueryRow> =
-            CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher()).collect();
+        let (rows, _) = drain(&buf);
         assert!(rows[0].response_truncated);
         assert_eq!(rows[0].response_size, Some(records[1].payload.len() as u32));
+    }
+
+    /// Regression (PR 3): a torn capture tail is counted, not silently
+    /// treated as a clean end-of-stream.
+    #[test]
+    fn torn_capture_tail_is_counted() {
+        let mut buf = capture(&[
+            query_rec("8.8.8.8", 1000, 7, 10),
+            response_rec("8.8.8.8", 1000, 7, 20, Rcode::NoError),
+            query_rec("1.1.1.1", 2000, 9, 30),
+        ]);
+        buf.truncate(buf.len() - 5); // tear the last record
+        let mut ingest = CaptureIngest::new(CaptureReader::new(&buf[..]).unwrap(), enricher());
+        let rows: Vec<QueryRow> = ingest.by_ref().collect();
+        let stats = ingest.stats().clone();
+        assert_eq!(stats.capture_errors, 1, "torn record detected");
+        assert_eq!(rows.len(), 1, "intact records still ingested");
+        assert_eq!(rows[0].rcode, Some(Rcode::NoError));
+        assert!(stats.balanced(), "{stats:?}");
+        // fuse: a second iteration attempt yields nothing and does not
+        // double-count the error
+        assert!(ingest.next().is_none());
+        assert_eq!(ingest.stats().capture_errors, 1);
+    }
+
+    /// Regression (PR 3): TCP response sizes are deframed DNS message
+    /// lengths, byte-comparable with UDP (no +2 framing bias).
+    #[test]
+    fn tcp_response_size_matches_udp_for_identical_message() {
+        let q = MessageBuilder::query(7, "example.nl.".parse().unwrap(), RType::A).build();
+        let r = MessageBuilder::response(&q, Rcode::NoError).build();
+        let q_wire = q.encode().unwrap();
+        let r_wire = r.encode().unwrap();
+
+        let udp_flow = flow("8.8.8.8", 700);
+        let mut tcp_flow = flow("8.8.8.8", 701);
+        tcp_flow.transport = Transport::Tcp;
+        let buf = capture(&[
+            CaptureRecord {
+                timestamp: SimTime(1),
+                direction: Direction::Query,
+                flow: udp_flow,
+                tcp_rtt_us: 0,
+                payload: q_wire.clone(),
+            },
+            CaptureRecord {
+                timestamp: SimTime(2),
+                direction: Direction::Response,
+                flow: udp_flow.reversed(),
+                tcp_rtt_us: 0,
+                payload: r_wire.clone(),
+            },
+            CaptureRecord {
+                timestamp: SimTime(3),
+                direction: Direction::Query,
+                flow: tcp_flow,
+                tcp_rtt_us: 9000,
+                payload: dns_wire::tcp::frame(&q_wire).unwrap(),
+            },
+            CaptureRecord {
+                timestamp: SimTime(4),
+                direction: Direction::Response,
+                flow: tcp_flow.reversed(),
+                tcp_rtt_us: 9000,
+                payload: dns_wire::tcp::frame(&r_wire).unwrap(),
+            },
+        ]);
+        let (rows, stats) = drain(&buf);
+        assert_eq!(rows.len(), 2);
+        let udp_row = rows.iter().find(|r| r.transport == Transport::Udp).unwrap();
+        let tcp_row = rows.iter().find(|r| r.transport == Transport::Tcp).unwrap();
+        assert_eq!(udp_row.response_size, Some(r_wire.len() as u32));
+        assert_eq!(
+            tcp_row.response_size, udp_row.response_size,
+            "identical messages must have identical recorded sizes"
+        );
+        assert_eq!(stats.malformed, 0);
+    }
+
+    /// Regression (PR 3): a query with zero questions is counted as
+    /// malformed rather than silently dropped.
+    #[test]
+    fn zero_question_query_counts_as_malformed() {
+        let mut q = MessageBuilder::query(7, "example.nl.".parse().unwrap(), RType::A).build();
+        q.questions.clear();
+        let mut rec = query_rec("8.8.8.8", 1000, 7, 10);
+        rec.payload = q.encode().unwrap();
+        let buf = capture(&[rec, query_rec("1.1.1.1", 2000, 9, 30)]);
+        let (rows, stats) = drain(&buf);
+        assert_eq!(rows.len(), 1, "only the well-formed query becomes a row");
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.malformed, 1, "zero-question query counted");
+    }
+
+    /// Regression (PR 3): a TCP frame coalescing two DNS messages
+    /// yields both, instead of marking the whole frame malformed.
+    #[test]
+    fn coalesced_tcp_frame_absorbs_every_message() {
+        let q1 = MessageBuilder::query(1, "one.example.nl.".parse().unwrap(), RType::A).build();
+        let q2 = MessageBuilder::query(2, "two.example.nl.".parse().unwrap(), RType::Aaaa).build();
+        let r1 = MessageBuilder::response(&q1, Rcode::NoError).build();
+        let r2 = MessageBuilder::response(&q2, Rcode::NxDomain).build();
+        let mut f = flow("8.8.4.4", 888);
+        f.transport = Transport::Tcp;
+        let queries =
+            dns_wire::tcp::frame_all([&q1.encode().unwrap()[..], &q2.encode().unwrap()[..]])
+                .unwrap();
+        let responses =
+            dns_wire::tcp::frame_all([&r1.encode().unwrap()[..], &r2.encode().unwrap()[..]])
+                .unwrap();
+        let buf = capture(&[
+            CaptureRecord {
+                timestamp: SimTime(1),
+                direction: Direction::Query,
+                flow: f,
+                tcp_rtt_us: 5000,
+                payload: queries,
+            },
+            CaptureRecord {
+                timestamp: SimTime(2),
+                direction: Direction::Response,
+                flow: f.reversed(),
+                tcp_rtt_us: 5000,
+                payload: responses,
+            },
+        ]);
+        let (rows, stats) = drain(&buf);
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.messages, 4, "two messages per frame");
+        assert_eq!(rows.len(), 2, "both transactions joined");
+        assert_eq!(stats.malformed, 0);
+        let by_id: Vec<_> = rows.iter().map(|r| (r.qtype, r.rcode)).collect();
+        assert!(by_id.contains(&(RType::A, Some(Rcode::NoError))));
+        assert!(by_id.contains(&(RType::Aaaa, Some(Rcode::NxDomain))));
+        assert_eq!(
+            rows[0].response_size,
+            Some(r1.encode().unwrap().len() as u32),
+            "per-message deframed size, not the coalesced payload size"
+        );
     }
 }

@@ -10,7 +10,7 @@ use std::net::IpAddr;
 
 /// One query as observed at an authoritative server, joined with its
 /// response and enriched — the logical schema of the ENTRADA warehouse.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryRow {
     /// Query arrival time.
     pub timestamp: SimTime,

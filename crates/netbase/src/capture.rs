@@ -83,6 +83,54 @@ impl From<io::Error> for CaptureError {
     }
 }
 
+/// Anything that accepts a stream of [`CaptureRecord`]s in order.
+///
+/// The traffic generator is written against this trait so the same
+/// generation code can feed a `.dnscap` file on disk
+/// ([`CaptureWriter`]), an in-memory buffer (`Vec<CaptureRecord>`), or
+/// a channel into a downstream consumer — the streamed pipeline mode
+/// that skips the intermediate capture file entirely.
+pub trait RecordSink {
+    /// Accept the next record of the stream.
+    fn emit(&mut self, rec: CaptureRecord) -> io::Result<()>;
+}
+
+impl<W: Write> RecordSink for CaptureWriter<W> {
+    fn emit(&mut self, rec: CaptureRecord) -> io::Result<()> {
+        self.write(&rec)
+    }
+}
+
+impl RecordSink for Vec<CaptureRecord> {
+    fn emit(&mut self, rec: CaptureRecord) -> io::Result<()> {
+        self.push(rec);
+        Ok(())
+    }
+}
+
+/// Anything that yields a stream of [`CaptureRecord`]s in order.
+///
+/// The analysis side (entrada's `CaptureIngest`) is written against
+/// this trait so it consumes a capture file ([`CaptureReader`]), an
+/// in-memory record vector, or a live channel identically.
+pub trait RecordSource {
+    /// The next record; `Ok(None)` at clean end-of-stream, `Err` on a
+    /// torn or corrupt record (the stream cannot continue past it).
+    fn next_record(&mut self) -> Result<Option<CaptureRecord>, CaptureError>;
+}
+
+impl<R: Read> RecordSource for CaptureReader<R> {
+    fn next_record(&mut self) -> Result<Option<CaptureRecord>, CaptureError> {
+        CaptureReader::next_record(self)
+    }
+}
+
+impl RecordSource for std::vec::IntoIter<CaptureRecord> {
+    fn next_record(&mut self) -> Result<Option<CaptureRecord>, CaptureError> {
+        Ok(self.next())
+    }
+}
+
 /// Streaming writer for `.dnscap` data.
 pub struct CaptureWriter<W: Write> {
     out: BufWriter<W>,

@@ -29,5 +29,5 @@ pub mod stage;
 pub mod trace;
 
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry};
-pub use stage::{stage, Progress, StageTimer};
+pub use stage::{stage, stage_owned, Progress, StageTimer};
 pub use trace::span;

@@ -30,7 +30,7 @@ fn table() -> &'static Mutex<HashMap<String, StageAgg>> {
 /// Times one stage invocation; records duration + item count into the
 /// global stage table (and a trace span) on drop.
 pub struct StageTimer {
-    name: &'static str,
+    name: std::borrow::Cow<'static, str>,
     started: Instant,
     items: u64,
     span: crate::trace::Span,
@@ -39,10 +39,21 @@ pub struct StageTimer {
 /// Open a stage timer named `name`.
 pub fn stage(name: &'static str) -> StageTimer {
     StageTimer {
-        name,
+        name: std::borrow::Cow::Borrowed(name),
         started: Instant::now(),
         items: 0,
         span: crate::trace::span(name),
+    }
+}
+
+/// Open a stage timer with a runtime-built name (e.g. a per-shard
+/// `simnet.generate.shard3` row).
+pub fn stage_owned(name: String) -> StageTimer {
+    StageTimer {
+        span: crate::trace::span(name.clone()),
+        name: std::borrow::Cow::Owned(name),
+        started: Instant::now(),
+        items: 0,
     }
 }
 
@@ -57,7 +68,7 @@ impl Drop for StageTimer {
     fn drop(&mut self) {
         let elapsed = self.started.elapsed();
         let mut table = table().lock().expect("stage table lock");
-        let agg = table.entry(self.name.to_string()).or_default();
+        let agg = table.entry(self.name.clone().into_owned()).or_default();
         agg.calls += 1;
         agg.total += elapsed;
         agg.items += self.items;

@@ -11,7 +11,7 @@
 //! attributable by the unchanged offline analysis pipeline.
 
 use crate::cache::{CacheKey, TtlCache};
-use crate::engine::{choose_server_family, mix_case_0x20, name_key, pick_qtype, Engine};
+use crate::engine::{choose_server_family, mix_case_0x20, name_key, pick_question_for, Engine};
 use crate::scenario::{DatasetSpec, Scale};
 use dns_wire::builder::MessageBuilder;
 use dns_wire::name::Name;
@@ -182,7 +182,8 @@ impl Driver {
         self.build_query(fi, r_idx, qname, qtype, signed, cacheable, idx, t)
     }
 
-    /// The engine's qname/qtype decision chain: junk vs Zipf-popular
+    /// The engine's qname/qtype decision chain (shared code, so live
+    /// and offline runs cannot drift apart): junk vs Zipf-popular
     /// valid names, deep names, Q-min rewriting.
     fn pick_question(
         &mut self,
@@ -190,33 +191,15 @@ impl Driver {
         is_junk: bool,
         t: SimTime,
     ) -> (Name, RType, bool, bool, u64) {
-        let rng = &mut self.rng;
-        if is_junk {
-            let (name, _) = self.engine.junk.sample(rng);
-            let qt = if rng.gen_bool(0.9) {
-                RType::A
-            } else {
-                RType::Aaaa
-            };
-            (name, qt, false, false, 0)
-        } else {
-            let spec = &self.engine.fleets[fi].spec;
-            let idx = self.engine.zipf.sample(rng);
-            let base = self.engine.zone().registered_domain(idx);
-            let mut qt = pick_qtype(&spec.qtype_mix, rng);
-            let mut qn = if matches!(qt, RType::A | RType::Aaaa | RType::Ns) && rng.gen_bool(0.55) {
-                let sub: &[u8] =
-                    [&b"www"[..], b"mail", b"api", b"cdn", b"img"][rng.gen_range(0..5usize)];
-                base.child(sub).unwrap_or(base)
-            } else {
-                base
-            };
-            if spec.qmin_active(t) && rng.gen_bool(spec.qmin_frac) {
-                qn = self.engine.zone().minimized_qname(&qn);
-                qt = RType::Ns;
-            }
-            (qn, qt, self.engine.zone().is_signed(idx), true, idx)
-        }
+        pick_question_for(
+            self.engine.zone(),
+            &self.engine.zipf,
+            &self.engine.junk,
+            &self.engine.fleets[fi].spec,
+            t,
+            is_junk,
+            &mut self.rng,
+        )
     }
 
     /// Encode the query and queue DNSSEC follow-ups.

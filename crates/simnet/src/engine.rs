@@ -18,7 +18,7 @@ use asdb::synth::{InternetPlan, PlanConfig};
 use dns_wire::builder::MessageBuilder;
 use dns_wire::name::Name;
 use dns_wire::types::RType;
-use netbase::capture::{CaptureRecord, CaptureWriter, Direction};
+use netbase::capture::{CaptureRecord, CaptureWriter, Direction, RecordSink};
 use netbase::flow::{FlowKey, IpVersion, Transport};
 use netbase::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -69,6 +69,36 @@ pub struct DatasetStats {
     pub rrl_drops: u64,
     /// Per-fleet query counts, by fleet name.
     pub per_fleet: Vec<(String, u64)>,
+}
+
+impl DatasetStats {
+    /// Fold a time slice's counters into this block. `per_fleet` is
+    /// left untouched: slice merging tracks fleet counts positionally
+    /// and attaches names once at the end.
+    fn absorb(&mut self, other: &DatasetStats) {
+        self.queries += other.queries;
+        self.responses += other.responses;
+        self.truncated_udp += other.truncated_udp;
+        self.tcp_queries += other.tcp_queries;
+        self.junk_queries += other.junk_queries;
+        self.cache_hits += other.cache_hits;
+        self.rrl_slips += other.rrl_slips;
+        self.rrl_drops += other.rrl_drops;
+    }
+}
+
+/// One generated time slice (an hourly slot), ready to merge.
+struct SliceOut {
+    records: Vec<CaptureRecord>,
+    stats: DatasetStats,
+    fleet_counts: Vec<u64>,
+}
+
+/// RNG seed for one time slice: stable-hash the dataset seed with the
+/// slot index, so any sharding of the slot range reproduces identical
+/// per-slice streams.
+fn slice_seed(seed: u64, slot: usize) -> u64 {
+    splitmix((seed ^ 0xe46).wrapping_add((slot as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
 }
 
 /// The generation engine for one dataset.
@@ -151,11 +181,26 @@ impl Engine {
         (self.spec.total_queries as f64 * self.scale.queries) as u64
     }
 
-    /// Generate the dataset into a capture writer.
+    /// Generate the dataset into a capture writer (single-threaded).
     pub fn generate<W: Write>(&self, out: &mut CaptureWriter<W>) -> std::io::Result<DatasetStats> {
-        let mut stats = DatasetStats::default();
+        self.generate_sharded(out, 1)
+    }
+
+    /// Generate the dataset into any record sink, spread over `shards`
+    /// crossbeam scoped worker threads.
+    ///
+    /// Time is sliced by hourly slot — each slice is a contiguous time
+    /// range driven by its own `StdRng` split from the dataset seed via
+    /// [`splitmix`] stable hashing, with fresh per-slice resolver
+    /// caches and RRL state — and slices merge in slot order. The
+    /// output is therefore byte-identical for any shard count.
+    pub fn generate_sharded<S: RecordSink>(
+        &self,
+        out: &mut S,
+        shards: usize,
+    ) -> std::io::Result<DatasetStats> {
         let slots = (self.spec.days as usize) * 24;
-        let slot_len = SimDuration::from_hours(1);
+        let shards = shards.clamp(1, slots.max(1));
         let total = self.scaled_total();
         let mut stage = obs::stage("simnet.generate");
         let mut progress = obs::Progress::new(
@@ -179,75 +224,79 @@ impl Engine {
                 cum / wsum
             })
             .collect();
-
-        // per-fleet targets and caches
         let targets: Vec<u64> = self
             .fleets
             .iter()
             .map(|f| (f.spec.traffic_share * total as f64).round() as u64)
             .collect();
-        let mut emitted: Vec<u64> = vec![0; self.fleets.len()];
-        let mut junk_emitted: Vec<u64> = vec![0; self.fleets.len()];
+
+        let mut stats = DatasetStats::default();
         let mut fleet_counts: Vec<u64> = vec![0; self.fleets.len()];
-        let mut caches: Vec<HashMap<u32, TtlCache>> =
-            self.fleets.iter().map(|_| HashMap::new()).collect();
 
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xe46);
-        let mut buf: Vec<CaptureRecord> = Vec::new();
-        let mut rrl: Option<RateLimiter> = self.spec.rrl.map(RateLimiter::new);
-
-        for slot in 0..slots {
-            let slot_start = self.spec.start + SimDuration::from_hours(slot as u64);
-            buf.clear();
-            for (fi, fleet) in self.fleets.iter().enumerate() {
-                let due = (targets[fi] as f64 * cum_weights[slot]).round() as u64;
-                let quota = due.saturating_sub(emitted[fi]);
-                let mut done = 0u64;
-                let mut attempts = 0u64;
-                let max_attempts = quota.saturating_mul(60).max(1000);
-                while done < quota && attempts < max_attempts {
-                    attempts += 1;
-                    let t = slot_start
-                        + SimDuration::from_micros(rng.gen_range(0..slot_len.as_micros()));
-                    // junk_ratio is a *server-side* target (Figure 4 is
-                    // measured at the vantage): steer by deficit so cache
-                    // absorption of valid demand cannot skew the mix
-                    let want_junk = (junk_emitted[fi] as f64)
-                        < fleet.spec.junk_ratio * (emitted[fi] + done + 1) as f64;
-                    let n = self.demand(
-                        fleet,
-                        t,
-                        want_junk,
-                        &mut rng,
-                        &mut caches[fi],
-                        &mut rrl,
-                        &mut buf,
-                        &mut stats,
-                    );
-                    done += n;
-                    if want_junk {
-                        junk_emitted[fi] += n;
-                    }
+        if shards == 1 {
+            for slot in 0..slots {
+                let slice = self.generate_slice(slot, &cum_weights, &targets);
+                progress.tick(slice.stats.queries);
+                stats.absorb(&slice.stats);
+                for (acc, c) in fleet_counts.iter_mut().zip(&slice.fleet_counts) {
+                    *acc += *c;
                 }
-                emitted[fi] += done;
-                fleet_counts[fi] += done;
-                progress.tick(done);
+                for rec in slice.records {
+                    out.emit(rec)?;
+                }
             }
-            self.emit_incidents(
-                slot,
-                &cum_weights,
-                slot_start,
-                slot_len,
-                &mut rng,
-                &mut rrl,
-                &mut buf,
-                &mut stats,
-            )?;
-            buf.sort_by_key(|r| r.timestamp);
-            for rec in &buf {
-                out.write(rec)?;
-            }
+        } else {
+            // Workers stripe the slot range (worker w takes slots w,
+            // w+shards, ...); the merger pulls slices back in slot
+            // order over small bounded channels, so every shard keeps
+            // producing while the merge stays strictly ordered and
+            // memory stays bounded.
+            let engine = self;
+            let cum_ref = &cum_weights;
+            let targets_ref = &targets;
+            crossbeam::thread::scope(|scope| -> std::io::Result<()> {
+                let mut rxs = Vec::with_capacity(shards);
+                for w in 0..shards {
+                    let (tx, rx) = crossbeam::channel::bounded::<SliceOut>(2);
+                    rxs.push(rx);
+                    scope.spawn(move |_| {
+                        let mut shard_stage = obs::stage_owned(format!("simnet.generate.shard{w}"));
+                        let mut slot = w;
+                        while slot < slots {
+                            let slice = engine.generate_slice(slot, cum_ref, targets_ref);
+                            shard_stage.add_items(slice.stats.queries + slice.stats.responses);
+                            if tx.send(slice).is_err() {
+                                break; // merger gone (sink error): stop early
+                            }
+                            slot += shards;
+                        }
+                    });
+                }
+                let mut merge = || -> std::io::Result<()> {
+                    for slot in 0..slots {
+                        let slice = rxs[slot % shards]
+                            .recv()
+                            .map_err(|_| std::io::Error::other("generator shard disconnected"))?;
+                        progress.tick(slice.stats.queries);
+                        stats.absorb(&slice.stats);
+                        for (acc, c) in fleet_counts.iter_mut().zip(&slice.fleet_counts) {
+                            *acc += *c;
+                        }
+                        for rec in slice.records {
+                            out.emit(rec)?;
+                        }
+                    }
+                    Ok(())
+                };
+                let merged = merge();
+                // dropping the receivers wakes any worker still blocked
+                // on a full channel, so the scope always joins
+                drop(rxs);
+                merged
+            })
+            .expect("generator shards do not panic")?;
         }
+
         stats.per_fleet = self
             .fleets
             .iter()
@@ -273,6 +322,80 @@ impl Engine {
         Ok(stats)
     }
 
+    /// Generate one hourly time slice, self-contained: its own RNG
+    /// stream, resolver caches, and RRL state, so slices can run on any
+    /// thread in any order and still merge byte-identically.
+    fn generate_slice(&self, slot: usize, cum_weights: &[f64], targets: &[u64]) -> SliceOut {
+        let slot_len = SimDuration::from_hours(1);
+        let slot_start = self.spec.start + SimDuration::from_hours(slot as u64);
+        let prev_cum = if slot == 0 {
+            0.0
+        } else {
+            cum_weights[slot - 1]
+        };
+        let mut rng = StdRng::seed_from_u64(slice_seed(self.seed, slot));
+        let mut stats = DatasetStats::default();
+        let mut fleet_counts: Vec<u64> = vec![0; self.fleets.len()];
+        let mut caches: Vec<HashMap<u32, TtlCache>> =
+            self.fleets.iter().map(|_| HashMap::new()).collect();
+        let mut rrl: Option<RateLimiter> = self.spec.rrl.map(RateLimiter::new);
+        let mut buf: Vec<CaptureRecord> = Vec::new();
+
+        for (fi, fleet) in self.fleets.iter().enumerate() {
+            // this slice's share of the fleet target: the rounded
+            // cumulative quota telescopes exactly to `targets[fi]`
+            // across the slot range
+            let due_now = (targets[fi] as f64 * cum_weights[slot]).round() as u64;
+            let due_prev = (targets[fi] as f64 * prev_cum).round() as u64;
+            let quota = due_now.saturating_sub(due_prev);
+            let mut done = 0u64;
+            let mut attempts = 0u64;
+            let max_attempts = quota.saturating_mul(60).max(1000);
+            while done < quota && attempts < max_attempts {
+                attempts += 1;
+                let t =
+                    slot_start + SimDuration::from_micros(rng.gen_range(0..slot_len.as_micros()));
+                // junk_ratio is a *server-side* target (Figure 4 is
+                // measured at the vantage): steer junk onto the exact
+                // integer lattice of the cumulative ratio, anchored at
+                // the slice's quota base, so the mix holds without any
+                // cross-slice state (cache absorption of valid demand
+                // cannot skew it either)
+                let base = due_prev + done;
+                let want_junk = (fleet.spec.junk_ratio * (base + 1) as f64).floor()
+                    > (fleet.spec.junk_ratio * base as f64).floor();
+                let n = self.demand(
+                    fleet,
+                    t,
+                    want_junk,
+                    &mut rng,
+                    &mut caches[fi],
+                    &mut rrl,
+                    &mut buf,
+                    &mut stats,
+                );
+                done += n;
+            }
+            fleet_counts[fi] += done;
+        }
+        self.emit_incidents(
+            slot,
+            cum_weights,
+            slot_start,
+            slot_len,
+            &mut rng,
+            &mut rrl,
+            &mut buf,
+            &mut stats,
+        );
+        buf.sort_by_key(|r| r.timestamp);
+        SliceOut {
+            records: buf,
+            stats,
+            fleet_counts,
+        }
+    }
+
     /// One demand event; returns the number of query records emitted
     /// (0 when the resolver cache absorbed it).
     #[allow(clippy::too_many_arguments)]
@@ -291,35 +414,8 @@ impl Engine {
         let r_idx = fleet.pick(rng);
         let resolver = &fleet.resolvers[r_idx];
 
-        let (qname, qtype, signed, cacheable, _domain_idx) = if is_junk {
-            let (name, _) = self.junk.sample(rng);
-            let qt = if rng.gen_bool(0.9) {
-                RType::A
-            } else {
-                RType::Aaaa
-            };
-            (name, qt, false, false, 0u64)
-        } else {
-            let idx = self.zipf.sample(rng);
-            let base = self.zone.registered_domain(idx);
-            let mut qt = pick_qtype(&spec.qtype_mix, rng);
-            // deep names: hosts under the delegation (and NS lookups
-            // clients ask about arbitrary hostnames) — this is what
-            // makes the minimized-qname evidence informative: without
-            // Q-min, a good share of NS queries target deep names
-            let mut qn = if matches!(qt, RType::A | RType::Aaaa | RType::Ns) && rng.gen_bool(0.55) {
-                let sub: &[u8] =
-                    [&b"www"[..], b"mail", b"api", b"cdn", b"img"][rng.gen_range(0..5usize)];
-                base.child(sub).unwrap_or(base)
-            } else {
-                base
-            };
-            if spec.qmin_active(t) && rng.gen_bool(spec.qmin_frac) {
-                qn = self.zone.minimized_qname(&qn);
-                qt = RType::Ns;
-            }
-            (qn, qt, self.zone.is_signed(idx), true, idx)
-        };
+        let (qname, qtype, signed, cacheable, _domain_idx) =
+            pick_question_for(&self.zone, &self.zipf, &self.junk, spec, t, is_junk, rng);
 
         let ckey = CacheKey {
             domain: name_key(&qname),
@@ -612,7 +708,7 @@ impl Engine {
         rrl: &mut Option<RateLimiter>,
         buf: &mut Vec<CaptureRecord>,
         stats: &mut DatasetStats,
-    ) -> std::io::Result<()> {
+    ) {
         for incident in &self.spec.incidents {
             let Incident::CyclicDependency {
                 start,
@@ -656,7 +752,51 @@ impl Engine {
             }
         }
         let _ = (slot, cum_weights);
-        Ok(())
+    }
+}
+
+/// The per-query qname/qtype decision chain, shared between the
+/// offline engine and the live [`crate::drive::Driver`]: junk vs
+/// Zipf-popular valid names, deep names under the delegation, Q-min
+/// rewriting. Returns `(qname, qtype, signed, cacheable, domain_idx)`.
+///
+/// Deep names matter: hosts under the delegation (and NS lookups
+/// clients ask about arbitrary hostnames) are what make the
+/// minimized-qname evidence informative — without Q-min, a good share
+/// of NS queries target deep names.
+pub(crate) fn pick_question_for(
+    zone: &ZoneModel,
+    zipf: &ZipfSampler,
+    junk: &JunkGenerator,
+    spec: &FleetSpec,
+    t: SimTime,
+    is_junk: bool,
+    rng: &mut StdRng,
+) -> (Name, RType, bool, bool, u64) {
+    if is_junk {
+        let (name, _) = junk.sample(rng);
+        let qt = if rng.gen_bool(0.9) {
+            RType::A
+        } else {
+            RType::Aaaa
+        };
+        (name, qt, false, false, 0u64)
+    } else {
+        let idx = zipf.sample(rng);
+        let base = zone.registered_domain(idx);
+        let mut qt = pick_qtype(&spec.qtype_mix, rng);
+        let mut qn = if matches!(qt, RType::A | RType::Aaaa | RType::Ns) && rng.gen_bool(0.55) {
+            let sub: &[u8] =
+                [&b"www"[..], b"mail", b"api", b"cdn", b"img"][rng.gen_range(0..5usize)];
+            base.child(sub).unwrap_or(base)
+        } else {
+            base
+        };
+        if spec.qmin_active(t) && rng.gen_bool(spec.qmin_frac) {
+            qn = zone.minimized_qname(&qn);
+            qt = RType::Ns;
+        }
+        (qn, qt, zone.is_signed(idx), true, idx)
     }
 }
 

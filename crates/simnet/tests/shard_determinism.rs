@@ -1,0 +1,46 @@
+//! Sharded generation is a pure parallelization: for any seed and any
+//! worker count, the capture byte stream is identical to the
+//! single-threaded run. Slices are fixed hourly slots seeded from the
+//! dataset seed, so determinism is structural — this property test
+//! pins it against regressions.
+
+use netbase::capture::CaptureWriter;
+use proptest::prelude::*;
+use simnet::engine::Engine;
+use simnet::profile::Vantage;
+use simnet::scenario::{dataset, Scale};
+
+fn capture_bytes(seed: u64, shards: usize) -> (Vec<u8>, u64) {
+    let engine = Engine::new(dataset(Vantage::Nz, 2018), Scale::tiny(), seed);
+    let mut buf = Vec::new();
+    let stats = {
+        let mut writer = CaptureWriter::new(&mut buf).unwrap();
+        let stats = engine.generate_sharded(&mut writer, shards).unwrap();
+        writer.finish().unwrap();
+        stats
+    };
+    (buf, stats.queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// N worker threads produce byte-identical captures to one.
+    #[test]
+    fn sharded_capture_is_byte_identical(seed in 0u64..10_000, shards in 2usize..=8) {
+        let (one, q1) = capture_bytes(seed, 1);
+        let (many, qn) = capture_bytes(seed, shards);
+        prop_assert_eq!(q1, qn);
+        prop_assert!(q1 > 0, "generator produced no queries");
+        prop_assert_eq!(one, many, "shards={} diverged from single-threaded", shards);
+    }
+}
+
+/// The headline case from the issue, pinned as a plain test so it runs
+/// even when the property sampler picks other shard counts.
+#[test]
+fn one_equals_eight() {
+    let (one, _) = capture_bytes(42, 1);
+    let (eight, _) = capture_bytes(42, 8);
+    assert_eq!(one, eight);
+}

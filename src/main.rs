@@ -24,9 +24,8 @@
 //! (most useful with `serve` and `live`).
 
 use dnscentral_core::dualstack::DualStackAnalysis;
-use dnscentral_core::experiments::{
-    analyze_capture, generate_capture, run_dataset, run_monthly_series,
-};
+use dnscentral_core::experiments::{analyze_capture, generate_capture_sharded, run_monthly_series};
+use dnscentral_core::pipeline::{run_dataset_with, run_spec_with, PipelineOpts};
 use dnscentral_core::{ednssize, junk, metrics, qmin, report, transport};
 use simnet::profile::Vantage;
 use simnet::scenario::{dataset, Scale};
@@ -118,14 +117,24 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
         }
     };
     let seed: u64 = parsed_flag(flags, "--seed", "an integer")?.unwrap_or(42);
+    let shards: usize = parsed_flag(flags, "--shards", "a worker-thread count")?.unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let keep_capture = flags.iter().any(|f| *f == "--keep-capture");
+    // capture kept next to the cwd, named after the dataset
+    let opts_for = |id: &str| PipelineOpts {
+        shards,
+        keep_capture: keep_capture.then(|| std::path::PathBuf::from(format!("{id}.dnscap"))),
+    };
 
     match positional.first().map(|s| s.as_str()) {
         Some("table1") => print!("{}", report::render_table1()),
         Some("generate") => {
             let (vantage, year, path) = dataset_args(positional)?;
             let spec = dataset(vantage, year);
-            let stats =
-                generate_capture(&spec, scale, seed, Path::new(path)).expect("capture generation");
+            let stats = generate_capture_sharded(&spec, scale, seed, Path::new(path), shards)
+                .expect("capture generation");
             println!(
                 "{}: {} queries ({} tcp, {} truncated, {} junk) -> {path}",
                 spec.id(),
@@ -142,13 +151,18 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 analyze_capture(&spec, scale, seed, Path::new(path)).expect("analysis");
             print_dataset_report(&spec.id(), vantage, analysis, &mut dualstack, &spec);
             eprintln!(
-                "[ingest: {} frames, {} malformed, {} unanswered]",
-                ingest.frames, ingest.malformed, ingest.unanswered_queries
+                "[ingest: {} frames, {} malformed, {} unanswered, {} capture errors]",
+                ingest.frames, ingest.malformed, ingest.unanswered_queries, ingest.capture_errors
             );
         }
         Some("dataset") => {
             let (vantage, year) = vantage_year(positional)?;
-            let run = run_dataset(vantage, year, scale, seed);
+            let spec = dataset(vantage, year);
+            let opts = opts_for(&spec.id());
+            let run = run_spec_with(spec, scale, seed, &opts);
+            if let Some(p) = &opts.keep_capture {
+                eprintln!("[capture kept at {}]", p.display());
+            }
             if flags.iter().any(|f| *f == "--json") {
                 let mut analysis = run.analysis;
                 let doc = report::dataset_json(&run.id, &mut analysis);
@@ -189,7 +203,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 )
             );
         }
-        Some("report") => full_report(scale, seed),
+        Some("report") => full_report(scale, seed, shards),
         Some("inspect") => {
             let path = positional
                 .get(1)
@@ -219,7 +233,13 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
         Some("concentration") => {
             let mut reports = Vec::new();
             for vantage in [Vantage::Nl, Vantage::Nz, Vantage::BRoot] {
-                let run = run_dataset(vantage, 2020, scale, seed);
+                let run = run_dataset_with(
+                    vantage,
+                    2020,
+                    scale,
+                    seed,
+                    &PipelineOpts::with_shards(shards),
+                );
                 reports.push(dnscentral_core::concentration::concentration(
                     &run.id,
                     &run.analysis,
@@ -245,7 +265,11 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             let spec: simnet::scenario::DatasetSpec =
                 serde_json::from_str(&text).expect("valid scenario JSON");
             let vantage = spec.vantage;
-            let run = dnscentral_core::experiments::run_spec(spec, scale, seed);
+            let opts = opts_for(&spec.id());
+            let run = run_spec_with(spec, scale, seed, &opts);
+            if let Some(p) = &opts.keep_capture {
+                eprintln!("[capture kept at {}]", p.display());
+            }
             let spec = run.spec.clone();
             let mut dualstack = run.dualstack;
             print_dataset_report(&run.id, vantage, run.analysis, &mut dualstack, &spec);
@@ -257,7 +281,13 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
         Some("junk-overview") => {
             let mut measured = Vec::new();
             for year in [2018u16, 2019, 2020] {
-                let run = run_dataset(Vantage::BRoot, year, scale, seed);
+                let run = run_dataset_with(
+                    Vantage::BRoot,
+                    year,
+                    scale,
+                    seed,
+                    &PipelineOpts::with_shards(shards),
+                );
                 measured.push((year, run.analysis.valid_fraction()));
             }
             print!("{}", report::render_junk_overview(&measured));
@@ -281,7 +311,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
         _ => {
             return Err(
                 "usage: dnscentral <table1|generate|analyze|dataset|qmin|report|inspect|export-pcap|import-pcap|analyze-pcap|concentration|junk-overview|experiments|scenario-template|scenario|serve|loadgen|live> \
-                 [args] [--scale=tiny|small|medium|report] [--seed=N] [--stats] [--trace=out.json] [--metrics-addr=ip:port]"
+                 [args] [--scale=tiny|small|medium|report] [--seed=N] [--shards=N] [--keep-capture] [--stats] [--trace=out.json] [--metrics-addr=ip:port]"
                     .to_string(),
             );
         }
@@ -461,8 +491,8 @@ fn live_cli(
         analyze_capture(&spec, scale, seed, Path::new(out)).expect("live capture analyzes");
     print_dataset_report(&spec.id(), vantage, analysis, &mut dualstack, &spec);
     eprintln!(
-        "[ingest: {} frames, {} malformed, {} unanswered]",
-        ingest.frames, ingest.malformed, ingest.unanswered_queries
+        "[ingest: {} frames, {} malformed, {} unanswered, {} capture errors]",
+        ingest.frames, ingest.malformed, ingest.unanswered_queries, ingest.capture_errors
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -487,6 +517,7 @@ fn normalize_args(raw: Vec<String>) -> Result<Vec<String>, String> {
         "--stats-interval",
         "--trace",
         "--metrics-addr",
+        "--shards",
     ];
     let mut out = Vec::with_capacity(raw.len());
     let mut it = raw.into_iter();
@@ -614,7 +645,8 @@ fn print_dataset_report(
 }
 
 /// Run everything: the nine datasets, then the Figure 3 series.
-fn full_report(scale: Scale, seed: u64) {
+fn full_report(scale: Scale, seed: u64, shards: usize) {
+    let opts = PipelineOpts::with_shards(shards);
     let mut summaries = Vec::new();
     let mut shares = Vec::new();
     let mut splits = Vec::new();
@@ -628,7 +660,7 @@ fn full_report(scale: Scale, seed: u64) {
     let mut broot_valid = Vec::new();
     for vantage in [Vantage::Nl, Vantage::Nz, Vantage::BRoot] {
         for year in [2018u16, 2019, 2020] {
-            let run = run_dataset(vantage, year, scale, seed);
+            let run = run_dataset_with(vantage, year, scale, seed, &opts);
             let id = run.id.clone();
             let mut analysis = run.analysis;
             summaries.push(metrics::dataset_summary(&id, &analysis));
@@ -815,8 +847,8 @@ fn analyze_external_pcap(input: &Path, zone: zonedb::zone::ZoneModel) {
     );
     let stats = ingest.stats();
     eprintln!(
-        "[ingest: {} frames, {} malformed, {} unanswered]",
-        stats.frames, stats.malformed, stats.unanswered_queries
+        "[ingest: {} frames, {} malformed, {} unanswered, {} capture errors]",
+        stats.frames, stats.malformed, stats.unanswered_queries, stats.capture_errors
     );
 }
 

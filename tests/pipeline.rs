@@ -1,7 +1,10 @@
 //! Pipeline integrity: determinism, capture round-trips, ingest
 //! accounting, and robustness against damaged captures.
 
-use dnscentral_core::experiments::{analyze_capture, generate_capture, temp_capture_path};
+use dnscentral_core::experiments::{
+    analyze_capture, generate_capture, generate_capture_sharded, temp_capture_path,
+};
+use dnscentral_core::pipeline::{run_spec_with, PipelineOpts};
 use simnet::profile::Vantage;
 use simnet::scenario::{dataset, Scale};
 use std::fs;
@@ -20,6 +23,55 @@ fn generation_is_deterministic_via_files() {
     let _ = fs::remove_file(&p2);
     assert!(!a.is_empty());
     assert_eq!(a, b);
+}
+
+/// `--shards=N` writes the same bytes as `--shards=1` to disk.
+#[test]
+fn sharded_generation_matches_on_disk() {
+    let spec = dataset(Vantage::BRoot, 2019);
+    let p1 = temp_capture_path("shard-one", 7);
+    let p4 = temp_capture_path("shard-four", 7);
+    generate_capture_sharded(&spec, Scale::tiny(), 7, &p1, 1).unwrap();
+    generate_capture_sharded(&spec, Scale::tiny(), 7, &p4, 4).unwrap();
+    let a = fs::read(&p1).unwrap();
+    let b = fs::read(&p4).unwrap();
+    let _ = fs::remove_file(&p1);
+    let _ = fs::remove_file(&p4);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "4-shard capture diverged from single-threaded");
+}
+
+/// The streamed (no intermediate file) path and the kept-capture disk
+/// path agree on every ingest counter and analysis aggregate.
+#[test]
+fn streamed_and_disk_paths_agree_end_to_end() {
+    let spec = dataset(Vantage::Nl, 2020);
+    let streamed = run_spec_with(
+        spec.clone(),
+        Scale::tiny(),
+        17,
+        &PipelineOpts::with_shards(2),
+    );
+    let path = temp_capture_path("streamed-vs-disk", 17);
+    let disk = run_spec_with(
+        spec,
+        Scale::tiny(),
+        17,
+        &PipelineOpts {
+            shards: 2,
+            keep_capture: Some(path.clone()),
+        },
+    );
+    assert!(path.exists());
+    let _ = fs::remove_file(&path);
+    assert_eq!(streamed.ingest_stats, disk.ingest_stats);
+    assert_eq!(streamed.analysis.total_queries, disk.analysis.total_queries);
+    assert_eq!(streamed.analysis.valid_queries, disk.analysis.valid_queries);
+    assert_eq!(streamed.analysis.cloud_share(), disk.analysis.cloud_share());
+    assert_eq!(
+        streamed.analysis.diurnal_peak_trough(),
+        disk.analysis.diurnal_peak_trough()
+    );
 }
 
 /// Generator counters equal analyzer counters across the file boundary.
@@ -52,6 +104,9 @@ fn truncated_capture_is_survivable() {
     let _ = fs::remove_file(&path);
     assert!(analysis.total_queries > 0, "partial data still analyzed");
     assert!(ingest.frames > 0);
+    // the torn tail record is counted, not silently treated as EOF
+    assert_eq!(ingest.capture_errors, 1, "{ingest:?}");
+    assert!(ingest.balanced(), "{ingest:?}");
 }
 
 /// Corrupting payload bytes yields counted malformed frames, not
@@ -111,6 +166,12 @@ fn seed_sweep_invariants() {
     for seed in [101u64, 202, 303, 404, 505] {
         let run = dnscentral_core::experiments::run_dataset(Vantage::Nz, 2020, Scale::tiny(), seed);
         assert_eq!(run.ingest_stats.malformed, 0, "seed {seed}");
+        assert_eq!(run.ingest_stats.capture_errors, 0, "seed {seed}");
+        assert!(
+            run.ingest_stats.balanced(),
+            "seed {seed}: {:?}",
+            run.ingest_stats
+        );
         assert_eq!(run.gen_stats.queries, run.ingest_stats.rows, "seed {seed}");
         let share = run.analysis.cloud_share();
         assert!((0.2..0.4).contains(&share), "seed {seed}: share {share}");
@@ -143,6 +204,13 @@ fn all_nine_datasets_run() {
             assert!(run.analysis.total_queries > 1000, "{}", run.id);
             assert!(run.analysis.cloud_share() > 0.0, "{}", run.id);
             assert_eq!(run.ingest_stats.malformed, 0, "{}", run.id);
+            assert_eq!(run.ingest_stats.capture_errors, 0, "{}", run.id);
+            assert!(
+                run.ingest_stats.balanced(),
+                "{}: {:?}",
+                run.id,
+                run.ingest_stats
+            );
         }
     }
 }
