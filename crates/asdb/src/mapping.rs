@@ -10,6 +10,7 @@ use std::net::IpAddr;
 /// IP → AS (and provider) resolution: an LPM trie over announced
 /// prefixes plus the AS registry, and the Google-Public-DNS range list
 /// for the Table 4/7 split.
+#[derive(Clone)]
 pub struct AsMapper {
     prefixes: PrefixTrie<Asn>,
     registry: AsRegistry,

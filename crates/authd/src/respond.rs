@@ -9,11 +9,18 @@ use dns_wire::message::Message;
 use dns_wire::types::Rcode;
 use netbase::flow::Transport;
 use netbase::time::SimTime;
-use simnet::engine::name_key;
+use simnet::engine::{name_key, name_key_wire};
 use simnet::rrl::{RateLimiter, ResponseClass, RrlAction};
 use simnet::scenario::DatasetSpec;
 use std::net::IpAddr;
 use zonedb::zone::ZoneModel;
+
+/// Direct-mapped response-cache slots per [`RespondScratch`].
+const CACHE_SLOTS: usize = 1024;
+/// Largest cacheable key (query payload minus the id), bytes.
+const MAX_CACHED_KEY: usize = 512;
+/// Largest cacheable encoded response, bytes.
+const MAX_CACHED_RESP: usize = 4096;
 
 /// What the server should do with one inbound message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +38,148 @@ pub enum Outcome {
     RrlDrop,
     /// Input did not parse as a DNS query; count it, send nothing.
     Malformed,
+}
+
+/// [`Outcome`] borrowing the reply bytes from a [`RespondScratch`]
+/// instead of owning them — the zero-allocation return type of
+/// [`Responder::handle_into`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum OutcomeRef<'a> {
+    /// Send these bytes back; `truncated` is the UDP TC=1 flag.
+    Reply {
+        /// Encoded response, valid until the scratch is next used.
+        bytes: &'a [u8],
+        /// Response was truncated to the advertised UDP size.
+        truncated: bool,
+        /// RRL replaced the answer with an empty TC=1 slip.
+        slipped: bool,
+    },
+    /// RRL dropped the response; count it, send nothing.
+    RrlDrop,
+    /// Input did not parse as a DNS query; count it, send nothing.
+    Malformed,
+}
+
+/// One cached (query → response) pair. The key is the query payload
+/// *minus its 2-byte id*; on a hit the cached response is copied out
+/// and only its id patched, so the reply is byte-identical to what the
+/// slow path would synthesize.
+struct CacheEntry {
+    key: Vec<u8>,
+    transport: Transport,
+    resp: Vec<u8>,
+    truncated: bool,
+    /// Wire length of the qname at response offset 12 (root byte
+    /// included) — locates the question section for slip synthesis.
+    qname_len: u16,
+    /// Response carries an option-less OPT as its final 11 bytes.
+    has_edns: bool,
+    /// RRL class the slow path derived for this response.
+    class: ResponseClass,
+}
+
+/// Per-worker mutable state for [`Responder::handle_into`]: a
+/// direct-mapped response cache plus the reused output buffer. In
+/// steady state (warm cache, stable query mix) the respond path makes
+/// zero heap allocations.
+pub struct RespondScratch {
+    slots: Vec<Option<CacheEntry>>,
+    out: Vec<u8>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for RespondScratch {
+    fn default() -> Self {
+        RespondScratch::new()
+    }
+}
+
+impl RespondScratch {
+    /// Empty scratch with all cache slots vacant.
+    pub fn new() -> RespondScratch {
+        RespondScratch {
+            slots: (0..CACHE_SLOTS).map(|_| None).collect(),
+            out: Vec::with_capacity(MAX_CACHED_RESP),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Queries answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Queries that went through full parse + synthesis + encode.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The shape of a cacheable query payload (see [`cacheable_query`]).
+struct QueryShape {
+    /// Wire length of the qname at offset 12, root byte included.
+    qname_len: u16,
+    /// The single additional record is an OPT.
+    has_opt: bool,
+}
+
+/// Decide whether `payload` is simple enough to serve from the response
+/// cache: exactly one question whose qname is plain labels at offset
+/// 12, no answer/authority records, and at most one additional which
+/// must be an OPT. Everything else takes the slow path (and is still
+/// answered correctly — just without caching).
+fn cacheable_query(payload: &[u8]) -> Option<QueryShape> {
+    if payload.len() < 12 || payload.len() - 2 > MAX_CACHED_KEY {
+        return None;
+    }
+    let count = |at: usize| u16::from_be_bytes([payload[at], payload[at + 1]]);
+    if count(4) != 1 || count(6) != 0 || count(8) != 0 || count(10) > 1 {
+        return None;
+    }
+    // walk the qname: plain labels only (a compression pointer in a
+    // query is exotic; let the slow path deal with it)
+    let mut pos = 12usize;
+    loop {
+        let len = *payload.get(pos)? as usize;
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        if len > 63 || pos - 12 > 255 {
+            return None;
+        }
+        pos += 1 + len;
+    }
+    let qname_len = (pos - 12) as u16;
+    let fixed_end = pos + 4; // qtype + qclass
+    if payload.len() < fixed_end {
+        return None;
+    }
+    let has_opt = if count(10) == 1 {
+        // root owner (0x00) + type OPT (41) right after the question
+        if payload.len() < fixed_end + 11
+            || payload[fixed_end] != 0
+            || payload[fixed_end + 1] != 0
+            || payload[fixed_end + 2] != 41
+        {
+            return None;
+        }
+        true
+    } else {
+        false
+    };
+    Some(QueryShape { qname_len, has_opt })
+}
+
+/// FNV-1a over the exact key bytes, seeded by transport.
+fn cache_hash(key: &[u8], transport: Transport) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ ((transport == Transport::Tcp) as u64);
+    for &b in key {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Stateless response synthesis shared by all workers.
@@ -139,6 +288,150 @@ impl Responder {
                 }
             }
             RrlAction::Drop => Outcome::RrlDrop,
+        }
+    }
+
+    /// [`Responder::handle`] through a per-worker response cache,
+    /// writing the reply into `scratch` instead of allocating.
+    ///
+    /// The responder is a pure function of (payload-after-id,
+    /// transport): header id aside, identical queries get identical
+    /// responses. A cache hit is therefore a memcpy plus a 2-byte id
+    /// patch — zero allocations — and RRL slips are synthesized
+    /// byte-exactly from the cached response. RRL is consulted exactly
+    /// once per UDP query on both the hit and miss paths; slipped and
+    /// dropped outcomes are never cached.
+    pub fn handle_into<'s>(
+        &self,
+        payload: &[u8],
+        transport: Transport,
+        src: IpAddr,
+        now: SimTime,
+        mut rrl: Option<&mut RateLimiter>,
+        scratch: &'s mut RespondScratch,
+    ) -> OutcomeRef<'s> {
+        let RespondScratch {
+            slots,
+            out,
+            hits,
+            misses,
+        } = scratch;
+        let shape = cacheable_query(payload);
+        let idx = shape
+            .as_ref()
+            .map(|_| cache_hash(&payload[2..], transport) as usize % slots.len());
+        if let Some(idx) = idx {
+            if let Some(entry) = &slots[idx] {
+                if entry.transport == transport && entry.key == payload[2..] {
+                    *hits += 1;
+                    let action = match (transport, rrl.as_deref_mut()) {
+                        (Transport::Udp, Some(limiter)) => limiter.check(src, entry.class, now),
+                        _ => RrlAction::Respond,
+                    };
+                    return match action {
+                        RrlAction::Respond => {
+                            out.clear();
+                            out.extend_from_slice(&payload[..2]);
+                            out.extend_from_slice(&entry.resp[2..]);
+                            OutcomeRef::Reply {
+                                bytes: out,
+                                truncated: entry.truncated,
+                                slipped: false,
+                            }
+                        }
+                        RrlAction::Slip => {
+                            // an empty TC=1 slip: cleared sections, same
+                            // flags/rcode, question + OPT straight from
+                            // the cached response bytes
+                            out.clear();
+                            out.extend_from_slice(&payload[..2]);
+                            out.push(entry.resp[2] | 0x02); // TC bit
+                            out.push(entry.resp[3]);
+                            out.extend_from_slice(&[0, 1, 0, 0, 0, 0, 0, entry.has_edns as u8]);
+                            let qlen = entry.qname_len as usize + 4;
+                            out.extend_from_slice(&entry.resp[12..12 + qlen]);
+                            if entry.has_edns {
+                                out.extend_from_slice(&entry.resp[entry.resp.len() - 11..]);
+                            }
+                            OutcomeRef::Reply {
+                                bytes: out,
+                                truncated: true,
+                                slipped: true,
+                            }
+                        }
+                        RrlAction::Drop => OutcomeRef::RrlDrop,
+                    };
+                }
+            }
+        }
+
+        *misses += 1;
+        match self.handle(payload, transport, src, now, rrl) {
+            Outcome::Reply {
+                bytes,
+                truncated,
+                slipped,
+            } => {
+                if !slipped && bytes.len() <= MAX_CACHED_RESP {
+                    if let (Some(shape), Some(idx)) = (shape, idx) {
+                        // with an OPT present its option-less 11-byte
+                        // form must close the response, with zero
+                        // extended-rcode bits (so resp[3] is the whole
+                        // rcode story)
+                        let tail_ok = !shape.has_opt || {
+                            let t = bytes.len().wrapping_sub(11);
+                            bytes.len() >= 23
+                                && bytes[t] == 0
+                                && bytes[t + 1] == 0
+                                && bytes[t + 2] == 41
+                                && bytes[t + 5] == 0
+                                && bytes[t + 9] == 0
+                                && bytes[t + 10] == 0
+                        };
+                        if tail_ok {
+                            let class = match bytes[3] & 0x0f {
+                                0 => ResponseClass::Positive(name_key_wire(
+                                    &payload[12..12 + shape.qname_len as usize],
+                                )),
+                                3 => ResponseClass::Negative,
+                                _ => ResponseClass::Error,
+                            };
+                            match &mut slots[idx] {
+                                Some(entry) => {
+                                    entry.key.clear();
+                                    entry.key.extend_from_slice(&payload[2..]);
+                                    entry.resp.clear();
+                                    entry.resp.extend_from_slice(&bytes);
+                                    entry.transport = transport;
+                                    entry.truncated = truncated;
+                                    entry.qname_len = shape.qname_len;
+                                    entry.has_edns = shape.has_opt;
+                                    entry.class = class;
+                                }
+                                vacant => {
+                                    *vacant = Some(CacheEntry {
+                                        key: payload[2..].to_vec(),
+                                        transport,
+                                        resp: bytes.clone(),
+                                        truncated,
+                                        qname_len: shape.qname_len,
+                                        has_edns: shape.has_opt,
+                                        class,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                *out = bytes;
+                OutcomeRef::Reply {
+                    bytes: out,
+                    truncated,
+                    slipped,
+                }
+            }
+            Outcome::RrlDrop => OutcomeRef::RrlDrop,
+            Outcome::Malformed => OutcomeRef::Malformed,
         }
     }
 }
@@ -280,5 +573,149 @@ mod tests {
         }
         assert!(slips > 0, "RRL should slip some responses");
         assert!(drops > 0, "RRL should drop some responses");
+    }
+
+    #[test]
+    fn cached_path_matches_slow_path_bytes() {
+        let r = responder();
+        let src: IpAddr = "192.0.2.1".parse().unwrap();
+        let mut scratch = RespondScratch::new();
+        let zone_q: Vec<String> = (0..8)
+            .map(|i| r.zone().registered_domain(i).to_string())
+            .collect();
+        for transport in [Transport::Udp, Transport::Tcp] {
+            for pass in 0..2 {
+                for (i, qname) in zone_q.iter().enumerate() {
+                    let edns = [None, Some(512), Some(1232), Some(4096)][i % 4];
+                    let mut wire = query_bytes(qname, edns);
+                    // vary the id between passes: ids must never alias
+                    // cache entries, and the reply must echo the new id
+                    wire[0] = pass as u8;
+                    wire[1] = i as u8;
+                    let slow = r.handle(&wire, transport, src, SimTime(0), None);
+                    let fast = r.handle_into(&wire, transport, src, SimTime(0), None, &mut scratch);
+                    let Outcome::Reply {
+                        bytes: slow_bytes,
+                        truncated: slow_tc,
+                        ..
+                    } = slow
+                    else {
+                        panic!("slow path replied");
+                    };
+                    let OutcomeRef::Reply {
+                        bytes: fast_bytes,
+                        truncated: fast_tc,
+                        ..
+                    } = fast
+                    else {
+                        panic!("fast path replied");
+                    };
+                    assert_eq!(fast_bytes, &slow_bytes[..], "pass {pass} q {qname}");
+                    assert_eq!(fast_tc, slow_tc);
+                }
+            }
+        }
+        // second pass onwards hits the cache
+        assert!(scratch.hits() > 0, "warm pass must hit");
+        assert!(scratch.misses() >= zone_q.len() as u64);
+    }
+
+    #[test]
+    fn cached_slip_matches_slow_path_slip() {
+        let r = responder();
+        let src: IpAddr = "192.0.2.1".parse().unwrap();
+        let tight = RrlConfig {
+            responses_per_second: 1,
+            burst: 1,
+            slip: 1, // every limited response slips, deterministically
+            ..RrlConfig::default()
+        };
+        let mut rrl_slow = RateLimiter::new(tight);
+        let mut rrl_fast = RateLimiter::new(tight);
+        let mut scratch = RespondScratch::new();
+        // warm the cache outside RRL accounting
+        let wire = query_bytes(&r.zone().registered_domain(3).to_string(), Some(1232));
+        let _ = r.handle_into(&wire, Transport::Udp, src, SimTime(0), None, &mut scratch);
+        // identical limiter sequences must produce identical outcomes,
+        // byte-for-byte, including the slips
+        for step in 0..16 {
+            let slow = r.handle(&wire, Transport::Udp, src, SimTime(0), Some(&mut rrl_slow));
+            let fast = r.handle_into(
+                &wire,
+                Transport::Udp,
+                src,
+                SimTime(0),
+                Some(&mut rrl_fast),
+                &mut scratch,
+            );
+            match (slow, fast) {
+                (
+                    Outcome::Reply {
+                        bytes: sb,
+                        truncated: st,
+                        slipped: ss,
+                    },
+                    OutcomeRef::Reply {
+                        bytes: fb,
+                        truncated: ft,
+                        slipped: fs,
+                    },
+                ) => {
+                    assert_eq!(fb, &sb[..], "step {step}");
+                    assert_eq!((ft, fs), (st, ss), "step {step}");
+                    if fs {
+                        let parsed = Message::parse(fb).unwrap();
+                        assert!(parsed.header.truncated);
+                        assert!(parsed.answers.is_empty());
+                        assert!(parsed.edns.is_some(), "slip keeps the OPT");
+                    }
+                }
+                (Outcome::RrlDrop, OutcomeRef::RrlDrop) => {}
+                (s, f) => panic!("diverged at step {step}: {s:?} vs {f:?}"),
+            }
+        }
+        assert!(scratch.hits() >= 16, "RRL steps served from cache");
+    }
+
+    #[test]
+    fn uncacheable_queries_still_answered() {
+        let r = responder();
+        let src: IpAddr = "192.0.2.1".parse().unwrap();
+        let mut scratch = RespondScratch::new();
+        // garbage stays malformed through the scratch path
+        assert_eq!(
+            r.handle_into(
+                b"\x00\x01junk",
+                Transport::Udp,
+                src,
+                SimTime(0),
+                None,
+                &mut scratch
+            ),
+            OutcomeRef::Malformed
+        );
+        // a query with two questions is answered but never cached
+        let q = r.zone().registered_domain(0).to_string();
+        let mut msg = Message::parse(&query_bytes(&q, None)).unwrap();
+        let extra = msg.questions[0].clone();
+        msg.questions.push(extra);
+        let wire = msg.encode().unwrap();
+        let before = scratch.hits();
+        for _ in 0..3 {
+            let slow = r.handle(&wire, Transport::Udp, src, SimTime(0), None);
+            let fast = r.handle_into(&wire, Transport::Udp, src, SimTime(0), None, &mut scratch);
+            match (slow, fast) {
+                (Outcome::Reply { bytes: sb, .. }, OutcomeRef::Reply { bytes: fb, .. }) => {
+                    assert_eq!(fb, &sb[..]);
+                }
+                (Outcome::Malformed, OutcomeRef::Malformed) => {}
+                (s, f) => panic!("diverged: {s:?} vs {f:?}"),
+            }
+        }
+        assert_eq!(
+            scratch.hits(),
+            before,
+            "multi-question query bypasses cache"
+        );
     }
 }

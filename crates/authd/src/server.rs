@@ -15,7 +15,7 @@
 //! frame is dropped and counted as an overrun.
 
 use crate::proxy::Preamble;
-use crate::respond::{Outcome, Responder};
+use crate::respond::{Outcome, OutcomeRef, RespondScratch, Responder};
 use crate::stats::Stats;
 use crate::tap::Tap;
 use dns_wire::tcp::{frame, Deframer};
@@ -208,6 +208,9 @@ impl Server {
 
 fn udp_worker(sock: &UdpSocket, shared: &Shared) {
     let mut buf = vec![0u8; UDP_BUF];
+    // per-worker response cache: no sharing, no locks, and in steady
+    // state the respond path performs zero heap allocations
+    let mut scratch = RespondScratch::new();
     while !shared.shutdown.load(Ordering::SeqCst) {
         let (n, peer) = match sock.recv_from(&mut buf) {
             Ok(ok) => ok,
@@ -218,11 +221,17 @@ fn udp_worker(sock: &UdpSocket, shared: &Shared) {
             }
             Err(_) => continue,
         };
-        handle_udp(sock, &buf[..n], peer, shared);
+        handle_udp(sock, &buf[..n], peer, shared, &mut scratch);
     }
 }
 
-fn handle_udp(sock: &UdpSocket, datagram: &[u8], peer: SocketAddr, shared: &Shared) {
+fn handle_udp(
+    sock: &UdpSocket,
+    datagram: &[u8],
+    peer: SocketAddr,
+    shared: &Shared,
+    scratch: &mut RespondScratch,
+) {
     let t0 = Instant::now();
     // logical flow: from the preamble when the load generator sent it,
     // else the real socket addresses (plain clients)
@@ -234,12 +243,13 @@ fn handle_udp(sock: &UdpSocket, datagram: &[u8], peer: SocketAddr, shared: &Shar
     shared.stats.bump(&shared.stats.udp_queries);
     let outcome = {
         let mut rrl_guard = shared.rrl.as_ref().map(|m| m.lock().expect("rrl lock"));
-        shared.responder.handle(
+        shared.responder.handle_into(
             payload,
             Transport::Udp,
             flow_src.ip(),
             now,
             rrl_guard.as_deref_mut(),
+            scratch,
         )
     };
     let flow = FlowKey {
@@ -250,14 +260,14 @@ fn handle_udp(sock: &UdpSocket, datagram: &[u8], peer: SocketAddr, shared: &Shar
         transport: Transport::Udp,
     };
     match outcome {
-        Outcome::Malformed => {
+        OutcomeRef::Malformed => {
             shared.stats.bump(&shared.stats.malformed);
         }
-        Outcome::RrlDrop => {
+        OutcomeRef::RrlDrop => {
             shared.stats.bump(&shared.stats.rrl_dropped);
             tap_exchange(shared, now, flow, 0, payload, None);
         }
-        Outcome::Reply {
+        OutcomeRef::Reply {
             bytes,
             truncated,
             slipped,
@@ -269,8 +279,8 @@ fn handle_udp(sock: &UdpSocket, datagram: &[u8], peer: SocketAddr, shared: &Shar
             if slipped {
                 shared.stats.bump(&shared.stats.rrl_slipped);
             }
-            tap_exchange(shared, now, flow, 0, payload, Some(&bytes));
-            let _ = sock.send_to(&bytes, peer);
+            tap_exchange(shared, now, flow, 0, payload, Some(bytes));
+            let _ = sock.send_to(bytes, peer);
             shared
                 .stats
                 .latency

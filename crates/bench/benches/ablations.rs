@@ -175,35 +175,8 @@ fn distinct(c: &mut Criterion) {
 /// Detector ablation: CUSUM vs threshold on noisy series; prints the
 /// detection outcome per noise level.
 fn detectors(c: &mut Criterion) {
-    use dnscentral_core::qmin::{detect_cusum, detect_threshold, MonthlySample};
-    let make_series = |noise: f64, seed: u64| -> Vec<MonthlySample> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut out = Vec::new();
-        let (mut y, mut m) = (2018, 11);
-        loop {
-            let deployed = (y, m) >= (2019, 12);
-            let base: f64 = if deployed { 0.45 } else { 0.04 };
-            let ns = (base + rng.gen_range(-noise..noise)).clamp(0.0, 1.0);
-            out.push(MonthlySample {
-                year: y,
-                month: m,
-                total: 1000,
-                qtype_counts: vec![],
-                ns_share: ns,
-                minimized_ns_share: if deployed { 0.9 } else { 0.3 },
-                address_share: 1.0 - ns,
-            });
-            if (y, m) == (2020, 4) {
-                break;
-            }
-            m += 1;
-            if m > 12 {
-                m = 1;
-                y += 1;
-            }
-        }
-        out
-    };
+    use bench::scenarios::qmin_series as make_series;
+    use dnscentral_core::qmin::{detect_cusum, detect_threshold};
     eprintln!("\n--- ablation: change-point detectors under noise ---");
     for noise in [0.01, 0.05, 0.10, 0.18] {
         let mut cusum_hits = 0;

@@ -1,4 +1,5 @@
-//! Wire-codec throughput: name and message encode/decode, EDNS.
+//! Analysis-pass throughput: row aggregation and the four report
+//! builders (Q-min CUSUM, EDNS size CDF, junk ratios, concentration).
 //!
 //! The scenario bodies live in [`bench::scenarios`] so the criterion
 //! harness and `dnscentral bench` time identical code.
@@ -7,6 +8,6 @@ use bench::{bench_scenario_group, quick};
 
 fn main() {
     let mut c = quick();
-    bench_scenario_group(&mut c, "wire");
+    bench_scenario_group(&mut c, "analysis");
     c.final_summary();
 }

@@ -1,107 +1,16 @@
-//! End-to-end pipeline throughput: generation, ingestion, analysis.
+//! End-to-end pipeline throughput: generation, ingestion, and the
+//! fused streamed pipeline (1 vs 4 shards) against the historical
+//! two-pass file round-trip.
+//!
+//! The scenario bodies live in [`bench::scenarios`] so the criterion
+//! harness and `dnscentral bench` time identical code.
 
-use bench::{quick, sample_capture_bytes};
-use criterion::{BatchSize, Criterion, Throughput};
-use dnscentral_core::analysis::DatasetAnalysis;
-use dnscentral_core::experiments::{analyze_capture, generate_capture, temp_capture_path};
-use dnscentral_core::pipeline::{run_spec_with, PipelineOpts};
-use entrada::enrich::Enricher;
-use entrada::ingest::CaptureIngest;
-use netbase::capture::{CaptureReader, CaptureWriter};
-use simnet::engine::{plan_config_for, Engine};
-use simnet::profile::Vantage;
-use simnet::scenario::{dataset, Scale};
-
-fn benches(c: &mut Criterion) {
-    // generation throughput (queries/sec): one tiny B-Root day
-    let spec = dataset(Vantage::BRoot, 2020);
-    let engine = Engine::new(spec.clone(), Scale::tiny(), 3);
-    let total = engine.scaled_total();
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Elements(total));
-    group.bench_function("generate_broot_tiny", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(4 << 20);
-            let mut w = CaptureWriter::new(&mut buf).expect("writer");
-            engine.generate(&mut w).expect("generation");
-            w.finish().expect("flush");
-            buf.len()
-        });
-    });
-
-    // ingestion throughput over a fixed capture
-    let capture = sample_capture_bytes();
-    let nz = dataset(Vantage::Nz, 2020);
-    group.throughput(Throughput::Bytes(capture.len() as u64));
-    group.bench_function("ingest_and_enrich", |b| {
-        b.iter_batched(
-            || {
-                let plan =
-                    asdb::synth::InternetPlan::build(&plan_config_for(&nz, Scale::tiny(), 7));
-                Enricher::new(plan.mapper)
-            },
-            |enricher| {
-                let reader = CaptureReader::new(&capture[..]).expect("valid header");
-                CaptureIngest::new(reader, enricher).count()
-            },
-            BatchSize::PerIteration,
-        );
-    });
-
-    // analysis (aggregation) throughput over pre-ingested rows
-    let rows: Vec<entrada::schema::QueryRow> = {
-        let plan = asdb::synth::InternetPlan::build(&plan_config_for(&nz, Scale::tiny(), 7));
-        let reader = CaptureReader::new(&capture[..]).expect("valid header");
-        CaptureIngest::new(reader, Enricher::new(plan.mapper)).collect()
-    };
-    group.throughput(Throughput::Elements(rows.len() as u64));
-    group.bench_function("aggregate_rows", |b| {
-        let zone = nz.zone.build();
-        b.iter(|| {
-            let mut analysis = DatasetAnalysis::new(zone.clone());
-            for row in &rows {
-                analysis.push(row);
-            }
-            analysis.total_queries
-        });
-    });
-    group.finish();
-
-    // end-to-end dataset runs: the historical two-pass file round-trip
-    // against the fused streamed pipeline, single- and multi-shard —
-    // the before/after for the pipeline-fusion change.
-    let e2e = dataset(Vantage::Nz, 2020);
-    let e2e_total = Engine::new(e2e.clone(), Scale::tiny(), 5).scaled_total();
-    let mut group = c.benchmark_group("e2e");
-    group.throughput(Throughput::Elements(e2e_total));
-    group.bench_function("file_roundtrip", |b| {
-        b.iter(|| {
-            let path = temp_capture_path("bench-e2e", 5);
-            generate_capture(&e2e, Scale::tiny(), 5, &path).expect("generate");
-            let out = analyze_capture(&e2e, Scale::tiny(), 5, &path).expect("analyze");
-            let _ = std::fs::remove_file(&path);
-            out.0.total_queries
-        });
-    });
-    group.bench_function("streamed_shard1", |b| {
-        b.iter(|| {
-            run_spec_with(e2e.clone(), Scale::tiny(), 5, &PipelineOpts::with_shards(1))
-                .analysis
-                .total_queries
-        });
-    });
-    group.bench_function("streamed_shard4", |b| {
-        b.iter(|| {
-            run_spec_with(e2e.clone(), Scale::tiny(), 5, &PipelineOpts::with_shards(4))
-                .analysis
-                .total_queries
-        });
-    });
-    group.finish();
-}
+use bench::{bench_scenario_group, quick};
 
 fn main() {
     let mut c = quick();
-    benches(&mut c);
+    bench_scenario_group(&mut c, "gen");
+    bench_scenario_group(&mut c, "ingest");
+    bench_scenario_group(&mut c, "pipeline");
     c.final_summary();
 }

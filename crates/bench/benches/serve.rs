@@ -3,66 +3,17 @@
 //! Measures the per-query cost of `authd`'s responder on one thread —
 //! i.e. the single-thread ceiling on queries/second — over a realistic
 //! query mix sampled from the fleet profiles (delegations, deep names,
-//! Q-min NS probes, junk, mixed EDNS sizes).
+//! Q-min NS probes, junk, mixed EDNS sizes). `respond_udp_cached` runs
+//! the same mix through the per-worker response cache the UDP workers
+//! use in production.
+//!
+//! The scenario bodies live in [`bench::scenarios`] so the criterion
+//! harness and `dnscentral bench` time identical code.
 
-use authd::respond::{Outcome, Responder};
-use bench::quick;
-use criterion::{Criterion, Throughput};
-use netbase::flow::Transport;
-use netbase::time::SimTime;
-use simnet::drive::Driver;
-use simnet::profile::Vantage;
-use simnet::scenario::{dataset, Scale};
-use std::net::IpAddr;
-
-fn sample_queries(n: usize) -> Vec<(Vec<u8>, IpAddr)> {
-    let spec = dataset(Vantage::Nl, 2020);
-    let t = spec.start;
-    let mut driver = Driver::new(spec, Scale::tiny(), 42);
-    (0..n)
-        .map(|_| {
-            let q = driver.sample(t);
-            (q.wire, q.src)
-        })
-        .collect()
-}
-
-fn benches(c: &mut Criterion) {
-    let responder = Responder::for_spec(&dataset(Vantage::Nl, 2020));
-    let queries = sample_queries(512);
-    let now = SimTime(0);
-
-    let mut group = c.benchmark_group("serve");
-    group.throughput(Throughput::Elements(queries.len() as u64));
-    group.bench_function("respond_udp_qps", |b| {
-        b.iter(|| {
-            let mut replies = 0u64;
-            for (wire, src) in &queries {
-                match responder.handle(wire, Transport::Udp, *src, now, None) {
-                    Outcome::Reply { .. } => replies += 1,
-                    Outcome::RrlDrop | Outcome::Malformed => {}
-                }
-            }
-            replies
-        });
-    });
-    group.bench_function("respond_tcp_qps", |b| {
-        b.iter(|| {
-            let mut replies = 0u64;
-            for (wire, src) in &queries {
-                match responder.handle(wire, Transport::Tcp, *src, now, None) {
-                    Outcome::Reply { .. } => replies += 1,
-                    Outcome::RrlDrop | Outcome::Malformed => {}
-                }
-            }
-            replies
-        });
-    });
-    group.finish();
-}
+use bench::{bench_scenario_group, quick};
 
 fn main() {
     let mut c = quick();
-    benches(&mut c);
+    bench_scenario_group(&mut c, "serve");
     c.final_summary();
 }

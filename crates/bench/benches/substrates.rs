@@ -1,65 +1,19 @@
 //! Substrate throughput: LPM lookups, zone classification, popularity
 //! sampling, resolver caches, distinct counting.
+//!
+//! The LPM/classify/Zipf bodies live in [`bench::scenarios`] (shared
+//! with `dnscentral bench`); the cache, distinct-counter, and full
+//! resolver-walk benches are criterion-only and stay inline.
 
-use bench::quick;
+use bench::{bench_scenario_group, quick};
 use criterion::Criterion;
 use entrada::agg::{DistinctCounter, HyperLogLog};
-use netbase::prefix::IpPrefix;
 use netbase::time::{SimDuration, SimTime};
-use netbase::trie::PrefixTrie;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::cache::{CacheKey, TtlCache};
-use std::net::{IpAddr, Ipv4Addr};
-use zonedb::popularity::ZipfSampler;
-use zonedb::zone::ZoneModel;
-
-fn build_trie(n: u32) -> PrefixTrie<u32> {
-    let mut rng = StdRng::seed_from_u64(1);
-    let mut trie = PrefixTrie::new();
-    for i in 0..n {
-        let len = rng.gen_range(12..=24);
-        let p =
-            IpPrefix::new(IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())), len).expect("len in range");
-        trie.insert(p, i);
-    }
-    trie
-}
 
 fn benches(c: &mut Criterion) {
-    // the paper-scale table: ~40k+ origin prefixes
-    let trie = build_trie(45_000);
-    let probes: Vec<IpAddr> = {
-        let mut rng = StdRng::seed_from_u64(2);
-        (0..1024)
-            .map(|_| IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())))
-            .collect()
-    };
-    c.bench_function("substrates/lpm_trie_45k", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % probes.len();
-            trie.lookup(probes[i])
-        });
-    });
-
-    let zone = ZoneModel::nl(5_900_000);
-    let qnames: Vec<dns_wire::name::Name> =
-        (0..256).map(|i| zone.registered_domain(i * 9973)).collect();
-    c.bench_function("substrates/zone_classify_5.9M", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % qnames.len();
-            zone.classify(&qnames[i])
-        });
-    });
-
-    let zipf = ZipfSampler::new(5_900_000, 0.95);
-    c.bench_function("substrates/zipf_sample", |b| {
-        let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| zipf.sample(&mut rng));
-    });
-
     c.bench_function("substrates/ttl_cache_lookup_insert", |b| {
         let mut cache = TtlCache::new(4096);
         let mut rng = StdRng::seed_from_u64(4);
@@ -117,6 +71,7 @@ fn benches(c: &mut Criterion) {
 
 fn main() {
     let mut c = quick();
+    bench_scenario_group(&mut c, "substrates");
     benches(&mut c);
     c.final_summary();
 }

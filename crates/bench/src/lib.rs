@@ -8,9 +8,16 @@
 //!   rows/series once at setup, and times the analysis stage (the part
 //!   whose performance a warehouse operator cares about).
 //! - **Component benches** (`wire.rs`, `substrates.rs`, `pipeline.rs`,
-//!   `ablations.rs`): throughput of the wire codec, LPM, caches, the
-//!   generation engine, and the design-choice ablations DESIGN.md §6
+//!   `analysis.rs`, `serve.rs`, `ablations.rs`): throughput of the wire
+//!   codec, LPM, caches, the generation engine, the analysis passes,
+//!   the live responder, and the design-choice ablations DESIGN.md §6
 //!   calls out.
+//!
+//! Component scenario *bodies* live in [`scenarios`]; the criterion
+//! benches and the `dnscentral bench` subcommand both consume that
+//! registry, so the two harnesses measure the same code.
+
+pub mod scenarios;
 
 use dnscentral_core::experiments::{run_dataset, DatasetRun};
 use simnet::profile::Vantage;
@@ -37,6 +44,18 @@ pub fn quick() -> criterion::Criterion {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2))
+}
+
+/// Register every scenario of one [`scenarios`] group with a criterion
+/// harness — the bench binaries stay thin consumers of the registry.
+pub fn bench_scenario_group(c: &mut criterion::Criterion, group: &str) {
+    for s in scenarios::in_group(group) {
+        let mut prepared = (s.setup)();
+        let mut bg = c.benchmark_group(group);
+        bg.throughput(criterion::Throughput::Elements(prepared.records_per_iter));
+        bg.bench_function(s.name, |b| b.iter(|| (prepared.iter)()));
+        bg.finish();
+    }
 }
 
 /// Regenerate the rows of a tiny capture for codec benches.

@@ -1,0 +1,632 @@
+//! The scenario registry: every benchmarkable hot path as a plain
+//! callable.
+//!
+//! Both harnesses consume this table — the criterion-shim benches in
+//! `benches/` and the `dnscentral bench` subcommand (which feeds the
+//! scenarios to `obs::bench::Runner` and emits `BENCH_*.json`
+//! reports for the perf trajectory). Keeping the bodies here means a
+//! scenario is written once and the two harnesses cannot drift.
+//!
+//! A scenario is two layers:
+//!
+//! - [`Scenario::setup`] builds the inputs (sample messages, a tiny
+//!   capture, a responder…). Runs once, untimed.
+//! - [`Prepared::iter`] is the timed body. It returns a `u64` derived
+//!   from the work (a length, a count) so the optimizer cannot discard
+//!   the computation.
+//!
+//! `records_per_iter` is the number of logical records one call
+//! processes (queries served, rows aggregated, names parsed); the
+//! harnesses turn it into records/s.
+
+use dns_wire::builder::MessageBuilder;
+use dns_wire::message::Message;
+use dns_wire::name::{Name, NameCompressor, ReusableCompressor};
+use dns_wire::rdata::RData;
+use dns_wire::types::{RType, Rcode};
+use simnet::profile::Vantage;
+use simnet::scenario::{dataset, Scale};
+
+/// A prepared scenario: inputs built, ready to be timed.
+pub struct Prepared {
+    /// Logical records processed per call of `iter`.
+    pub records_per_iter: u64,
+    /// The timed body. Returns a value derived from the work so the
+    /// computation cannot be optimized away.
+    pub iter: Box<dyn FnMut() -> u64>,
+}
+
+impl Prepared {
+    fn new(records_per_iter: u64, iter: impl FnMut() -> u64 + 'static) -> Prepared {
+        Prepared {
+            records_per_iter,
+            iter: Box::new(iter),
+        }
+    }
+}
+
+/// One named benchmark scenario.
+pub struct Scenario {
+    /// Group label (`wire`, `gen`, `ingest`, `pipeline`, `analysis`,
+    /// `serve`, `substrates`); the criterion benches map groups onto
+    /// bench binaries, the CLI reports `group/name`.
+    pub group: &'static str,
+    /// Scenario name within the group.
+    pub name: &'static str,
+    /// Build the inputs; runs once, untimed.
+    pub setup: fn() -> Prepared,
+}
+
+impl Scenario {
+    /// The `group/name` identifier used in reports and `--filter`.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.group, self.name)
+    }
+}
+
+/// Every scenario, in report order.
+pub fn all() -> Vec<Scenario> {
+    let mut v = Vec::new();
+    v.extend(wire());
+    v.extend(gen());
+    v.extend(ingest());
+    v.extend(pipeline());
+    v.extend(analysis());
+    v.extend(serve());
+    v.extend(substrates());
+    v
+}
+
+/// The scenarios of one group, in report order.
+pub fn in_group(group: &str) -> Vec<Scenario> {
+    all().into_iter().filter(|s| s.group == group).collect()
+}
+
+// --- wire -----------------------------------------------------------
+
+fn sample_names() -> Vec<Name> {
+    (0..64)
+        .map(|i| {
+            format!(
+                "{}.example{}.nl.",
+                zonedb::names::encode_label(i * 977),
+                i % 7
+            )
+            .parse()
+            .expect("generated names parse")
+        })
+        .collect()
+}
+
+/// The referral response the wire scenarios encode/parse — public so
+/// the workspace's allocation tests can pin the encode path on the
+/// exact message the benches measure.
+pub fn sample_response() -> Message {
+    let qname: Name = "www.bankexample.nl.".parse().expect("static");
+    let q = MessageBuilder::query(77, qname.clone(), RType::A)
+        .with_edns(1232, true)
+        .build();
+    MessageBuilder::response(&q, Rcode::NoError)
+        .authority(
+            "bankexample.nl.".parse().expect("static"),
+            3600,
+            RData::Ns("ns1.bankexample.nl.".parse().expect("static")),
+        )
+        .authority(
+            "bankexample.nl.".parse().expect("static"),
+            3600,
+            RData::Ns("ns2.bankexample.nl.".parse().expect("static")),
+        )
+        .authority(
+            "bankexample.nl.".parse().expect("static"),
+            3600,
+            RData::Ds {
+                key_tag: 1,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![9; 32],
+            },
+        )
+        .additional(
+            "ns1.bankexample.nl.".parse().expect("static"),
+            3600,
+            RData::A("192.0.2.1".parse().expect("static")),
+        )
+        .build()
+}
+
+fn wire() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            group: "wire",
+            name: "name_parse",
+            setup: || {
+                let wires: Vec<Vec<u8>> = sample_names()
+                    .iter()
+                    .map(|n| {
+                        let mut v = Vec::new();
+                        n.encode_uncompressed(&mut v);
+                        v
+                    })
+                    .collect();
+                let n = wires.len() as u64;
+                Prepared::new(n, move || {
+                    let mut labels = 0u64;
+                    for w in &wires {
+                        labels += Name::parse(w, 0).expect("valid").0.label_count() as u64;
+                    }
+                    labels
+                })
+            },
+        },
+        Scenario {
+            group: "wire",
+            name: "name_encode_compressed",
+            setup: || {
+                let names = sample_names();
+                let n = names.len() as u64;
+                Prepared::new(n, move || {
+                    let mut comp = NameCompressor::new();
+                    let mut out = Vec::with_capacity(2048);
+                    for name in &names {
+                        comp.encode(name, &mut out);
+                    }
+                    out.len() as u64
+                })
+            },
+        },
+        Scenario {
+            group: "wire",
+            name: "message_encode",
+            setup: || {
+                let resp = sample_response();
+                Prepared::new(1, move || resp.encode().expect("encodes").len() as u64)
+            },
+        },
+        Scenario {
+            group: "wire",
+            name: "message_encode_into",
+            setup: || {
+                let resp = sample_response();
+                let mut comp = ReusableCompressor::new();
+                let mut out = Vec::with_capacity(512);
+                Prepared::new(1, move || {
+                    resp.encode_into(&mut comp, &mut out).expect("encodes");
+                    out.len() as u64
+                })
+            },
+        },
+        Scenario {
+            group: "wire",
+            name: "message_parse",
+            setup: || {
+                let bytes = sample_response().encode().expect("encodes");
+                Prepared::new(1, move || {
+                    Message::parse(&bytes).expect("parses").authorities.len() as u64
+                })
+            },
+        },
+        Scenario {
+            group: "wire",
+            name: "encode_with_limit_truncating",
+            setup: || {
+                let resp = sample_response();
+                let limit = 100 + resp.encode().expect("encodes").len() / 2;
+                Prepared::new(1, move || {
+                    resp.encode_with_limit(limit).expect("fits").0.len() as u64
+                })
+            },
+        },
+    ]
+}
+
+// --- gen ------------------------------------------------------------
+
+fn gen_scenario(shards: usize) -> Prepared {
+    use netbase::capture::CaptureWriter;
+    use simnet::engine::Engine;
+    let engine = Engine::new(dataset(Vantage::BRoot, 2020), Scale::tiny(), 3);
+    let total = engine.scaled_total();
+    Prepared::new(total, move || {
+        let mut buf = Vec::with_capacity(4 << 20);
+        let mut w = CaptureWriter::new(&mut buf).expect("writer");
+        engine.generate_sharded(&mut w, shards).expect("generation");
+        w.finish().expect("flush");
+        buf.len() as u64
+    })
+}
+
+fn gen() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            group: "gen",
+            name: "generate_shard1",
+            setup: || gen_scenario(1),
+        },
+        Scenario {
+            group: "gen",
+            name: "generate_shard4",
+            setup: || gen_scenario(4),
+        },
+    ]
+}
+
+// --- ingest ---------------------------------------------------------
+
+fn ingest() -> Vec<Scenario> {
+    vec![Scenario {
+        group: "ingest",
+        name: "ingest_and_enrich",
+        setup: || {
+            use entrada::enrich::Enricher;
+            use entrada::ingest::CaptureIngest;
+            use netbase::capture::CaptureReader;
+            use simnet::engine::plan_config_for;
+            let capture = crate::sample_capture_bytes();
+            let nz = dataset(Vantage::Nz, 2020);
+            let plan = asdb::synth::InternetPlan::build(&plan_config_for(&nz, Scale::tiny(), 7));
+            let rows = {
+                let reader = CaptureReader::new(&capture[..]).expect("valid header");
+                CaptureIngest::new(reader, Enricher::new(plan.mapper.clone())).count() as u64
+            };
+            Prepared::new(rows, move || {
+                let reader = CaptureReader::new(&capture[..]).expect("valid header");
+                CaptureIngest::new(reader, Enricher::new(plan.mapper.clone())).count() as u64
+            })
+        },
+    }]
+}
+
+// --- pipeline -------------------------------------------------------
+
+fn pipeline() -> Vec<Scenario> {
+    use dnscentral_core::experiments::{analyze_capture, generate_capture, temp_capture_path};
+    use dnscentral_core::pipeline::{run_spec_with, PipelineOpts};
+    use simnet::engine::Engine;
+    fn e2e_total() -> u64 {
+        Engine::new(dataset(Vantage::Nz, 2020), Scale::tiny(), 5).scaled_total()
+    }
+    vec![
+        Scenario {
+            group: "pipeline",
+            name: "file_roundtrip",
+            setup: || {
+                let e2e = dataset(Vantage::Nz, 2020);
+                Prepared::new(e2e_total(), move || {
+                    let path = temp_capture_path("bench-e2e", 5);
+                    generate_capture(&e2e, Scale::tiny(), 5, &path).expect("generate");
+                    let out = analyze_capture(&e2e, Scale::tiny(), 5, &path).expect("analyze");
+                    let _ = std::fs::remove_file(&path);
+                    out.0.total_queries
+                })
+            },
+        },
+        Scenario {
+            group: "pipeline",
+            name: "streamed_shard1",
+            setup: || {
+                let e2e = dataset(Vantage::Nz, 2020);
+                Prepared::new(e2e_total(), move || {
+                    run_spec_with(e2e.clone(), Scale::tiny(), 5, &PipelineOpts::with_shards(1))
+                        .analysis
+                        .total_queries
+                })
+            },
+        },
+        Scenario {
+            group: "pipeline",
+            name: "streamed_shard4",
+            setup: || {
+                let e2e = dataset(Vantage::Nz, 2020);
+                Prepared::new(e2e_total(), move || {
+                    run_spec_with(e2e.clone(), Scale::tiny(), 5, &PipelineOpts::with_shards(4))
+                        .analysis
+                        .total_queries
+                })
+            },
+        },
+    ]
+}
+
+// --- analysis -------------------------------------------------------
+
+fn sample_rows() -> (Vec<entrada::schema::QueryRow>, zonedb::zone::ZoneModel) {
+    use entrada::enrich::Enricher;
+    use entrada::ingest::CaptureIngest;
+    use netbase::capture::CaptureReader;
+    use simnet::engine::plan_config_for;
+    let capture = crate::sample_capture_bytes();
+    let nz = dataset(Vantage::Nz, 2020);
+    let plan = asdb::synth::InternetPlan::build(&plan_config_for(&nz, Scale::tiny(), 7));
+    let reader = CaptureReader::new(&capture[..]).expect("valid header");
+    let rows = CaptureIngest::new(reader, Enricher::new(plan.mapper)).collect();
+    (rows, nz.zone.build())
+}
+
+fn sample_analysis() -> (dnscentral_core::analysis::DatasetAnalysis, u64) {
+    use dnscentral_core::analysis::DatasetAnalysis;
+    let (rows, zone) = sample_rows();
+    let n = rows.len() as u64;
+    let mut a = DatasetAnalysis::new(zone);
+    for row in &rows {
+        a.push(row);
+    }
+    (a, n)
+}
+
+/// A synthetic Q-min monthly series shaped like Figure 5 (pre/post
+/// resolver deployment), shared by the CUSUM bench and its ablation.
+pub fn qmin_series(noise: f64, seed: u64) -> Vec<dnscentral_core::qmin::MonthlySample> {
+    use dnscentral_core::qmin::MonthlySample;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let (mut y, mut m) = (2018, 11);
+    loop {
+        let deployed = (y, m) >= (2019, 12);
+        let base: f64 = if deployed { 0.45 } else { 0.04 };
+        let ns = (base + rng.gen_range(-noise..noise)).clamp(0.0, 1.0);
+        out.push(MonthlySample {
+            year: y,
+            month: m,
+            total: 1000,
+            qtype_counts: vec![],
+            ns_share: ns,
+            minimized_ns_share: if deployed { 0.9 } else { 0.3 },
+            address_share: 1.0 - ns,
+        });
+        if (y, m) == (2020, 4) {
+            break;
+        }
+        m += 1;
+        if m > 12 {
+            m = 1;
+            y += 1;
+        }
+    }
+    out
+}
+
+fn analysis() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            group: "analysis",
+            name: "aggregate_rows",
+            setup: || {
+                use dnscentral_core::analysis::DatasetAnalysis;
+                let (rows, zone) = sample_rows();
+                let n = rows.len() as u64;
+                Prepared::new(n, move || {
+                    let mut a = DatasetAnalysis::new(zone.clone());
+                    for row in &rows {
+                        a.push(row);
+                    }
+                    a.total_queries
+                })
+            },
+        },
+        Scenario {
+            group: "analysis",
+            name: "qmin_cusum",
+            setup: || {
+                use dnscentral_core::qmin::detect_cusum;
+                let series = qmin_series(0.05, 7);
+                let n = series.len() as u64;
+                Prepared::new(n, move || {
+                    detect_cusum(&series, 0.05, 0.3)
+                        .map(|cp| cp.year as u64 * 12 + cp.month as u64)
+                        .unwrap_or(0)
+                })
+            },
+        },
+        Scenario {
+            group: "analysis",
+            name: "edns_size",
+            setup: || {
+                use dnscentral_core::ednssize::edns_report;
+                let (mut a, n) = sample_analysis();
+                Prepared::new(n, move || {
+                    edns_report(&mut a).iter().map(|r| r.samples).sum()
+                })
+            },
+        },
+        Scenario {
+            group: "analysis",
+            name: "junk",
+            setup: || {
+                use dnscentral_core::junk::junk_report;
+                let (a, n) = sample_analysis();
+                Prepared::new(n, move || {
+                    let r = junk_report("bench", &a);
+                    r.per_provider.len() as u64 + (r.overall * 1000.0) as u64
+                })
+            },
+        },
+        Scenario {
+            group: "analysis",
+            name: "concentration",
+            setup: || {
+                use dnscentral_core::concentration::concentration;
+                let (a, n) = sample_analysis();
+                Prepared::new(n, move || {
+                    (concentration("bench", &a).cloud_share * 1_000_000.0) as u64
+                })
+            },
+        },
+    ]
+}
+
+// --- serve ----------------------------------------------------------
+
+fn sample_queries(n: usize) -> Vec<(Vec<u8>, std::net::IpAddr)> {
+    use simnet::drive::Driver;
+    let spec = dataset(Vantage::Nl, 2020);
+    let t = spec.start;
+    let mut driver = Driver::new(spec, Scale::tiny(), 42);
+    (0..n)
+        .map(|_| {
+            let q = driver.sample(t);
+            (q.wire, q.src)
+        })
+        .collect()
+}
+
+fn serve_scenario(transport: netbase::flow::Transport, cached: bool) -> Prepared {
+    use authd::respond::{Outcome, OutcomeRef, RespondScratch, Responder};
+    use netbase::time::SimTime;
+    let responder = Responder::for_spec(&dataset(Vantage::Nl, 2020));
+    let queries = sample_queries(512);
+    let now = SimTime(0);
+    let n = queries.len() as u64;
+    let mut scratch = RespondScratch::new();
+    Prepared::new(n, move || {
+        let mut replies = 0u64;
+        for (wire, src) in &queries {
+            if cached {
+                match responder.handle_into(wire, transport, *src, now, None, &mut scratch) {
+                    OutcomeRef::Reply { .. } => replies += 1,
+                    OutcomeRef::RrlDrop | OutcomeRef::Malformed => {}
+                }
+            } else {
+                match responder.handle(wire, transport, *src, now, None) {
+                    Outcome::Reply { .. } => replies += 1,
+                    Outcome::RrlDrop | Outcome::Malformed => {}
+                }
+            }
+        }
+        replies
+    })
+}
+
+fn serve() -> Vec<Scenario> {
+    use netbase::flow::Transport;
+    vec![
+        Scenario {
+            group: "serve",
+            name: "respond_udp",
+            setup: || serve_scenario(Transport::Udp, false),
+        },
+        Scenario {
+            group: "serve",
+            name: "respond_udp_cached",
+            setup: || serve_scenario(Transport::Udp, true),
+        },
+        Scenario {
+            group: "serve",
+            name: "respond_tcp",
+            setup: || serve_scenario(Transport::Tcp, false),
+        },
+    ]
+}
+
+// --- substrates -----------------------------------------------------
+
+fn substrates() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            group: "substrates",
+            name: "lpm_trie_45k",
+            setup: || {
+                use netbase::prefix::IpPrefix;
+                use netbase::trie::PrefixTrie;
+                use rand::rngs::StdRng;
+                use rand::{Rng, SeedableRng};
+                use std::net::{IpAddr, Ipv4Addr};
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut trie = PrefixTrie::new();
+                for i in 0..45_000u32 {
+                    let len = rng.gen_range(12..=24);
+                    let p = IpPrefix::new(IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())), len)
+                        .expect("len in range");
+                    trie.insert(p, i);
+                }
+                let probes: Vec<IpAddr> = {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    (0..1024)
+                        .map(|_| IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())))
+                        .collect()
+                };
+                let n = probes.len() as u64;
+                Prepared::new(n, move || {
+                    probes.iter().filter(|p| trie.lookup(**p).is_some()).count() as u64
+                })
+            },
+        },
+        Scenario {
+            group: "substrates",
+            name: "zone_classify_5.9M",
+            setup: || {
+                use zonedb::zone::ZoneModel;
+                let zone = ZoneModel::nl(5_900_000);
+                let qnames: Vec<Name> =
+                    (0..256).map(|i| zone.registered_domain(i * 9973)).collect();
+                let n = qnames.len() as u64;
+                Prepared::new(n, move || {
+                    qnames.iter().map(|q| zone.classify(q) as u64).sum()
+                })
+            },
+        },
+        Scenario {
+            group: "substrates",
+            name: "zipf_sample",
+            setup: || {
+                use rand::rngs::StdRng;
+                use rand::SeedableRng;
+                use zonedb::popularity::ZipfSampler;
+                let zipf = ZipfSampler::new(5_900_000, 0.95);
+                let mut rng = StdRng::seed_from_u64(3);
+                Prepared::new(1, move || zipf.sample(&mut rng))
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique_and_grouped() {
+        let scenarios = all();
+        let ids: HashSet<String> = scenarios.iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), scenarios.len(), "duplicate scenario ids");
+        for required in [
+            "wire/message_encode",
+            "wire/message_encode_into",
+            "wire/message_parse",
+            "gen/generate_shard1",
+            "gen/generate_shard4",
+            "ingest/ingest_and_enrich",
+            "pipeline/streamed_shard1",
+            "pipeline/streamed_shard4",
+            "analysis/aggregate_rows",
+            "analysis/qmin_cusum",
+            "analysis/edns_size",
+            "analysis/concentration",
+            "serve/respond_udp",
+            "serve/respond_udp_cached",
+        ] {
+            assert!(ids.contains(required), "missing scenario {required}");
+        }
+    }
+
+    #[test]
+    fn wire_scenarios_run_and_return_nonzero() {
+        for s in in_group("wire") {
+            let mut p = (s.setup)();
+            assert!(p.records_per_iter > 0, "{}: zero records", s.id());
+            assert!((p.iter)() > 0, "{}: zero result", s.id());
+        }
+    }
+
+    #[test]
+    fn serve_scenarios_answer_every_query() {
+        for s in serve() {
+            let mut p = (s.setup)();
+            let replies = (p.iter)();
+            assert_eq!(replies, p.records_per_iter, "{}: dropped queries", s.id());
+        }
+    }
+}

@@ -61,7 +61,7 @@ impl PipelineOpts {
 /// [`RecordSink`] over the sending half of a bounded channel: the
 /// engine pushes records into it; a full channel blocks (backpressure),
 /// a disconnected one (ingest side gone) surfaces as a broken pipe.
-/// Records are coalesced into [`BATCH`]-sized chunks; the tail chunk is
+/// Records are coalesced into `BATCH`-sized chunks; the tail chunk is
 /// flushed on drop, so the ingest side sees every record the moment the
 /// generator finishes.
 pub struct ChannelSink {

@@ -7,7 +7,6 @@
 //! forcing the resolver to retry over TCP.
 
 use crate::error::WireError;
-use crate::name::Name;
 use crate::types::RType;
 
 /// The classic pre-EDNS UDP payload limit (RFC 1035 §4.2.1).
@@ -92,11 +91,17 @@ impl Edns {
 
     /// Encode as a full additional-section record (owner = root).
     pub fn encode(&self, out: &mut Vec<u8>) {
-        Name::root().encode_uncompressed(out);
+        self.encode_with_rcode_bits(self.extended_rcode_bits, out);
+    }
+
+    /// [`Edns::encode`] with the extended-rcode high bits overridden —
+    /// used by message encoding to merge the header's rcode without
+    /// cloning the OPT.
+    pub fn encode_with_rcode_bits(&self, rcode_bits: u8, out: &mut Vec<u8>) {
+        out.push(0); // root owner name, uncompressed
         out.extend_from_slice(&RType::Opt.to_u16().to_be_bytes());
         out.extend_from_slice(&self.udp_payload_size.to_be_bytes());
-        let mut ttl: u32 =
-            ((self.extended_rcode_bits as u32) << 24) | ((self.version as u32) << 16);
+        let mut ttl: u32 = ((rcode_bits as u32) << 24) | ((self.version as u32) << 16);
         if self.dnssec_ok {
             ttl |= 0x8000;
         }

@@ -431,6 +431,143 @@ fn lower_wire(w: &[u8]) -> Vec<u8> {
     w.iter().map(|b| b.to_ascii_lowercase()).collect()
 }
 
+/// Strategy for emitting a name into a message under construction.
+///
+/// [`NameCompressor`] is the straightforward per-message implementation;
+/// [`ReusableCompressor`] trades exactness of its suffix table (hashes,
+/// verified against the output buffer) for allocation-free reuse across
+/// messages on hot paths.
+pub trait NameEncoder {
+    /// Append `name` (possibly compressed) at the current end of `out`.
+    fn encode_name(&mut self, name: &Name, out: &mut Vec<u8>);
+}
+
+impl NameEncoder for NameCompressor {
+    fn encode_name(&mut self, name: &Name, out: &mut Vec<u8>) {
+        self.encode(name, out);
+    }
+}
+
+/// FNV-1a over the case-folded wire suffix.
+fn fnv_lower(w: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in w {
+        h ^= b.to_ascii_lowercase() as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// True when the name suffix starting at `msg[at]` (following
+/// compression pointers, strictly backwards) equals `suffix`
+/// (uncompressed, well-formed wire), ASCII case-folded.
+fn suffix_matches(msg: &[u8], at: usize, suffix: &[u8]) -> bool {
+    let mut mp = at;
+    let mut sp = 0usize;
+    let mut hops = 0usize;
+    let mut min_target = at;
+    loop {
+        let Some(&len_byte) = msg.get(mp) else {
+            return false;
+        };
+        match len_byte & 0xc0 {
+            0x00 => {
+                let len = len_byte as usize;
+                let s_len = suffix[sp] as usize;
+                if len == 0 {
+                    return s_len == 0;
+                }
+                if s_len != len {
+                    return false;
+                }
+                let m_end = mp + 1 + len;
+                if m_end > msg.len() {
+                    return false;
+                }
+                if !msg[mp + 1..m_end].eq_ignore_ascii_case(&suffix[sp + 1..sp + 1 + len]) {
+                    return false;
+                }
+                mp = m_end;
+                sp += 1 + len;
+            }
+            0xc0 => {
+                let Some(&second) = msg.get(mp + 1) else {
+                    return false;
+                };
+                let target = (((len_byte & 0x3f) as usize) << 8) | second as usize;
+                if target >= min_target || hops >= MAX_POINTER_HOPS {
+                    return false;
+                }
+                hops += 1;
+                min_target = target;
+                mp = target;
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// A [`NameEncoder`] designed for reuse across many messages without
+/// allocating: the suffix table keys are 64-bit FNV hashes instead of
+/// owned byte strings, so [`ReusableCompressor::reset`] between
+/// messages keeps the map's capacity and steady-state encoding performs
+/// zero heap allocations.
+///
+/// Hash entries are *verified* against the actual output buffer before
+/// a pointer is emitted (`suffix_matches`); a colliding hash merely
+/// loses compression for the rest of that name — the produced message
+/// is always correct.
+#[derive(Default)]
+pub struct ReusableCompressor {
+    /// FNV of the lowercased suffix -> offset in the message.
+    seen: std::collections::HashMap<u64, u16>,
+}
+
+impl ReusableCompressor {
+    /// Create an empty compressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget all recorded suffixes but keep the table's capacity; call
+    /// between messages.
+    pub fn reset(&mut self) {
+        self.seen.clear();
+    }
+}
+
+impl NameEncoder for ReusableCompressor {
+    fn encode_name(&mut self, name: &Name, out: &mut Vec<u8>) {
+        let wire = name.as_wire();
+        let mut pos = 0usize;
+        while wire[pos] != 0 {
+            let key = fnv_lower(&wire[pos..]);
+            match self.seen.get(&key) {
+                Some(&offset) if suffix_matches(out, offset as usize, &wire[pos..]) => {
+                    out.push(0xc0 | ((offset >> 8) as u8));
+                    out.push(offset as u8);
+                    return;
+                }
+                Some(_) => {
+                    // hash collision: emit the rest uncompressed
+                    out.extend_from_slice(&wire[pos..]);
+                    return;
+                }
+                None => {
+                    let here = out.len();
+                    if here <= 0x3fff {
+                        self.seen.insert(key, here as u16);
+                    }
+                    let len = wire[pos] as usize;
+                    out.extend_from_slice(&wire[pos..pos + 1 + len]);
+                    pos += 1 + len;
+                }
+            }
+        }
+        out.push(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,6 +804,70 @@ mod tests {
         let len = out.len();
         comp.encode(&n("example.nl"), &mut out);
         assert_eq!(out.len(), len + 2);
+    }
+
+    #[test]
+    fn reusable_compressor_matches_exact_compressor() {
+        let names = [
+            n("www.example.nl"),
+            n("mail.EXAMPLE.nl"),
+            n("www.example.nl"),
+            n("other.nl"),
+            n("deep.a.b.example.nl"),
+        ];
+        let mut exact_out = Vec::new();
+        let mut exact = NameCompressor::new();
+        let mut fast_out = Vec::new();
+        let mut fast = ReusableCompressor::new();
+        for name in &names {
+            exact.encode_name(name, &mut exact_out);
+            fast.encode_name(name, &mut fast_out);
+        }
+        assert_eq!(exact_out, fast_out, "same bytes as the exact compressor");
+        // and after reset the table is empty again: same output stream
+        fast.reset();
+        let mut second = Vec::new();
+        for name in &names {
+            fast.encode_name(name, &mut second);
+        }
+        assert_eq!(second, fast_out);
+    }
+
+    #[test]
+    fn reusable_compressor_output_decodes() {
+        let names = [
+            n("a.b.c.example.nl"),
+            n("x.b.c.example.nl"),
+            n("c.example.nl"),
+        ];
+        let mut out = Vec::new();
+        let mut comp = ReusableCompressor::new();
+        for name in &names {
+            comp.encode_name(name, &mut out);
+        }
+        let mut pos = 0;
+        for name in &names {
+            let (decoded, next) = Name::parse(&out, pos).unwrap();
+            assert_eq!(&decoded, name);
+            pos = next;
+        }
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn suffix_matcher_follows_pointers_and_rejects_mismatch() {
+        // build: "example.nl." then "www" + ptr, via the compressor itself
+        let mut out = Vec::new();
+        let mut comp = ReusableCompressor::new();
+        comp.encode_name(&n("example.nl"), &mut out);
+        let www_at = out.len();
+        comp.encode_name(&n("www.example.nl"), &mut out);
+        assert!(suffix_matches(&out, 0, n("example.nl").as_wire()));
+        assert!(suffix_matches(&out, 0, n("EXAMPLE.NL").as_wire()));
+        assert!(suffix_matches(&out, www_at, n("www.example.nl").as_wire()));
+        assert!(!suffix_matches(&out, 0, n("example.nz").as_wire()));
+        assert!(!suffix_matches(&out, 0, n("sub.example.nl").as_wire()));
+        assert!(!suffix_matches(&out, 0, n("nl").as_wire()));
     }
 
     #[test]

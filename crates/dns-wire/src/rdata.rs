@@ -4,7 +4,7 @@
 //! a capture is ever dropped on the floor.
 
 use crate::error::WireError;
-use crate::name::{Name, NameCompressor};
+use crate::name::{Name, NameEncoder};
 use crate::types::RType;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -425,17 +425,17 @@ impl RData {
     /// Append the wire encoding to `out`, compressing embedded names where
     /// RFC 3597 permits (NS/CNAME/PTR/MX/SOA — the "well known" types).
     /// Returns nothing; the caller patches RDLENGTH around this.
-    pub fn encode(&self, comp: &mut NameCompressor, out: &mut Vec<u8>) -> Result<(), WireError> {
+    pub fn encode<C: NameEncoder>(&self, comp: &mut C, out: &mut Vec<u8>) -> Result<(), WireError> {
         match self {
             RData::A(a) => out.extend_from_slice(&a.octets()),
             RData::Aaaa(a) => out.extend_from_slice(&a.octets()),
-            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => comp.encode(n, out),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => comp.encode_name(n, out),
             RData::Mx {
                 preference,
                 exchange,
             } => {
                 out.extend_from_slice(&preference.to_be_bytes());
-                comp.encode(exchange, out);
+                comp.encode_name(exchange, out);
             }
             RData::Soa {
                 mname,
@@ -446,8 +446,8 @@ impl RData {
                 expire,
                 minimum,
             } => {
-                comp.encode(mname, out);
-                comp.encode(rname, out);
+                comp.encode_name(mname, out);
+                comp.encode_name(rname, out);
                 for v in [serial, refresh, retry, expire, minimum] {
                     out.extend_from_slice(&v.to_be_bytes());
                 }
@@ -570,6 +570,7 @@ impl RData {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::name::NameCompressor;
 
     fn n(s: &str) -> Name {
         s.parse().unwrap()

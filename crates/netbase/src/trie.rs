@@ -8,7 +8,7 @@
 use crate::prefix::{addr_bits, IpPrefix};
 use std::net::IpAddr;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node<V> {
     value: Option<(IpPrefix, V)>,
     children: [Option<Box<Node<V>>>; 2],
@@ -24,6 +24,7 @@ impl<V> Node<V> {
 }
 
 /// A binary LPM trie mapping prefixes to values.
+#[derive(Clone)]
 pub struct PrefixTrie<V> {
     root_v4: Node<V>,
     root_v6: Node<V>,

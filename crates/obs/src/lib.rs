@@ -16,13 +16,21 @@
 //!   reporter (records/s, ETA) for `report`-scale runs.
 //! - [`prom`] — Prometheus text-format exposition of the registry,
 //!   served by a tiny built-in HTTP listener (`--metrics-addr`).
+//! - [`mod@bench`] — the perf-observability core: a warmup/trimmed-stats
+//!   benchmark runner and the `BENCH_*.json` report model with
+//!   noise-aware baseline diffing (the CI regression gate).
+//! - [`alloc`] — an optional counting `#[global_allocator]` so bench
+//!   rows report allocs/op and zero-alloc hot paths are asserted.
 //!
-//! Everything is std-only: no external dependencies, no async runtime,
-//! nothing blocking on the instrumented paths.
+//! Everything runs on std plus the workspace's vendored serde shims
+//! (used only by the [`mod@bench`] report model): no async runtime, nothing
+//! blocking on the instrumented paths.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `alloc` opts out locally for its GlobalAlloc impl
 
+pub mod alloc;
+pub mod bench;
 pub mod metrics;
 pub mod prom;
 pub mod stage;

@@ -164,6 +164,20 @@ impl Histogram {
         let (lower, width) = bucket_bounds(BUCKETS - 1);
         lower + (width - 1) / 2
     }
+
+    /// Fold every sample of `other` into `self` (bucket-wise atomic
+    /// adds), preserving total count and sum. `other` is unchanged;
+    /// used to combine per-shard histograms into a run-wide one.
+    pub fn merge(&self, other: &Histogram) {
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// One named metric slot.
@@ -432,6 +446,61 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile(0.0), 0);
         assert!(h.quantile(1.0) > 1u64 << 40);
+    }
+
+    #[test]
+    fn top_bucket_saturation_keeps_quantiles_monotone() {
+        // u64::MAX (and everything past the last group) saturates into
+        // the final bucket without panicking or wrapping
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 4);
+        // quantile estimates never decrease as q increases
+        let grid: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        for w in grid.windows(2) {
+            assert!(w[0] <= w[1], "quantiles regressed: {grid:?}");
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        let top = h.quantile(1.0);
+        let (lower, width) = bucket_bounds(BUCKETS - 1);
+        assert_eq!(top, lower + (width - 1) / 2, "top sample in last bucket");
+    }
+
+    #[test]
+    fn merge_preserves_count_sum_and_quantile_bounds() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..600 {
+            a.record(100);
+        }
+        for _ in 0..400 {
+            b.record(10_000);
+        }
+        let (ca, cb) = (a.count(), b.count());
+        let (sa, sb) = (a.sum(), b.sum());
+        a.merge(&b);
+        assert_eq!(a.count(), ca + cb, "merged count is the sum");
+        assert_eq!(a.sum(), sa + sb, "merged sum is the sum");
+        // b is untouched
+        assert_eq!(b.count(), cb);
+        assert_eq!(b.sum(), sb);
+        // quantiles of the merge stay within the inputs' bounds and
+        // reflect the mixture: p50 near the low mode (600/1000 below),
+        // p90 near the high mode
+        let p50 = a.quantile(0.5) as f64;
+        assert!((p50 - 100.0).abs() / 100.0 <= 0.0625, "p50 {p50}");
+        let p90 = a.quantile(0.9) as f64;
+        assert!((p90 - 10_000.0).abs() / 10_000.0 <= 0.0625, "p90 {p90}");
+        // extremes bounded by the inputs' extremes
+        assert!(a.quantile(0.0) >= 94 && a.quantile(1.0) <= 10_625);
+        // merging an empty histogram is a no-op
+        let before = (a.count(), a.sum(), a.quantile(0.5));
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.sum(), a.quantile(0.5)), before);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Prometheus text-format exposition over a tiny built-in HTTP server.
 //!
 //! [`serve`] binds a `TcpListener` on a background thread and answers
-//! every GET with the global registry rendered by
+//! `GET /metrics` (and `HEAD`) with the global registry rendered by
 //! [`crate::metrics::Registry::render_prometheus`] — enough HTTP for
-//! `curl` and a Prometheus scraper, with no dependencies. Dropping the
+//! `curl` and a Prometheus scraper, with no dependencies. Unknown paths
+//! get `404`, other methods `405`, every response carries
+//! `Content-Length` and `Connection: close`, and a read deadline keeps
+//! half-open clients from pinning the listener thread. Dropping the
 //! returned [`MetricsServer`] (or calling
 //! [`MetricsServer::shutdown`]) stops the listener.
 
@@ -19,6 +22,12 @@ use std::time::Duration;
 const POLL: Duration = Duration::from_millis(50);
 /// Cap on request bytes read before responding.
 const REQUEST_CAP: usize = 8 * 1024;
+/// Per-read socket timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Total budget for receiving the request head; a client that trickles
+/// bytes (or goes half-open) is cut off here instead of pinning the
+/// single listener thread.
+const READ_DEADLINE: Duration = Duration::from_secs(3);
 
 /// A running exposition endpoint; see [`serve`].
 pub struct MetricsServer {
@@ -52,9 +61,8 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Serve the global registry at `http://{addr}/metrics` (any path
-/// answers). Returns once the socket is bound; requests are handled on
-/// a background thread.
+/// Serve the global registry at `http://{addr}/metrics`. Returns once
+/// the socket is bound; requests are handled on a background thread.
 pub fn serve(addr: SocketAddr) -> io::Result<MetricsServer> {
     serve_registry(addr, Registry::global())
 }
@@ -87,36 +95,62 @@ pub fn serve_registry(addr: SocketAddr, registry: &'static Registry) -> io::Resu
 }
 
 fn handle_conn(mut stream: TcpStream, registry: &Registry) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let _ = stream.set_nodelay(true);
-    // read until the end of the request head (we ignore its contents:
-    // every method/path gets the metrics page)
+    // read until the end of the request head, under a total deadline
+    let started = std::time::Instant::now();
     let mut req = Vec::new();
     let mut chunk = [0u8; 1024];
+    let mut complete = false;
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 req.extend_from_slice(&chunk[..n]);
-                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > REQUEST_CAP {
+                if req.windows(4).any(|w| w == b"\r\n\r\n") {
+                    complete = true;
+                    break;
+                }
+                if req.len() > REQUEST_CAP || started.elapsed() >= READ_DEADLINE {
                     break;
                 }
             }
             Err(_) => break,
         }
     }
-    if req.is_empty() {
+    // incomplete head (half-open, trickler, or garbage): just close
+    if !complete {
         return;
     }
-    let body = registry.render_prometheus();
-    let response = format!(
-        "HTTP/1.1 200 OK\r\n\
+    let head = String::from_utf8_lossy(&req);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // strip any query string before matching the path
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, body) = match (method, path) {
+        ("GET" | "HEAD", "/metrics") => ("200 OK", registry.render_prometheus()),
+        ("GET" | "HEAD", _) => ("404 Not Found", "not found\n".to_string()),
+        _ => ("405 Method Not Allowed", "method not allowed\n".to_string()),
+    };
+    let allow = if status.starts_with("405") {
+        "Allow: GET, HEAD\r\n"
+    } else {
+        ""
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\n\
          Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
          Content-Length: {}\r\n\
-         Connection: close\r\n\r\n{body}",
+         {allow}Connection: close\r\n\r\n",
         body.len(),
     );
-    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.write_all(header.as_bytes());
+    // HEAD gets headers only — but with the Content-Length a GET would see
+    if method != "HEAD" {
+        let _ = stream.write_all(body.as_bytes());
+    }
 }
 
 #[cfg(test)]
@@ -158,5 +192,99 @@ mod tests {
         // the port is released: connecting now fails (or is refused fast)
         std::thread::sleep(Duration::from_millis(100));
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err());
+    }
+
+    fn raw_request(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn content_length(response: &str) -> usize {
+        response
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .trim()
+            .parse()
+            .expect("numeric length")
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_bad_method_is_405() {
+        let server = serve("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.addr();
+
+        let resp = raw_request(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("Connection: close"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        assert_eq!(content_length(&resp), body.len());
+
+        let resp = raw_request(addr, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+        assert!(resp.contains("Allow: GET, HEAD"), "{resp}");
+        assert!(resp.contains("Connection: close"), "{resp}");
+
+        // query strings don't defeat path matching
+        let resp = raw_request(addr, "GET /metrics?x=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_sends_headers_only_with_get_length() {
+        let c = crate::metrics::counter("obs_prom_head_total", "head test counter");
+        c.add(3);
+        let server = serve("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.addr();
+
+        let get = raw_request(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        let head = raw_request(addr, "HEAD /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        // no body after the header terminator...
+        assert_eq!(head.split("\r\n\r\n").nth(1).unwrap_or(""), "", "{head}");
+        // ...but the advertised length matches what GET returns
+        assert_eq!(content_length(&head), content_length(&get));
+        assert_eq!(
+            content_length(&get),
+            get.split("\r\n\r\n").nth(1).expect("body").len()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_open_client_does_not_pin_the_listener() {
+        let server = serve("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.addr();
+        // open a connection and send an incomplete head, then stall
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"GET /metrics HTT").unwrap();
+        // the listener must cut the stalled client off at the read
+        // deadline and serve the next request
+        let done = std::sync::mpsc::channel();
+        let tx = done.0;
+        std::thread::spawn(move || {
+            let resp = http_get(addr);
+            let _ = tx.send(resp);
+        });
+        let resp = done
+            .1
+            .recv_timeout(READ_DEADLINE + Duration::from_secs(3))
+            .expect("listener recovered from half-open client");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        // the stalled connection got no response bytes
+        stalled
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        let mut buf = [0u8; 64];
+        match stalled.read(&mut buf) {
+            Ok(0) => {} // closed without a response
+            Ok(n) => panic!("stalled client unexpectedly got {n} bytes"),
+            Err(_) => {} // reset or still pending close
+        }
+        server.shutdown();
     }
 }

@@ -195,28 +195,35 @@ impl Progress {
             return;
         }
         self.last_print = Instant::now();
-        let elapsed = self.started.elapsed().as_secs_f64();
-        let rate = if elapsed > 0.0 {
-            self.done as f64 / elapsed
+        eprintln!("{}", self.line(self.started.elapsed().as_secs_f64()));
+    }
+
+    /// Render the progress line for a given elapsed time. Zero (or
+    /// pathological) durations degrade to a rate-less line — never
+    /// `inf` or `NaN` in the output.
+    pub fn line(&self, elapsed_secs: f64) -> String {
+        let rate = if elapsed_secs > 0.0 && elapsed_secs.is_finite() {
+            self.done as f64 / elapsed_secs
         } else {
             0.0
         };
         match self.total {
-            Some(total) if total > 0 && rate > 0.0 => {
+            Some(total) if total > 0 && rate > 0.0 && rate.is_finite() => {
                 let pct = 100.0 * self.done as f64 / total as f64;
                 let eta = (total.saturating_sub(self.done)) as f64 / rate;
-                eprintln!(
+                format!(
                     "[{}] {}/{} ({pct:.0}%) {}/s eta {}",
                     self.label,
                     self.done,
                     total,
                     human(rate),
                     human_duration(Duration::from_secs_f64(eta)),
-                );
+                )
             }
-            _ => {
-                eprintln!("[{}] {} done, {}/s", self.label, self.done, human(rate));
+            _ if rate > 0.0 && rate.is_finite() => {
+                format!("[{}] {} done, {}/s", self.label, self.done, human(rate))
             }
+            _ => format!("[{}] {} done", self.label, self.done),
         }
     }
 
@@ -266,6 +273,49 @@ mod tests {
         p.tick(10);
         p.tick(20);
         assert_eq!(p.done(), 30);
+    }
+
+    #[test]
+    fn progress_line_never_prints_inf_or_nan() {
+        let mut p = Progress::new("zero", Some(1000));
+        p.tick(0);
+        // zero elapsed, zero done: no rate, no ETA, no inf/NaN
+        for line in [p.line(0.0), p.line(f64::NAN), p.line(f64::INFINITY)] {
+            assert!(!line.contains("inf"), "{line}");
+            assert!(!line.contains("NaN"), "{line}");
+            assert_eq!(line, "[zero] 0 done", "{line}");
+        }
+        // items recorded but still zero elapsed: same degradation
+        p.tick(500);
+        let line = p.line(0.0);
+        assert_eq!(line, "[zero] 500 done", "{line}");
+        // and a sane duration produces the full percent + ETA form
+        let line = p.line(2.0);
+        assert!(line.contains("(50%)"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+        assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+        // unknown total, healthy rate
+        let mut open = Progress::new("open", None);
+        open.tick(250);
+        assert_eq!(open.line(1.0), "[open] 250 done, 250/s");
+    }
+
+    #[test]
+    fn duplicate_stage_names_aggregate_into_one_row() {
+        for _ in 0..3 {
+            let mut t = stage("test.dup.same");
+            t.add_items(10);
+        }
+        let text = render_table();
+        let rows: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("test.dup.same"))
+            .collect();
+        assert_eq!(rows.len(), 1, "one aggregated row, got: {text}");
+        assert!(rows[0].contains("30"), "items summed: {}", rows[0]);
+        // a zero-duration stage renders "-" rather than inf records/s
+        assert!(!text.contains("inf"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
     }
 
     #[test]

@@ -892,8 +892,16 @@ pub(crate) fn mix_case_0x20(name: &Name, rng: &mut StdRng) -> Name {
 /// the RRL positive-response class key, so a live authoritative built
 /// on [`crate::rrl`] buckets identically to the offline engine).
 pub fn name_key(name: &Name) -> u64 {
+    name_key_wire(name.as_wire())
+}
+
+/// [`name_key`] over raw uncompressed wire bytes, for hot paths that
+/// have the name's encoding but no parsed [`Name`] (e.g. the live
+/// authoritative's zero-alloc respond cache). Must stay in lockstep
+/// with [`name_key`] so both bucket identically.
+pub fn name_key_wire(wire: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in name.as_wire() {
+    for &b in wire {
         h = (h ^ b.to_ascii_lowercase() as u64).wrapping_mul(0x100_0000_01b3);
     }
     splitmix(h)

@@ -11,6 +11,8 @@
 //! dnscentral loadgen  nl 2020 --udp A --tcp B  # profile-driven load
 //! dnscentral live     nl 2020 out.dnscap # serve+loadgen over loopback,
 //!                                        # then analyze the live tap
+//! dnscentral bench    --quick --json     # perf scenarios -> BENCH_*.json
+//! dnscentral help                        # full command and flag list
 //! ```
 //!
 //! Common flags: `--scale=tiny|small|report` (default small) and
@@ -21,7 +23,12 @@
 //! time/throughput table (and enables progress lines on long runs),
 //! `--trace out.json` writes a Chrome trace-event JSONL of the run, and
 //! `--metrics-addr ip:port` serves live Prometheus metrics over HTTP
-//! (most useful with `serve` and `live`).
+//! (most useful with `serve` and `live`). `serve` and `live` print
+//! periodic stats lines every `--stats-interval` (default 5s).
+//!
+//! The command table ([`COMMANDS`]) and flag tables ([`VALUE_FLAGS`],
+//! [`BOOL_FLAGS`]) are the single source for arg normalization, the
+//! usage line, and `help` — they cannot drift apart.
 
 use dnscentral_core::dualstack::DualStackAnalysis;
 use dnscentral_core::experiments::{analyze_capture, generate_capture_sharded, run_monthly_series};
@@ -32,6 +39,187 @@ use simnet::scenario::{dataset, Scale};
 use std::net::IpAddr;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Counting global allocator: makes allocations a measured quantity, so
+/// `dnscentral bench` reports allocs/op next to ns/op (see `obs::alloc`;
+/// the per-event overhead is a few relaxed atomic adds).
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc;
+
+/// Every command: `(name, argument synopsis, one-line description)`.
+const COMMANDS: &[(&str, &str, &str)] = &[
+    (
+        "table1",
+        "",
+        "Table 1: the static cloud-provider ground truth",
+    ),
+    (
+        "generate",
+        "<nl|nz|broot> <year> <out.dnscap>",
+        "synthesize one dataset capture",
+    ),
+    (
+        "analyze",
+        "<nl|nz|broot> <year> <capture.dnscap>",
+        "analyze a capture",
+    ),
+    (
+        "dataset",
+        "<nl|nz|broot> <year>",
+        "generate + analyze in one go (--json for machine output)",
+    ),
+    (
+        "qmin",
+        "[nl|nz|broot]",
+        "Figure 3 monthly series + change-point detection",
+    ),
+    ("report", "", "every table and figure of the paper"),
+    (
+        "inspect",
+        "<capture.dnscap>",
+        "capture forensics without the scenario",
+    ),
+    (
+        "export-pcap",
+        "<in.dnscap> <out.pcap>",
+        "convert a capture to libpcap for tcpdump/Wireshark",
+    ),
+    (
+        "import-pcap",
+        "<in.pcap> <out.dnscap>",
+        "bring externally captured DNS traffic into the pipeline",
+    ),
+    (
+        "analyze-pcap",
+        "<in.pcap>",
+        "analyze a raw pcap against the real provider ranges",
+    ),
+    (
+        "concentration",
+        "",
+        "CR1/CR10/CR100, HHI, and Gini concentration indices",
+    ),
+    ("junk-overview", "", "B-Root valid-traffic share, 2018-2020"),
+    ("experiments", "", "measured-vs-paper comparison table"),
+    (
+        "scenario-template",
+        "<nl|nz|broot> <year>",
+        "dump an editable scenario JSON",
+    ),
+    ("scenario", "<scenario.json>", "run a custom scenario file"),
+    (
+        "serve",
+        "<nl|nz|broot> <year>",
+        "live authoritative DNS on real sockets",
+    ),
+    (
+        "loadgen",
+        "<nl|nz|broot> <year> --udp A --tcp B",
+        "closed-loop load against a running server",
+    ),
+    (
+        "live",
+        "<nl|nz|broot> <year> [out.dnscap]",
+        "serve + loadgen over loopback, then analyze the tap",
+    ),
+    (
+        "bench",
+        "[--quick] [--filter=S] [--json[=path]] [--baseline=B]",
+        "run the perf scenarios; write BENCH_*.json; gate on a baseline",
+    ),
+    ("help", "", "print this command and flag reference"),
+];
+
+/// Every value-taking flag: `(name, value synopsis, description)`.
+/// Drives arg normalization (`--flag value` -> `--flag=value`) and
+/// `help`.
+const VALUE_FLAGS: &[(&str, &str, &str)] = &[
+    (
+        "--scale",
+        "tiny|small|medium|report",
+        "dataset scale (default small)",
+    ),
+    ("--seed", "N", "deterministic RNG seed (default 42)"),
+    (
+        "--shards",
+        "N",
+        "generator/pipeline worker threads (default 1)",
+    ),
+    (
+        "--zone",
+        "nl|nz|root",
+        "analyze-pcap: zone model (default root)",
+    ),
+    (
+        "--provider",
+        "google|amazon|microsoft|facebook|cloudflare",
+        "qmin: provider to track (default google)",
+    ),
+    (
+        "--duration",
+        "3s|500ms|2m",
+        "serve/loadgen/live: stop after this long",
+    ),
+    ("--queries", "N", "loadgen/live: stop after N queries"),
+    ("--port", "N", "serve: fixed port (default ephemeral)"),
+    ("--workers", "N", "loadgen/live: load worker threads"),
+    ("--udp-workers", "N", "serve: UDP worker threads"),
+    ("--tcp-workers", "N", "serve: TCP worker threads"),
+    ("--udp", "host:port", "loadgen: server UDP address"),
+    ("--tcp", "host:port", "loadgen: server TCP address"),
+    (
+        "--out",
+        "tap.dnscap",
+        "serve: mirror served traffic into a capture",
+    ),
+    (
+        "--stats-interval",
+        "5s",
+        "serve/live: interval between periodic stats lines (default 5s)",
+    ),
+    (
+        "--trace",
+        "out.json",
+        "write a Chrome trace-event JSONL of the run",
+    ),
+    (
+        "--metrics-addr",
+        "ip:port",
+        "serve live Prometheus metrics over HTTP",
+    ),
+    (
+        "--filter",
+        "substr",
+        "bench: only scenarios whose id contains substr",
+    ),
+    (
+        "--baseline",
+        "bench/baseline.json",
+        "bench: exit nonzero on regressions vs this report",
+    ),
+    (
+        "--threshold",
+        "0.15",
+        "bench: regression threshold as a fraction (default 0.15)",
+    ),
+];
+
+/// Every boolean flag: `(name, description)`. `--json` doubles as
+/// `--json=path` for `bench`, so it is listed here, not in
+/// [`VALUE_FLAGS`] (a bare `--json` must not swallow the next arg).
+const BOOL_FLAGS: &[(&str, &str)] = &[
+    (
+        "--keep-capture",
+        "dataset/scenario: keep the intermediate capture file",
+    ),
+    ("--stats", "print the per-stage time/throughput table"),
+    (
+        "--json",
+        "dataset: JSON output; bench: write BENCH_<label>.json (or --json=path)",
+    ),
+    ("--quick", "bench: reduced samples for CI"),
+    ("--list", "bench: list scenario ids and exit"),
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = match normalize_args(std::env::args().skip(1).collect()) {
@@ -308,13 +496,9 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 .unwrap_or("live.dnscap");
             return live_cli(vantage, year, scale, seed, out, flags);
         }
-        _ => {
-            return Err(
-                "usage: dnscentral <table1|generate|analyze|dataset|qmin|report|inspect|export-pcap|import-pcap|analyze-pcap|concentration|junk-overview|experiments|scenario-template|scenario|serve|loadgen|live> \
-                 [args] [--scale=tiny|small|medium|report] [--seed=N] [--shards=N] [--keep-capture] [--stats] [--trace=out.json] [--metrics-addr=ip:port]"
-                    .to_string(),
-            );
-        }
+        Some("bench") => return bench_cli(flags),
+        Some("help") => print!("{}", render_help()),
+        _ => return Err(usage_line()),
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -500,29 +684,10 @@ fn live_cli(
 /// Rewrite `--flag value` as `--flag=value` for the known value-taking
 /// flags, so both spellings work.
 fn normalize_args(raw: Vec<String>) -> Result<Vec<String>, String> {
-    const VALUE_FLAGS: &[&str] = &[
-        "--scale",
-        "--seed",
-        "--zone",
-        "--provider",
-        "--duration",
-        "--queries",
-        "--port",
-        "--workers",
-        "--udp-workers",
-        "--tcp-workers",
-        "--udp",
-        "--tcp",
-        "--out",
-        "--stats-interval",
-        "--trace",
-        "--metrics-addr",
-        "--shards",
-    ];
     let mut out = Vec::with_capacity(raw.len());
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
-        if VALUE_FLAGS.contains(&arg.as_str()) {
+        if VALUE_FLAGS.iter().any(|(name, _, _)| *name == arg) {
             match it.next() {
                 Some(value) => out.push(format!("{arg}={value}")),
                 None => return Err(format!("flag {arg} requires a value")),
@@ -532,6 +697,140 @@ fn normalize_args(raw: Vec<String>) -> Result<Vec<String>, String> {
         }
     }
     Ok(out)
+}
+
+/// The one-line usage error, generated from [`COMMANDS`].
+fn usage_line() -> String {
+    let names: Vec<&str> = COMMANDS.iter().map(|(name, _, _)| *name).collect();
+    format!(
+        "usage: dnscentral <{}> [args] [flags] — run `dnscentral help` for the full reference",
+        names.join("|")
+    )
+}
+
+/// The `help` command: every command and flag, from the same tables
+/// the parser uses.
+fn render_help() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "dnscentral — reproduction of \"Clouding up the Internet\" (IMC 2020)\n\n\
+         usage: dnscentral <command> [args] [flags]\n\ncommands:"
+    )
+    .expect("string write");
+    for (name, args, desc) in COMMANDS {
+        let synopsis = if args.is_empty() {
+            (*name).to_string()
+        } else {
+            format!("{name} {args}")
+        };
+        writeln!(out, "  {synopsis:<52} {desc}").expect("string write");
+    }
+    writeln!(
+        out,
+        "\nvalue flags (both `--flag=value` and `--flag value` work):"
+    )
+    .expect("string write");
+    for (name, value, desc) in VALUE_FLAGS {
+        let synopsis = format!("{name}={value}");
+        writeln!(out, "  {synopsis:<52} {desc}").expect("string write");
+    }
+    writeln!(out, "\nboolean flags:").expect("string write");
+    for (name, desc) in BOOL_FLAGS {
+        writeln!(out, "  {name:<52} {desc}").expect("string write");
+    }
+    out
+}
+
+/// `dnscentral bench`: run the shared scenario registry (the same
+/// bodies the criterion benches time) under `obs::bench::Runner`,
+/// print the results table, optionally write a `BENCH_<label>.json`
+/// report, and optionally gate against a baseline report.
+fn bench_cli(flags: &[&String]) -> Result<ExitCode, String> {
+    use obs::bench::{default_label, BenchReport, Runner};
+
+    let quick = flags.iter().any(|f| *f == "--quick");
+    let filter = flag_value(flags, "--filter");
+    let scenarios: Vec<bench::scenarios::Scenario> = bench::scenarios::all()
+        .into_iter()
+        .filter(|s| match filter {
+            Some(f) => s.id().contains(f),
+            None => true,
+        })
+        .collect();
+    if flags.iter().any(|f| *f == "--list") {
+        for s in &scenarios {
+            println!("{}", s.id());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if scenarios.is_empty() {
+        return Err(format!(
+            "no bench scenarios match --filter={}",
+            filter.unwrap_or("")
+        ));
+    }
+
+    let runner = if quick {
+        Runner::quick()
+    } else {
+        Runner::full()
+    };
+    let label = default_label();
+    let mut report = BenchReport::new(&label, quick);
+    for s in scenarios {
+        eprintln!("bench: running {}", s.id());
+        let mut prepared = (s.setup)();
+        report.scenarios.push(runner.run(
+            &s.id(),
+            s.group,
+            prepared.records_per_iter,
+            &mut prepared.iter,
+        ));
+    }
+    print!("{}", report.render_table());
+
+    // `--json=path` writes there; bare `--json` names the file after
+    // the run label, extending the BENCH_* trajectory.
+    let json_path = match flag_value(flags, "--json") {
+        Some(path) => Some(std::path::PathBuf::from(path)),
+        None if flags.iter().any(|f| *f == "--json") => {
+            Some(std::path::PathBuf::from(format!("BENCH_{label}.json")))
+        }
+        None => None,
+    };
+    if let Some(path) = &json_path {
+        report
+            .save(path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("bench: report -> {}", path.display());
+    }
+
+    if let Some(base_path) = flag_value(flags, "--baseline") {
+        let baseline = BenchReport::load(Path::new(base_path))?;
+        let threshold: f64 =
+            parsed_flag(flags, "--threshold", "a fraction like 0.15")?.unwrap_or(0.15);
+        let regressions = report.diff(&baseline, threshold);
+        if !regressions.is_empty() {
+            for r in &regressions {
+                println!(
+                    "REGRESSION {}: {:.0} -> {:.0} ns/op ({:+.1}%)",
+                    r.name,
+                    r.baseline_ns,
+                    r.current_ns,
+                    (r.ratio - 1.0) * 100.0
+                );
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+        println!(
+            "no regressions vs {base_path} (label {}, threshold +{:.0}%)",
+            baseline.label,
+            threshold * 100.0
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Parse `3s`, `500ms`, `2m`, or bare seconds.

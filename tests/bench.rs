@@ -1,0 +1,264 @@
+//! Integration tests for the perf-observability layer: the
+//! `dnscentral bench` subcommand (JSON schema, scenario coverage, the
+//! baseline regression gate) and the zero-allocation guarantees of the
+//! serving and wire-encode hot paths.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The allocation assertions need the counting allocator installed in
+/// *this* test binary; the subcommand tests exercise the one installed
+/// in the CLI binary.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dnscentral"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dnscentral-bench-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn bench_list_covers_the_required_scenarios() {
+    let out = bin().args(["bench", "--list"]).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for required in [
+        "wire/message_encode",
+        "wire/message_encode_into",
+        "wire/message_parse",
+        "gen/generate_shard1",
+        "gen/generate_shard4",
+        "ingest/ingest_and_enrich",
+        "pipeline/streamed_shard1",
+        "pipeline/streamed_shard4",
+        "analysis/aggregate_rows",
+        "analysis/qmin_cusum",
+        "analysis/edns_size",
+        "analysis/junk",
+        "analysis/concentration",
+        "serve/respond_udp",
+        "serve/respond_udp_cached",
+        "serve/respond_tcp",
+    ] {
+        assert!(text.lines().any(|l| l == required), "missing {required}");
+    }
+    // --filter narrows the list
+    let out = bin()
+        .args(["bench", "--list", "--filter=wire/"])
+        .output()
+        .expect("runs");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.lines().count() >= 5);
+    assert!(text.lines().all(|l| l.starts_with("wire/")), "{text}");
+}
+
+#[test]
+fn bench_quick_emits_schema_valid_json() {
+    let json = tmp("schema.json");
+    let out = bin()
+        .args([
+            "bench",
+            "--quick",
+            "--filter=analysis/",
+            &format!("--json={}", json.display()),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // stdout carries the human table
+    let table = String::from_utf8(out.stdout).unwrap();
+    assert!(table.contains("ns/op"), "{table}");
+    assert!(table.contains("analysis/qmin_cusum"), "{table}");
+
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).expect("valid JSON");
+    assert_eq!(doc["schema_version"], 1);
+    assert_eq!(doc["quick"], true);
+    assert!(!doc["label"].as_str().unwrap().is_empty());
+    let scenarios = doc["scenarios"].as_array().unwrap();
+    assert_eq!(scenarios.len(), 5, "five analysis scenarios");
+    for s in scenarios {
+        assert!(s["name"].as_str().unwrap().starts_with("analysis/"));
+        assert_eq!(s["group"], "analysis");
+        assert!(s["iters"].as_u64().unwrap() > 0);
+        for field in ["ns_per_op", "p50_ns", "p99_ns", "min_ns", "max_ns"] {
+            assert!(s[field].as_f64().unwrap() > 0.0, "{field}: {s}");
+        }
+        assert!(s["min_ns"].as_f64().unwrap() <= s["max_ns"].as_f64().unwrap());
+        // every analysis scenario processes records, and the CLI's
+        // counting allocator makes allocs/op concrete numbers
+        assert!(s["records_per_sec"].as_f64().unwrap() > 0.0, "{s}");
+        assert!(s["allocs_per_op"].as_f64().is_some(), "{s}");
+        assert!(s["alloc_bytes_per_op"].as_f64().is_some(), "{s}");
+    }
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn baseline_gate_passes_on_self_and_fails_on_injected_regression() {
+    use obs::bench::BenchReport;
+    let json = tmp("gate.json");
+    let doctored = tmp("gate-doctored.json");
+    let filter = "--filter=analysis/qmin_cusum";
+    let out = bin()
+        .args([
+            "bench",
+            "--quick",
+            filter,
+            &format!("--json={}", json.display()),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    // comparing a fresh run against its own twin must not flag noise
+    let out = bin()
+        .args([
+            "bench",
+            "--quick",
+            filter,
+            &format!("--baseline={}", json.display()),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "self-baseline flagged: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("no regressions"));
+
+    // a baseline doctored 100x faster must trip the gate (exit nonzero)
+    let mut base = BenchReport::load(&json).expect("loads");
+    for s in &mut base.scenarios {
+        s.ns_per_op /= 100.0;
+        s.p50_ns /= 100.0;
+        s.p99_ns /= 100.0;
+        s.min_ns /= 100.0;
+        s.max_ns /= 100.0;
+    }
+    base.save(&doctored).unwrap();
+    let out = bin()
+        .args([
+            "bench",
+            "--quick",
+            filter,
+            &format!("--baseline={}", doctored.display()),
+        ])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "doctored baseline not flagged");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("REGRESSION analysis/qmin_cusum"), "{text}");
+
+    for f in [&json, &doctored] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn bench_rejects_unknown_filters() {
+    let out = bin()
+        .args(["bench", "--quick", "--filter=nonexistent/"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("no bench scenarios match"));
+}
+
+#[test]
+fn respond_hot_path_is_allocation_free_in_steady_state() {
+    use authd::respond::{OutcomeRef, RespondScratch, Responder};
+    use netbase::flow::Transport;
+    use netbase::time::SimTime;
+    use simnet::drive::Driver;
+    use simnet::profile::Vantage;
+    use simnet::scenario::{dataset, Scale};
+
+    assert!(obs::alloc::installed(), "counting allocator active");
+    let spec = dataset(Vantage::Nl, 2020);
+    let t = spec.start;
+    let responder = Responder::for_spec(&spec);
+    let mut driver = Driver::new(spec, Scale::tiny(), 42);
+    let queries: Vec<(Vec<u8>, std::net::IpAddr)> = (0..64)
+        .map(|_| {
+            let q = driver.sample(t);
+            (q.wire, q.src)
+        })
+        .collect();
+    let now = SimTime(0);
+    let mut scratch = RespondScratch::new();
+    // warm passes populate the per-worker response cache
+    for _ in 0..2 {
+        for (wire, src) in &queries {
+            let _ = responder.handle_into(wire, Transport::Udp, *src, now, None, &mut scratch);
+        }
+    }
+    // keep only steady-state cache hits: uncacheable queries and
+    // direct-mapped slot collisions legitimately take the slow path
+    let steady: Vec<(Vec<u8>, std::net::IpAddr)> = queries
+        .into_iter()
+        .filter(|(wire, src)| {
+            let misses = scratch.misses();
+            let _ = responder.handle_into(wire, Transport::Udp, *src, now, None, &mut scratch);
+            scratch.misses() == misses
+        })
+        .collect();
+    assert!(
+        steady.len() >= 32,
+        "most of the sampled mix should cache ({} of 64)",
+        steady.len()
+    );
+
+    let (replies, stats) = obs::alloc::measure(|| {
+        let mut replies = 0u64;
+        for _ in 0..50 {
+            for (wire, src) in &steady {
+                match responder.handle_into(wire, Transport::Udp, *src, now, None, &mut scratch) {
+                    OutcomeRef::Reply { .. } => replies += 1,
+                    OutcomeRef::RrlDrop | OutcomeRef::Malformed => {}
+                }
+            }
+        }
+        replies
+    });
+    assert_eq!(replies, 50 * steady.len() as u64);
+    assert_eq!(stats.allocs, 0, "respond hot path allocated");
+    assert_eq!(stats.bytes, 0);
+}
+
+#[test]
+fn wire_encode_into_is_allocation_free_and_byte_identical() {
+    use dns_wire::name::ReusableCompressor;
+
+    assert!(obs::alloc::installed(), "counting allocator active");
+    let msg = bench::scenarios::sample_response();
+    let expected = msg.encode().expect("encodes");
+    let mut comp = ReusableCompressor::new();
+    let mut out = Vec::new();
+    // first call sizes the buffers; steady state reuses them
+    msg.encode_into(&mut comp, &mut out).expect("encodes");
+    assert_eq!(out, expected);
+
+    let (_, stats) = obs::alloc::measure(|| {
+        for _ in 0..100 {
+            msg.encode_into(&mut comp, &mut out).expect("encodes");
+        }
+    });
+    assert_eq!(out, expected);
+    assert_eq!(stats.allocs, 0, "encode_into allocated in steady state");
+    assert_eq!(stats.bytes, 0);
+}

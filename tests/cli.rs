@@ -35,6 +35,75 @@ fn usage_on_bad_args() {
 }
 
 #[test]
+fn help_covers_every_command_and_flag() {
+    let out = bin().arg("help").output().expect("runs");
+    assert!(out.status.success());
+    let help = String::from_utf8(out.stdout).unwrap();
+    // every dispatchable command appears in the help text...
+    for command in [
+        "table1",
+        "generate",
+        "analyze",
+        "dataset",
+        "qmin",
+        "report",
+        "inspect",
+        "export-pcap",
+        "import-pcap",
+        "analyze-pcap",
+        "concentration",
+        "junk-overview",
+        "experiments",
+        "scenario-template",
+        "scenario",
+        "serve",
+        "loadgen",
+        "live",
+        "bench",
+        "help",
+    ] {
+        assert!(
+            help.lines().any(|l| l.trim_start().starts_with(command)),
+            "help is missing command {command}"
+        );
+    }
+    // ...as does every flag the parser accepts
+    for flag in [
+        "--scale",
+        "--seed",
+        "--shards",
+        "--zone",
+        "--provider",
+        "--duration",
+        "--queries",
+        "--port",
+        "--workers",
+        "--udp-workers",
+        "--tcp-workers",
+        "--udp=",
+        "--tcp=",
+        "--out",
+        "--stats-interval",
+        "--trace",
+        "--metrics-addr",
+        "--filter",
+        "--baseline",
+        "--threshold",
+        "--keep-capture",
+        "--stats",
+        "--json",
+        "--quick",
+        "--list",
+    ] {
+        assert!(help.contains(flag), "help is missing flag {flag}");
+    }
+    // the short usage line advertises the newer commands too
+    let err = String::from_utf8(bin().arg("frobnicate").output().expect("runs").stderr).unwrap();
+    assert!(err.contains("bench"), "{err}");
+    assert!(err.contains("help"), "{err}");
+}
+
+#[test]
 fn bad_scale_is_rejected() {
     let out = bin()
         .args(["table1", "--scale=galactic"])
