@@ -64,7 +64,7 @@ fn benches(c: &mut Criterion) {
 
     // Figures 5/8: the Facebook site analysis needs mutable access for
     // medians; rebuild a small run for it.
-    let mut run = dnscentral_core::experiments::run_dataset(Vantage::Nl, 2020, Scale::tiny(), 42);
+    let run = dnscentral_core::experiments::run_dataset(Vantage::Nl, 2020, Scale::tiny(), 42);
     let server_a: IpAddr = run.spec.servers[0].v4.into();
     let server_b: IpAddr = run.spec.servers[1].v4.into();
     let sites_a = run.dualstack.report_for_server(server_a);
@@ -82,10 +82,10 @@ fn benches(c: &mut Criterion) {
     });
 
     // Figure 6: EDNS CDFs.
-    let reports = ednssize::edns_report(&mut run.analysis);
+    let reports = ednssize::edns_report(&run.analysis);
     print_once("Figure 6 (scaled)", &report::render_fig6(&reports));
     c.bench_function("figures/fig6_edns_cdf", |b| {
-        b.iter(|| ednssize::edns_report_for(&mut run.analysis, asdb::cloud::Provider::Facebook))
+        b.iter(|| ednssize::edns_report_for(&run.analysis, asdb::cloud::Provider::Facebook))
     });
 }
 

@@ -47,9 +47,9 @@ impl Prepared {
 
 /// One named benchmark scenario.
 pub struct Scenario {
-    /// Group label (`wire`, `gen`, `ingest`, `pipeline`, `analysis`,
-    /// `serve`, `substrates`); the criterion benches map groups onto
-    /// bench binaries, the CLI reports `group/name`.
+    /// Group label (`wire`, `gen`, `ingest`, `pipeline`, `suite`,
+    /// `analysis`, `serve`, `substrates`); the criterion benches map
+    /// groups onto bench binaries, the CLI reports `group/name`.
     pub group: &'static str,
     /// Scenario name within the group.
     pub name: &'static str,
@@ -71,6 +71,7 @@ pub fn all() -> Vec<Scenario> {
     v.extend(gen());
     v.extend(ingest());
     v.extend(pipeline());
+    v.extend(suite());
     v.extend(analysis());
     v.extend(serve());
     v.extend(substrates());
@@ -325,6 +326,78 @@ fn pipeline() -> Vec<Scenario> {
                 })
             },
         },
+        Scenario {
+            group: "pipeline",
+            name: "jobs1",
+            setup: || {
+                let e2e = dataset(Vantage::Nz, 2020);
+                Prepared::new(e2e_total(), move || {
+                    run_spec_with(e2e.clone(), Scale::tiny(), 5, &PipelineOpts::with_jobs(1))
+                        .analysis
+                        .total_queries
+                })
+            },
+        },
+        Scenario {
+            group: "pipeline",
+            name: "jobs4",
+            setup: || {
+                let e2e = dataset(Vantage::Nz, 2020);
+                Prepared::new(e2e_total(), move || {
+                    run_spec_with(e2e.clone(), Scale::tiny(), 5, &PipelineOpts::with_jobs(4))
+                        .analysis
+                        .total_queries
+                })
+            },
+        },
+    ]
+}
+
+// --- suite ----------------------------------------------------------
+
+/// Four independent tiny datasets through [`dnscentral_core::run_suite`]
+/// with the given job cap; `suite/serial` vs `suite/jobs4` is the
+/// multi-dataset scheduling speedup (≈ core count, up to 4).
+fn suite_scenario(jobs: usize) -> Prepared {
+    use dnscentral_core::pipeline::PipelineOpts;
+    use dnscentral_core::run_suite;
+    use simnet::engine::Engine;
+    let specs = vec![
+        dataset(Vantage::Nl, 2020),
+        dataset(Vantage::Nz, 2020),
+        dataset(Vantage::BRoot, 2020),
+        dataset(Vantage::Nl, 2019),
+    ];
+    let total: u64 = specs
+        .iter()
+        .map(|s| Engine::new(s.clone(), Scale::tiny(), 5).scaled_total())
+        .sum();
+    Prepared::new(total, move || {
+        run_suite(
+            specs.clone(),
+            Scale::tiny(),
+            5,
+            &PipelineOpts::default(),
+            jobs,
+        )
+        .iter()
+        .map(|run| run.analysis.total_queries)
+        .sum()
+    })
+}
+
+fn suite() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            group: "suite",
+            name: "serial",
+            setup: || suite_scenario(1),
+        },
+        Scenario {
+            group: "suite",
+            name: "jobs4",
+            setup: || suite_scenario(4),
+        },
     ]
 }
 
@@ -408,6 +481,33 @@ fn analysis() -> Vec<Scenario> {
         },
         Scenario {
             group: "analysis",
+            name: "merge",
+            setup: || {
+                use dnscentral_core::analysis::DatasetAnalysis;
+                let (rows, zone) = sample_rows();
+                let n = rows.len() as u64;
+                // four partials over disjoint row subsets, merged the
+                // way the parallel consumer merges worker sinks
+                let partials: Vec<DatasetAnalysis> = (0..4)
+                    .map(|w| {
+                        let mut a = DatasetAnalysis::new(zone.clone());
+                        for row in rows.iter().skip(w).step_by(4) {
+                            a.push(row);
+                        }
+                        a
+                    })
+                    .collect();
+                Prepared::new(n, move || {
+                    let mut merged = partials[0].clone();
+                    for p in &partials[1..] {
+                        merged.merge(p.clone());
+                    }
+                    merged.total_queries
+                })
+            },
+        },
+        Scenario {
+            group: "analysis",
             name: "qmin_cusum",
             setup: || {
                 use dnscentral_core::qmin::detect_cusum;
@@ -425,10 +525,8 @@ fn analysis() -> Vec<Scenario> {
             name: "edns_size",
             setup: || {
                 use dnscentral_core::ednssize::edns_report;
-                let (mut a, n) = sample_analysis();
-                Prepared::new(n, move || {
-                    edns_report(&mut a).iter().map(|r| r.samples).sum()
-                })
+                let (a, n) = sample_analysis();
+                Prepared::new(n, move || edns_report(&a).iter().map(|r| r.samples).sum())
             },
         },
         Scenario {
@@ -601,7 +699,12 @@ mod tests {
             "ingest/ingest_and_enrich",
             "pipeline/streamed_shard1",
             "pipeline/streamed_shard4",
+            "pipeline/jobs1",
+            "pipeline/jobs4",
+            "suite/serial",
+            "suite/jobs4",
             "analysis/aggregate_rows",
+            "analysis/merge",
             "analysis/qmin_cusum",
             "analysis/edns_size",
             "analysis/concentration",

@@ -12,7 +12,7 @@ use std::net::IpAddr;
 use zonedb::zone::ZoneModel;
 
 /// Per-provider (or per-"rest of Internet") accumulators.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ProviderAgg {
     /// Queries attributed.
     pub queries: u64,
@@ -99,9 +99,32 @@ impl ProviderAgg {
             self.minimized_ns as f64 / self.ns_queries as f64
         }
     }
+
+    /// Merge another partial aggregate in. Every field is a sum, a set
+    /// union, or a sample-multiset union, so partials built over
+    /// disjoint row subsets merge into exactly the aggregate one serial
+    /// pass over all rows would build.
+    pub fn merge(&mut self, other: ProviderAgg) {
+        self.queries += other.queries;
+        self.junk += other.junk;
+        self.qtype.merge(other.qtype);
+        self.v4_queries += other.v4_queries;
+        self.v6_queries += other.v6_queries;
+        self.udp_queries += other.udp_queries;
+        self.tcp_queries += other.tcp_queries;
+        self.resolvers_v4.merge(other.resolvers_v4);
+        self.resolvers_v6.merge(other.resolvers_v6);
+        self.edns_sizes.merge(other.edns_sizes);
+        self.response_sizes.merge(other.response_sizes);
+        self.truncated_udp += other.truncated_udp;
+        self.answered_udp += other.answered_udp;
+        self.minimized_ns += other.minimized_ns;
+        self.ns_queries += other.ns_queries;
+    }
 }
 
 /// Whole-dataset aggregation (one pass, streaming).
+#[derive(Debug, Clone)]
 pub struct DatasetAnalysis {
     zone: ZoneModel,
     /// All queries seen.
@@ -128,7 +151,7 @@ pub struct DatasetAnalysis {
 }
 
 /// The Table 4/7 split accumulators.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GoogleSplitAgg {
     /// Queries from the advertised Public DNS ranges.
     pub public_queries: u64,
@@ -159,6 +182,14 @@ impl GoogleSplitAgg {
         } else {
             self.public_resolvers.count() as f64 / total as f64
         }
+    }
+
+    /// Merge another partial split in (sums + set unions).
+    pub fn merge(&mut self, other: GoogleSplitAgg) {
+        self.public_queries += other.public_queries;
+        self.rest_queries += other.rest_queries;
+        self.public_resolvers.merge(other.public_resolvers);
+        self.rest_resolvers.merge(other.rest_resolvers);
     }
 }
 
@@ -263,6 +294,27 @@ impl DatasetAnalysis {
         }
     }
 
+    /// Merge a partial aggregate built over a disjoint subset of the
+    /// same dataset's rows (and the same zone). Every accumulator is an
+    /// order-insensitive function of the row multiset — sums, set
+    /// unions, CDF sample unions — so merging worker partials in any
+    /// deterministic order reproduces the serial aggregate exactly.
+    pub fn merge(&mut self, other: DatasetAnalysis) {
+        self.total_queries += other.total_queries;
+        self.valid_queries += other.valid_queries;
+        self.resolvers.merge(other.resolvers);
+        self.ases.merge(other.ases);
+        for (key, agg) in other.by_provider {
+            self.by_provider.entry(key).or_default().merge(agg);
+        }
+        self.google_public.merge(other.google_public);
+        for (key, counter) in other.monthly_qtype {
+            self.monthly_qtype.entry(key).or_default().merge(counter);
+        }
+        self.as_volume.merge(other.as_volume);
+        self.hourly.merge(other.hourly);
+    }
+
     /// The zone this analysis runs against.
     pub fn zone(&self) -> &ZoneModel {
         &self.zone
@@ -271,11 +323,6 @@ impl DatasetAnalysis {
     /// Accumulator for one provider (`None` = rest of Internet).
     pub fn provider(&self, p: Option<Provider>) -> &ProviderAgg {
         self.by_provider.get(&p).expect("all providers pre-seeded")
-    }
-
-    /// Mutable access (used by `ednssize` to evaluate CDFs).
-    pub fn provider_mut(&mut self, p: Option<Provider>) -> &mut ProviderAgg {
-        self.by_provider.entry(p).or_default()
     }
 
     /// Query share of one provider (Figure 1 bars).

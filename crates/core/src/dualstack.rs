@@ -27,6 +27,15 @@ struct SiteServerAgg {
     rtt_v6: Cdf,
 }
 
+impl SiteServerAgg {
+    fn merge(&mut self, other: SiteServerAgg) {
+        self.q_v4 += other.q_v4;
+        self.q_v6 += other.q_v6;
+        self.rtt_v4.merge(other.rtt_v4);
+        self.rtt_v6.merge(other.rtt_v6);
+    }
+}
+
 /// The analysis state.
 pub struct DualStackAnalysis {
     /// site code -> per-server aggregates (keyed by canonical server
@@ -153,10 +162,30 @@ impl DualStackAnalysis {
         self.sites.len()
     }
 
+    /// Merge a partial analysis built over a disjoint subset of the
+    /// same dataset's rows (with the same registered servers). All
+    /// state is sums and set unions over the row multiset, so merged
+    /// worker partials report exactly what one serial pass would.
+    pub fn merge(&mut self, other: DualStackAnalysis) {
+        for (site, per_server) in other.sites {
+            let mine = self.sites.entry(site).or_default();
+            for (server, agg) in per_server {
+                mine.entry(server).or_default().merge(agg);
+            }
+        }
+        // with_servers seeds identical alias maps into every partial
+        self.server_alias.extend(other.server_alias);
+        for (key, addrs) in other.join {
+            self.join.entry(key).or_default().extend(addrs);
+        }
+        self.no_ptr.extend(other.no_ptr);
+        self.unjoinable.extend(other.unjoinable);
+    }
+
     /// Figure 5 for one analyzed server: sites ranked by *overall*
     /// volume (so "location 1" is stable across servers, like the
     /// paper's numbering), with per-server family mixes and RTTs.
-    pub fn report_for_server(&mut self, server: IpAddr) -> Vec<SiteReport> {
+    pub fn report_for_server(&self, server: IpAddr) -> Vec<SiteReport> {
         let mut order: Vec<(String, u64)> = self
             .sites
             .iter()
@@ -166,16 +195,17 @@ impl DualStackAnalysis {
             })
             .collect();
         order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let empty = SiteServerAgg::default();
         order
             .into_iter()
             .enumerate()
             .map(|(i, (site, _))| {
                 let agg = self
                     .sites
-                    .get_mut(&site)
+                    .get(&site)
                     .expect("site present")
-                    .entry(server)
-                    .or_default();
+                    .get(&server)
+                    .unwrap_or(&empty);
                 let total = agg.q_v4 + agg.q_v6;
                 SiteReport {
                     rank: i + 1,

@@ -25,7 +25,7 @@ pub struct EdnsCdfReport {
 }
 
 /// Build the Figure 6 curves for every provider.
-pub fn edns_report(a: &mut DatasetAnalysis) -> Vec<EdnsCdfReport> {
+pub fn edns_report(a: &DatasetAnalysis) -> Vec<EdnsCdfReport> {
     let mut stage = obs::stage("analysis.ednssize");
     let reports: Vec<EdnsCdfReport> = ALL_PROVIDERS
         .iter()
@@ -36,8 +36,8 @@ pub fn edns_report(a: &mut DatasetAnalysis) -> Vec<EdnsCdfReport> {
 }
 
 /// Build one provider's curve.
-pub fn edns_report_for(a: &mut DatasetAnalysis, provider: Provider) -> EdnsCdfReport {
-    let agg = a.provider_mut(Some(provider));
+pub fn edns_report_for(a: &DatasetAnalysis, provider: Provider) -> EdnsCdfReport {
+    let agg = a.provider(Some(provider));
     let samples = agg.edns_sizes.len() as u64;
     let curve = agg.edns_sizes.curve(&CDF_POINTS);
     let median_response_size = if agg.response_sizes.is_empty() {
@@ -106,7 +106,7 @@ mod tests {
         for _ in 0..70 {
             push(&mut a, Provider::Facebook, 4096, false);
         }
-        let r = edns_report_for(&mut a, Provider::Facebook);
+        let r = edns_report_for(&a, Provider::Facebook);
         assert_eq!(r.samples, 100);
         assert!((r.fraction_at_most(512) - 0.30).abs() < 1e-12);
         assert!((r.fraction_at_most(1232) - 0.30).abs() < 1e-12);
@@ -123,7 +123,7 @@ mod tests {
         for _ in 0..76 {
             push(&mut a, Provider::Google, 4096, false);
         }
-        let r = edns_report_for(&mut a, Provider::Google);
+        let r = edns_report_for(&a, Provider::Google);
         assert!((r.fraction_at_most(512)).abs() < 1e-12);
         assert!((r.fraction_at_most(1232) - 0.24).abs() < 1e-12);
         assert_eq!(r.truncation_ratio, 0.0);
@@ -137,7 +137,7 @@ mod tests {
                 push(&mut a, Provider::Amazon, s, false);
             }
         }
-        let r = edns_report_for(&mut a, Provider::Amazon);
+        let r = edns_report_for(&a, Provider::Amazon);
         for w in r.curve.windows(2) {
             assert!(w[1].1 >= w[0].1);
         }
@@ -148,7 +148,7 @@ mod tests {
     fn all_providers_reported() {
         let mut a = DatasetAnalysis::new(ZoneModel::nl(10));
         push(&mut a, Provider::Google, 1232, false);
-        let all = edns_report(&mut a);
+        let all = edns_report(&a);
         assert_eq!(all.len(), 5);
         assert!(all.iter().any(|r| r.provider == "Google" && r.samples == 1));
         assert!(all

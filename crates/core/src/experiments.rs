@@ -11,6 +11,7 @@
 use crate::analysis::DatasetAnalysis;
 use crate::dualstack::DualStackAnalysis;
 use crate::qmin::MonthlySample;
+use crate::sink::{DualStackSink, FanoutSink, RowSink};
 use asdb::synth::InternetPlan;
 use dns_wire::types::RType;
 use entrada::agg::Counter;
@@ -89,18 +90,29 @@ pub fn analyze_capture(
     let reader = CaptureReader::new(BufReader::new(file))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let mut ingest = CaptureIngest::new(reader, enricher);
-    let mut analysis = DatasetAnalysis::new(engine.zone().clone());
-    let mut dualstack = DualStackAnalysis::with_servers(&spec.servers);
-    let mut progress = obs::Progress::new(format!("analyze {}", spec.id()), None);
+    let mut sink = FanoutSink::new(
+        DatasetAnalysis::new(engine.zone().clone()),
+        DualStackSink::new(
+            DualStackAnalysis::with_servers(&spec.servers),
+            engine.ptr_db(),
+        ),
+    );
+    // The generator emits exactly one row per scheduled query, so the
+    // a-priori scaled total is the expected row count — a real total
+    // makes the progress line render percent + ETA.
+    let mut progress = obs::Progress::new(
+        format!("analyze {}", spec.id()),
+        Some(engine.scaled_total()),
+    );
     for row in ingest.by_ref() {
-        analysis.push(&row);
-        dualstack.push(&row, engine.ptr_db());
+        sink.push(&row);
         progress.tick(1);
     }
     let stats = ingest.stats().clone();
     stage.add_items(stats.rows);
     crate::pipeline::warn_on_capture_errors(&spec.id(), &stats);
-    Ok((analysis, dualstack, stats))
+    let (analysis, dualstack) = sink.into_parts();
+    Ok((analysis, dualstack.into_inner(), stats))
 }
 
 /// Generate + analyze one of the nine Table 3 datasets via a temp file.
@@ -131,59 +143,70 @@ pub fn run_monthly_series_for(
     scale: Scale,
     seed: u64,
 ) -> Vec<MonthlySample> {
-    let months = figure3_months();
-    let mut progress = obs::Progress::new(
-        format!("monthly series {provider:?}"),
-        Some(months.len() as u64),
-    );
-    months
+    run_monthly_series_for_jobs(vantage, provider, scale, seed, 1)
+}
+
+/// [`run_monthly_series_for`] with up to `jobs` months in flight (the
+/// 18 monthly runs are independent); samples come back in month order,
+/// identical to a serial run for any job count.
+pub fn run_monthly_series_for_jobs(
+    vantage: Vantage,
+    provider: asdb::cloud::Provider,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+) -> Vec<MonthlySample> {
+    let tasks = figure3_months()
         .into_iter()
         .map(|(year, month)| {
-            progress.tick(1);
-            let spec = if provider == asdb::cloud::Provider::Google {
-                monthly_google(vantage, year, month)
-            } else {
-                monthly_provider(vantage, provider, year, month)
+            let label = format!("suite.fig3-{provider:?}-{year}-{month:02}").to_lowercase();
+            let task = move || {
+                let spec = if provider == asdb::cloud::Provider::Google {
+                    monthly_google(vantage, year, month)
+                } else {
+                    monthly_provider(vantage, provider, year, month)
+                };
+                let run = run_spec(spec, scale, seed ^ ((year as u64) << 8 | month as u64));
+                let agg = run.analysis.provider(Some(provider));
+                // this run covers exactly one month, so the provider
+                // aggregate *is* the monthly bucket
+                let mut qtypes: Counter<RType> = Counter::new();
+                for (t, c) in agg.qtype.iter() {
+                    qtypes.add(*t, c);
+                }
+                MonthlySample::from_counters(year, month, &qtypes, agg.minimized_ns)
             };
-            let run = run_spec(spec, scale, seed ^ ((year as u64) << 8 | month as u64));
-            let agg = run.analysis.provider(Some(provider));
-            // this run covers exactly one month, so the provider
-            // aggregate *is* the monthly bucket
-            let mut qtypes: Counter<RType> = Counter::new();
-            for (t, c) in agg.qtype.iter() {
-                qtypes.add(*t, c);
-            }
-            MonthlySample::from_counters(year, month, &qtypes, agg.minimized_ns)
+            (label, task)
         })
+        .collect();
+    crate::suite::run_tasks(tasks, jobs, |s: &MonthlySample| s.total)
+}
+
+/// The nine Table 3 dataset specs, in report order.
+pub fn table3_specs() -> Vec<DatasetSpec> {
+    [Vantage::Nl, Vantage::Nz, Vantage::BRoot]
+        .into_iter()
+        .flat_map(|v| [2018u16, 2019, 2020].map(|y| dataset(v, y)))
         .collect()
 }
 
 /// Run all nine Table 3 datasets, fanning out across worker threads
-/// (crossbeam scoped threads; results come back in dataset order).
-/// On a many-core box this turns the full-report wall time into
-/// roughly the longest single dataset's.
+/// (the [`crate::suite`] scheduler; results come back in dataset
+/// order). On a many-core box this turns the full-report wall time
+/// into roughly the longest single dataset's.
 pub fn run_all_datasets(scale: Scale, seed: u64) -> Vec<DatasetRun> {
-    let specs: Vec<DatasetSpec> = [Vantage::Nl, Vantage::Nz, Vantage::BRoot]
-        .into_iter()
-        .flat_map(|v| [2018u16, 2019, 2020].map(|y| dataset(v, y)))
-        .collect();
-    let mut slots: Vec<Option<DatasetRun>> = specs.iter().map(|_| None).collect();
-    let mut progress = obs::Progress::new("datasets", Some(slots.len() as u64));
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, spec) in specs.into_iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| run_spec(spec, scale, seed))));
-        }
-        for (i, handle) in handles {
-            slots[i] = Some(handle.join().expect("dataset worker panicked"));
-            progress.tick(1);
-        }
-    })
-    .expect("scope join");
-    slots
-        .into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect()
+    run_all_datasets_jobs(scale, seed, 9)
+}
+
+/// [`run_all_datasets`] with at most `jobs` datasets in flight.
+pub fn run_all_datasets_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<DatasetRun> {
+    crate::suite::run_suite(
+        table3_specs(),
+        scale,
+        seed,
+        &crate::pipeline::PipelineOpts::default(),
+        jobs,
+    )
 }
 
 /// A collision-resistant temp path for intermediate captures.
@@ -209,8 +232,8 @@ mod tests {
             Scale::tiny(),
             11,
             &crate::pipeline::PipelineOpts {
-                shards: 1,
                 keep_capture: Some(path.clone()),
+                ..Default::default()
             },
         );
         let _ = std::fs::remove_file(&path);

@@ -89,6 +89,12 @@ impl ChromiumProbeStats {
             self.probe_shaped as f64 / self.junk_queries as f64
         }
     }
+
+    /// Merge a partial classifier in (plain sums).
+    pub fn merge(&mut self, other: ChromiumProbeStats) {
+        self.junk_queries += other.junk_queries;
+        self.probe_shaped += other.probe_shaped;
+    }
 }
 
 #[cfg(test)]

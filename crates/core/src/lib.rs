@@ -17,6 +17,8 @@
 //! | [`report`] | text/JSON rendering of every table and figure |
 //! | [`experiments`] | end-to-end experiment runners (generate → ingest → analyze) |
 //! | [`pipeline`] | the fused, sharded streaming pipeline behind the runners |
+//! | [`sink`] | the mergeable [`sink::RowSink`] trait every consumer implements |
+//! | [`suite`] | the bounded multi-dataset scheduler behind `--jobs` |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,8 +35,12 @@ pub mod pipeline;
 pub mod qmin;
 pub mod report;
 pub mod rootstats;
+pub mod sink;
+pub mod suite;
 pub mod transport;
 
 pub use analysis::{DatasetAnalysis, ProviderAgg};
 pub use experiments::{run_dataset, run_monthly_series, DatasetRun};
 pub use pipeline::{run_dataset_with, run_spec_with, PipelineOpts};
+pub use sink::{FanoutSink, RowSink};
+pub use suite::{run_suite, run_tasks};

@@ -5,7 +5,7 @@
 //! `dnscentral experiments` uses this to *generate* EXPERIMENTS.md, so
 //! the paper-vs-measured record is always reproducible from source.
 
-use crate::experiments::{run_dataset, run_monthly_series, DatasetRun};
+use crate::experiments::{run_monthly_series_for_jobs, DatasetRun};
 use crate::{ednssize, junk, metrics, qmin, transport};
 use asdb::cloud::Provider;
 use serde::Serialize;
@@ -43,15 +43,40 @@ fn pct_row(
     }
 }
 
-/// Run the comparison suite. This generates and analyzes five datasets
-/// plus one monthly series; at [`Scale::small`] it takes tens of
-/// seconds, at [`Scale::report`] some minutes.
+/// Run the comparison suite serially ([`compare_with`] at one job).
 pub fn compare(scale: Scale, seed: u64) -> Vec<ComparisonRow> {
-    let nl20 = run_dataset(Vantage::Nl, 2020, scale, seed);
-    let nl19 = run_dataset(Vantage::Nl, 2019, scale, seed);
-    let nz20 = run_dataset(Vantage::Nz, 2020, scale, seed);
-    let nz19 = run_dataset(Vantage::Nz, 2019, scale, seed);
-    let br20 = run_dataset(Vantage::BRoot, 2020, scale, seed);
+    compare_with(scale, seed, 1)
+}
+
+/// Run the comparison suite with up to `jobs` datasets (and then
+/// monthly samples) in flight. This generates and analyzes five
+/// datasets plus two monthly series; at [`Scale::small`] it takes tens
+/// of seconds serially, at [`Scale::report`] some minutes. The rows are
+/// identical for any job count — results are merged in dataset order.
+pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> {
+    use simnet::scenario::dataset;
+    let specs = vec![
+        dataset(Vantage::Nl, 2020),
+        dataset(Vantage::Nl, 2019),
+        dataset(Vantage::Nz, 2020),
+        dataset(Vantage::Nz, 2019),
+        dataset(Vantage::BRoot, 2020),
+    ];
+    let mut runs = crate::suite::run_suite(
+        specs,
+        scale,
+        seed,
+        &crate::pipeline::PipelineOpts::default(),
+        jobs,
+    )
+    .into_iter();
+    let (nl20, nl19, nz20, nz19, br20) = (
+        runs.next().expect("nl-w2020"),
+        runs.next().expect("nl-w2019"),
+        runs.next().expect("nz-w2020"),
+        runs.next().expect("nz-w2019"),
+        runs.next().expect("broot-w2020"),
+    );
     let mut rows = Vec::new();
 
     // --- Table 3: valid fractions -----------------------------------
@@ -205,10 +230,9 @@ pub fn compare(scale: Scale, seed: u64) -> Vec<ComparisonRow> {
 
     // --- Figure 6 / §4.4: EDNS + truncation ---------------------------
     {
-        let mut analysis = nl20.analysis;
-        let fb = ednssize::edns_report_for(&mut analysis, Provider::Facebook);
-        let g = ednssize::edns_report_for(&mut analysis, Provider::Google);
-        let ms = ednssize::edns_report_for(&mut analysis, Provider::Microsoft);
+        let fb = ednssize::edns_report_for(&nl20.analysis, Provider::Facebook);
+        let g = ednssize::edns_report_for(&nl20.analysis, Provider::Google);
+        let ms = ednssize::edns_report_for(&nl20.analysis, Provider::Microsoft);
         rows.push(pct_row(
             "Figure 6",
             "nl-w2020: Facebook EDNS \u{2264}512",
@@ -258,7 +282,7 @@ pub fn compare(scale: Scale, seed: u64) -> Vec<ComparisonRow> {
 
     // --- Figure 3: the Q-min change-point -----------------------------
     for vantage in [Vantage::Nl, Vantage::Nz] {
-        let series = run_monthly_series(vantage, scale, seed);
+        let series = run_monthly_series_for_jobs(vantage, Provider::Google, scale, seed, jobs);
         let detected = qmin::detect_cusum(&series, 0.05, 0.3);
         let got = detected
             .map(|cp| format!("{}-{:02}", cp.year, cp.month))

@@ -13,6 +13,7 @@
 use crate::analysis::DatasetAnalysis;
 use crate::dualstack::DualStackAnalysis;
 use crate::experiments::{analyze_capture, DatasetRun};
+use crate::sink::{DualStackSink, FanoutSink, RowSink};
 use asdb::synth::InternetPlan;
 use entrada::enrich::Enricher;
 use entrada::ingest::{CaptureIngest, IngestStats};
@@ -38,6 +39,13 @@ pub struct PipelineOpts {
     /// Generator worker-thread count (0 and 1 both mean
     /// single-threaded). Output is byte-identical for any value.
     pub shards: usize,
+    /// Analysis (ingest→aggregate) worker-thread count (0 and 1 both
+    /// mean single-threaded). Whole time slices are routed to workers,
+    /// each runs join+enrich+push into its own sink, and the partials
+    /// are merged in worker order — output is byte-identical for any
+    /// value because every sink is an order-insensitive function of the
+    /// row multiset and the generator's slices are join-self-contained.
+    pub jobs: usize,
     /// Write the capture to this path and analyze it from disk (the
     /// two-pass behaviour), keeping the file afterwards.
     pub keep_capture: Option<PathBuf>,
@@ -52,9 +60,22 @@ impl PipelineOpts {
         }
     }
 
+    /// Streaming pipeline with `jobs` analysis workers.
+    pub fn with_jobs(jobs: usize) -> PipelineOpts {
+        PipelineOpts {
+            jobs,
+            ..PipelineOpts::default()
+        }
+    }
+
     /// Effective shard count (at least 1).
     pub fn shard_count(&self) -> usize {
         self.shards.max(1)
+    }
+
+    /// Effective analysis-worker count (at least 1).
+    pub fn job_count(&self) -> usize {
+        self.jobs.max(1)
     }
 }
 
@@ -100,6 +121,67 @@ impl Drop for ChannelSink {
         if !self.batch.is_empty() {
             // receiver already gone is fine here: nothing to report to
             let _ = self.tx.send(std::mem::take(&mut self.batch));
+        }
+    }
+}
+
+/// Slices buffered in flight per analysis worker. A slice is one
+/// generator hour — the unit the join state partitions on — so this
+/// bounds parallel-consumer memory to `jobs * SLICE_DEPTH` slices.
+const SLICE_DEPTH: usize = 2;
+
+/// [`RecordSink`] that routes whole time slices to analysis workers:
+/// records buffer until the generator's [`RecordSink::slice_end`], then
+/// the complete slice goes to worker `slot % jobs`. Because every
+/// query/response exchange falls entirely within one slice, each
+/// worker's ingest joins exactly the transactions it would have joined
+/// serially — the per-slice-partitionable join state the parallel
+/// consumer rests on.
+pub struct SliceRouter {
+    txs: Vec<crossbeam::channel::Sender<Vec<CaptureRecord>>>,
+    buf: Vec<CaptureRecord>,
+}
+
+impl SliceRouter {
+    /// Route slices round-robin by slot over the given worker channels.
+    pub fn new(txs: Vec<crossbeam::channel::Sender<Vec<CaptureRecord>>>) -> SliceRouter {
+        assert!(!txs.is_empty(), "at least one analysis worker");
+        SliceRouter {
+            txs,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl RecordSink for SliceRouter {
+    fn emit(&mut self, rec: CaptureRecord) -> std::io::Result<()> {
+        self.buf.push(rec);
+        Ok(())
+    }
+
+    fn slice_end(&mut self, slot: u64) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let slice = std::mem::take(&mut self.buf);
+        self.txs[(slot as usize) % self.txs.len()]
+            .send(slice)
+            .map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "pipeline analysis worker disconnected",
+                )
+            })
+    }
+}
+
+impl Drop for SliceRouter {
+    fn drop(&mut self) {
+        // The engine closes every slot with slice_end, so this buffer
+        // is empty on the happy path; on an abort, salvage the tail
+        // rather than silently dropping records.
+        if !self.buf.is_empty() {
+            let _ = self.txs[0].send(std::mem::take(&mut self.buf));
         }
     }
 }
@@ -179,44 +261,123 @@ pub fn run_spec_with(
 
     let engine = Engine::new(spec.clone(), scale, seed);
     let plan = InternetPlan::build(&plan_config_for(&spec, scale, seed));
-    let enricher = Enricher::new(plan.mapper);
-    let (tx, rx) = crossbeam::channel::bounded::<Vec<CaptureRecord>>(CHANNEL_DEPTH);
+    let mapper = plan.mapper;
     let shards = opts.shard_count();
+    let jobs = opts.job_count();
     let engine_ref = &engine;
     let spec_ref = &spec;
+    let mapper_ref = &mapper;
+    // Each consumer (the serial loop, or one of N workers) owns a fresh
+    // copy of the full analysis state; partials merge losslessly.
+    let fresh_sink = || {
+        FanoutSink::new(
+            DatasetAnalysis::new(engine_ref.zone().clone()),
+            DualStackSink::new(
+                DualStackAnalysis::with_servers(&spec_ref.servers),
+                engine_ref.ptr_db(),
+            ),
+        )
+    };
 
-    let (gen_stats, analysis, dualstack, ingest_stats) = crossbeam::thread::scope(|scope| {
-        let generator = scope.spawn(move |_| {
-            let mut stage = obs::stage("pipeline.generate");
-            let _span = obs::span(format!("generate {}", spec_ref.id()));
-            let mut sink = ChannelSink::new(tx);
-            let stats = engine_ref.generate_sharded(&mut sink, shards);
-            if let Ok(s) = &stats {
-                stage.add_items(s.queries + s.responses);
+    let (gen_stats, sink, ingest_stats) = crossbeam::thread::scope(|scope| {
+        if jobs == 1 {
+            let (tx, rx) = crossbeam::channel::bounded::<Vec<CaptureRecord>>(CHANNEL_DEPTH);
+            let generator = scope.spawn(move |_| {
+                let mut stage = obs::stage("pipeline.generate");
+                let _span = obs::span(format!("generate {}", spec_ref.id()));
+                let mut sink = ChannelSink::new(tx);
+                let stats = engine_ref.generate_sharded(&mut sink, shards);
+                if let Ok(s) = &stats {
+                    stage.add_items(s.queries + s.responses);
+                }
+                stats
+            });
+
+            let mut stage = obs::stage("pipeline.analyze");
+            let _span = obs::span(format!("analyze {}", spec_ref.id()));
+            let mut ingest =
+                CaptureIngest::new(ChannelSource::new(rx), Enricher::new(mapper_ref.clone()));
+            let mut sink = fresh_sink();
+            let mut progress = obs::Progress::new(
+                format!("analyze {}", spec_ref.id()),
+                Some(engine_ref.scaled_total()),
+            );
+            for row in ingest.by_ref() {
+                sink.push(&row);
+                progress.tick(1);
             }
-            stats
-        });
+            let ingest_stats = ingest.stats().clone();
+            stage.add_items(ingest_stats.rows);
+            let gen_stats = generator
+                .join()
+                .expect("generator thread")
+                .expect("streamed generation succeeds");
+            (gen_stats, sink, ingest_stats)
+        } else {
+            // Parallel consumer: whole slices are routed to worker
+            // `slot % jobs`; each worker joins and aggregates its own
+            // subset (sound because slices are join-self-contained),
+            // and the partials merge in worker order below.
+            let mut txs = Vec::with_capacity(jobs);
+            let mut rxs = Vec::with_capacity(jobs);
+            for _ in 0..jobs {
+                let (tx, rx) = crossbeam::channel::bounded::<Vec<CaptureRecord>>(SLICE_DEPTH);
+                txs.push(tx);
+                rxs.push(rx);
+            }
+            let generator = scope.spawn(move |_| {
+                let mut stage = obs::stage("pipeline.generate");
+                let _span = obs::span(format!("generate {}", spec_ref.id()));
+                let mut sink = SliceRouter::new(txs);
+                let stats = engine_ref.generate_sharded(&mut sink, shards);
+                if let Ok(s) = &stats {
+                    stage.add_items(s.queries + s.responses);
+                }
+                stats
+            });
 
-        let mut stage = obs::stage("pipeline.analyze");
-        let _span = obs::span(format!("analyze {}", spec_ref.id()));
-        let mut ingest = CaptureIngest::new(ChannelSource::new(rx), enricher);
-        let mut analysis = DatasetAnalysis::new(engine_ref.zone().clone());
-        let mut dualstack = DualStackAnalysis::with_servers(&spec_ref.servers);
-        let mut progress = obs::Progress::new(format!("analyze {}", spec_ref.id()), None);
-        for row in ingest.by_ref() {
-            analysis.push(&row);
-            dualstack.push(&row, engine_ref.ptr_db());
-            progress.tick(1);
+            let mut stage = obs::stage("pipeline.analyze");
+            let _span = obs::span(format!("analyze {}", spec_ref.id()));
+            let fresh_sink = &fresh_sink;
+            let workers: Vec<_> = rxs
+                .into_iter()
+                .enumerate()
+                .map(|(w, rx)| {
+                    scope.spawn(move |_| {
+                        let mut wstage = obs::stage_owned(format!("pipeline.analyze.worker{w}"));
+                        let mut ingest = CaptureIngest::new(
+                            ChannelSource::new(rx),
+                            Enricher::new(mapper_ref.clone()),
+                        );
+                        let mut sink = fresh_sink();
+                        for row in ingest.by_ref() {
+                            sink.push(&row);
+                        }
+                        let stats = ingest.stats().clone();
+                        wstage.add_items(stats.rows);
+                        (sink, stats)
+                    })
+                })
+                .collect();
+            let gen_stats = generator
+                .join()
+                .expect("generator thread")
+                .expect("streamed generation succeeds");
+            let mut parts = workers
+                .into_iter()
+                .map(|h| h.join().expect("analysis worker"));
+            let (mut sink, mut ingest_stats) = parts.next().expect("at least one worker");
+            for (partial, partial_stats) in parts {
+                sink.merge(partial);
+                ingest_stats.merge(&partial_stats);
+            }
+            stage.add_items(ingest_stats.rows);
+            (gen_stats, sink, ingest_stats)
         }
-        let ingest_stats = ingest.stats().clone();
-        stage.add_items(ingest_stats.rows);
-        let gen_stats = generator
-            .join()
-            .expect("generator thread")
-            .expect("streamed generation succeeds");
-        (gen_stats, analysis, dualstack, ingest_stats)
     })
     .expect("pipeline scope join");
+    let (analysis, dualstack) = sink.into_parts();
+    let dualstack = dualstack.into_inner();
 
     warn_on_capture_errors(&spec.id(), &ingest_stats);
     DatasetRun {
@@ -264,8 +425,8 @@ mod tests {
             Scale::tiny(),
             23,
             &PipelineOpts {
-                shards: 1,
                 keep_capture: Some(path.clone()),
+                ..Default::default()
             },
         );
         assert!(path.exists(), "--keep-capture leaves the file behind");
@@ -293,6 +454,50 @@ mod tests {
         assert_eq!(one.gen_stats.per_fleet, four.gen_stats.per_fleet);
         assert_eq!(one.analysis.total_queries, four.analysis.total_queries);
         assert_eq!(one.analysis.valid_queries, four.analysis.valid_queries);
+    }
+
+    /// Parallel analysis workers equal the single-threaded consumer:
+    /// same rows, same joins, same aggregates, same accounting.
+    #[test]
+    fn parallel_analysis_matches_single_worker() {
+        let spec = dataset(Vantage::Nl, 2020);
+        let one = run_spec_with(spec.clone(), Scale::tiny(), 17, &PipelineOpts::with_jobs(1));
+        let four = run_spec_with(spec, Scale::tiny(), 17, &PipelineOpts::with_jobs(4));
+        assert_eq!(one.ingest_stats, four.ingest_stats);
+        assert!(four.ingest_stats.balanced(), "{:?}", four.ingest_stats);
+        assert_eq!(one.gen_stats.queries, four.gen_stats.queries);
+        assert_eq!(one.analysis.total_queries, four.analysis.total_queries);
+        assert_eq!(one.analysis.valid_queries, four.analysis.valid_queries);
+        assert_eq!(one.analysis.cloud_share(), four.analysis.cloud_share());
+        assert_eq!(
+            one.analysis.resolvers.count(),
+            four.analysis.resolvers.count()
+        );
+        assert_eq!(
+            one.dualstack.dual_stack_resolvers(),
+            four.dualstack.dual_stack_resolvers()
+        );
+        assert_eq!(one.dualstack.site_count(), four.dualstack.site_count());
+    }
+
+    /// Generator shards and analysis workers compose.
+    #[test]
+    fn shards_and_jobs_compose() {
+        let spec = dataset(Vantage::Nz, 2020);
+        let serial = run_spec_with(spec.clone(), Scale::tiny(), 9, &PipelineOpts::default());
+        let both = run_spec_with(
+            spec,
+            Scale::tiny(),
+            9,
+            &PipelineOpts {
+                shards: 3,
+                jobs: 3,
+                keep_capture: None,
+            },
+        );
+        assert_eq!(serial.ingest_stats, both.ingest_stats);
+        assert_eq!(serial.analysis.total_queries, both.analysis.total_queries);
+        assert_eq!(serial.analysis.cloud_share(), both.analysis.cloud_share());
     }
 
     /// The default `run_spec` is the streaming path and its accounting

@@ -381,7 +381,7 @@ pub fn render_fig6(reports: &[EdnsCdfReport]) -> String {
 
 /// Machine-readable export of every per-dataset exhibit, for plotting
 /// pipelines and EXPERIMENTS.md generation.
-pub fn dataset_json(id: &str, analysis: &mut DatasetAnalysis) -> serde_json::Value {
+pub fn dataset_json(id: &str, analysis: &DatasetAnalysis) -> serde_json::Value {
     use crate::{concentration, ednssize, junk, metrics, transport};
     let mixes: Vec<_> = ALL_PROVIDERS
         .iter()

@@ -135,6 +135,17 @@ impl<K: Eq + Hash> DistinctCounter<K> {
     {
         self.seen.contains(key)
     }
+
+    /// Merge another counter in (set union).
+    pub fn merge(&mut self, other: DistinctCounter<K>) {
+        if self.seen.len() < other.seen.len() {
+            let mut bigger = other.seen;
+            bigger.extend(self.seen.drain());
+            self.seen = bigger;
+        } else {
+            self.seen.extend(other.seen);
+        }
+    }
 }
 
 /// HyperLogLog with 2^P registers: constant-memory distinct counting,
@@ -212,10 +223,15 @@ impl HyperLogLog {
 }
 
 /// An empirical CDF over integer samples (Figure 6's EDNS sizes).
+///
+/// Samples are kept unsorted; every read is a pure `&self` function of
+/// the sample *multiset* (a linear count, or an order statistic via
+/// select-nth on a scratch copy), so report renderers can share one
+/// aggregate immutably and merged partials answer identically to a
+/// serially-built CDF regardless of insertion order.
 #[derive(Debug, Default, Clone)]
 pub struct Cdf {
     samples: Vec<u64>,
-    sorted: bool,
 }
 
 impl Cdf {
@@ -227,7 +243,6 @@ impl Cdf {
     /// Add a sample.
     pub fn add(&mut self, v: u64) {
         self.samples.push(v);
-        self.sorted = false;
     }
 
     /// Sample count.
@@ -240,44 +255,51 @@ impl Cdf {
         self.samples.is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-    }
-
     /// P(X ≤ x).
-    pub fn fraction_at_most(&mut self, x: u64) -> f64 {
+    pub fn fraction_at_most(&self, x: u64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
-        let idx = self.samples.partition_point(|&s| s <= x);
-        idx as f64 / self.samples.len() as f64
+        let at_most = self.samples.iter().filter(|&&s| s <= x).count();
+        at_most as f64 / self.samples.len() as f64
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1), nearest-rank:
     /// `x_(⌈q·n⌉)` with 1-based ranks.
-    pub fn quantile(&mut self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> u64 {
         assert!(!self.samples.is_empty(), "quantile of empty CDF");
-        self.ensure_sorted();
         let n = self.samples.len();
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
-        self.samples[rank - 1]
+        let mut scratch = self.samples.clone();
+        let (_, nth, _) = scratch.select_nth_unstable(rank - 1);
+        *nth
     }
 
     /// Median, nearest-rank.
-    pub fn median(&mut self) -> u64 {
+    pub fn median(&self) -> u64 {
         self.quantile(0.5)
     }
 
     /// Evaluate the CDF at each point, for plotting/reporting.
-    pub fn curve(&mut self, points: &[u64]) -> Vec<(u64, f64)> {
+    pub fn curve(&self, points: &[u64]) -> Vec<(u64, f64)> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
         points
             .iter()
-            .map(|&x| (x, self.fraction_at_most(x)))
+            .map(|&x| {
+                let frac = if sorted.is_empty() {
+                    0.0
+                } else {
+                    sorted.partition_point(|&s| s <= x) as f64 / sorted.len() as f64
+                };
+                (x, frac)
+            })
             .collect()
+    }
+
+    /// Merge another CDF in (sample multiset union).
+    pub fn merge(&mut self, other: Cdf) {
+        self.samples.extend(other.samples);
     }
 }
 
@@ -575,7 +597,46 @@ mod tests {
         cdf.add(10);
         assert_eq!(cdf.fraction_at_most(10), 1.0);
         cdf.add(20);
-        assert_eq!(cdf.fraction_at_most(10), 0.5, "re-sorts after add");
+        assert_eq!(cdf.fraction_at_most(10), 0.5, "reads see later adds");
+    }
+
+    #[test]
+    fn cdf_merge_equals_serial_build() {
+        let mut serial = Cdf::new();
+        let mut left = Cdf::new();
+        let mut right = Cdf::new();
+        for i in 0..500u64 {
+            let v = i * 13 % 97;
+            serial.add(v);
+            if i % 2 == 0 {
+                left.add(v);
+            } else {
+                right.add(v);
+            }
+        }
+        left.merge(right);
+        assert_eq!(left.len(), serial.len());
+        assert_eq!(left.median(), serial.median());
+        assert_eq!(left.quantile(0.99), serial.quantile(0.99));
+        assert_eq!(
+            left.curve(&[0, 25, 50, 75, 100]),
+            serial.curve(&[0, 25, 50, 75, 100])
+        );
+    }
+
+    #[test]
+    fn distinct_counter_merge_is_union() {
+        let mut a = DistinctCounter::new();
+        let mut b = DistinctCounter::new();
+        for i in 0..10u32 {
+            a.observe(i);
+        }
+        for i in 5..15u32 {
+            b.observe(i);
+        }
+        a.merge(b);
+        assert_eq!(a.count(), 15);
+        assert!(a.contains(&14));
     }
 
     #[test]

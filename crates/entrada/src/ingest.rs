@@ -60,6 +60,21 @@ impl IngestStats {
         self.messages
             == self.malformed + self.rows + self.matched_responses() + self.unmatched_responses
     }
+
+    /// Merge the counters of another (disjoint) ingest run in. Every
+    /// field is a sum over messages, so partitioned ingests — the
+    /// parallel-analysis workers each joining their own slice subset —
+    /// merge into exactly the stats one serial ingest would report, and
+    /// [`IngestStats::balanced`] is preserved.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.frames += other.frames;
+        self.messages += other.messages;
+        self.malformed += other.malformed;
+        self.unmatched_responses += other.unmatched_responses;
+        self.unanswered_queries += other.unanswered_queries;
+        self.rows += other.rows;
+        self.capture_errors += other.capture_errors;
+    }
 }
 
 /// Key identifying a DNS transaction in flight.

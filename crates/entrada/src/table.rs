@@ -207,6 +207,34 @@ impl ColumnarBatch {
         })
     }
 
+    /// Merge another batch in: columns are appended, the other batch's
+    /// dictionary ids are remapped through this batch's dictionary
+    /// (shared names stay stored once). Equivalent to pushing the other
+    /// batch's rows in order, without reconstructing them.
+    pub fn merge(&mut self, other: ColumnarBatch) {
+        let remap: Vec<u32> = other
+            .dict_offsets
+            .iter()
+            .map(|&(start, len)| {
+                self.intern(&other.dict_arena[start as usize..(start + len) as usize])
+            })
+            .collect();
+        self.qname_ids
+            .extend(other.qname_ids.iter().map(|&id| remap[id as usize]));
+        self.timestamps.extend(other.timestamps);
+        self.srcs.extend(other.srcs);
+        self.src_ports.extend(other.src_ports);
+        self.servers.extend(other.servers);
+        self.transports.extend(other.transports);
+        self.qtypes.extend(other.qtypes);
+        self.edns_sizes.extend(other.edns_sizes);
+        self.flags.extend(other.flags);
+        self.rcodes.extend(other.rcodes);
+        self.response_sizes.extend(other.response_sizes);
+        self.tcp_rtts.extend(other.tcp_rtts);
+        self.asns.extend(other.asns);
+    }
+
     /// Approximate heap footprint of the batch, bytes.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
@@ -358,6 +386,28 @@ mod tests {
             assert_eq!(r.qname, batch.get(i).qname);
         }
         assert_eq!(batch.iter().count(), 50);
+    }
+
+    #[test]
+    fn merge_equals_serial_pushes() {
+        let mut serial = ColumnarBatch::new();
+        let mut left = ColumnarBatch::new();
+        let mut right = ColumnarBatch::new();
+        for i in 0..400 {
+            let r = row(i);
+            serial.push(&r);
+            if i < 150 {
+                left.push(&r);
+            } else {
+                right.push(&r);
+            }
+        }
+        left.merge(right);
+        assert_eq!(left.len(), serial.len());
+        assert_eq!(left.dictionary_size(), serial.dictionary_size());
+        for i in 0..serial.len() {
+            assert_eq!(left.get(i), serial.get(i));
+        }
     }
 
     #[test]

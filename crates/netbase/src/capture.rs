@@ -93,6 +93,19 @@ impl From<io::Error> for CaptureError {
 pub trait RecordSink {
     /// Accept the next record of the stream.
     fn emit(&mut self, rec: CaptureRecord) -> io::Result<()>;
+
+    /// All records of time slice `slot` have been emitted.
+    ///
+    /// The generator produces traffic in self-contained time slices
+    /// (every query/response exchange falls entirely within one slice)
+    /// and calls this after each slice's records, in slice order. Sinks
+    /// that partition downstream work — the parallel-analysis pipeline
+    /// routes whole slices to workers — hook this; file/vector sinks
+    /// keep the no-op default.
+    fn slice_end(&mut self, slot: u64) -> io::Result<()> {
+        let _ = slot;
+        Ok(())
+    }
 }
 
 impl<W: Write> RecordSink for CaptureWriter<W> {

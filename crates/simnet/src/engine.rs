@@ -244,6 +244,7 @@ impl Engine {
                 for rec in slice.records {
                     out.emit(rec)?;
                 }
+                out.slice_end(slot as u64)?;
             }
         } else {
             // Workers stripe the slot range (worker w takes slots w,
@@ -285,6 +286,7 @@ impl Engine {
                         for rec in slice.records {
                             out.emit(rec)?;
                         }
+                        out.slice_end(slot as u64)?;
                     }
                     Ok(())
                 };

@@ -16,8 +16,8 @@ use simnet::scenario::Scale;
 
 fn main() {
     eprintln!("generating .nl w2020 at medium scale ...");
-    let mut run = run_dataset(Vantage::Nl, 2020, Scale::medium(), 42);
-    let reports = ednssize::edns_report(&mut run.analysis);
+    let run = run_dataset(Vantage::Nl, 2020, Scale::medium(), 42);
+    let reports = ednssize::edns_report(&run.analysis);
     print!("{}", report::render_fig6(&reports));
     println!();
 

@@ -14,7 +14,7 @@ use std::net::IpAddr;
 
 fn main() {
     eprintln!("generating .nl w2020 at medium scale (a few seconds) ...");
-    let mut run = run_dataset(Vantage::Nl, 2020, Scale::medium(), 42);
+    let run = run_dataset(Vantage::Nl, 2020, Scale::medium(), 42);
 
     println!(
         "PTR identification: {} sites, {} dual-stack resolvers joined on \

@@ -15,9 +15,12 @@
 //! dnscentral help                        # full command and flag list
 //! ```
 //!
-//! Common flags: `--scale=tiny|small|report` (default small) and
-//! `--seed=N` (default 42). Value-taking flags accept both
-//! `--flag=value` and `--flag value`.
+//! Common flags: `--scale=tiny|small|report` (default small),
+//! `--seed=N` (default 42), `--shards=N` (generator threads), and
+//! `--jobs=N` (analysis workers per dataset, and datasets in flight for
+//! the multi-dataset commands — output is byte-identical for any
+//! value). Value-taking flags accept both `--flag=value` and
+//! `--flag value`.
 //!
 //! Observability flags (any command): `--stats` prints a per-stage
 //! time/throughput table (and enables progress lines on long runs),
@@ -31,8 +34,8 @@
 //! usage line, and `help` — they cannot drift apart.
 
 use dnscentral_core::dualstack::DualStackAnalysis;
-use dnscentral_core::experiments::{analyze_capture, generate_capture_sharded, run_monthly_series};
-use dnscentral_core::pipeline::{run_dataset_with, run_spec_with, PipelineOpts};
+use dnscentral_core::experiments::{analyze_capture, generate_capture_sharded};
+use dnscentral_core::pipeline::{run_spec_with, PipelineOpts};
 use dnscentral_core::{ednssize, junk, metrics, qmin, report, transport};
 use simnet::profile::Vantage;
 use simnet::scenario::{dataset, Scale};
@@ -144,6 +147,11 @@ const VALUE_FLAGS: &[(&str, &str, &str)] = &[
         "--shards",
         "N",
         "generator/pipeline worker threads (default 1)",
+    ),
+    (
+        "--jobs",
+        "N",
+        "analysis workers per dataset and datasets in flight (default 1)",
     ),
     (
         "--zone",
@@ -309,10 +317,15 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
     if shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
+    let jobs: usize = parsed_flag(flags, "--jobs", "a worker-thread count")?.unwrap_or(1);
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
     let keep_capture = flags.iter().any(|f| *f == "--keep-capture");
     // capture kept next to the cwd, named after the dataset
     let opts_for = |id: &str| PipelineOpts {
         shards,
+        jobs,
         keep_capture: keep_capture.then(|| std::path::PathBuf::from(format!("{id}.dnscap"))),
     };
 
@@ -335,9 +348,9 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
         Some("analyze") => {
             let (vantage, year, path) = dataset_args(positional)?;
             let spec = dataset(vantage, year);
-            let (analysis, mut dualstack, ingest) =
+            let (analysis, dualstack, ingest) =
                 analyze_capture(&spec, scale, seed, Path::new(path)).expect("analysis");
-            print_dataset_report(&spec.id(), vantage, analysis, &mut dualstack, &spec);
+            print_dataset_report(&spec.id(), vantage, &analysis, &dualstack, &spec);
             eprintln!(
                 "[ingest: {} frames, {} malformed, {} unanswered, {} capture errors]",
                 ingest.frames, ingest.malformed, ingest.unanswered_queries, ingest.capture_errors
@@ -352,16 +365,13 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 eprintln!("[capture kept at {}]", p.display());
             }
             if flags.iter().any(|f| *f == "--json") {
-                let mut analysis = run.analysis;
-                let doc = report::dataset_json(&run.id, &mut analysis);
+                let doc = report::dataset_json(&run.id, &run.analysis);
                 println!(
                     "{}",
                     serde_json::to_string_pretty(&doc).expect("serializes")
                 );
             } else {
-                let spec = run.spec.clone();
-                let mut dualstack = run.dualstack;
-                print_dataset_report(&run.id, vantage, run.analysis, &mut dualstack, &spec);
+                print_dataset_report(&run.id, vantage, &run.analysis, &run.dualstack, &run.spec);
             }
         }
         Some("qmin") => {
@@ -378,8 +388,8 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                     ))
                 }
             };
-            let series = dnscentral_core::experiments::run_monthly_series_for(
-                vantage, provider, scale, seed,
+            let series = dnscentral_core::experiments::run_monthly_series_for_jobs(
+                vantage, provider, scale, seed, jobs,
             );
             let detected = qmin::detect_cusum(&series, 0.05, 0.3);
             print!(
@@ -391,7 +401,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 )
             );
         }
-        Some("report") => full_report(scale, seed, shards),
+        Some("report") => full_report(scale, seed, shards, jobs),
         Some("inspect") => {
             let path = positional
                 .get(1)
@@ -419,20 +429,19 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             import_pcap_cli(Path::new(input), Path::new(output));
         }
         Some("concentration") => {
-            let mut reports = Vec::new();
-            for vantage in [Vantage::Nl, Vantage::Nz, Vantage::BRoot] {
-                let run = run_dataset_with(
-                    vantage,
-                    2020,
-                    scale,
-                    seed,
-                    &PipelineOpts::with_shards(shards),
-                );
-                reports.push(dnscentral_core::concentration::concentration(
-                    &run.id,
-                    &run.analysis,
-                ));
-            }
+            let specs = [Vantage::Nl, Vantage::Nz, Vantage::BRoot]
+                .into_iter()
+                .map(|v| dataset(v, 2020))
+                .collect();
+            let pipe = PipelineOpts {
+                shards,
+                jobs,
+                keep_capture: None,
+            };
+            let reports: Vec<_> = dnscentral_core::run_suite(specs, scale, seed, &pipe, jobs)
+                .iter()
+                .map(|run| dnscentral_core::concentration::concentration(&run.id, &run.analysis))
+                .collect();
             print!("{}", report::render_concentration(&reports));
         }
         Some("scenario-template") => {
@@ -458,26 +467,26 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             if let Some(p) = &opts.keep_capture {
                 eprintln!("[capture kept at {}]", p.display());
             }
-            let spec = run.spec.clone();
-            let mut dualstack = run.dualstack;
-            print_dataset_report(&run.id, vantage, run.analysis, &mut dualstack, &spec);
+            print_dataset_report(&run.id, vantage, &run.analysis, &run.dualstack, &run.spec);
         }
         Some("experiments") => {
-            let rows = dnscentral_core::paper::compare(scale, seed);
+            let rows = dnscentral_core::paper::compare_with(scale, seed, jobs);
             print!("{}", dnscentral_core::paper::render_markdown(&rows));
         }
         Some("junk-overview") => {
-            let mut measured = Vec::new();
-            for year in [2018u16, 2019, 2020] {
-                let run = run_dataset_with(
-                    Vantage::BRoot,
-                    year,
-                    scale,
-                    seed,
-                    &PipelineOpts::with_shards(shards),
-                );
-                measured.push((year, run.analysis.valid_fraction()));
-            }
+            let specs = [2018u16, 2019, 2020]
+                .into_iter()
+                .map(|year| dataset(Vantage::BRoot, year))
+                .collect();
+            let pipe = PipelineOpts {
+                shards,
+                jobs,
+                keep_capture: None,
+            };
+            let measured: Vec<_> = dnscentral_core::run_suite(specs, scale, seed, &pipe, jobs)
+                .iter()
+                .map(|run| (run.spec.year, run.analysis.valid_fraction()))
+                .collect();
             print!("{}", report::render_junk_overview(&measured));
         }
         Some("serve") => {
@@ -671,9 +680,9 @@ fn live_cli(
         return Ok(ExitCode::FAILURE);
     }
 
-    let (analysis, mut dualstack, ingest) =
+    let (analysis, dualstack, ingest) =
         analyze_capture(&spec, scale, seed, Path::new(out)).expect("live capture analyzes");
-    print_dataset_report(&spec.id(), vantage, analysis, &mut dualstack, &spec);
+    print_dataset_report(&spec.id(), vantage, &analysis, &dualstack, &spec);
     eprintln!(
         "[ingest: {} frames, {} malformed, {} unanswered, {} capture errors]",
         ingest.frames, ingest.malformed, ingest.unanswered_queries, ingest.capture_errors
@@ -890,50 +899,47 @@ fn dataset_args<'a>(positional: &[&'a String]) -> Result<(Vantage, u16, &'a str)
 fn print_dataset_report(
     id: &str,
     vantage: Vantage,
-    mut analysis: dnscentral_core::DatasetAnalysis,
-    dualstack: &mut DualStackAnalysis,
+    analysis: &dnscentral_core::DatasetAnalysis,
+    dualstack: &DualStackAnalysis,
     spec: &simnet::scenario::DatasetSpec,
 ) {
     println!("=== {id} ===");
     print!(
         "{}",
-        report::render_table3(&[metrics::dataset_summary(id, &analysis)])
+        report::render_table3(&[metrics::dataset_summary(id, analysis)])
     );
     print!(
         "{}",
-        report::render_fig1(&[metrics::cloud_share(id, &analysis)])
+        report::render_fig1(&[metrics::cloud_share(id, analysis)])
     );
     print!(
         "{}",
-        report::render_table4(&[metrics::google_split(id, &analysis)])
+        report::render_table4(&[metrics::google_split(id, analysis)])
     );
     let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
         .iter()
-        .map(|&p| metrics::qtype_mix(id, &analysis, Some(p)))
+        .map(|&p| metrics::qtype_mix(id, analysis, Some(p)))
         .collect();
     print!("{}", report::render_fig2(&mixes));
     print!(
         "{}",
-        report::render_fig4(&[junk::junk_report(id, &analysis)])
+        report::render_fig4(&[junk::junk_report(id, analysis)])
     );
     print!(
         "{}",
-        report::render_table5(&[transport::transport_report(id, &analysis)])
+        report::render_table5(&[transport::transport_report(id, analysis)])
     );
     let t6: Vec<_> = [
         asdb::cloud::Provider::Amazon,
         asdb::cloud::Provider::Microsoft,
     ]
     .iter()
-    .map(|&p| (id.to_string(), transport::resolver_families(&analysis, p)))
+    .map(|&p| (id.to_string(), transport::resolver_families(analysis, p)))
     .collect();
     print!("{}", report::render_table6(&t6));
-    print!(
-        "{}",
-        report::render_fig6(&ednssize::edns_report(&mut analysis))
-    );
+    print!("{}", report::render_fig6(&ednssize::edns_report(analysis)));
     if vantage == Vantage::BRoot {
-        print!("{}", report::render_as_ranking(&analysis, 8));
+        print!("{}", report::render_as_ranking(analysis, 8));
     }
     for server in spec.servers.iter().take(2) {
         let sites = dualstack.report_for_server(IpAddr::V4(server.v4));
@@ -944,8 +950,17 @@ fn print_dataset_report(
 }
 
 /// Run everything: the nine datasets, then the Figure 3 series.
-fn full_report(scale: Scale, seed: u64, shards: usize) {
-    let opts = PipelineOpts::with_shards(shards);
+///
+/// The datasets come back from the suite scheduler (at most `jobs` in
+/// flight) in spec order, and every exhibit renders from the collected
+/// results in the same sequence a serial run printed — the report is
+/// byte-identical for any `jobs`/`shards` value.
+fn full_report(scale: Scale, seed: u64, shards: usize, jobs: usize) {
+    let opts = PipelineOpts {
+        shards,
+        jobs,
+        keep_capture: None,
+    };
     let mut summaries = Vec::new();
     let mut shares = Vec::new();
     let mut splits = Vec::new();
@@ -957,64 +972,65 @@ fn full_report(scale: Scale, seed: u64, shards: usize) {
     print!("{}", report::render_table2());
     println!();
     let mut broot_valid = Vec::new();
-    for vantage in [Vantage::Nl, Vantage::Nz, Vantage::BRoot] {
-        for year in [2018u16, 2019, 2020] {
-            let run = run_dataset_with(vantage, year, scale, seed, &opts);
-            let id = run.id.clone();
-            let mut analysis = run.analysis;
-            summaries.push(metrics::dataset_summary(&id, &analysis));
-            shares.push(metrics::cloud_share(&id, &analysis));
-            if year >= 2019 && vantage != Vantage::BRoot {
-                splits.push(metrics::google_split(&id, &analysis));
+    let runs = dnscentral_core::run_suite(
+        dnscentral_core::experiments::table3_specs(),
+        scale,
+        seed,
+        &opts,
+        jobs,
+    );
+    for run in &runs {
+        let (vantage, year) = (run.spec.vantage, run.spec.year);
+        let id = run.id.clone();
+        let analysis = &run.analysis;
+        summaries.push(metrics::dataset_summary(&id, analysis));
+        shares.push(metrics::cloud_share(&id, analysis));
+        if year >= 2019 && vantage != Vantage::BRoot {
+            splits.push(metrics::google_split(&id, analysis));
+        }
+        junks.push(junk::junk_report(&id, analysis));
+        transports.push(transport::transport_report(&id, analysis));
+        if year == 2020 && vantage != Vantage::BRoot {
+            for p in [
+                asdb::cloud::Provider::Amazon,
+                asdb::cloud::Provider::Microsoft,
+            ] {
+                t6.push((id.clone(), transport::resolver_families(analysis, p)));
             }
-            junks.push(junk::junk_report(&id, &analysis));
-            transports.push(transport::transport_report(&id, &analysis));
-            if year == 2020 && vantage != Vantage::BRoot {
-                for p in [
-                    asdb::cloud::Provider::Amazon,
-                    asdb::cloud::Provider::Microsoft,
-                ] {
-                    t6.push((id.clone(), transport::resolver_families(&analysis, p)));
-                }
-            }
-            if vantage == Vantage::Nl && year == 2020 {
-                // the .nl w2020 exhibits: Figure 2 panel, Figure 6, Figure 5/8
-                let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
-                    .iter()
-                    .map(|&p| metrics::qtype_mix(&id, &analysis, Some(p)))
-                    .collect();
-                print!("{}", report::render_fig2(&mixes));
-                println!();
-                print!(
-                    "{}",
-                    report::render_fig6(&ednssize::edns_report(&mut analysis))
-                );
-                println!();
-                let mut dualstack = run.dualstack;
-                for server in &run.spec.servers {
-                    let sites = dualstack.report_for_server(IpAddr::V4(server.v4));
-                    print!("{}", report::render_fig5(&server.name, &sites));
-                    println!();
-                }
-            }
-            if vantage == Vantage::Nl && year == 2019 {
-                // Appendix B, Figure 7: the 2019 qtype panels
-                let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
-                    .iter()
-                    .map(|&p| metrics::qtype_mix(&id, &analysis, Some(p)))
-                    .collect();
-                print!(
-                    "{}",
-                    report::render_fig2(&mixes).replace("Figure 2", "Figure 7")
-                );
+        }
+        if vantage == Vantage::Nl && year == 2020 {
+            // the .nl w2020 exhibits: Figure 2 panel, Figure 6, Figure 5/8
+            let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
+                .iter()
+                .map(|&p| metrics::qtype_mix(&id, analysis, Some(p)))
+                .collect();
+            print!("{}", report::render_fig2(&mixes));
+            println!();
+            print!("{}", report::render_fig6(&ednssize::edns_report(analysis)));
+            println!();
+            for server in &run.spec.servers {
+                let sites = run.dualstack.report_for_server(IpAddr::V4(server.v4));
+                print!("{}", report::render_fig5(&server.name, &sites));
                 println!();
             }
-            if vantage == Vantage::BRoot {
-                broot_valid.push((year, analysis.valid_fraction()));
-                if year == 2020 {
-                    print!("{}", report::render_as_ranking(&analysis, 8));
-                    println!();
-                }
+        }
+        if vantage == Vantage::Nl && year == 2019 {
+            // Appendix B, Figure 7: the 2019 qtype panels
+            let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
+                .iter()
+                .map(|&p| metrics::qtype_mix(&id, analysis, Some(p)))
+                .collect();
+            print!(
+                "{}",
+                report::render_fig2(&mixes).replace("Figure 2", "Figure 7")
+            );
+            println!();
+        }
+        if vantage == Vantage::BRoot {
+            broot_valid.push((year, analysis.valid_fraction()));
+            if year == 2020 {
+                print!("{}", report::render_as_ranking(analysis, 8));
+                println!();
             }
         }
     }
@@ -1033,7 +1049,13 @@ fn full_report(scale: Scale, seed: u64, shards: usize) {
     print!("{}", report::render_junk_overview(&broot_valid));
     println!();
     for vantage in [Vantage::Nl, Vantage::Nz] {
-        let series = run_monthly_series(vantage, scale, seed);
+        let series = dnscentral_core::experiments::run_monthly_series_for_jobs(
+            vantage,
+            asdb::cloud::Provider::Google,
+            scale,
+            seed,
+            jobs,
+        );
         let detected = qmin::detect_cusum(&series, 0.05, 0.3);
         print!(
             "{}",
@@ -1136,10 +1158,7 @@ fn analyze_external_pcap(input: &Path, zone: zonedb::zone::ZoneModel) {
         "{}",
         report::render_table5(&[transport::transport_report(&id, &analysis)])
     );
-    print!(
-        "{}",
-        report::render_fig6(&ednssize::edns_report(&mut analysis))
-    );
+    print!("{}", report::render_fig6(&ednssize::edns_report(&analysis)));
     println!(
         "Chromium-probe share of junk: {:.1}%",
         chromium.probe_share() * 100.0

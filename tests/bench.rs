@@ -85,7 +85,7 @@ fn bench_quick_emits_schema_valid_json() {
     assert_eq!(doc["quick"], true);
     assert!(!doc["label"].as_str().unwrap().is_empty());
     let scenarios = doc["scenarios"].as_array().unwrap();
-    assert_eq!(scenarios.len(), 5, "five analysis scenarios");
+    assert_eq!(scenarios.len(), 6, "six analysis scenarios");
     for s in scenarios {
         assert!(s["name"].as_str().unwrap().starts_with("analysis/"));
         assert_eq!(s["group"], "analysis");

@@ -11,7 +11,7 @@ use dnscentral_core::{ednssize, junk, metrics, transport};
 use simnet::profile::Vantage;
 use simnet::scenario::Scale;
 use std::net::IpAddr;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 fn nl2020() -> &'static DatasetRun {
     static RUN: OnceLock<DatasetRun> = OnceLock::new();
@@ -282,13 +282,6 @@ fn claim6b_tcp_profiles() {
     assert!(row("Amazon").tcp < 0.10);
 }
 
-/// A mutable twin of the shared `.nl` w2020 run, for the analyses that
-/// need `&mut` (CDF evaluation, per-server site reports).
-fn nl2020_mut() -> &'static Mutex<DatasetRun> {
-    static RUN: OnceLock<Mutex<DatasetRun>> = OnceLock::new();
-    RUN.get_or_init(|| Mutex::new(run_dataset(Vantage::Nl, 2020, Scale::medium(), 42)))
-}
-
 /// Claim 7 (Figures 5/8): Facebook's dominant site sends no TCP; sites
 /// with a large v6-minus-v4 RTT gap prefer IPv4; the dual-stack join
 /// works through PTR names.
@@ -303,9 +296,8 @@ fn claim7_facebook_sites() {
     );
     assert!(!dual.no_ptr.is_empty(), "a few addresses lack PTR records");
 
-    let mut ds = nl2020_mut().lock().unwrap();
     let server_a: IpAddr = run.spec.servers[0].v4.into();
-    let report = ds.dualstack.report_for_server(server_a);
+    let report = run.dualstack.report_for_server(server_a);
     let loc1 = &report[0];
     assert!(loc1.queries_v4 + loc1.queries_v6 > 0);
     assert_eq!(
@@ -341,10 +333,10 @@ fn claim7_facebook_sites() {
 /// Google's and Microsoft's by orders of magnitude.
 #[test]
 fn claim8_edns_and_truncation() {
-    let mut run = nl2020_mut().lock().unwrap();
-    let fb = ednssize::edns_report_for(&mut run.analysis, Provider::Facebook);
-    let g = ednssize::edns_report_for(&mut run.analysis, Provider::Google);
-    let ms = ednssize::edns_report_for(&mut run.analysis, Provider::Microsoft);
+    let run = nl2020();
+    let fb = ednssize::edns_report_for(&run.analysis, Provider::Facebook);
+    let g = ednssize::edns_report_for(&run.analysis, Provider::Google);
+    let ms = ednssize::edns_report_for(&run.analysis, Provider::Microsoft);
     assert!(
         (0.22..0.42).contains(&fb.fraction_at_most(512)),
         "FB at 512: {}",

@@ -60,6 +60,7 @@ fn streamed_and_disk_paths_agree_end_to_end() {
         &PipelineOpts {
             shards: 2,
             keep_capture: Some(path.clone()),
+            ..Default::default()
         },
     );
     assert!(path.exists());
