@@ -48,8 +48,9 @@ impl Prepared {
 /// One named benchmark scenario.
 pub struct Scenario {
     /// Group label (`wire`, `gen`, `ingest`, `pipeline`, `suite`,
-    /// `analysis`, `serve`, `substrates`); the criterion benches map
-    /// groups onto bench binaries, the CLI reports `group/name`.
+    /// `analysis`, `warehouse`, `serve`, `substrates`); the criterion
+    /// benches map groups onto bench binaries, the CLI reports
+    /// `group/name`.
     pub group: &'static str,
     /// Scenario name within the group.
     pub name: &'static str,
@@ -73,6 +74,7 @@ pub fn all() -> Vec<Scenario> {
     v.extend(pipeline());
     v.extend(suite());
     v.extend(analysis());
+    v.extend(warehouse_store());
     v.extend(serve());
     v.extend(substrates());
     v
@@ -555,6 +557,78 @@ fn analysis() -> Vec<Scenario> {
     ]
 }
 
+// --- warehouse ------------------------------------------------------
+
+fn warehouse_dir(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dnswh-bench-{}-{name}", std::process::id()))
+}
+
+/// A committed single-source warehouse over `rows` (fresh directory).
+fn built_warehouse(
+    rows: &[entrada::schema::QueryRow],
+    dir: &std::path::Path,
+) -> warehouse::Warehouse {
+    let _ = std::fs::remove_dir_all(dir);
+    let wh = warehouse::Warehouse::open(dir).expect("warehouse opens");
+    wh.ensure_source("bench", "{}").expect("source registers");
+    let mut app = wh.appender("bench", warehouse::AppendConfig::default());
+    for r in rows {
+        app.push(r);
+    }
+    app.finish().expect("append flushes");
+    wh.commit().expect("commit");
+    wh
+}
+
+fn warehouse_store() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            group: "warehouse",
+            name: "append",
+            setup: || {
+                let (rows, _) = sample_rows();
+                let n = rows.len() as u64;
+                let dir = warehouse_dir("append");
+                Prepared::new(n, move || {
+                    let wh = built_warehouse(&rows, &dir);
+                    let written = wh.rows();
+                    let _ = std::fs::remove_dir_all(&dir);
+                    written
+                })
+            },
+        },
+        Scenario {
+            group: "warehouse",
+            name: "scan_full",
+            setup: || {
+                let (rows, _) = sample_rows();
+                let n = rows.len() as u64;
+                let wh = built_warehouse(&rows, &warehouse_dir("scan-full"));
+                Prepared::new(n, move || {
+                    wh.scan(warehouse::Predicate::all()).count() as u64
+                })
+            },
+        },
+        Scenario {
+            group: "warehouse",
+            name: "scan_pruned",
+            setup: || {
+                use netbase::time::SimTime;
+                let (rows, _) = sample_rows();
+                let start = rows.iter().map(|r| r.timestamp).min().expect("rows exist");
+                let wh = built_warehouse(&rows, &warehouse_dir("scan-pruned"));
+                // a one-hour window: the zone maps skip everything else
+                let pred = warehouse::Predicate::between(
+                    start,
+                    SimTime(start.as_micros() + 3_600_000_000),
+                );
+                let matched = wh.scan(pred.clone()).count() as u64;
+                Prepared::new(matched.max(1), move || wh.scan(pred.clone()).count() as u64)
+            },
+        },
+    ]
+}
+
 // --- serve ----------------------------------------------------------
 
 fn sample_queries(n: usize) -> Vec<(Vec<u8>, std::net::IpAddr)> {
@@ -708,6 +782,9 @@ mod tests {
             "analysis/qmin_cusum",
             "analysis/edns_size",
             "analysis/concentration",
+            "warehouse/append",
+            "warehouse/scan_full",
+            "warehouse/scan_pruned",
             "serve/respond_udp",
             "serve/respond_udp_cached",
         ] {

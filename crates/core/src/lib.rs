@@ -19,6 +19,7 @@
 //! | [`pipeline`] | the fused, sharded streaming pipeline behind the runners |
 //! | [`sink`] | the mergeable [`sink::RowSink`] trait every consumer implements |
 //! | [`suite`] | the bounded multi-dataset scheduler behind `--jobs` |
+//! | [`store`] | the warehouse bridge: persistent ingest + scan-based reports |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +37,7 @@ pub mod qmin;
 pub mod report;
 pub mod rootstats;
 pub mod sink;
+pub mod store;
 pub mod suite;
 pub mod transport;
 

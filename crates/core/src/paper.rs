@@ -5,12 +5,24 @@
 //! `dnscentral experiments` uses this to *generate* EXPERIMENTS.md, so
 //! the paper-vs-measured record is always reproducible from source.
 
-use crate::experiments::{run_monthly_series_for_jobs, DatasetRun};
+use crate::analysis::DatasetAnalysis;
+use crate::experiments::run_monthly_series_for_jobs;
+use crate::qmin::MonthlySample;
 use crate::{ednssize, junk, metrics, qmin, transport};
 use asdb::cloud::Provider;
 use serde::Serialize;
 use simnet::profile::Vantage;
 use simnet::scenario::Scale;
+
+/// One measured dataset, however it was produced — a fresh pipeline run
+/// or a warehouse scan. The comparison body only needs the id and the
+/// aggregated analysis.
+pub struct Measured {
+    /// The dataset id ("nl-w2020"...).
+    pub id: String,
+    /// The aggregated single-pass analysis.
+    pub analysis: DatasetAnalysis,
+}
 
 /// One paper-vs-measured comparison row.
 #[derive(Debug, Clone, Serialize)]
@@ -69,7 +81,11 @@ pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> 
         &crate::pipeline::PipelineOpts::default(),
         jobs,
     )
-    .into_iter();
+    .into_iter()
+    .map(|run| Measured {
+        id: run.id,
+        analysis: run.analysis,
+    });
     let (nl20, nl19, nz20, nz19, br20) = (
         runs.next().expect("nl-w2020"),
         runs.next().expect("nl-w2019"),
@@ -77,10 +93,28 @@ pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> 
         runs.next().expect("nz-w2019"),
         runs.next().expect("broot-w2020"),
     );
+    let nl_series = run_monthly_series_for_jobs(Vantage::Nl, Provider::Google, scale, seed, jobs);
+    let nz_series = run_monthly_series_for_jobs(Vantage::Nz, Provider::Google, scale, seed, jobs);
+    compare_rows(&nl20, &nl19, &nz20, &nz19, &br20, &nl_series, &nz_series)
+}
+
+/// The comparison body over already-measured inputs: the five datasets
+/// plus both Figure 3 Google monthly series. [`compare_with`] feeds it
+/// fresh pipeline runs; [`crate::store::compare`] feeds it warehouse
+/// scans — same rows either way.
+pub fn compare_rows(
+    nl20: &Measured,
+    nl19: &Measured,
+    nz20: &Measured,
+    nz19: &Measured,
+    br20: &Measured,
+    nl_series: &[MonthlySample],
+    nz_series: &[MonthlySample],
+) -> Vec<ComparisonRow> {
     let mut rows = Vec::new();
 
     // --- Table 3: valid fractions -----------------------------------
-    for (run, paper) in [(&nl20, 11.88 / 13.75), (&nz20, 3.03 / 4.57), (&br20, 0.20)] {
+    for (run, paper) in [(nl20, 11.88 / 13.75), (nz20, 3.03 / 4.57), (br20, 0.20)] {
         rows.push(pct_row(
             "Table 3",
             format!("{}: valid-query fraction", run.id),
@@ -115,10 +149,10 @@ pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> 
 
     // --- Table 4/7: the Google split ---------------------------------
     for (run, paper_q, paper_r) in [
-        (&nl20, 0.865, 0.156),
-        (&nz20, 0.884, 0.187),
-        (&nl19, 0.893, 0.154),
-        (&nz19, 0.844, 0.177),
+        (nl20, 0.865, 0.156),
+        (nz20, 0.884, 0.187),
+        (nl19, 0.893, 0.154),
+        (nz19, 0.844, 0.177),
     ] {
         let g = metrics::google_split(&run.id, &run.analysis);
         rows.push(pct_row(
@@ -138,7 +172,7 @@ pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> 
     }
 
     // --- Table 5: family/transport (w2020 .nl + .nz) ------------------
-    let t5 = |run: &DatasetRun, p: Provider| {
+    let t5 = |run: &Measured, p: Provider| {
         let rep = transport::transport_report(&run.id, &run.analysis);
         rep.rows
             .into_iter()
@@ -147,7 +181,7 @@ pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> 
     };
     for (run, rows_expected) in [
         (
-            &nl20,
+            nl20,
             [
                 (Provider::Google, 0.48, 0.00),
                 (Provider::Amazon, 0.03, 0.05),
@@ -157,7 +191,7 @@ pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> 
             ],
         ),
         (
-            &nz20,
+            nz20,
             [
                 (Provider::Google, 0.46, 0.00),
                 (Provider::Amazon, 0.04, 0.05),
@@ -187,7 +221,7 @@ pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> 
     }
 
     // --- Table 6: resolver families (w2020) ---------------------------
-    for (run, amazon_v6, ms_v6) in [(&nl20, 0.018, 0.030), (&nz20, 0.021, 0.046)] {
+    for (run, amazon_v6, ms_v6) in [(nl20, 0.018, 0.030), (nz20, 0.021, 0.046)] {
         let a = transport::resolver_families(&run.analysis, Provider::Amazon);
         let m = transport::resolver_families(&run.analysis, Provider::Microsoft);
         rows.push(pct_row(
@@ -281,9 +315,8 @@ pub fn compare_with(scale: Scale, seed: u64, jobs: usize) -> Vec<ComparisonRow> 
     });
 
     // --- Figure 3: the Q-min change-point -----------------------------
-    for vantage in [Vantage::Nl, Vantage::Nz] {
-        let series = run_monthly_series_for_jobs(vantage, Provider::Google, scale, seed, jobs);
-        let detected = qmin::detect_cusum(&series, 0.05, 0.3);
+    for (vantage, series) in [(Vantage::Nl, nl_series), (Vantage::Nz, nz_series)] {
+        let detected = qmin::detect_cusum(series, 0.05, 0.3);
         let got = detected
             .map(|cp| format!("{}-{:02}", cp.year, cp.month))
             .unwrap_or_else(|| "none".into());

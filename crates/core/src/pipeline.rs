@@ -49,6 +49,11 @@ pub struct PipelineOpts {
     /// Write the capture to this path and analyze it from disk (the
     /// two-pass behaviour), keeping the file afterwards.
     pub keep_capture: Option<PathBuf>,
+    /// Append every analyzed row to this warehouse source as it streams
+    /// through. Each analysis worker owns its own appender (partials
+    /// merge like any other sink); partitions are staged on completion
+    /// and left for the caller to [`warehouse::Warehouse::commit`].
+    pub warehouse: Option<crate::store::WarehouseTarget>,
 }
 
 impl PipelineOpts {
@@ -249,6 +254,10 @@ pub fn run_spec_with(
         .expect("capture generation succeeds");
         let (analysis, dualstack, ingest_stats) =
             analyze_capture(&spec, scale, seed, path).expect("capture analysis succeeds");
+        if let Some(target) = &opts.warehouse {
+            crate::store::append_capture(target, &spec, scale, seed, path)
+                .expect("warehouse append from kept capture succeeds");
+        }
         return DatasetRun {
             id: spec.id(),
             spec,
@@ -268,13 +277,21 @@ pub fn run_spec_with(
     let spec_ref = &spec;
     let mapper_ref = &mapper;
     // Each consumer (the serial loop, or one of N workers) owns a fresh
-    // copy of the full analysis state; partials merge losslessly.
+    // copy of the full analysis state; partials merge losslessly. The
+    // warehouse branch rides the same fanout: every consumer gets its
+    // own appender and the staged partitions merge with the partials.
+    let store_target = opts.warehouse.as_ref();
     let fresh_sink = || {
         FanoutSink::new(
-            DatasetAnalysis::new(engine_ref.zone().clone()),
-            DualStackSink::new(
-                DualStackAnalysis::with_servers(&spec_ref.servers),
-                engine_ref.ptr_db(),
+            FanoutSink::new(
+                DatasetAnalysis::new(engine_ref.zone().clone()),
+                DualStackSink::new(
+                    DualStackAnalysis::with_servers(&spec_ref.servers),
+                    engine_ref.ptr_db(),
+                ),
+            ),
+            crate::store::StoreSink::new(
+                store_target.map(|t| t.store.appender(&t.source, t.config)),
             ),
         )
     };
@@ -376,8 +393,12 @@ pub fn run_spec_with(
         }
     })
     .expect("pipeline scope join");
-    let (analysis, dualstack) = sink.into_parts();
+    let (inner, store_sink) = sink.into_parts();
+    let (analysis, dualstack) = inner.into_parts();
     let dualstack = dualstack.into_inner();
+    store_sink
+        .finish()
+        .expect("warehouse append flushes cleanly");
 
     warn_on_capture_errors(&spec.id(), &ingest_stats);
     DatasetRun {
@@ -493,6 +514,7 @@ mod tests {
                 shards: 3,
                 jobs: 3,
                 keep_capture: None,
+                warehouse: None,
             },
         );
         assert_eq!(serial.ingest_stats, both.ingest_stats);

@@ -379,6 +379,50 @@ pub fn render_fig6(reports: &[EdnsCdfReport]) -> String {
     )
 }
 
+/// Every per-dataset exhibit as one text block: the `dataset`
+/// subcommand's output, and the per-source body of warehouse-backed
+/// `report --warehouse` — both paths render through here so they are
+/// byte-identical by construction.
+pub fn render_dataset_report(
+    id: &str,
+    vantage: simnet::profile::Vantage,
+    analysis: &DatasetAnalysis,
+    dualstack: &crate::dualstack::DualStackAnalysis,
+    spec: &simnet::scenario::DatasetSpec,
+) -> String {
+    use crate::{ednssize, junk, metrics, transport};
+    let mut out = format!("=== {id} ===\n");
+    out.push_str(&render_table3(&[metrics::dataset_summary(id, analysis)]));
+    out.push_str(&render_fig1(&[metrics::cloud_share(id, analysis)]));
+    out.push_str(&render_table4(&[metrics::google_split(id, analysis)]));
+    let mixes: Vec<_> = ALL_PROVIDERS
+        .iter()
+        .map(|&p| metrics::qtype_mix(id, analysis, Some(p)))
+        .collect();
+    out.push_str(&render_fig2(&mixes));
+    out.push_str(&render_fig4(&[junk::junk_report(id, analysis)]));
+    out.push_str(&render_table5(&[transport::transport_report(id, analysis)]));
+    let t6: Vec<_> = [
+        asdb::cloud::Provider::Amazon,
+        asdb::cloud::Provider::Microsoft,
+    ]
+    .iter()
+    .map(|&p| (id.to_string(), transport::resolver_families(analysis, p)))
+    .collect();
+    out.push_str(&render_table6(&t6));
+    out.push_str(&render_fig6(&ednssize::edns_report(analysis)));
+    if vantage == simnet::profile::Vantage::BRoot {
+        out.push_str(&render_as_ranking(analysis, 8));
+    }
+    for server in spec.servers.iter().take(2) {
+        let sites = dualstack.report_for_server(std::net::IpAddr::V4(server.v4));
+        if sites.iter().any(|s| s.queries_v4 + s.queries_v6 > 0) {
+            out.push_str(&render_fig5(&server.name, &sites));
+        }
+    }
+    out
+}
+
 /// Machine-readable export of every per-dataset exhibit, for plotting
 /// pipelines and EXPERIMENTS.md generation.
 pub fn dataset_json(id: &str, analysis: &DatasetAnalysis) -> serde_json::Value {

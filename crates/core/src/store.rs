@@ -1,0 +1,568 @@
+//! The warehouse bridge: feed pipeline rows into a persistent
+//! [`warehouse::Warehouse`] and rebuild every report from partition
+//! scans instead of in-memory runs.
+//!
+//! The paper's split between collection and analysis was ENTRADA's
+//! Parquet-on-HDFS warehouse; this module is the equivalent seam. The
+//! write side hangs a [`StoreSink`] off the fused pipeline's fanout
+//! (every analysis worker owns an appender, partials merge like any
+//! other [`RowSink`]), so `ingest` fills partitions in the same single
+//! pass that produces the in-memory report. The read side rebuilds the
+//! exact per-dataset analysis from committed partitions: each source
+//! records its `(spec, scale, seed)` as manifest metadata
+//! ([`SourceInfo`]), scans reconstruct the enrichment context from it
+//! the same way [`crate::experiments::analyze_capture`] does from a
+//! capture file, and partition chunks fan out over
+//! [`crate::suite::run_tasks`] — order-insensitive sinks make the
+//! result byte-identical to the in-memory path for any `--jobs` value.
+
+use crate::analysis::DatasetAnalysis;
+use crate::dualstack::DualStackAnalysis;
+use crate::experiments::DatasetRun;
+use crate::paper::{compare_rows, ComparisonRow, Measured};
+use crate::pipeline::{run_spec_with, PipelineOpts};
+use crate::qmin::MonthlySample;
+use crate::sink::{DualStackSink, FanoutSink, RowSink};
+use asdb::cloud::Provider;
+use asdb::synth::InternetPlan;
+use dns_wire::types::RType;
+use entrada::agg::Counter;
+use entrada::enrich::Enricher;
+use entrada::ingest::CaptureIngest;
+use entrada::schema::QueryRow;
+use netbase::capture::CaptureReader;
+use serde::{Deserialize, Serialize};
+use simnet::engine::{plan_config_for, Engine};
+use simnet::profile::Vantage;
+use simnet::scenario::{
+    dataset, figure3_months, monthly_google, monthly_provider, DatasetSpec, Scale,
+};
+use std::path::Path;
+use std::sync::Arc;
+use warehouse::scan::row_matches;
+use warehouse::{AppendConfig, AppendStats, Appender, Predicate, ScanStats, Warehouse};
+
+/// The identity a warehouse source records in the manifest: everything
+/// a scan needs to rebuild the enrichment context (zone, PTR view,
+/// server list) exactly as the ingest that wrote the rows had it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceInfo {
+    /// The dataset spec the rows were generated from.
+    pub spec: DatasetSpec,
+    /// Scale the run used.
+    pub scale: Scale,
+    /// Seed the run used.
+    pub seed: u64,
+}
+
+/// Where the pipeline appends rows: a shared open warehouse, the
+/// source id to append under, and the partition flush budget.
+#[derive(Debug, Clone)]
+pub struct WarehouseTarget {
+    /// The open warehouse (shared across ingest workers).
+    pub store: Arc<Warehouse>,
+    /// Source id the rows append under (register it first with
+    /// [`ensure_source`]).
+    pub source: String,
+    /// Appender tuning (partition width, row/byte flush budget).
+    pub config: AppendConfig,
+}
+
+/// [`RowSink`] adapter over an optional [`Appender`], so the pipeline
+/// can thread a warehouse branch through its existing fanout without
+/// special-casing runs that do not persist anything.
+pub struct StoreSink<'w>(Option<Appender<'w>>);
+
+impl<'w> StoreSink<'w> {
+    /// Wrap an appender (or nothing, for runs without a warehouse).
+    pub fn new(appender: Option<Appender<'w>>) -> Self {
+        StoreSink(appender)
+    }
+
+    /// Flush the appender's open buckets. Partitions stay staged until
+    /// the caller commits the warehouse.
+    pub fn finish(self) -> Result<AppendStats, warehouse::WarehouseError> {
+        match self.0 {
+            Some(app) => app.finish(),
+            None => Ok(AppendStats::default()),
+        }
+    }
+}
+
+impl RowSink for StoreSink<'_> {
+    fn push(&mut self, row: &QueryRow) {
+        if let Some(app) = &mut self.0 {
+            app.push(row);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        match (&mut self.0, other.0) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => unreachable!("all sinks of one run share the same warehouse target"),
+        }
+    }
+}
+
+/// Register `id` in the warehouse manifest with `info` as its
+/// metadata, or verify that an existing registration matches —
+/// re-ingesting under a different spec/scale/seed is rejected because
+/// scans would rebuild the wrong enrichment context.
+pub fn ensure_source(wh: &Warehouse, id: &str, info: &SourceInfo) -> Result<(), String> {
+    let meta = serde_json::to_string(info).expect("source metadata serializes");
+    wh.ensure_source(id, &meta).map_err(|e| e.to_string())
+}
+
+/// Load and parse one source's recorded [`SourceInfo`].
+pub fn source_info(wh: &Warehouse, id: &str) -> Result<SourceInfo, String> {
+    let meta = wh
+        .source(id)
+        .ok_or_else(|| format!("warehouse has no source {id:?} (run `dnscentral ingest` first)"))?;
+    serde_json::from_str(&meta.meta).map_err(|e| format!("source {id:?} metadata unreadable: {e}"))
+}
+
+/// Generate + analyze `spec` with the fused pipeline, appending every
+/// row to the warehouse under `spec.id()` on the way through. Staged
+/// partitions are left for the caller to [`Warehouse::commit`], so one
+/// CLI invocation is one atomic manifest update.
+pub fn ingest_spec(
+    wh: &Arc<Warehouse>,
+    spec: DatasetSpec,
+    scale: Scale,
+    seed: u64,
+    opts: &PipelineOpts,
+    config: AppendConfig,
+) -> Result<DatasetRun, String> {
+    let id = spec.id();
+    ensure_source(
+        wh,
+        &id,
+        &SourceInfo {
+            spec: spec.clone(),
+            scale,
+            seed,
+        },
+    )?;
+    let opts = PipelineOpts {
+        warehouse: Some(WarehouseTarget {
+            store: Arc::clone(wh),
+            source: id,
+            config,
+        }),
+        ..opts.clone()
+    };
+    Ok(run_spec_with(spec, scale, seed, &opts))
+}
+
+/// The warehouse source id of one Figure 3 monthly sample.
+pub fn monthly_source_id(vantage: Vantage, provider: Provider, year: i32, month: u32) -> String {
+    format!("fig3-{provider:?}-{vantage:?}-{year}-{month:02}").to_lowercase()
+}
+
+/// The per-month seed of the Figure 3 series (the same derivation
+/// [`crate::experiments::run_monthly_series_for_jobs`] uses).
+fn monthly_seed(seed: u64, year: i32, month: u32) -> u64 {
+    seed ^ ((year as u64) << 8 | month as u64)
+}
+
+/// Ingest the 18-month Figure 3 series (Nov 2018 – Apr 2020) for one
+/// vantage and provider, up to `jobs` months in flight. Each month is
+/// its own warehouse source carrying its own spec and derived seed.
+/// Staged partitions are left for the caller to commit.
+#[allow(clippy::too_many_arguments)]
+pub fn ingest_monthly(
+    wh: &Arc<Warehouse>,
+    vantage: Vantage,
+    provider: Provider,
+    scale: Scale,
+    seed: u64,
+    opts: &PipelineOpts,
+    config: AppendConfig,
+    jobs: usize,
+) -> Result<Vec<DatasetRun>, String> {
+    let months: Vec<(String, DatasetSpec, u64)> = figure3_months()
+        .into_iter()
+        .map(|(year, month)| {
+            let spec = if provider == Provider::Google {
+                monthly_google(vantage, year, month)
+            } else {
+                monthly_provider(vantage, provider, year, month)
+            };
+            (
+                monthly_source_id(vantage, provider, year, month),
+                spec,
+                monthly_seed(seed, year, month),
+            )
+        })
+        .collect();
+    // Register every source before any generation work, so a
+    // spec/scale/seed conflict fails fast instead of mid-series.
+    for (id, spec, mseed) in &months {
+        ensure_source(
+            wh,
+            id,
+            &SourceInfo {
+                spec: spec.clone(),
+                scale,
+                seed: *mseed,
+            },
+        )?;
+    }
+    let tasks = months
+        .into_iter()
+        .map(|(id, spec, mseed)| {
+            let opts = PipelineOpts {
+                warehouse: Some(WarehouseTarget {
+                    store: Arc::clone(wh),
+                    source: id.clone(),
+                    config,
+                }),
+                ..opts.clone()
+            };
+            let label = format!("store.ingest.{id}");
+            (label, move || run_spec_with(spec, scale, mseed, &opts))
+        })
+        .collect();
+    Ok(crate::suite::run_tasks(tasks, jobs, |run: &DatasetRun| {
+        run.ingest_stats.rows
+    }))
+}
+
+/// Re-read a capture file and append its rows to the warehouse (the
+/// two-pass `--keep-capture` path, and `analyze`/`live` on an existing
+/// capture). The enrichment context is reconstructed from
+/// `(spec, scale, seed)` exactly as the analysis pass does, so the
+/// stored rows match what the analyzer saw. Partitions stay staged.
+pub fn append_capture(
+    target: &WarehouseTarget,
+    spec: &DatasetSpec,
+    scale: Scale,
+    seed: u64,
+    path: &Path,
+) -> Result<AppendStats, String> {
+    let plan = InternetPlan::build(&plan_config_for(spec, scale, seed));
+    let enricher = Enricher::new(plan.mapper);
+    let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let reader = CaptureReader::new(std::io::BufReader::new(file))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut ingest = CaptureIngest::new(reader, enricher);
+    let mut app = target.store.appender(&target.source, target.config);
+    for row in ingest.by_ref() {
+        app.push(&row);
+    }
+    app.finish().map_err(|e| e.to_string())
+}
+
+/// [`append_capture`] with source registration under `spec.id()`: the
+/// convenience entry the `analyze --warehouse` and `live --warehouse`
+/// commands use on an existing capture file.
+pub fn append_dataset_capture(
+    wh: &Arc<Warehouse>,
+    spec: &DatasetSpec,
+    scale: Scale,
+    seed: u64,
+    path: &Path,
+    config: AppendConfig,
+) -> Result<AppendStats, String> {
+    let id = spec.id();
+    ensure_source(
+        wh,
+        &id,
+        &SourceInfo {
+            spec: spec.clone(),
+            scale,
+            seed,
+        },
+    )?;
+    let target = WarehouseTarget {
+        store: Arc::clone(wh),
+        source: id,
+        config,
+    };
+    append_capture(&target, spec, scale, seed, path)
+}
+
+/// One source's full analysis state, rebuilt from warehouse scans.
+pub struct SourceAnalysis {
+    /// The source id (usually the dataset id, `nl-w2020`...).
+    pub id: String,
+    /// The recorded identity the enrichment context came from.
+    pub info: SourceInfo,
+    /// The aggregated analysis over the matching rows.
+    pub analysis: DatasetAnalysis,
+    /// The Facebook dual-stack analysis over the matching rows.
+    pub dualstack: DualStackAnalysis,
+    /// Scan accounting (pruned/scanned/corrupt partitions, row counts).
+    pub stats: ScanStats,
+}
+
+/// Rebuild one source's analysis from committed partitions, with
+/// `pred` pushed down (zone-map pruning first, residual row filter on
+/// survivors). Partitions are split into at most `jobs * 4` contiguous
+/// chunks scanned in parallel, each holding one decoded partition at a
+/// time — memory stays bounded by `jobs`, not warehouse size — and the
+/// chunk partials merge in input order, so the result is byte-identical
+/// for any job count.
+pub fn analyze_source(
+    wh: &Warehouse,
+    id: &str,
+    pred: &Predicate,
+    jobs: usize,
+) -> Result<SourceAnalysis, String> {
+    let info = source_info(wh, id)?;
+    let mut pred = pred.clone();
+    pred.source = Some(id.to_string());
+    let (metas, mut stats) = wh.plan(&pred);
+    // zone + PTR view, reconstructed as analyze_capture does
+    let engine = Engine::new(info.spec.clone(), info.scale, info.seed);
+    let fresh_sink = || {
+        FanoutSink::new(
+            DatasetAnalysis::new(engine.zone().clone()),
+            DualStackSink::new(
+                DualStackAnalysis::with_servers(&info.spec.servers),
+                engine.ptr_db(),
+            ),
+        )
+    };
+
+    let sink = if metas.is_empty() {
+        fresh_sink()
+    } else {
+        let chunk_count = metas.len().min(jobs.max(1) * 4);
+        let chunk_size = metas.len().div_ceil(chunk_count);
+        let fresh_ref = &fresh_sink;
+        let pred_ref = &pred;
+        let tasks: Vec<(String, _)> = metas
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let label = format!("store.scan.{id}.{i}");
+                (label, move || {
+                    let mut stats = ScanStats::default();
+                    let mut sink = fresh_ref();
+                    for meta in chunk {
+                        let Some(batch) = wh.read_for_scan(meta, &mut stats) else {
+                            continue;
+                        };
+                        for row in batch.iter() {
+                            if row_matches(&row, pred_ref) {
+                                stats.rows_matched += 1;
+                                sink.push(&row);
+                            }
+                        }
+                    }
+                    (sink, stats)
+                })
+            })
+            .collect();
+        let mut parts =
+            crate::suite::run_tasks(tasks, jobs, |(_, s): &(_, ScanStats)| s.rows).into_iter();
+        let (mut sink, part_stats) = parts.next().expect("at least one chunk");
+        stats.merge(&part_stats);
+        for (partial, partial_stats) in parts {
+            sink.merge(partial);
+            stats.merge(&partial_stats);
+        }
+        sink
+    };
+
+    let (analysis, dualstack) = sink.into_parts();
+    let dualstack = dualstack.into_inner();
+    Ok(SourceAnalysis {
+        id: id.to_string(),
+        info,
+        analysis,
+        dualstack,
+        stats,
+    })
+}
+
+/// The sources a warehouse report covers: the one `pred` names, or
+/// every registered dataset source in registration order — the
+/// `fig3-*` monthly samples are series points, not datasets, and
+/// belong to [`monthly_series`].
+fn report_sources(wh: &Warehouse, pred: &Predicate) -> Vec<String> {
+    match &pred.source {
+        Some(id) => vec![id.clone()],
+        None => wh
+            .sources()
+            .into_iter()
+            .map(|s| s.id)
+            .filter(|id| !id.starts_with("fig3-"))
+            .collect(),
+    }
+}
+
+/// Rebuild every covered source's analysis from warehouse scans.
+pub fn analyze_sources(
+    wh: &Warehouse,
+    pred: &Predicate,
+    jobs: usize,
+) -> Result<Vec<SourceAnalysis>, String> {
+    report_sources(wh, pred)
+        .iter()
+        .map(|id| analyze_source(wh, id, pred, jobs))
+        .collect()
+}
+
+/// The per-dataset text report (the same exhibits `dnscentral dataset`
+/// prints) for every covered source, rendered from warehouse scans,
+/// plus the merged scan accounting.
+pub fn render_report(
+    wh: &Warehouse,
+    pred: &Predicate,
+    jobs: usize,
+) -> Result<(String, ScanStats), String> {
+    let mut out = String::new();
+    let mut stats = ScanStats::default();
+    for sa in analyze_sources(wh, pred, jobs)? {
+        out.push_str(&crate::report::render_dataset_report(
+            &sa.id,
+            sa.info.spec.vantage,
+            &sa.analysis,
+            &sa.dualstack,
+            &sa.info.spec,
+        ));
+        stats.merge(&sa.stats);
+    }
+    Ok((out, stats))
+}
+
+/// The JSON report from warehouse scans: one
+/// [`crate::report::dataset_json`] document per covered source. A
+/// single-source scan yields that document bare (exactly what
+/// `dnscentral dataset --json` prints), several yield an array.
+pub fn report_json(
+    wh: &Warehouse,
+    pred: &Predicate,
+    jobs: usize,
+) -> Result<(serde_json::Value, ScanStats), String> {
+    let sas = analyze_sources(wh, pred, jobs)?;
+    let mut stats = ScanStats::default();
+    let mut docs: Vec<serde_json::Value> = Vec::with_capacity(sas.len());
+    for sa in &sas {
+        docs.push(crate::report::dataset_json(&sa.id, &sa.analysis));
+        stats.merge(&sa.stats);
+    }
+    let doc = if docs.len() == 1 {
+        docs.pop().expect("one doc")
+    } else {
+        serde_json::Value::Array(docs)
+    };
+    Ok((doc, stats))
+}
+
+/// The Figure 3 monthly series from warehouse scans: one sample per
+/// ingested `fig3-*` source, up to `jobs` months in flight, samples in
+/// month order for any job count.
+pub fn monthly_series(
+    wh: &Warehouse,
+    vantage: Vantage,
+    provider: Provider,
+    jobs: usize,
+) -> Result<(Vec<MonthlySample>, ScanStats), String> {
+    let tasks = figure3_months()
+        .into_iter()
+        .map(|(year, month)| {
+            let id = monthly_source_id(vantage, provider, year, month);
+            let label = format!("store.fig3.{id}");
+            let task = move || -> Result<(MonthlySample, ScanStats), String> {
+                let sa = analyze_source(wh, &id, &Predicate::all(), 1)?;
+                let agg = sa.analysis.provider(Some(provider));
+                let mut qtypes: Counter<RType> = Counter::new();
+                for (t, c) in agg.qtype.iter() {
+                    qtypes.add(*t, c);
+                }
+                Ok((
+                    MonthlySample::from_counters(year, month, &qtypes, agg.minimized_ns),
+                    sa.stats,
+                ))
+            };
+            (label, task)
+        })
+        .collect();
+    let out = crate::suite::run_tasks(tasks, jobs, |r: &Result<(MonthlySample, ScanStats), _>| {
+        r.as_ref().map(|(s, _)| s.total).unwrap_or(0)
+    });
+    let mut series = Vec::with_capacity(out.len());
+    let mut stats = ScanStats::default();
+    for r in out {
+        let (sample, s) = r?;
+        series.push(sample);
+        stats.merge(&s);
+    }
+    Ok((series, stats))
+}
+
+/// The measured-vs-paper comparison ([`crate::paper::compare_with`])
+/// rebuilt entirely from warehouse scans: the five comparison datasets
+/// plus both Figure 3 series must have been ingested. Produces the
+/// same rows the in-memory run does on the same `(scale, seed)`.
+pub fn compare(wh: &Warehouse, jobs: usize) -> Result<(Vec<ComparisonRow>, ScanStats), String> {
+    let mut stats = ScanStats::default();
+    let mut get = |vantage: Vantage, year: u16| -> Result<Measured, String> {
+        let sa = analyze_source(wh, &dataset(vantage, year).id(), &Predicate::all(), jobs)?;
+        stats.merge(&sa.stats);
+        Ok(Measured {
+            id: sa.id,
+            analysis: sa.analysis,
+        })
+    };
+    let nl20 = get(Vantage::Nl, 2020)?;
+    let nl19 = get(Vantage::Nl, 2019)?;
+    let nz20 = get(Vantage::Nz, 2020)?;
+    let nz19 = get(Vantage::Nz, 2019)?;
+    let br20 = get(Vantage::BRoot, 2020)?;
+    let (nl_series, nl_stats) = monthly_series(wh, Vantage::Nl, Provider::Google, jobs)?;
+    let (nz_series, nz_stats) = monthly_series(wh, Vantage::Nz, Provider::Google, jobs)?;
+    stats.merge(&nl_stats);
+    stats.merge(&nz_stats);
+    let rows = compare_rows(&nl20, &nl19, &nz20, &nz19, &br20, &nl_series, &nz_series);
+    Ok((rows, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monthly_ids_are_distinct_and_stable() {
+        let a = monthly_source_id(Vantage::Nl, Provider::Google, 2019, 12);
+        let b = monthly_source_id(Vantage::Nz, Provider::Google, 2019, 12);
+        let c = monthly_source_id(Vantage::Nl, Provider::Google, 2020, 1);
+        assert_eq!(a, "fig3-google-nl-2019-12");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn source_info_roundtrips_through_manifest_metadata() {
+        let dir = std::env::temp_dir().join(format!("dnswh-src-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wh = Warehouse::open(&dir).unwrap();
+        let info = SourceInfo {
+            spec: dataset(Vantage::Nz, 2019),
+            scale: Scale::tiny(),
+            seed: 77,
+        };
+        ensure_source(&wh, "nz-w2019", &info).unwrap();
+        // same identity re-registers cleanly; a different seed is refused
+        ensure_source(&wh, "nz-w2019", &info).unwrap();
+        let again = SourceInfo {
+            seed: 78,
+            ..info.clone()
+        };
+        assert!(ensure_source(&wh, "nz-w2019", &again).is_err());
+        let back = source_info(&wh, "nz-w2019").unwrap();
+        assert_eq!(back.seed, 77);
+        assert_eq!(back.spec.id(), "nz-w2019");
+        assert!(source_info(&wh, "missing").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn monthly_seed_matches_series_derivation() {
+        assert_eq!(monthly_seed(42, 2019, 12), 42 ^ ((2019u64 << 8) | 12));
+    }
+}

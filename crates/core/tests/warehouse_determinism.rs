@@ -1,0 +1,158 @@
+//! The tentpole's acceptance tests at the core level: a report rebuilt
+//! from warehouse scans is byte-identical to the in-memory pipeline's
+//! report for any `--jobs` value, zone-map pruning actually skips
+//! partitions, and a corrupt partition degrades to a warning + counter
+//! instead of sinking the whole scan.
+
+use dnscentral_core::pipeline::PipelineOpts;
+use dnscentral_core::report::render_dataset_report;
+use dnscentral_core::store;
+use simnet::profile::Vantage;
+use simnet::scenario::{dataset, Scale};
+use std::sync::Arc;
+use warehouse::{AppendConfig, Predicate, Warehouse};
+
+fn fresh_root(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dnswh-core-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small partitions so even tiny-scale datasets span several files —
+/// otherwise the pruning and parallel-chunk paths have nothing to do.
+fn config() -> AppendConfig {
+    AppendConfig {
+        max_rows: 4096,
+        ..AppendConfig::default()
+    }
+}
+
+#[test]
+fn warehouse_report_is_byte_identical_to_in_memory_for_any_jobs() {
+    let root = fresh_root("determinism");
+    let wh = Arc::new(Warehouse::open(&root).expect("open"));
+    let opts = PipelineOpts::default();
+
+    // Ingest two datasets through the fused pipeline; the returned runs
+    // ARE the in-memory analyses the scans must reproduce.
+    let runs = [
+        store::ingest_spec(
+            &wh,
+            dataset(Vantage::Nz, 2020),
+            Scale::tiny(),
+            42,
+            &opts,
+            config(),
+        )
+        .expect("ingest nz"),
+        store::ingest_spec(
+            &wh,
+            dataset(Vantage::Nl, 2018),
+            Scale::tiny(),
+            42,
+            &opts,
+            config(),
+        )
+        .expect("ingest nl"),
+    ];
+    let committed = wh.commit().expect("commit");
+    assert!(committed >= 2, "{committed} partitions across two datasets");
+
+    let expected: String = runs
+        .iter()
+        .map(|run| {
+            render_dataset_report(
+                &run.id,
+                run.spec.vantage,
+                &run.analysis,
+                &run.dualstack,
+                &run.spec,
+            )
+        })
+        .collect();
+
+    // Reopen from disk: everything below must come from the files.
+    let wh = Warehouse::open(&root).expect("reopen");
+    for jobs in [1, 4] {
+        let (text, stats) =
+            store::render_report(&wh, &Predicate::all(), jobs).expect("warehouse report");
+        assert_eq!(
+            text, expected,
+            "report --warehouse (jobs={jobs}) diverges from the in-memory report"
+        );
+        assert_eq!(stats.corrupt, 0);
+        assert_eq!(stats.rows, stats.rows_matched);
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn zone_maps_prune_partitions_outside_the_time_range() {
+    let root = fresh_root("pruning");
+    let wh = Arc::new(Warehouse::open(&root).expect("open"));
+    let opts = PipelineOpts::default();
+    let nz = dataset(Vantage::Nz, 2020);
+    let nl = dataset(Vantage::Nl, 2018);
+    let nl_rows = [
+        store::ingest_spec(&wh, nz, Scale::tiny(), 7, &opts, config()).expect("ingest nz"),
+        store::ingest_spec(&wh, nl.clone(), Scale::tiny(), 7, &opts, config()).expect("ingest nl"),
+    ][1]
+    .ingest_stats
+    .rows;
+    wh.commit().expect("commit");
+
+    // The .nl 2018 week: every nz-w2020 partition must be pruned by its
+    // zone map alone, and the matched rows are exactly the nl ingest.
+    let pred = Predicate::between(nl.start, nl.end());
+    let sa = store::analyze_source(&wh, "nl-w2018", &pred, 2).expect("scan");
+    assert_eq!(sa.stats.rows_matched, nl_rows);
+    let (metas, stats) = wh.plan(&Predicate::between(nl.start, nl.end()));
+    assert!(stats.pruned > 0, "{}", stats.summary());
+    assert!(metas.iter().all(|m| m.source == "nl-w2018"));
+
+    // A window before every dataset prunes everything.
+    let (metas, stats) = wh.plan(&Predicate::between(
+        netbase::time::SimTime(0),
+        netbase::time::SimTime(1),
+    ));
+    assert!(metas.is_empty());
+    assert_eq!(stats.pruned, stats.partitions_total);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_partition_is_skipped_with_a_warning_not_a_panic() {
+    let root = fresh_root("corrupt");
+    let wh = Arc::new(Warehouse::open(&root).expect("open"));
+    let opts = PipelineOpts::default();
+    store::ingest_spec(
+        &wh,
+        dataset(Vantage::Nz, 2020),
+        Scale::tiny(),
+        3,
+        &opts,
+        config(),
+    )
+    .expect("ingest");
+    wh.commit().expect("commit");
+
+    let metas = wh.partitions();
+    assert!(metas.len() >= 2, "need several partitions to corrupt one");
+    let victim = root.join(&metas[0].file);
+    let bytes = std::fs::read(&victim).expect("read partition");
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate partition");
+
+    let wh = Warehouse::open(&root).expect("reopen");
+    let sa = store::analyze_source(&wh, "nz-w2020", &Predicate::all(), 2).expect("scan survives");
+    assert_eq!(sa.stats.corrupt, 1, "{}", sa.stats.summary());
+    assert_eq!(sa.stats.scanned, metas.len() as u64 - 1);
+    assert_eq!(
+        sa.stats.rows,
+        metas.iter().skip(1).map(|m| m.zone.rows).sum::<u64>(),
+        "every intact partition is still served"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -18,8 +18,11 @@ use netbase::time::SimTime;
 use std::collections::HashMap;
 use std::net::IpAddr;
 
-/// Provider tag stored per row (one byte).
-fn provider_tag(p: Option<Provider>) -> u8 {
+/// Provider tag stored per row (one byte): 0 = rest of the Internet,
+/// 1..=5 the five paper providers in [`asdb::cloud::ALL_PROVIDERS`]
+/// order. Shared with the warehouse's zone maps, which prune
+/// partitions on the same tags.
+pub fn provider_tag(p: Option<Provider>) -> u8 {
     match p {
         None => 0,
         Some(Provider::Google) => 1,
@@ -30,7 +33,8 @@ fn provider_tag(p: Option<Provider>) -> u8 {
     }
 }
 
-fn tag_provider(t: u8) -> Option<Provider> {
+/// Inverse of [`provider_tag`] (unknown tags map to `None`).
+pub fn tag_provider(t: u8) -> Option<Provider> {
     match t {
         1 => Some(Provider::Google),
         2 => Some(Provider::Amazon),
@@ -192,7 +196,9 @@ impl ColumnarBatch {
             .collect()
     }
 
-    fn provider_tags(&self) -> impl Iterator<Item = u8> + '_ {
+    /// Per-row provider tags (see [`provider_tag`]), derived from the
+    /// ASN column — providers are not stored per row.
+    pub fn provider_tags(&self) -> impl Iterator<Item = u8> + '_ {
         // providers derive from ASNs: reconstruct via the 20 known ASes
         self.asns.iter().map(|&asn| {
             if asn == 0 {
@@ -235,19 +241,193 @@ impl ColumnarBatch {
         self.asns.extend(other.asns);
     }
 
-    /// Approximate heap footprint of the batch, bytes.
-    pub fn memory_bytes(&self) -> usize {
+    /// Heap footprint estimate of the batch, bytes: every column at
+    /// `len * size_of::<elem>()` plus the dictionary arena, offsets,
+    /// and an estimate for the dictionary hash index. The warehouse
+    /// appender flushes partitions when this crosses its byte budget.
+    ///
+    /// (This supersedes an earlier formula that under-counted by one
+    /// `u16` column per row — `rcodes` was missed.)
+    pub fn bytes(&self) -> usize {
         use std::mem::size_of;
         self.timestamps.len()
-            * (size_of::<u64>()
-                + size_of::<IpAddr>() * 2
-                + size_of::<u16>() * 3
-                + size_of::<u8>() * 2
-                + size_of::<u32>() * 4)
+            * (size_of::<u64>()                 // timestamps
+                + size_of::<IpAddr>() * 2       // srcs, servers
+                + size_of::<u16>() * 4          // src_ports, qtypes, edns_sizes, rcodes
+                + size_of::<u8>() * 2           // transports, flags
+                + size_of::<u32>() * 4)         // qname_ids, response_sizes, tcp_rtts, asns
             + self.dict_arena.len()
-            + self.dict_offsets.len() * 8
+            + self.dict_offsets.len() * size_of::<(u32, u32)>()
             + self.dict_index.len() * 48
     }
+
+    /// Approximate heap footprint of the batch, bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bytes()
+    }
+
+    /// Borrowed views of the raw columns, for serialization (the
+    /// `warehouse` crate encodes these into partition files).
+    pub fn columns(&self) -> ColumnsRef<'_> {
+        ColumnsRef {
+            timestamps: &self.timestamps,
+            srcs: &self.srcs,
+            src_ports: &self.src_ports,
+            servers: &self.servers,
+            transports: &self.transports,
+            qname_ids: &self.qname_ids,
+            qtypes: &self.qtypes,
+            edns_sizes: &self.edns_sizes,
+            flags: &self.flags,
+            rcodes: &self.rcodes,
+            response_sizes: &self.response_sizes,
+            tcp_rtts: &self.tcp_rtts,
+            asns: &self.asns,
+            dict_offsets: &self.dict_offsets,
+            dict_arena: &self.dict_arena,
+        }
+    }
+
+    /// Rebuild a batch from raw columns (the inverse of [`columns`]
+    /// after a serialization round trip). Validates column lengths,
+    /// dictionary offsets, and qname ids so a decoder bug or corrupt
+    /// file surfaces as an error here rather than a panic later.
+    ///
+    /// [`columns`]: ColumnarBatch::columns
+    pub fn from_columns(c: Columns) -> Result<ColumnarBatch, &'static str> {
+        let n = c.timestamps.len();
+        if [
+            c.srcs.len(),
+            c.src_ports.len(),
+            c.servers.len(),
+            c.transports.len(),
+            c.qname_ids.len(),
+            c.qtypes.len(),
+            c.edns_sizes.len(),
+            c.flags.len(),
+            c.rcodes.len(),
+            c.response_sizes.len(),
+            c.tcp_rtts.len(),
+            c.asns.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err("column lengths disagree");
+        }
+        for &(start, len) in &c.dict_offsets {
+            let end = (start as usize).checked_add(len as usize);
+            if end.is_none_or(|e| e > c.dict_arena.len()) {
+                return Err("dictionary offset out of arena bounds");
+            }
+        }
+        let dict_len = c.dict_offsets.len() as u32;
+        if c.qname_ids.iter().any(|&id| id >= dict_len) {
+            return Err("qname id out of dictionary bounds");
+        }
+        let mut dict_index = HashMap::with_capacity(c.dict_offsets.len());
+        for (id, &(start, len)) in c.dict_offsets.iter().enumerate() {
+            let wire = c.dict_arena[start as usize..(start + len) as usize].to_vec();
+            if Name::parse(&wire, 0).is_err() {
+                return Err("dictionary entry is not a valid wire-form name");
+            }
+            if dict_index.insert(wire, id as u32).is_some() {
+                return Err("duplicate dictionary entry");
+            }
+        }
+        Ok(ColumnarBatch {
+            timestamps: c.timestamps,
+            srcs: c.srcs,
+            src_ports: c.src_ports,
+            servers: c.servers,
+            transports: c.transports,
+            qname_ids: c.qname_ids,
+            qtypes: c.qtypes,
+            edns_sizes: c.edns_sizes,
+            flags: c.flags,
+            rcodes: c.rcodes,
+            response_sizes: c.response_sizes,
+            tcp_rtts: c.tcp_rtts,
+            asns: c.asns,
+            dict_offsets: c.dict_offsets,
+            dict_arena: c.dict_arena,
+            dict_index,
+        })
+    }
+}
+
+/// Borrowed raw columns of a [`ColumnarBatch`] (see
+/// [`ColumnarBatch::columns`]). Field order and sentinels match the
+/// batch internals: `edns_sizes` uses `u16::MAX` for absent,
+/// `response_sizes` 0 for `None`, `asns` 0 for unattributed, and
+/// `flags` packs `do`/`truncated`/`public_dns`/`answered` in bits 0-3.
+pub struct ColumnsRef<'a> {
+    /// Microseconds since the epoch, one per row.
+    pub timestamps: &'a [u64],
+    /// Resolver source addresses.
+    pub srcs: &'a [IpAddr],
+    /// Source ports.
+    pub src_ports: &'a [u16],
+    /// Authoritative server addresses.
+    pub servers: &'a [IpAddr],
+    /// 0 = UDP, 1 = TCP.
+    pub transports: &'a [u8],
+    /// Indexes into `dict_offsets`.
+    pub qname_ids: &'a [u32],
+    /// Query types as raw u16.
+    pub qtypes: &'a [u16],
+    /// EDNS sizes (`u16::MAX` = absent).
+    pub edns_sizes: &'a [u16],
+    /// Packed per-row flag bits.
+    pub flags: &'a [u8],
+    /// Response codes (valid only when flag bit 3 set).
+    pub rcodes: &'a [u16],
+    /// Response sizes (0 = unanswered).
+    pub response_sizes: &'a [u32],
+    /// TCP handshake RTTs, microseconds (0 for UDP).
+    pub tcp_rtts: &'a [u32],
+    /// Origin AS numbers (0 = unattributed).
+    pub asns: &'a [u32],
+    /// `(start, len)` spans into `dict_arena`, one per dictionary id.
+    pub dict_offsets: &'a [(u32, u32)],
+    /// Wire-form qname bytes, concatenated.
+    pub dict_arena: &'a [u8],
+}
+
+/// Owned raw columns for [`ColumnarBatch::from_columns`]; same layout
+/// and sentinels as [`ColumnsRef`].
+#[derive(Default)]
+pub struct Columns {
+    /// Microseconds since the epoch, one per row.
+    pub timestamps: Vec<u64>,
+    /// Resolver source addresses.
+    pub srcs: Vec<IpAddr>,
+    /// Source ports.
+    pub src_ports: Vec<u16>,
+    /// Authoritative server addresses.
+    pub servers: Vec<IpAddr>,
+    /// 0 = UDP, 1 = TCP.
+    pub transports: Vec<u8>,
+    /// Indexes into `dict_offsets`.
+    pub qname_ids: Vec<u32>,
+    /// Query types as raw u16.
+    pub qtypes: Vec<u16>,
+    /// EDNS sizes (`u16::MAX` = absent).
+    pub edns_sizes: Vec<u16>,
+    /// Packed per-row flag bits.
+    pub flags: Vec<u8>,
+    /// Response codes (valid only when flag bit 3 set).
+    pub rcodes: Vec<u16>,
+    /// Response sizes (0 = unanswered).
+    pub response_sizes: Vec<u32>,
+    /// TCP handshake RTTs, microseconds (0 for UDP).
+    pub tcp_rtts: Vec<u32>,
+    /// Origin AS numbers (0 = unattributed).
+    pub asns: Vec<u32>,
+    /// `(start, len)` spans into `dict_arena`, one per dictionary id.
+    pub dict_offsets: Vec<(u32, u32)>,
+    /// Wire-form qname bytes, concatenated.
+    pub dict_arena: Vec<u8>,
 }
 
 fn provider_tag_at(batch: &ColumnarBatch, i: usize) -> u8 {
@@ -408,6 +588,108 @@ mod tests {
         for i in 0..serial.len() {
             assert_eq!(left.get(i), serial.get(i));
         }
+    }
+
+    #[test]
+    fn bytes_counts_every_column() {
+        use std::mem::size_of;
+        let mut batch = ColumnarBatch::new();
+        for i in 0..1_000 {
+            batch.push(&row(i));
+        }
+        // fixed-width per-row footprint: every column, including all
+        // four u16 columns (the old formula missed `rcodes`)
+        let per_row = size_of::<u64>()
+            + size_of::<IpAddr>() * 2
+            + size_of::<u16>() * 4
+            + size_of::<u8>() * 2
+            + size_of::<u32>() * 4;
+        assert!(batch.bytes() >= batch.len() * per_row);
+        assert_eq!(batch.bytes(), batch.memory_bytes());
+    }
+
+    #[test]
+    fn columns_roundtrip() {
+        let mut batch = ColumnarBatch::new();
+        for i in 0..300 {
+            batch.push(&row(i));
+        }
+        let c = batch.columns();
+        let rebuilt = ColumnarBatch::from_columns(Columns {
+            timestamps: c.timestamps.to_vec(),
+            srcs: c.srcs.to_vec(),
+            src_ports: c.src_ports.to_vec(),
+            servers: c.servers.to_vec(),
+            transports: c.transports.to_vec(),
+            qname_ids: c.qname_ids.to_vec(),
+            qtypes: c.qtypes.to_vec(),
+            edns_sizes: c.edns_sizes.to_vec(),
+            flags: c.flags.to_vec(),
+            rcodes: c.rcodes.to_vec(),
+            response_sizes: c.response_sizes.to_vec(),
+            tcp_rtts: c.tcp_rtts.to_vec(),
+            asns: c.asns.to_vec(),
+            dict_offsets: c.dict_offsets.to_vec(),
+            dict_arena: c.dict_arena.to_vec(),
+        })
+        .expect("valid columns");
+        assert_eq!(rebuilt.len(), batch.len());
+        assert_eq!(rebuilt.dictionary_size(), batch.dictionary_size());
+        for i in 0..batch.len() {
+            assert_eq!(rebuilt.get(i), batch.get(i));
+        }
+        // the rebuilt dictionary index keeps interning shared names
+        let mut extended = rebuilt;
+        extended.push(&row(3));
+        assert_eq!(extended.dictionary_size(), batch.dictionary_size());
+    }
+
+    #[test]
+    fn from_columns_rejects_malformed() {
+        let mut batch = ColumnarBatch::new();
+        batch.push(&row(1));
+        let c = batch.columns();
+        let mut cols = Columns {
+            timestamps: c.timestamps.to_vec(),
+            srcs: c.srcs.to_vec(),
+            src_ports: c.src_ports.to_vec(),
+            servers: c.servers.to_vec(),
+            transports: c.transports.to_vec(),
+            qname_ids: c.qname_ids.to_vec(),
+            qtypes: c.qtypes.to_vec(),
+            edns_sizes: c.edns_sizes.to_vec(),
+            flags: c.flags.to_vec(),
+            rcodes: c.rcodes.to_vec(),
+            response_sizes: c.response_sizes.to_vec(),
+            tcp_rtts: c.tcp_rtts.to_vec(),
+            asns: c.asns.to_vec(),
+            dict_offsets: c.dict_offsets.to_vec(),
+            dict_arena: c.dict_arena.to_vec(),
+        };
+        cols.qtypes.pop();
+        assert!(ColumnarBatch::from_columns(cols).is_err(), "length skew");
+
+        let mut bad_ids = Columns {
+            timestamps: vec![0],
+            srcs: vec!["192.0.2.1".parse().unwrap()],
+            src_ports: vec![1],
+            servers: vec!["192.0.2.2".parse().unwrap()],
+            transports: vec![0],
+            qname_ids: vec![7],
+            qtypes: vec![1],
+            edns_sizes: vec![u16::MAX],
+            flags: vec![0],
+            rcodes: vec![0],
+            response_sizes: vec![0],
+            tcp_rtts: vec![0],
+            asns: vec![0],
+            dict_offsets: vec![],
+            dict_arena: vec![],
+        };
+        assert!(
+            ColumnarBatch::from_columns(std::mem::take(&mut bad_ids)).is_err(),
+            "qname id out of range"
+        );
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Buffered, bucketed appends: rows accumulate in per-time-bucket
+//! [`ColumnarBatch`]es and flush to partition files at a row/byte
+//! budget, so ingest memory stays bounded no matter how large the
+//! warehouse grows.
+
+use crate::{Warehouse, WarehouseError};
+use entrada::schema::QueryRow;
+use entrada::table::ColumnarBatch;
+use netbase::time::SimDuration;
+use std::collections::HashMap;
+
+/// Appender tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendConfig {
+    /// Time-bucket width of a partition (default one hour, the
+    /// paper's analysis granularity).
+    pub partition: SimDuration,
+    /// Flush a bucket once it holds this many rows.
+    pub max_rows: usize,
+    /// Flush a bucket once [`ColumnarBatch::bytes`] crosses this.
+    pub max_bytes: usize,
+}
+
+impl Default for AppendConfig {
+    fn default() -> Self {
+        AppendConfig {
+            partition: SimDuration::from_hours(1),
+            max_rows: 1 << 20,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// What an appender wrote, reported by [`Appender::finish`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendStats {
+    /// Rows appended.
+    pub rows: u64,
+    /// Partition files staged.
+    pub partitions: u64,
+}
+
+/// A buffered writer of one source's rows into a [`Warehouse`].
+///
+/// Implements the push/merge shape of the analysis sinks: parallel
+/// ingest workers each own an `Appender`, flush full buckets
+/// independently, and the survivors' open buckets are merged before
+/// the final [`finish`](Appender::finish). Flush failures are
+/// remembered (further rows for the failed appender are dropped to
+/// keep memory bounded) and surfaced by `finish`.
+pub struct Appender<'w> {
+    warehouse: &'w Warehouse,
+    source: String,
+    config: AppendConfig,
+    open: HashMap<u64, ColumnarBatch>,
+    stats: AppendStats,
+    error: Option<WarehouseError>,
+}
+
+impl<'w> Appender<'w> {
+    pub(crate) fn new(warehouse: &'w Warehouse, source: String, config: AppendConfig) -> Self {
+        Appender {
+            warehouse,
+            source,
+            config,
+            open: HashMap::new(),
+            stats: AppendStats::default(),
+            error: None,
+        }
+    }
+
+    /// Buffer one row; may flush a full bucket to disk.
+    pub fn push(&mut self, row: &QueryRow) {
+        if self.error.is_some() {
+            return;
+        }
+        let width = self.config.partition.as_micros().max(1);
+        let bucket = row.timestamp.as_micros() / width;
+        let batch = self.open.entry(bucket).or_default();
+        batch.push(row);
+        self.stats.rows += 1;
+        if batch.len() >= self.config.max_rows || batch.bytes() >= self.config.max_bytes {
+            self.flush_bucket(bucket);
+        }
+    }
+
+    fn flush_bucket(&mut self, bucket: u64) {
+        let Some(batch) = self.open.remove(&bucket) else {
+            return;
+        };
+        match self.warehouse.stage(&self.source, &batch) {
+            Ok(()) => self.stats.partitions += 1,
+            Err(e) => {
+                self.open.clear();
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// Absorb another appender's open buckets and stats (its already
+    /// flushed partitions are staged with the shared warehouse).
+    ///
+    /// # Panics
+    /// If the two appenders target different sources.
+    pub fn merge(&mut self, other: Appender<'w>) {
+        assert_eq!(self.source, other.source, "appender source mismatch");
+        for (bucket, batch) in other.open {
+            self.open.entry(bucket).or_default().merge(batch);
+        }
+        self.stats.rows += other.stats.rows;
+        self.stats.partitions += other.stats.partitions;
+        if self.error.is_none() {
+            self.error = other.error;
+        }
+    }
+
+    /// Flush every open bucket (in bucket order) and report totals.
+    /// Does **not** commit — call [`Warehouse::commit`] once all
+    /// appenders for the ingest have finished.
+    pub fn finish(mut self) -> Result<AppendStats, WarehouseError> {
+        let mut buckets: Vec<u64> = self.open.keys().copied().collect();
+        buckets.sort_unstable();
+        for bucket in buckets {
+            self.flush_bucket(bucket);
+        }
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netbase::time::SimTime;
+
+    fn row_at(us: u64) -> QueryRow {
+        QueryRow {
+            timestamp: SimTime(us),
+            src: "192.0.2.1".parse().unwrap(),
+            src_port: 3333,
+            server: "194.0.28.53".parse().unwrap(),
+            transport: netbase::flow::Transport::Udp,
+            qname: "a.example.nl.".parse().unwrap(),
+            qtype: dns_wire::types::RType::A,
+            edns_size: Some(1232),
+            do_bit: false,
+            rcode: Some(dns_wire::types::Rcode::NoError),
+            response_size: Some(100),
+            response_truncated: false,
+            tcp_rtt_us: 0,
+            asn: None,
+            provider: None,
+            public_dns: false,
+        }
+    }
+
+    fn tmp_warehouse(name: &str) -> (std::path::PathBuf, Warehouse) {
+        let dir = std::env::temp_dir().join(format!("dnswh-append-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wh = Warehouse::open(&dir).unwrap();
+        (dir, wh)
+    }
+
+    #[test]
+    fn hour_bucketing_splits_partitions() {
+        let (dir, wh) = tmp_warehouse("hours");
+        wh.ensure_source("s", "{}").unwrap();
+        let mut app = wh.appender("s", AppendConfig::default());
+        let hour = 3_600_000_000u64;
+        for i in 0..100 {
+            app.push(&row_at(10 * hour + i));
+            app.push(&row_at(11 * hour + i));
+            app.push(&row_at(12 * hour + i));
+        }
+        let stats = app.finish().unwrap();
+        assert_eq!(stats.rows, 300);
+        assert_eq!(stats.partitions, 3, "three distinct hours");
+        assert_eq!(wh.commit().unwrap(), 3);
+        assert_eq!(wh.rows(), 300);
+        let parts = wh.partitions();
+        assert!(parts
+            .windows(2)
+            .all(|w| w[0].zone.min_ts <= w[1].zone.min_ts));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn row_budget_flushes_early() {
+        let (dir, wh) = tmp_warehouse("budget");
+        wh.ensure_source("s", "{}").unwrap();
+        let mut app = wh.appender(
+            "s",
+            AppendConfig {
+                max_rows: 10,
+                ..AppendConfig::default()
+            },
+        );
+        for i in 0..35 {
+            app.push(&row_at(1_000 + i));
+        }
+        let stats = app.finish().unwrap();
+        assert_eq!(stats.partitions, 4, "3 full flushes + 1 remainder");
+        wh.commit().unwrap();
+        assert_eq!(wh.rows(), 35);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_combines_open_buckets() {
+        let (dir, wh) = tmp_warehouse("merge");
+        wh.ensure_source("s", "{}").unwrap();
+        let mut a = wh.appender("s", AppendConfig::default());
+        let mut b = wh.appender("s", AppendConfig::default());
+        for i in 0..50 {
+            a.push(&row_at(1_000 + i));
+            b.push(&row_at(2_000 + i));
+        }
+        a.merge(b);
+        let stats = a.finish().unwrap();
+        assert_eq!(stats.rows, 100);
+        assert_eq!(stats.partitions, 1, "same hour bucket merged");
+        wh.commit().unwrap();
+        assert_eq!(wh.rows(), 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_partitions_stay_invisible() {
+        let (dir, wh) = tmp_warehouse("staged");
+        wh.ensure_source("s", "{}").unwrap();
+        let mut app = wh.appender("s", AppendConfig::default());
+        app.push(&row_at(5));
+        app.finish().unwrap();
+        assert_eq!(wh.partitions().len(), 0, "not committed yet");
+        let reopened = Warehouse::open(&dir).unwrap();
+        assert_eq!(reopened.partitions().len(), 0, "orphan file not listed");
+        wh.commit().unwrap();
+        assert_eq!(Warehouse::open(&dir).unwrap().partitions().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn source_metadata_conflicts_rejected() {
+        let (dir, wh) = tmp_warehouse("sources");
+        wh.ensure_source("s", "{\"seed\":1}").unwrap();
+        wh.ensure_source("s", "{\"seed\":1}").unwrap();
+        assert!(matches!(
+            wh.ensure_source("s", "{\"seed\":2}"),
+            Err(WarehouseError::SourceMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,434 @@
+//! Partition scans with predicate pushdown.
+//!
+//! A [`Predicate`] restricts a scan by time range, provider, qtype,
+//! and source. Pruning happens at the manifest level: a partition
+//! whose zone map cannot contain a matching row is skipped without
+//! opening the file ([`prunes`]), and the surviving partitions get a
+//! residual row-level filter ([`row_matches`]) — the same two-level
+//! shape as Parquet row-group statistics or ClickHouse min-max
+//! indexes.
+//!
+//! Corrupt partitions (truncated file, CRC mismatch, decode failure)
+//! are *reported, counted, and skipped*: the scan keeps going on the
+//! intact remainder, mirroring how capture ingest treats torn
+//! records. Callers inspect [`ScanStats::corrupt`] (or the
+//! `warehouse_partitions_corrupt_total` metric) to notice.
+
+use crate::manifest::PartitionMeta;
+use crate::{Warehouse, WarehouseError};
+use asdb::cloud::Provider;
+use dns_wire::types::RType;
+use entrada::schema::QueryRow;
+use entrada::table::{provider_tag, ColumnarBatch};
+use netbase::time::SimTime;
+
+/// A pushdown filter. `None` fields mean "no restriction".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Predicate {
+    /// Inclusive lower bound on row timestamp.
+    pub from: Option<SimTime>,
+    /// Exclusive upper bound on row timestamp.
+    pub to: Option<SimTime>,
+    /// Restrict to one provider (`Some(None)` = rows attributed to no
+    /// cloud provider, the paper's "rest of the Internet").
+    pub provider: Option<Option<Provider>>,
+    /// Restrict to one query type.
+    pub qtype: Option<RType>,
+    /// Restrict to one ingest source id.
+    pub source: Option<String>,
+}
+
+impl Predicate {
+    /// Unrestricted scan.
+    pub fn all() -> Predicate {
+        Predicate::default()
+    }
+
+    /// Restrict to `[from, to)`.
+    pub fn between(from: SimTime, to: SimTime) -> Predicate {
+        Predicate {
+            from: Some(from),
+            to: Some(to),
+            ..Predicate::default()
+        }
+    }
+
+    /// Restrict to one source id.
+    pub fn for_source(source: &str) -> Predicate {
+        Predicate {
+            source: Some(source.to_string()),
+            ..Predicate::default()
+        }
+    }
+}
+
+/// Counters describing one scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Partitions considered (committed partitions of the warehouse).
+    pub partitions_total: u64,
+    /// Partitions skipped by zone-map pruning without being opened.
+    pub pruned: u64,
+    /// Partitions whose column bytes were read and decoded.
+    pub scanned: u64,
+    /// Partitions that failed CRC/decode and were skipped (reported on
+    /// stderr and in the metrics registry).
+    pub corrupt: u64,
+    /// Rows decoded from scanned partitions.
+    pub rows: u64,
+    /// Rows that survived the residual row-level filter.
+    pub rows_matched: u64,
+}
+
+impl ScanStats {
+    /// Fold another scan's counters in (for parallel per-partition
+    /// scans).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.partitions_total += other.partitions_total;
+        self.pruned += other.pruned;
+        self.scanned += other.scanned;
+        self.corrupt += other.corrupt;
+        self.rows += other.rows;
+        self.rows_matched += other.rows_matched;
+    }
+
+    /// One-line human summary (stderr reporting in the CLI).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} partition(s): {} pruned, {} scanned, {} corrupt; {} row(s) read, {} matched",
+            self.partitions_total,
+            self.pruned,
+            self.scanned,
+            self.corrupt,
+            self.rows,
+            self.rows_matched
+        )
+    }
+}
+
+/// True when the zone map proves `meta` cannot contain a row matching
+/// `pred` — the partition is skipped without opening the file.
+pub fn prunes(meta: &PartitionMeta, pred: &Predicate) -> bool {
+    if let Some(src) = &pred.source {
+        if &meta.source != src {
+            return true;
+        }
+    }
+    if let Some(from) = pred.from {
+        if meta.zone.max_ts < from.as_micros() {
+            return true;
+        }
+    }
+    if let Some(to) = pred.to {
+        if meta.zone.min_ts >= to.as_micros() {
+            return true;
+        }
+    }
+    if let Some(p) = pred.provider {
+        if meta.zone.providers & (1 << provider_tag(p)) == 0 {
+            return true;
+        }
+    }
+    if let Some(q) = pred.qtype {
+        // an empty qtype list means "too many distinct values to
+        // record" — never prune on it
+        if !meta.zone.qtypes.is_empty() && !meta.zone.qtypes.contains(&q.to_u16()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The residual row-level filter applied to rows of surviving
+/// partitions (must accept exactly the rows the zone maps over-approximate).
+pub fn row_matches(row: &QueryRow, pred: &Predicate) -> bool {
+    if let Some(from) = pred.from {
+        if row.timestamp < from {
+            return false;
+        }
+    }
+    if let Some(to) = pred.to {
+        if row.timestamp >= to {
+            return false;
+        }
+    }
+    if let Some(p) = pred.provider {
+        if row.provider != p {
+            return false;
+        }
+    }
+    if let Some(q) = pred.qtype {
+        if row.qtype != q {
+            return false;
+        }
+    }
+    true
+}
+
+fn note_corrupt(err: &WarehouseError, stats: &mut ScanStats) {
+    stats.corrupt += 1;
+    eprintln!("warning: warehouse scan skipping partition: {err}");
+    obs::counter(
+        "warehouse_partitions_corrupt_total",
+        "partition files skipped by scans after CRC/decode failure",
+    )
+    .inc();
+}
+
+impl Warehouse {
+    /// Plan a scan: the committed partitions surviving zone-map
+    /// pruning, plus stats pre-loaded with the total/pruned counts.
+    /// Feeds the `warehouse_partitions_pruned_total` metric.
+    pub fn plan(&self, pred: &Predicate) -> (Vec<PartitionMeta>, ScanStats) {
+        let mut stats = ScanStats::default();
+        let mut keep = Vec::new();
+        for meta in self.partitions() {
+            stats.partitions_total += 1;
+            if prunes(&meta, pred) {
+                stats.pruned += 1;
+            } else {
+                keep.push(meta);
+            }
+        }
+        if stats.pruned > 0 {
+            obs::counter(
+                "warehouse_partitions_pruned_total",
+                "partitions skipped via zone maps before reading any column bytes",
+            )
+            .add(stats.pruned);
+        }
+        (keep, stats)
+    }
+
+    /// Read one partition for a scan: a decoded batch on success, or
+    /// `None` after reporting + counting a corrupt file. Updates
+    /// `stats` and the scan metrics either way.
+    pub fn read_for_scan(
+        &self,
+        meta: &PartitionMeta,
+        stats: &mut ScanStats,
+    ) -> Option<ColumnarBatch> {
+        match self.read_partition(meta) {
+            Ok(batch) => {
+                stats.scanned += 1;
+                stats.rows += batch.len() as u64;
+                obs::counter(
+                    "warehouse_partitions_scanned_total",
+                    "partition files read and decoded by scans",
+                )
+                .inc();
+                Some(batch)
+            }
+            Err(e) => {
+                note_corrupt(&e, stats);
+                None
+            }
+        }
+    }
+
+    /// Stream matching rows partition-by-partition with bounded
+    /// memory (one decoded partition at a time).
+    pub fn scan(&self, pred: Predicate) -> PartitionScan<'_> {
+        let (mut queue, stats) = self.plan(&pred);
+        queue.reverse(); // pop from the back = manifest order
+        PartitionScan {
+            warehouse: self,
+            pred,
+            queue,
+            current: None,
+            stats,
+        }
+    }
+}
+
+/// Streaming row iterator over the partitions a [`Predicate`] selects
+/// (see [`Warehouse::scan`]). Holds at most one decoded partition.
+pub struct PartitionScan<'w> {
+    warehouse: &'w Warehouse,
+    pred: Predicate,
+    /// Reversed plan: next partition at the back.
+    queue: Vec<PartitionMeta>,
+    current: Option<(ColumnarBatch, usize)>,
+    stats: ScanStats,
+}
+
+impl PartitionScan<'_> {
+    /// Counters so far (complete once the iterator is exhausted).
+    pub fn stats(&self) -> ScanStats {
+        self.stats
+    }
+}
+
+impl Iterator for PartitionScan<'_> {
+    type Item = QueryRow;
+
+    fn next(&mut self) -> Option<QueryRow> {
+        loop {
+            if let Some((batch, i)) = &mut self.current {
+                while *i < batch.len() {
+                    let row = batch.get(*i);
+                    *i += 1;
+                    if row_matches(&row, &self.pred) {
+                        self.stats.rows_matched += 1;
+                        return Some(row);
+                    }
+                }
+                self.current = None;
+            }
+            let meta = self.queue.pop()?;
+            if let Some(batch) = self.warehouse.read_for_scan(&meta, &mut self.stats) {
+                self.current = Some((batch, 0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AppendConfig;
+    use asdb::registry::Asn;
+    use dns_wire::types::Rcode;
+    use netbase::flow::Transport;
+
+    fn row(hour: u64, i: u64, google: bool) -> QueryRow {
+        QueryRow {
+            timestamp: SimTime(hour * 3_600_000_000 + i),
+            src: format!("198.51.100.{}", i % 250).parse().unwrap(),
+            src_port: 1024 + i as u16,
+            server: "194.0.28.53".parse().unwrap(),
+            transport: Transport::Udp,
+            qname: format!("h{}.example.nl.", i % 5).parse().unwrap(),
+            qtype: if i.is_multiple_of(2) {
+                RType::A
+            } else {
+                RType::Ns
+            },
+            edns_size: Some(1232),
+            do_bit: false,
+            rcode: Some(Rcode::NoError),
+            response_size: Some(120),
+            response_truncated: false,
+            tcp_rtt_us: 0,
+            asn: if google {
+                Some(Asn(15169))
+            } else {
+                Some(Asn(64512))
+            },
+            provider: if google { Some(Provider::Google) } else { None },
+            public_dns: false,
+        }
+    }
+
+    fn build(name: &str) -> (std::path::PathBuf, Warehouse) {
+        let dir = std::env::temp_dir().join(format!("dnswh-scan-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wh = Warehouse::open(&dir).unwrap();
+        wh.ensure_source("s", "{}").unwrap();
+        let mut app = wh.appender("s", AppendConfig::default());
+        // hours 10 (google-only), 11 (mixed), 12 (rest-only)
+        for i in 0..40 {
+            app.push(&row(10, i, true));
+            app.push(&row(11, i, i.is_multiple_of(2)));
+            app.push(&row(12, i, false));
+        }
+        app.finish().unwrap();
+        wh.commit().unwrap();
+        (dir, wh)
+    }
+
+    #[test]
+    fn full_scan_returns_everything() {
+        let (dir, wh) = build("full");
+        let mut scan = wh.scan(Predicate::all());
+        let n = scan.by_ref().count();
+        let stats = scan.stats();
+        assert_eq!(n, 120);
+        assert_eq!(stats.partitions_total, 3);
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.scanned, 3);
+        assert_eq!(stats.rows_matched, 120);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn time_predicate_prunes_whole_partitions() {
+        let (dir, wh) = build("time");
+        let pred = Predicate::between(SimTime(11 * 3_600_000_000), SimTime(12 * 3_600_000_000));
+        let mut scan = wh.scan(pred);
+        let n = scan.by_ref().count();
+        let stats = scan.stats();
+        assert_eq!(n, 40, "only hour 11");
+        assert_eq!(stats.pruned, 2, "hours 10 and 12 never opened");
+        assert_eq!(stats.scanned, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn provider_predicate_prunes_and_filters() {
+        let (dir, wh) = build("provider");
+        let pred = Predicate {
+            provider: Some(Some(Provider::Google)),
+            ..Predicate::default()
+        };
+        let mut scan = wh.scan(pred);
+        let n = scan.by_ref().count();
+        let stats = scan.stats();
+        assert_eq!(n, 40 + 20, "google-only hour + half of mixed hour");
+        assert_eq!(stats.pruned, 1, "rest-only hour pruned by bitmap");
+        assert_eq!(stats.scanned, 2);
+        assert_eq!(
+            stats.rows, 80,
+            "pruned partition contributes no decoded rows"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_partition_skipped_and_counted() {
+        let (dir, wh) = build("corrupt");
+        // truncate the middle partition file
+        let victim = &wh.partitions()[1];
+        let path = dir.join(&victim.file);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut scan = wh.scan(Predicate::all());
+        let n = scan.by_ref().count();
+        let stats = scan.stats();
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.scanned, 2);
+        assert_eq!(n, 80, "intact partitions still served");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn swapped_file_caught_by_manifest_crc() {
+        let (dir, wh) = build("swap");
+        let parts = wh.partitions();
+        // overwrite partition 0 with partition 1's (self-consistent) bytes
+        let b1 = std::fs::read(dir.join(&parts[1].file)).unwrap();
+        std::fs::write(dir.join(&parts[0].file), &b1).unwrap();
+        let mut scan = wh.scan(Predicate::all());
+        let _ = scan.by_ref().count();
+        assert_eq!(
+            scan.stats().corrupt,
+            1,
+            "manifest cross-check catches the swap"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn qtype_pruning_honours_unknown_lists() {
+        let (dir, wh) = build("qtype");
+        let mut meta = wh.partitions()[0].clone();
+        let pred = Predicate {
+            qtype: Some(RType::Aaaa),
+            ..Predicate::default()
+        };
+        assert!(prunes(&meta, &pred), "AAAA absent from zone map");
+        meta.zone.qtypes.clear();
+        assert!(!prunes(&meta, &pred), "empty list = unknown, cannot prune");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,8 +5,10 @@
 //! dnscentral generate nl 2020 out.dnscap # synthesize one dataset capture
 //! dnscentral analyze  nl 2020 out.dnscap # analyze a capture
 //! dnscentral dataset  nl 2020            # generate + analyze in one go
+//! dnscentral ingest   nl 2020 --warehouse=wh  # ...into a columnar store
 //! dnscentral qmin     nl                 # Figure 3 series + change-point
 //! dnscentral report                      # every table and figure
+//! dnscentral report --warehouse=wh       # the same, from stored partitions
 //! dnscentral serve    nl 2020            # live authoritative on real sockets
 //! dnscentral loadgen  nl 2020 --udp A --tcp B  # profile-driven load
 //! dnscentral live     nl 2020 out.dnscap # serve+loadgen over loopback,
@@ -36,12 +38,13 @@
 use dnscentral_core::dualstack::DualStackAnalysis;
 use dnscentral_core::experiments::{analyze_capture, generate_capture_sharded};
 use dnscentral_core::pipeline::{run_spec_with, PipelineOpts};
-use dnscentral_core::{ednssize, junk, metrics, qmin, report, transport};
+use dnscentral_core::{ednssize, junk, metrics, qmin, report, store, transport};
 use simnet::profile::Vantage;
 use simnet::scenario::{dataset, Scale};
 use std::net::IpAddr;
 use std::path::Path;
 use std::process::ExitCode;
+use warehouse::Warehouse;
 
 /// Counting global allocator: makes allocations a measured quantity, so
 /// `dnscentral bench` reports allocs/op next to ns/op (see `obs::alloc`;
@@ -70,6 +73,11 @@ const COMMANDS: &[(&str, &str, &str)] = &[
         "dataset",
         "<nl|nz|broot> <year>",
         "generate + analyze in one go (--json for machine output)",
+    ),
+    (
+        "ingest",
+        "<nl|nz|broot> [year]",
+        "generate + analyze into a --warehouse dir (--monthly: Figure 3 series)",
     ),
     (
         "qmin",
@@ -196,6 +204,32 @@ const VALUE_FLAGS: &[(&str, &str, &str)] = &[
         "serve live Prometheus metrics over HTTP",
     ),
     (
+        "--warehouse",
+        "dir",
+        "columnar warehouse dir: ingest writes it; dataset/analyze/live append; \
+         report/qmin/experiments scan it instead of regenerating",
+    ),
+    (
+        "--from",
+        "YYYY-MM-DD",
+        "warehouse scans: inclusive start time (also raw micros)",
+    ),
+    (
+        "--to",
+        "YYYY-MM-DD",
+        "warehouse scans: exclusive end time (also raw micros)",
+    ),
+    (
+        "--partition-rows",
+        "N",
+        "warehouse appends: rows per partition before a flush (default 1M)",
+    ),
+    (
+        "--partition-bytes",
+        "N",
+        "warehouse appends: in-memory byte budget per partition (default 64M)",
+    ),
+    (
         "--filter",
         "substr",
         "bench: only scenarios whose id contains substr",
@@ -227,6 +261,10 @@ const BOOL_FLAGS: &[(&str, &str)] = &[
     ),
     ("--quick", "bench: reduced samples for CI"),
     ("--list", "bench: list scenario ids and exit"),
+    (
+        "--monthly",
+        "ingest: the 18-month Figure 3 series instead of one dataset",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -327,6 +365,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
         shards,
         jobs,
         keep_capture: keep_capture.then(|| std::path::PathBuf::from(format!("{id}.dnscap"))),
+        warehouse: None,
     };
 
     match positional.first().map(|s| s.as_str()) {
@@ -355,12 +394,36 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 "[ingest: {} frames, {} malformed, {} unanswered, {} capture errors]",
                 ingest.frames, ingest.malformed, ingest.unanswered_queries, ingest.capture_errors
             );
+            if let Some(wh) = open_warehouse(flags)? {
+                let stats = store::append_dataset_capture(
+                    &wh,
+                    &spec,
+                    scale,
+                    seed,
+                    Path::new(path),
+                    append_config(flags)?,
+                )?;
+                let committed = wh.commit().map_err(|e| e.to_string())?;
+                eprintln!(
+                    "[warehouse: {} row(s) -> {committed} new partition(s)]",
+                    stats.rows
+                );
+            }
         }
         Some("dataset") => {
             let (vantage, year) = vantage_year(positional)?;
             let spec = dataset(vantage, year);
             let opts = opts_for(&spec.id());
-            let run = run_spec_with(spec, scale, seed, &opts);
+            let run = match open_warehouse(flags)? {
+                Some(wh) => {
+                    let run =
+                        store::ingest_spec(&wh, spec, scale, seed, &opts, append_config(flags)?)?;
+                    let committed = wh.commit().map_err(|e| e.to_string())?;
+                    eprintln!("[warehouse: {committed} new partition(s)]");
+                    run
+                }
+                None => run_spec_with(spec, scale, seed, &opts),
+            };
             if let Some(p) = &opts.keep_capture {
                 eprintln!("[capture kept at {}]", p.display());
             }
@@ -374,23 +437,58 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 print_dataset_report(&run.id, vantage, &run.analysis, &run.dualstack, &run.spec);
             }
         }
+        Some("ingest") => {
+            let wh = open_warehouse(flags)?.ok_or("ingest requires --warehouse=dir")?;
+            let dir = flag_value(flags, "--warehouse").expect("flag present");
+            let config = append_config(flags)?;
+            let vantage =
+                parse_vantage(positional.get(1).ok_or("vantage required (nl|nz|broot)")?)?;
+            if flags.iter().any(|f| *f == "--monthly") {
+                // one month per task, `jobs` months in flight
+                let opts = PipelineOpts {
+                    shards,
+                    ..PipelineOpts::default()
+                };
+                let provider = parse_provider(flags)?;
+                let runs = store::ingest_monthly(
+                    &wh, vantage, provider, scale, seed, &opts, config, jobs,
+                )?;
+                let committed = wh.commit().map_err(|e| e.to_string())?;
+                let rows: u64 = runs.iter().map(|r| r.ingest_stats.rows).sum();
+                println!(
+                    "{} monthly sources, {rows} row(s) -> {committed} new partition(s) in {dir}",
+                    runs.len()
+                );
+            } else {
+                let year_str = positional
+                    .get(2)
+                    .ok_or("year required (2018|2019|2020), or --monthly")?;
+                let year: u16 = year_str
+                    .parse()
+                    .map_err(|_| format!("year must be a number, got {year_str:?}"))?;
+                let spec = dataset(vantage, year);
+                let opts = opts_for(&spec.id());
+                let run = store::ingest_spec(&wh, spec, scale, seed, &opts, config)?;
+                let committed = wh.commit().map_err(|e| e.to_string())?;
+                println!(
+                    "{}: {} row(s) -> {committed} new partition(s) in {dir}",
+                    run.id, run.ingest_stats.rows
+                );
+            }
+        }
         Some("qmin") => {
             let vantage = parse_vantage(positional.get(1).map(|s| s.as_str()).unwrap_or("nl"))?;
-            let provider = match flag_value(flags, "--provider") {
-                None | Some("google") => asdb::cloud::Provider::Google,
-                Some("amazon") => asdb::cloud::Provider::Amazon,
-                Some("microsoft") => asdb::cloud::Provider::Microsoft,
-                Some("facebook") => asdb::cloud::Provider::Facebook,
-                Some("cloudflare") => asdb::cloud::Provider::Cloudflare,
-                Some(other) => {
-                    return Err(format!(
-                        "unknown provider {other:?} (google|amazon|microsoft|facebook|cloudflare)"
-                    ))
+            let provider = parse_provider(flags)?;
+            let series = match open_warehouse(flags)? {
+                Some(wh) => {
+                    let (series, stats) = store::monthly_series(&wh, vantage, provider, jobs)?;
+                    eprintln!("[warehouse: {}]", stats.summary());
+                    series
                 }
+                None => dnscentral_core::experiments::run_monthly_series_for_jobs(
+                    vantage, provider, scale, seed, jobs,
+                ),
             };
-            let series = dnscentral_core::experiments::run_monthly_series_for_jobs(
-                vantage, provider, scale, seed, jobs,
-            );
             let detected = qmin::detect_cusum(&series, 0.05, 0.3);
             print!(
                 "{}",
@@ -401,7 +499,24 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 )
             );
         }
-        Some("report") => full_report(scale, seed, shards, jobs),
+        Some("report") => match open_warehouse(flags)? {
+            Some(wh) => {
+                let pred = scan_predicate(flags)?;
+                if flags.iter().any(|f| *f == "--json") {
+                    let (doc, stats) = store::report_json(&wh, &pred, jobs)?;
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&doc).expect("serializes")
+                    );
+                    eprintln!("[warehouse: {}]", stats.summary());
+                } else {
+                    let (text, stats) = store::render_report(&wh, &pred, jobs)?;
+                    print!("{text}");
+                    eprintln!("[warehouse: {}]", stats.summary());
+                }
+            }
+            None => full_report(scale, seed, shards, jobs),
+        },
         Some("inspect") => {
             let path = positional
                 .get(1)
@@ -436,7 +551,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             let pipe = PipelineOpts {
                 shards,
                 jobs,
-                keep_capture: None,
+                ..PipelineOpts::default()
             };
             let reports: Vec<_> = dnscentral_core::run_suite(specs, scale, seed, &pipe, jobs)
                 .iter()
@@ -470,7 +585,14 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             print_dataset_report(&run.id, vantage, &run.analysis, &run.dualstack, &run.spec);
         }
         Some("experiments") => {
-            let rows = dnscentral_core::paper::compare_with(scale, seed, jobs);
+            let rows = match open_warehouse(flags)? {
+                Some(wh) => {
+                    let (rows, stats) = store::compare(&wh, jobs)?;
+                    eprintln!("[warehouse: {}]", stats.summary());
+                    rows
+                }
+                None => dnscentral_core::paper::compare_with(scale, seed, jobs),
+            };
             print!("{}", dnscentral_core::paper::render_markdown(&rows));
         }
         Some("junk-overview") => {
@@ -481,7 +603,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             let pipe = PipelineOpts {
                 shards,
                 jobs,
-                keep_capture: None,
+                ..PipelineOpts::default()
             };
             let measured: Vec<_> = dnscentral_core::run_suite(specs, scale, seed, &pipe, jobs)
                 .iter()
@@ -687,6 +809,21 @@ fn live_cli(
         "[ingest: {} frames, {} malformed, {} unanswered, {} capture errors]",
         ingest.frames, ingest.malformed, ingest.unanswered_queries, ingest.capture_errors
     );
+    if let Some(wh) = open_warehouse(flags)? {
+        let stats = store::append_dataset_capture(
+            &wh,
+            &spec,
+            scale,
+            seed,
+            Path::new(out),
+            append_config(flags)?,
+        )?;
+        let committed = wh.commit().map_err(|e| e.to_string())?;
+        eprintln!(
+            "[warehouse: {} row(s) -> {committed} new partition(s)]",
+            stats.rows
+        );
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -869,6 +1006,77 @@ fn flag_value<'a>(flags: &'a [&'a String], name: &str) -> Option<&'a str> {
         .find_map(|f| f.strip_prefix(name)?.strip_prefix('='))
 }
 
+/// Open the warehouse named by `--warehouse=dir`, if any.
+fn open_warehouse(flags: &[&String]) -> Result<Option<std::sync::Arc<Warehouse>>, String> {
+    match flag_value(flags, "--warehouse") {
+        None => Ok(None),
+        Some(dir) => Warehouse::open(Path::new(dir))
+            .map(|wh| Some(std::sync::Arc::new(wh)))
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Appender tuning from `--partition-rows` / `--partition-bytes`.
+fn append_config(flags: &[&String]) -> Result<warehouse::AppendConfig, String> {
+    let mut config = warehouse::AppendConfig::default();
+    if let Some(n) = parsed_flag(flags, "--partition-rows", "a row count")? {
+        if n == 0 {
+            return Err("--partition-rows must be at least 1".to_string());
+        }
+        config.max_rows = n;
+    }
+    if let Some(n) = parsed_flag(flags, "--partition-bytes", "a byte budget")? {
+        if n == 0 {
+            return Err("--partition-bytes must be at least 1".to_string());
+        }
+        config.max_bytes = n;
+    }
+    Ok(config)
+}
+
+/// The pushdown predicate from `--from` / `--to`.
+fn scan_predicate(flags: &[&String]) -> Result<warehouse::Predicate, String> {
+    let mut pred = warehouse::Predicate::all();
+    pred.from = flag_value(flags, "--from")
+        .map(parse_sim_time)
+        .transpose()?;
+    pred.to = flag_value(flags, "--to").map(parse_sim_time).transpose()?;
+    Ok(pred)
+}
+
+/// Parse a scan bound: `YYYY-MM-DD`, or raw simulation microseconds.
+fn parse_sim_time(s: &str) -> Result<netbase::time::SimTime, String> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() == 3 {
+        let bad = || format!("bad date {s:?} (want YYYY-MM-DD)");
+        let year: i32 = parts[0].parse().map_err(|_| bad())?;
+        let month: u32 = parts[1].parse().map_err(|_| bad())?;
+        let day: u32 = parts[2].parse().map_err(|_| bad())?;
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return Err(bad());
+        }
+        Ok(netbase::time::SimTime::from_date(year, month, day))
+    } else {
+        s.parse::<u64>()
+            .map(netbase::time::SimTime)
+            .map_err(|_| format!("bad time {s:?} (want YYYY-MM-DD or microseconds)"))
+    }
+}
+
+/// The `--provider` flag (default google).
+fn parse_provider(flags: &[&String]) -> Result<asdb::cloud::Provider, String> {
+    match flag_value(flags, "--provider") {
+        None | Some("google") => Ok(asdb::cloud::Provider::Google),
+        Some("amazon") => Ok(asdb::cloud::Provider::Amazon),
+        Some("microsoft") => Ok(asdb::cloud::Provider::Microsoft),
+        Some("facebook") => Ok(asdb::cloud::Provider::Facebook),
+        Some("cloudflare") => Ok(asdb::cloud::Provider::Cloudflare),
+        Some(other) => Err(format!(
+            "unknown provider {other:?} (google|amazon|microsoft|facebook|cloudflare)"
+        )),
+    }
+}
+
 fn parse_vantage(s: &str) -> Result<Vantage, String> {
     match s {
         "nl" => Ok(Vantage::Nl),
@@ -895,7 +1103,8 @@ fn dataset_args<'a>(positional: &[&'a String]) -> Result<(Vantage, u16, &'a str)
     Ok((vantage, year, path.as_str()))
 }
 
-/// Print the per-dataset exhibits.
+/// Print the per-dataset exhibits (the same rendering warehouse scans
+/// reuse, so `report --warehouse` stays byte-identical to this path).
 fn print_dataset_report(
     id: &str,
     vantage: Vantage,
@@ -903,50 +1112,10 @@ fn print_dataset_report(
     dualstack: &DualStackAnalysis,
     spec: &simnet::scenario::DatasetSpec,
 ) {
-    println!("=== {id} ===");
     print!(
         "{}",
-        report::render_table3(&[metrics::dataset_summary(id, analysis)])
+        report::render_dataset_report(id, vantage, analysis, dualstack, spec)
     );
-    print!(
-        "{}",
-        report::render_fig1(&[metrics::cloud_share(id, analysis)])
-    );
-    print!(
-        "{}",
-        report::render_table4(&[metrics::google_split(id, analysis)])
-    );
-    let mixes: Vec<_> = asdb::cloud::ALL_PROVIDERS
-        .iter()
-        .map(|&p| metrics::qtype_mix(id, analysis, Some(p)))
-        .collect();
-    print!("{}", report::render_fig2(&mixes));
-    print!(
-        "{}",
-        report::render_fig4(&[junk::junk_report(id, analysis)])
-    );
-    print!(
-        "{}",
-        report::render_table5(&[transport::transport_report(id, analysis)])
-    );
-    let t6: Vec<_> = [
-        asdb::cloud::Provider::Amazon,
-        asdb::cloud::Provider::Microsoft,
-    ]
-    .iter()
-    .map(|&p| (id.to_string(), transport::resolver_families(analysis, p)))
-    .collect();
-    print!("{}", report::render_table6(&t6));
-    print!("{}", report::render_fig6(&ednssize::edns_report(analysis)));
-    if vantage == Vantage::BRoot {
-        print!("{}", report::render_as_ranking(analysis, 8));
-    }
-    for server in spec.servers.iter().take(2) {
-        let sites = dualstack.report_for_server(IpAddr::V4(server.v4));
-        if sites.iter().any(|s| s.queries_v4 + s.queries_v6 > 0) {
-            print!("{}", report::render_fig5(&server.name, &sites));
-        }
-    }
 }
 
 /// Run everything: the nine datasets, then the Figure 3 series.
@@ -959,7 +1128,7 @@ fn full_report(scale: Scale, seed: u64, shards: usize, jobs: usize) {
     let opts = PipelineOpts {
         shards,
         jobs,
-        keep_capture: None,
+        ..PipelineOpts::default()
     };
     let mut summaries = Vec::new();
     let mut shares = Vec::new();

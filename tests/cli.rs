@@ -45,6 +45,7 @@ fn help_covers_every_command_and_flag() {
         "generate",
         "analyze",
         "dataset",
+        "ingest",
         "qmin",
         "report",
         "inspect",
@@ -89,11 +90,17 @@ fn help_covers_every_command_and_flag() {
         "--filter",
         "--baseline",
         "--threshold",
+        "--warehouse",
+        "--from",
+        "--to",
+        "--partition-rows",
+        "--partition-bytes",
         "--keep-capture",
         "--stats",
         "--json",
         "--quick",
         "--list",
+        "--monthly",
     ] {
         assert!(help.contains(flag), "help is missing flag {flag}");
     }
@@ -254,6 +261,92 @@ fn dataset_json_is_valid() {
     assert!(doc["figure1"]["total"].as_f64().unwrap() > 0.2);
     assert!(doc["concentration"]["hhi"].as_f64().unwrap() > 0.0);
     assert_eq!(doc["table5"]["rows"].as_array().unwrap().len(), 5);
+}
+
+#[test]
+fn warehouse_ingest_then_report_matches_direct_run() {
+    let wh = tmp("wh");
+    let _ = std::fs::remove_dir_all(&wh);
+    let whs = wh.to_str().unwrap();
+
+    // ingest without a warehouse dir is a friendly error
+    let out = bin().args(["ingest", "nz", "2019"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--warehouse"));
+
+    let out = bin()
+        .args([
+            "ingest",
+            "nz",
+            "2019",
+            "--scale=tiny",
+            "--seed=5",
+            "--warehouse",
+            whs,
+            "--partition-rows=2048",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("new partition(s)"), "{text}");
+
+    // text report from the warehouse == the direct in-memory run
+    let direct = bin()
+        .args(["dataset", "nz", "2019", "--scale=tiny", "--seed=5"])
+        .output()
+        .expect("runs");
+    assert!(direct.status.success());
+    let scanned = bin()
+        .args(["report", "--warehouse", whs])
+        .output()
+        .expect("runs");
+    assert!(
+        scanned.status.success(),
+        "{}",
+        String::from_utf8_lossy(&scanned.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(direct.stdout).unwrap(),
+        String::from_utf8(scanned.stdout).unwrap()
+    );
+
+    // the JSON documents agree byte for byte as well
+    let direct = bin()
+        .args([
+            "dataset",
+            "nz",
+            "2019",
+            "--scale=tiny",
+            "--seed=5",
+            "--json",
+        ])
+        .output()
+        .expect("runs");
+    let scanned = bin()
+        .args(["report", "--warehouse", whs, "--json"])
+        .output()
+        .expect("runs");
+    assert!(direct.status.success() && scanned.status.success());
+    assert_eq!(direct.stdout, scanned.stdout);
+
+    // a time window before the dataset prunes every partition
+    let scanned = bin()
+        .args(["report", "--warehouse", whs, "--to", "2018-01-01"])
+        .output()
+        .expect("runs");
+    assert!(scanned.status.success());
+    let err = String::from_utf8(scanned.stderr).unwrap();
+    assert!(err.contains("pruned"), "{err}");
+    assert!(err.contains("0 row(s) read"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&wh);
 }
 
 #[test]
