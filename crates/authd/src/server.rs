@@ -241,6 +241,7 @@ fn handle_udp(
     };
     let now = shared.clock.now();
     shared.stats.bump(&shared.stats.udp_queries);
+    let flight_key = note_recv_hop(payload, flow_src);
     let outcome = {
         let mut rrl_guard = shared.rrl.as_ref().map(|m| m.lock().expect("rrl lock"));
         shared.responder.handle_into(
@@ -252,6 +253,9 @@ fn handle_udp(
             scratch,
         )
     };
+    if let Some(key) = flight_key {
+        obs::flight::hop("authd.respond", key);
+    }
     let flow = FlowKey {
         src: flow_src.ip(),
         src_port: flow_src.port(),
@@ -280,6 +284,9 @@ fn handle_udp(
                 shared.stats.bump(&shared.stats.rrl_slipped);
             }
             tap_exchange(shared, now, flow, 0, payload, Some(bytes));
+            if let Some(key) = flight_key {
+                obs::flight::hop("authd.tap", key);
+            }
             let _ = sock.send_to(bytes, peer);
             shared
                 .stats
@@ -398,9 +405,13 @@ fn serve_tcp_message(
         Some(p) => (p.src, p.dst, p.rtt_us),
         None => (peer, local, 0),
     };
+    let flight_key = note_recv_hop(msg, flow_src);
     let outcome = shared
         .responder
         .handle(msg, Transport::Tcp, flow_src.ip(), now, None);
+    if let Some(key) = flight_key {
+        obs::flight::hop("authd.respond", key);
+    }
     let flow = FlowKey {
         src: flow_src.ip(),
         src_port: flow_src.port(),
@@ -424,6 +435,9 @@ fn serve_tcp_message(
             // two-octet length prefix (matches the offline generator)
             if let Ok(framed_query) = frame(msg) {
                 tap_exchange(shared, now, flow, rtt_us, &framed_query, Some(&framed));
+                if let Some(key) = flight_key {
+                    obs::flight::hop("authd.tap", key);
+                }
             }
             let ok = stream.write_all(&framed).is_ok();
             shared
@@ -433,6 +447,27 @@ fn serve_tcp_message(
             ok
         }
     }
+}
+
+/// Flight-recorder identity of one served query, decided once at
+/// receive time: the logical flow source plus the DNS message id
+/// stands in for the generation timestamp the offline pipeline keys
+/// on (the server never sees that clock). Returns `Some(key)` — after
+/// emitting the `authd.recv` hop — only for sampled queries, so the
+/// later hops are a plain `if let` with no re-hash. One relaxed
+/// atomic load when sampling is off.
+#[inline]
+fn note_recv_hop(payload: &[u8], src: SocketAddr) -> Option<u64> {
+    if !obs::flight::sampling_enabled() || payload.len() < 2 {
+        return None;
+    }
+    let id = u16::from_be_bytes([payload[0], payload[1]]) as u64;
+    let key = obs::flight::query_key(id, &src.ip(), src.port());
+    if !obs::flight::sampled(key) {
+        return None;
+    }
+    obs::flight::hop("authd.recv", key);
+    Some(key)
 }
 
 /// Mirror one exchange into the tap (when present).

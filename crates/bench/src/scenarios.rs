@@ -48,9 +48,9 @@ impl Prepared {
 /// One named benchmark scenario.
 pub struct Scenario {
     /// Group label (`wire`, `gen`, `ingest`, `pipeline`, `suite`,
-    /// `analysis`, `warehouse`, `serve`, `substrates`); the criterion
-    /// benches map groups onto bench binaries, the CLI reports
-    /// `group/name`.
+    /// `analysis`, `warehouse`, `obs`, `serve`, `substrates`); the
+    /// criterion benches map groups onto bench binaries, the CLI
+    /// reports `group/name`.
     pub group: &'static str,
     /// Scenario name within the group.
     pub name: &'static str,
@@ -75,6 +75,7 @@ pub fn all() -> Vec<Scenario> {
     v.extend(suite());
     v.extend(analysis());
     v.extend(warehouse_store());
+    v.extend(obs_flight());
     v.extend(serve());
     v.extend(substrates());
     v
@@ -626,7 +627,57 @@ fn warehouse_store() -> Vec<Scenario> {
                 Prepared::new(matched.max(1), move || wh.scan(pred.clone()).count() as u64)
             },
         },
+        Scenario {
+            group: "warehouse",
+            name: "scan_explain",
+            setup: || {
+                let (rows, _) = sample_rows();
+                let n = rows.len() as u64;
+                let wh = built_warehouse(&rows, &warehouse_dir("scan-explain"));
+                // per-partition decode profiling on for every later
+                // scan in this process; the drain keeps it bounded
+                warehouse::explain::enable();
+                Prepared::new(n, move || {
+                    let rows = wh.scan(warehouse::Predicate::all()).count() as u64;
+                    let profiles = warehouse::explain::take();
+                    rows + profiles.len() as u64
+                })
+            },
+        },
     ]
+}
+
+// --- obs ------------------------------------------------------------
+
+fn obs_flight() -> Vec<Scenario> {
+    vec![Scenario {
+        group: "obs",
+        name: "flight_record",
+        setup: || {
+            use std::time::Duration;
+            // a registry the size of a busy run: 48 counters moving at
+            // different rates plus 8 populated histograms
+            let registry = obs::metrics::Registry::new();
+            for i in 0..48u64 {
+                registry
+                    .counter(&format!("bench_counter_{i:02}"), "bench fixture")
+                    .add(i * 7);
+            }
+            for i in 0..8u64 {
+                let h = registry.histogram(&format!("bench_hist_{i}"), "bench fixture");
+                for v in 0..64 {
+                    h.record(v * 17 + i);
+                }
+            }
+            let recorder =
+                obs::flight::Recorder::new(Duration::from_secs(1), obs::flight::RING_CAPACITY);
+            // one tick = one full sweep of the 56 registered metrics
+            Prepared::new(56, move || {
+                recorder.tick_registry(&registry);
+                recorder.ticks()
+            })
+        },
+    }]
 }
 
 // --- serve ----------------------------------------------------------

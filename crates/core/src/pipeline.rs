@@ -17,7 +17,8 @@ use crate::sink::{DualStackSink, FanoutSink, RowSink};
 use asdb::synth::InternetPlan;
 use entrada::enrich::Enricher;
 use entrada::ingest::{CaptureIngest, IngestStats};
-use netbase::capture::{CaptureError, CaptureRecord, RecordSink, RecordSource};
+use entrada::schema::QueryRow;
+use netbase::capture::{CaptureError, CaptureRecord, Direction, RecordSink, RecordSource};
 use simnet::engine::{plan_config_for, Engine};
 use simnet::profile::Vantage;
 use simnet::scenario::{dataset, DatasetSpec, Scale};
@@ -84,6 +85,34 @@ impl PipelineOpts {
     }
 }
 
+/// Flight-recorder hop for a sampled query leaving the generator (one
+/// relaxed atomic load when sampling is off; responses never sample).
+#[inline]
+fn note_gen_hop(rec: &CaptureRecord) {
+    if rec.direction == Direction::Query && obs::flight::sampling_enabled() {
+        let key =
+            obs::flight::query_key(rec.timestamp.as_micros(), &rec.flow.src, rec.flow.src_port);
+        if obs::flight::sampled(key) {
+            obs::flight::hop("pipeline.gen", key);
+        }
+    }
+}
+
+/// Flight-recorder hops for a sampled row coming out of ingest and
+/// about to be pushed into the analysis sinks. The key derives from
+/// the same (timestamp, src, src_port) triple the generator hop used,
+/// so one query's events chain across the pipeline.
+#[inline]
+fn note_row_hops(row: &QueryRow) {
+    if obs::flight::sampling_enabled() {
+        let key = obs::flight::query_key(row.timestamp.as_micros(), &row.src, row.src_port);
+        if obs::flight::sampled(key) {
+            obs::flight::hop("pipeline.ingest", key);
+            obs::flight::hop("pipeline.sink", key);
+        }
+    }
+}
+
 /// [`RecordSink`] over the sending half of a bounded channel: the
 /// engine pushes records into it; a full channel blocks (backpressure),
 /// a disconnected one (ingest side gone) surfaces as a broken pipe.
@@ -107,6 +136,7 @@ impl ChannelSink {
 
 impl RecordSink for ChannelSink {
     fn emit(&mut self, rec: CaptureRecord) -> std::io::Result<()> {
+        note_gen_hop(&rec);
         self.batch.push(rec);
         if self.batch.len() < BATCH {
             return Ok(());
@@ -160,6 +190,7 @@ impl SliceRouter {
 
 impl RecordSink for SliceRouter {
     fn emit(&mut self, rec: CaptureRecord) -> std::io::Result<()> {
+        note_gen_hop(&rec);
         self.buf.push(rec);
         Ok(())
     }
@@ -320,6 +351,7 @@ pub fn run_spec_with(
                 Some(engine_ref.scaled_total()),
             );
             for row in ingest.by_ref() {
+                note_row_hops(&row);
                 sink.push(&row);
                 progress.tick(1);
             }
@@ -368,6 +400,7 @@ pub fn run_spec_with(
                         );
                         let mut sink = fresh_sink();
                         for row in ingest.by_ref() {
+                            note_row_hops(&row);
                             sink.push(&row);
                         }
                         let stats = ingest.stats().clone();

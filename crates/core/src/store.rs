@@ -92,6 +92,12 @@ impl<'w> StoreSink<'w> {
 impl RowSink for StoreSink<'_> {
     fn push(&mut self, row: &QueryRow) {
         if let Some(app) = &mut self.0 {
+            if obs::flight::sampling_enabled() {
+                let key = obs::flight::query_key(row.timestamp.as_micros(), &row.src, row.src_port);
+                if obs::flight::sampled(key) {
+                    obs::flight::hop("warehouse.append", key);
+                }
+            }
             app.push(row);
         }
     }
@@ -314,6 +320,10 @@ pub fn analyze_source(
     let mut pred = pred.clone();
     pred.source = Some(id.to_string());
     let (metas, mut stats) = wh.plan(&pred);
+    if warehouse::explain::enabled() {
+        let text = warehouse::explain::render_plan(&pred, &metas, &stats);
+        warehouse::explain::record_plan(id.to_string(), text);
+    }
     // zone + PTR view, reconstructed as analyze_capture does
     let engine = Engine::new(info.spec.clone(), info.scale, info.seed);
     let fresh_sink = || {

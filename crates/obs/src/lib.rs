@@ -14,8 +14,14 @@
 //! - [`mod@stage`] — per-stage duration/throughput accounting behind the
 //!   CLI's `--stats` summary table, plus a throttled [`stage::Progress`]
 //!   reporter (records/s, ETA) for `report`-scale runs.
+//! - [`flight`] — the flight recorder: a background thread samples the
+//!   registry into fixed-capacity lock-free ring buffers (value + rate
+//!   for counters, quantile vectors for histograms) behind `--flight`,
+//!   plus a deterministic 1-in-N query sampler whose per-hop instant
+//!   events land in the Chrome trace.
 //! - [`prom`] — Prometheus text-format exposition of the registry,
-//!   served by a tiny built-in HTTP listener (`--metrics-addr`).
+//!   served by a tiny built-in HTTP listener (`--metrics-addr`); also
+//!   answers `/flight.json` with the recorder's retained window.
 //! - [`mod@bench`] — the perf-observability core: a warmup/trimmed-stats
 //!   benchmark runner and the `BENCH_*.json` report model with
 //!   noise-aware baseline diffing (the CI regression gate).
@@ -31,11 +37,12 @@
 
 pub mod alloc;
 pub mod bench;
+pub mod flight;
 pub mod metrics;
 pub mod prom;
 pub mod stage;
 pub mod trace;
 
-pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry};
+pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry, SampleValue};
 pub use stage::{stage, stage_owned, Progress, StageTimer};
 pub use trace::span;

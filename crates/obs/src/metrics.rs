@@ -178,6 +178,45 @@ impl Histogram {
             }
         }
     }
+
+    /// The occupied buckets as `(inclusive_upper_bound, cumulative
+    /// count)` pairs in ascending bound order — the Prometheus
+    /// `_bucket{le=...}` series without the trailing `+Inf` (that one
+    /// is just [`Histogram::count`]). Buckets that change nothing
+    /// (zero occupancy) are skipped, so the exposition stays sparse.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                let (lower, width) = bucket_bounds(i);
+                out.push((lower + width - 1, cum));
+            }
+        }
+        out
+    }
+}
+
+/// One metric's value at a point in time, as enumerated by
+/// [`Registry::sample`] — the read-side unit the flight recorder
+/// ([`crate::flight`]) snapshots into its rings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A histogram's count, sum, and p50/p90/p99/p999 quantiles.
+    Histogram {
+        /// Total samples recorded.
+        count: u64,
+        /// Sum of all recorded samples.
+        sum: u64,
+        /// The p50, p90, p99 and p999 bucket midpoints.
+        quantiles: [u64; 4],
+    },
 }
 
 /// One named metric slot.
@@ -291,7 +330,11 @@ impl Registry {
 
     /// Render every metric in Prometheus text exposition format
     /// (version 0.0.4), names sorted for deterministic output.
-    /// Histograms render as summaries with p50/p90/p99/p999 quantiles.
+    /// Histograms render both the legacy summary series (quantile
+    /// gauges + `_sum`/`_count`) and a true cumulative histogram: one
+    /// sparse `{name}_hist_bucket{le="..."}` series over the occupied
+    /// log-linear buckets plus `+Inf`, so external scrapers can compute
+    /// their own quantiles.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write;
         let entries = self.entries.read().expect("registry lock");
@@ -321,9 +364,51 @@ impl Registry {
                     }
                     writeln!(out, "{name}_sum {}", h.sum()).expect("string write");
                     writeln!(out, "{name}_count {}", h.count()).expect("string write");
+                    // the same buckets as a proper Prometheus histogram
+                    // family (kept distinct from the summary above — one
+                    // name cannot carry two TYPEs)
+                    writeln!(out, "# TYPE {name}_hist histogram").expect("string write");
+                    for (le, cum) in h.cumulative_buckets() {
+                        writeln!(out, "{name}_hist_bucket{{le=\"{le}\"}} {cum}")
+                            .expect("string write");
+                    }
+                    writeln!(out, "{name}_hist_bucket{{le=\"+Inf\"}} {}", h.count())
+                        .expect("string write");
+                    writeln!(out, "{name}_hist_sum {}", h.sum()).expect("string write");
+                    writeln!(out, "{name}_hist_count {}", h.count()).expect("string write");
                 }
             }
         }
+        out
+    }
+
+    /// Snapshot every registered metric as `(name, value)` pairs in
+    /// name order — the flight recorder's per-tick read. Histograms
+    /// collapse to count/sum/quantiles so a tick's cost is independent
+    /// of sample volume.
+    pub fn sample(&self) -> Vec<(String, SampleValue)> {
+        let entries = self.entries.read().expect("registry lock");
+        let mut out: Vec<(String, SampleValue)> = entries
+            .iter()
+            .map(|(name, entry)| {
+                let value = match &entry.slot {
+                    Slot::Counter(c) => SampleValue::Counter(c.get()),
+                    Slot::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Slot::Histogram(h) => SampleValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        quantiles: [
+                            h.quantile(0.5),
+                            h.quantile(0.9),
+                            h.quantile(0.99),
+                            h.quantile(0.999),
+                        ],
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 }
@@ -543,6 +628,11 @@ demo_latency_us{quantile=\"0.99\"} 99
 demo_latency_us{quantile=\"0.999\"} 99
 demo_latency_us_sum 10000
 demo_latency_us_count 100
+# TYPE demo_latency_us_hist histogram
+demo_latency_us_hist_bucket{le=\"103\"} 100
+demo_latency_us_hist_bucket{le=\"+Inf\"} 100
+demo_latency_us_hist_sum 10000
+demo_latency_us_hist_count 100
 # HELP demo_qps current rate
 # TYPE demo_qps gauge
 demo_qps 42.5
@@ -551,5 +641,49 @@ demo_qps 42.5
 demo_queries_total 123
 ";
         assert_eq!(r.render_prometheus(), expected);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_cover_count() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 100, 100, 100, 5_000] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 3, "three distinct buckets occupied");
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "bounds ascend: {buckets:?}");
+            assert!(w[0].1 < w[1].1, "cumulative counts ascend: {buckets:?}");
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        // every recorded value is <= the bound of the bucket it fell in
+        assert!(buckets[0].0 >= 3 && buckets[1].0 >= 100 && buckets[2].0 >= 5_000);
+    }
+
+    #[test]
+    fn registry_sample_enumerates_every_kind_in_name_order() {
+        let r = Registry::new();
+        r.counter("s_total", "c").add(7);
+        r.gauge("a_qps", "g").set(1.5);
+        let h = r.histogram("m_lat", "h");
+        h.record(10);
+        h.record(1000);
+        let snap = r.sample();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a_qps", "m_lat", "s_total"], "sorted by name");
+        assert_eq!(snap[2].1, SampleValue::Counter(7));
+        assert_eq!(snap[0].1, SampleValue::Gauge(1.5));
+        match &snap[1].1 {
+            SampleValue::Histogram {
+                count,
+                sum,
+                quantiles,
+            } => {
+                assert_eq!(*count, 2);
+                assert_eq!(*sum, 1010);
+                assert!(quantiles[0] <= quantiles[3], "quantiles monotone");
+            }
+            other => panic!("expected histogram sample, got {other:?}"),
+        }
     }
 }

@@ -129,10 +129,31 @@ fn handle_conn(mut stream: TcpStream, registry: &Registry) {
     // strip any query string before matching the path
     let path = path.split('?').next().unwrap_or(path);
 
-    let (status, body) = match (method, path) {
-        ("GET" | "HEAD", "/metrics") => ("200 OK", registry.render_prometheus()),
-        ("GET" | "HEAD", _) => ("404 Not Found", "not found\n".to_string()),
-        _ => ("405 Method Not Allowed", "method not allowed\n".to_string()),
+    let (status, content_type, body) = match (method, path) {
+        ("GET" | "HEAD", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        ),
+        // the flight recorder's retained window, when one is running
+        ("GET" | "HEAD", "/flight.json") => match crate::flight::recorder() {
+            Some(rec) => ("200 OK", "application/json", rec.snapshot_json()),
+            None => (
+                "404 Not Found",
+                "text/plain; version=0.0.4; charset=utf-8",
+                "flight recorder not running (pass --flight)\n".to_string(),
+            ),
+        },
+        ("GET" | "HEAD", _) => (
+            "404 Not Found",
+            "text/plain; version=0.0.4; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; version=0.0.4; charset=utf-8",
+            "method not allowed\n".to_string(),
+        ),
     };
     let allow = if status.starts_with("405") {
         "Allow: GET, HEAD\r\n"
@@ -141,7 +162,7 @@ fn handle_conn(mut stream: TcpStream, registry: &Registry) {
     };
     let header = format!(
         "HTTP/1.1 {status}\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          {allow}Connection: close\r\n\r\n",
         body.len(),
@@ -231,6 +252,38 @@ mod tests {
         // query strings don't defeat path matching
         let resp = raw_request(addr, "GET /metrics?x=1 HTTP/1.1\r\nHost: t\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_json_route_404s_then_serves_the_recorder() {
+        let server = serve("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.addr();
+        // no recorder yet: the route explains itself with a 404
+        let resp = raw_request(addr, "GET /flight.json HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        assert!(resp.contains("flight recorder not running"), "{resp}");
+
+        // start the global recorder and force one sample
+        crate::flight::start(Duration::from_secs(3600));
+        crate::metrics::counter("obs_prom_flight_total", "t").add(9);
+        crate::flight::recorder()
+            .expect("recorder started")
+            .tick_registry(crate::metrics::Registry::global());
+        let resp = raw_request(addr, "GET /flight.json HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("Content-Type: application/json"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        assert_eq!(content_length(&resp), body.len());
+        let doc: serde_json::Value = serde_json::from_str(body).expect("valid JSON window");
+        assert!(
+            doc["metrics"]
+                .as_array()
+                .expect("metrics array")
+                .iter()
+                .any(|m| m["name"] == "obs_prom_flight_total"),
+            "{body}"
+        );
         server.shutdown();
     }
 

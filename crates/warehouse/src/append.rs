@@ -88,6 +88,7 @@ impl<'w> Appender<'w> {
         let Some(batch) = self.open.remove(&bucket) else {
             return;
         };
+        let _span = obs::span("warehouse.append.flush");
         match self.warehouse.stage(&self.source, &batch) {
             Ok(()) => self.stats.partitions += 1,
             Err(e) => {
@@ -118,6 +119,7 @@ impl<'w> Appender<'w> {
     /// Does **not** commit — call [`Warehouse::commit`] once all
     /// appenders for the ingest have finished.
     pub fn finish(mut self) -> Result<AppendStats, WarehouseError> {
+        let _span = obs::span("warehouse.append.finish");
         let mut buckets: Vec<u64> = self.open.keys().copied().collect();
         buckets.sort_unstable();
         for bucket in buckets {

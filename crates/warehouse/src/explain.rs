@@ -1,0 +1,371 @@
+//! Scan EXPLAIN: a pre-execution plan tree and a post-run decode
+//! profile for warehouse scans.
+//!
+//! The plan side is pure manifest arithmetic — [`render_plan`] works
+//! from the partition list and [`ScanStats`] produced by
+//! [`crate::Warehouse::plan`], so its output is byte-identical no
+//! matter how many threads later execute the scan. The profile side
+//! ([`enable`] / [`record`] / [`take`]) is a process-global collector
+//! that [`crate::Warehouse::read_for_scan`] feeds one
+//! [`PartitionProfile`] per decoded partition (decode wall time plus
+//! the encoded byte count of every column segment); [`render_profile`]
+//! sorts by file name before printing so parallel scans stay
+//! reproducible modulo the timings themselves.
+//!
+//! The collector is deliberately shaped like `obs::trace`'s: a relaxed
+//! flag guards the hot path (one atomic load per partition when
+//! disabled) and a mutex-wrapped vector holds the profiles.
+
+use crate::manifest::PartitionMeta;
+use crate::partition::{ColumnBytes, COLUMN_NAMES};
+use crate::scan::{Predicate, ScanStats};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// The zone-map dimension that proved a partition cannot match a
+/// [`Predicate`] (the first one checked wins; dimensions are tested in
+/// this order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneDim {
+    /// Manifest source id differs from `pred.source`.
+    Source = 0,
+    /// Partition's max timestamp is below `pred.from`.
+    TimeFrom = 1,
+    /// Partition's min timestamp is at or past `pred.to`.
+    TimeTo = 2,
+    /// Provider presence bitmap lacks the requested provider tag.
+    Provider = 3,
+    /// Distinct-qtype list is known and misses the requested qtype.
+    Qtype = 4,
+}
+
+impl PruneDim {
+    /// Number of dimensions (length of [`PruneDim::ALL`]).
+    pub const COUNT: usize = 5;
+
+    /// Every dimension, in check order.
+    pub const ALL: [PruneDim; PruneDim::COUNT] = [
+        PruneDim::Source,
+        PruneDim::TimeFrom,
+        PruneDim::TimeTo,
+        PruneDim::Provider,
+        PruneDim::Qtype,
+    ];
+
+    /// Stable lowercase name used in EXPLAIN output and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            PruneDim::Source => "source",
+            PruneDim::TimeFrom => "time_from",
+            PruneDim::TimeTo => "time_to",
+            PruneDim::Provider => "provider",
+            PruneDim::Qtype => "qtype",
+        }
+    }
+}
+
+/// What one decoded partition cost: wall time and where its encoded
+/// bytes lived, column by column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionProfile {
+    /// Partition file name (manifest-relative).
+    pub file: String,
+    /// Rows decoded from the partition.
+    pub rows: u64,
+    /// Whole-file size in bytes (header + columns + footer + CRC).
+    pub bytes: u64,
+    /// Wall-clock microseconds spent reading + decoding the file.
+    pub decode_us: u64,
+    /// Encoded payload bytes per column (index = column id - 1).
+    pub columns: ColumnBytes,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PROFILES: OnceLock<Mutex<Vec<PartitionProfile>>> = OnceLock::new();
+static PLANS: OnceLock<Mutex<Vec<(String, String)>>> = OnceLock::new();
+
+fn profiles() -> &'static Mutex<Vec<PartitionProfile>> {
+    PROFILES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn plans() -> &'static Mutex<Vec<(String, String)>> {
+    PLANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Turn per-partition profile collection on (idempotent; stays on for
+/// the process — the CLI's `--explain` flag sets it once at startup).
+pub fn enable() {
+    profiles();
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Whether scans should time decodes and record profiles.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record one partition's profile (called by
+/// [`crate::Warehouse::read_for_scan`] when [`enabled`]).
+pub fn record(profile: PartitionProfile) {
+    if !enabled() {
+        return;
+    }
+    profiles().lock().expect("explain lock").push(profile);
+}
+
+/// Drain the collected profiles, sorted by file name so output does
+/// not depend on which scan thread finished first.
+pub fn take() -> Vec<PartitionProfile> {
+    let mut out = match PROFILES.get() {
+        Some(m) => std::mem::take(&mut *m.lock().expect("explain lock")),
+        None => Vec::new(),
+    };
+    out.sort_by(|a, b| a.file.cmp(&b.file));
+    out
+}
+
+/// Buffer one rendered plan tree under a sort key (the source id), so
+/// plans produced inside parallel scan tasks still print in one
+/// deterministic order (no-op unless [`enabled`]).
+pub fn record_plan(key: String, text: String) {
+    if !enabled() {
+        return;
+    }
+    plans().lock().expect("explain lock").push((key, text));
+}
+
+/// Drain the buffered plan trees, sorted by key — byte-identical
+/// output for any `--jobs` value.
+pub fn take_plans() -> Vec<(String, String)> {
+    let mut out = match PLANS.get() {
+        Some(m) => std::mem::take(&mut *m.lock().expect("explain lock")),
+        None => Vec::new(),
+    };
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn fmt_predicate(pred: &Predicate) -> String {
+    let mut parts = Vec::new();
+    if let Some(from) = pred.from {
+        parts.push(format!("from={}us", from.as_micros()));
+    }
+    if let Some(to) = pred.to {
+        parts.push(format!("to={}us", to.as_micros()));
+    }
+    if let Some(p) = pred.provider {
+        parts.push(format!(
+            "provider={}",
+            match p {
+                Some(p) => p.name(),
+                None => "rest-of-internet",
+            }
+        ));
+    }
+    if let Some(q) = pred.qtype {
+        parts.push(format!("qtype={q:?}"));
+    }
+    if let Some(s) = &pred.source {
+        parts.push(format!("source={s}"));
+    }
+    if parts.is_empty() {
+        "unrestricted".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+/// Render the pre-execution plan tree: predicate, per-dimension prune
+/// counts, and the partitions that will be opened with their
+/// zone-map row/byte estimates. Deterministic — built entirely from
+/// the manifest, before any file is read, so `--jobs` cannot change a
+/// byte of it.
+pub fn render_plan(pred: &Predicate, keep: &[PartitionMeta], stats: &ScanStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXPLAIN scan");
+    let _ = writeln!(out, "  predicate: {}", fmt_predicate(pred));
+    let _ = writeln!(
+        out,
+        "  partitions: {} total, {} pruned, {} to open",
+        stats.partitions_total,
+        stats.pruned,
+        keep.len()
+    );
+    for dim in PruneDim::ALL {
+        let n = stats.pruned_by[dim as usize];
+        if n > 0 {
+            let _ = writeln!(out, "    pruned by {}: {}", dim.name(), n);
+        }
+    }
+    let est_rows: u64 = keep.iter().map(|m| m.zone.rows).sum();
+    let est_bytes: u64 = keep.iter().map(|m| m.bytes).sum();
+    let _ = writeln!(
+        out,
+        "  estimate: {est_rows} row(s), {est_bytes} byte(s) to decode"
+    );
+    for meta in keep {
+        let _ = writeln!(
+            out,
+            "    open {}  source={}  rows={}  bytes={}",
+            meta.file, meta.source, meta.zone.rows, meta.bytes
+        );
+    }
+    out
+}
+
+/// Render the post-run profile: per-partition decode timings, the
+/// aggregated per-column byte breakdown, and the residual-filter
+/// selectivity out of `stats`. Timings vary run to run — the CLI
+/// prints this to stderr, keeping stdout byte-stable.
+pub fn render_profile(profiles: &[PartitionProfile], stats: &ScanStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "EXPLAIN profile: {} partition(s) decoded",
+        profiles.len()
+    );
+    let mut columns = [0u64; COLUMN_NAMES.len()];
+    let mut total_us = 0u64;
+    for p in profiles {
+        let _ = writeln!(
+            out,
+            "  {}  rows={}  bytes={}  decode_us={}",
+            p.file, p.rows, p.bytes, p.decode_us
+        );
+        for (acc, b) in columns.iter_mut().zip(p.columns.iter()) {
+            *acc += b;
+        }
+        total_us += p.decode_us;
+    }
+    let col_total: u64 = columns.iter().sum();
+    if col_total > 0 {
+        let _ = writeln!(out, "  column bytes decoded ({col_total} total):");
+        let mut ranked: Vec<(usize, u64)> = columns
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, b)| *b > 0)
+            .collect();
+        // largest first; name breaks ties so the listing is stable
+        ranked.sort_by_key(|&(i, b)| (std::cmp::Reverse(b), COLUMN_NAMES[i]));
+        for (i, b) in ranked {
+            let _ = writeln!(out, "    {:<14} {:>10}", COLUMN_NAMES[i], b);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  residual filter: {} row(s) decoded, {} matched, {} filtered out",
+        stats.rows,
+        stats.rows_matched,
+        stats.rows - stats.rows_matched
+    );
+    let _ = writeln!(out, "  total decode time: {total_us}us");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::ZoneMap;
+
+    fn meta(file: &str, rows: u64, bytes: u64) -> PartitionMeta {
+        PartitionMeta {
+            file: file.to_string(),
+            source: "s".to_string(),
+            bytes,
+            zone: ZoneMap {
+                rows,
+                min_ts: 0,
+                max_ts: 1,
+                providers: 1,
+                qtypes: vec![1],
+            },
+            crc: 0,
+        }
+    }
+
+    #[test]
+    fn plan_tree_reconciles_totals_and_lists_survivors() {
+        let mut stats = ScanStats {
+            partitions_total: 3,
+            pruned: 2,
+            ..ScanStats::default()
+        };
+        stats.pruned_by[PruneDim::TimeFrom as usize] = 1;
+        stats.pruned_by[PruneDim::Provider as usize] = 1;
+        let keep = vec![meta("part-000002.dnswh", 40, 1200)];
+        let text = render_plan(&Predicate::all(), &keep, &stats);
+        assert!(text.contains("3 total, 2 pruned, 1 to open"));
+        assert!(text.contains("pruned by time_from: 1"));
+        assert!(text.contains("pruned by provider: 1"));
+        assert!(!text.contains("pruned by qtype"), "zero rows are elided");
+        assert!(text.contains("estimate: 40 row(s), 1200 byte(s)"));
+        assert!(text.contains("open part-000002.dnswh  source=s  rows=40  bytes=1200"));
+    }
+
+    #[test]
+    fn profile_collector_is_gated_and_sorts_by_file() {
+        assert_eq!(take(), Vec::new());
+        record(PartitionProfile {
+            file: "ignored-while-disabled".into(),
+            rows: 0,
+            bytes: 0,
+            decode_us: 0,
+            columns: [0; COLUMN_NAMES.len()],
+        });
+        assert!(take().is_empty(), "record is a no-op until enabled");
+        enable();
+        for file in ["part-000002.dnswh", "part-000001.dnswh"] {
+            record(PartitionProfile {
+                file: file.into(),
+                rows: 10,
+                bytes: 100,
+                decode_us: 5,
+                columns: [1; COLUMN_NAMES.len()],
+            });
+        }
+        let got = take();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].file, "part-000001.dnswh");
+        assert_eq!(got[1].file, "part-000002.dnswh");
+        assert!(take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn profile_render_aggregates_columns_and_selectivity() {
+        let mut columns = [0u64; COLUMN_NAMES.len()];
+        columns[0] = 300; // timestamps
+        columns[1] = 500; // srcs
+        let profiles = vec![
+            PartitionProfile {
+                file: "part-000001.dnswh".into(),
+                rows: 40,
+                bytes: 900,
+                decode_us: 12,
+                columns,
+            },
+            PartitionProfile {
+                file: "part-000002.dnswh".into(),
+                rows: 40,
+                bytes: 900,
+                decode_us: 8,
+                columns,
+            },
+        ];
+        let stats = ScanStats {
+            rows: 80,
+            rows_matched: 60,
+            ..ScanStats::default()
+        };
+        let text = render_profile(&profiles, &stats);
+        assert!(text.contains("2 partition(s) decoded"));
+        assert!(text.contains("column bytes decoded (1600 total)"));
+        let srcs = text.find("srcs").unwrap();
+        let ts = text.find("timestamps").unwrap();
+        assert!(srcs < ts, "largest column first");
+        assert!(text.contains("80 row(s) decoded, 60 matched, 20 filtered out"));
+        assert!(text.contains("total decode time: 20us"));
+    }
+}

@@ -24,13 +24,15 @@
 
 pub mod append;
 pub mod codec;
+pub mod explain;
 pub mod manifest;
 pub mod partition;
 pub mod scan;
 
 pub use append::{AppendConfig, AppendStats, Appender};
+pub use explain::{PartitionProfile, PruneDim};
 pub use manifest::{Manifest, PartitionMeta, SourceMeta};
-pub use partition::{PartitionError, ZoneMap};
+pub use partition::{ColumnBytes, PartitionError, ZoneMap};
 pub use scan::{PartitionScan, Predicate, ScanStats};
 
 use entrada::table::ColumnarBatch;
@@ -238,6 +240,7 @@ impl Warehouse {
     /// and therefore scan order — does not depend on which ingest
     /// worker flushed first.
     pub fn commit(&self) -> Result<usize, WarehouseError> {
+        let _span = obs::span("warehouse.commit");
         let mut inner = self.inner.lock().expect("warehouse lock");
         let mut staged = std::mem::take(&mut inner.staged);
         staged.sort_by(|a, b| {
@@ -253,12 +256,23 @@ impl Warehouse {
     /// decode). The manifest CRC is cross-checked against the file
     /// trailer so a swapped file is caught even when self-consistent.
     pub fn read_partition(&self, meta: &PartitionMeta) -> Result<ColumnarBatch, WarehouseError> {
+        self.read_partition_profiled(meta).map(|(batch, _)| batch)
+    }
+
+    /// [`read_partition`](Warehouse::read_partition), additionally
+    /// returning the encoded payload length of every column segment
+    /// (EXPLAIN's per-column byte accounting).
+    pub fn read_partition_profiled(
+        &self,
+        meta: &PartitionMeta,
+    ) -> Result<(ColumnarBatch, partition::ColumnBytes), WarehouseError> {
         let path = self.root.join(&meta.file);
         let bytes = fs::read(&path).map_err(|e| WarehouseError::io(&path, e))?;
-        let (batch, zone) = partition::decode(&bytes).map_err(|e| WarehouseError::Corrupt {
-            path: path.display().to_string(),
-            reason: e.to_string(),
-        })?;
+        let (batch, zone, columns) =
+            partition::decode_profiled(&bytes).map_err(|e| WarehouseError::Corrupt {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            })?;
         let trailer = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("trailer"));
         if trailer != meta.crc || zone != meta.zone {
             return Err(WarehouseError::Corrupt {
@@ -266,6 +280,6 @@ impl Warehouse {
                 reason: "partition does not match its manifest entry".to_string(),
             });
         }
-        Ok(batch)
+        Ok((batch, columns))
     }
 }

@@ -33,6 +33,29 @@ const VERSION: u16 = 1;
 const FOOTER_MARKER: u8 = 0xEE;
 const COLUMN_COUNT: u8 = 14;
 
+/// Column names in file order (index = column id - 1), for EXPLAIN's
+/// per-column byte accounting.
+pub const COLUMN_NAMES: [&str; COLUMN_COUNT as usize] = [
+    "timestamps",
+    "srcs",
+    "src_ports",
+    "servers",
+    "transports",
+    "qname_ids",
+    "qtypes",
+    "edns_sizes",
+    "flags",
+    "rcodes",
+    "response_sizes",
+    "tcp_rtts",
+    "asns",
+    "qname_dict",
+];
+
+/// Encoded payload bytes per column (index = column id - 1), as
+/// returned by [`decode_profiled`].
+pub type ColumnBytes = [u64; COLUMN_COUNT as usize];
+
 /// Distinct-qtype lists longer than this are dropped from the zone map
 /// (an empty list means "unknown — cannot prune on qtype").
 const MAX_ZONE_QTYPES: usize = 64;
@@ -280,12 +303,17 @@ pub fn encode(batch: &ColumnarBatch) -> (Vec<u8>, ZoneMap) {
     (out, zone)
 }
 
-fn column_payload<'a>(r: &mut Reader<'a>, expect_id: u8) -> Result<Reader<'a>, PartitionError> {
+fn column_payload<'a>(
+    r: &mut Reader<'a>,
+    profile: &mut ColumnBytes,
+    expect_id: u8,
+) -> Result<Reader<'a>, PartitionError> {
     let id = r.u8()?;
     if id != expect_id {
         return Err(PartitionError::Invalid("column id"));
     }
     let len = r.u32_le()? as usize;
+    profile[expect_id as usize - 1] = len as u64;
     Ok(Reader::new(r.bytes(len)?))
 }
 
@@ -300,6 +328,17 @@ fn narrow<T: TryFrom<u64>>(values: Vec<u64>, what: &'static str) -> Result<Vec<T
 /// map, verifying the CRC first (so any flipped bit or truncation is a
 /// [`PartitionError`], never bad rows).
 pub fn decode(bytes: &[u8]) -> Result<(ColumnarBatch, ZoneMap), PartitionError> {
+    decode_profiled(bytes).map(|(batch, zone, _)| (batch, zone))
+}
+
+/// [`decode`], additionally returning the encoded payload length of
+/// every column segment (indexed by column id - 1, named by
+/// [`COLUMN_NAMES`]) so EXPLAIN can report where the decoded bytes
+/// went without a second pass over the file.
+pub fn decode_profiled(
+    bytes: &[u8],
+) -> Result<(ColumnarBatch, ZoneMap, ColumnBytes), PartitionError> {
+    let mut colbytes: ColumnBytes = [0; COLUMN_COUNT as usize];
     if bytes.len() < MAGIC.len() + 2 + 1 + 1 + 25 + 4 {
         return Err(PartitionError::TooShort);
     }
@@ -326,19 +365,19 @@ pub fn decode(bytes: &[u8]) -> Result<(ColumnarBatch, ZoneMap), PartitionError> 
 
     let mut cols = Columns::default();
 
-    let mut seg = column_payload(&mut r, 1)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 1)?;
     cols.timestamps = get_deltas(&mut seg, max)?;
     let rows = cols.timestamps.len();
 
-    let mut seg = column_payload(&mut r, 2)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 2)?;
     let n = seg.varint_len(max)?;
     cols.srcs = (0..n).map(|_| get_ip(&mut seg)).collect::<Result<_, _>>()?;
 
-    let mut seg = column_payload(&mut r, 3)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 3)?;
     let n = seg.varint_len(max)?;
     cols.src_ports = (0..n).map(|_| seg.u16_le()).collect::<Result<_, _>>()?;
 
-    let mut seg = column_payload(&mut r, 4)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 4)?;
     let n = seg.varint_len(max)?;
     let server_dict: Vec<IpAddr> = (0..n).map(|_| get_ip(&mut seg)).collect::<Result<_, _>>()?;
     let indexes = get_rle(&mut seg, max)?;
@@ -352,35 +391,35 @@ pub fn decode(bytes: &[u8]) -> Result<(ColumnarBatch, ZoneMap), PartitionError> 
         })
         .collect::<Result<_, _>>()?;
 
-    let mut seg = column_payload(&mut r, 5)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 5)?;
     cols.transports = get_bits(&mut seg, max)?;
 
-    let mut seg = column_payload(&mut r, 6)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 6)?;
     cols.qname_ids = narrow(get_varints(&mut seg, max)?, "qname id")?;
 
-    let mut seg = column_payload(&mut r, 7)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 7)?;
     cols.qtypes = narrow(get_rle(&mut seg, max)?, "qtype")?;
 
-    let mut seg = column_payload(&mut r, 8)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 8)?;
     cols.edns_sizes = narrow(get_rle(&mut seg, max)?, "edns size")?;
 
-    let mut seg = column_payload(&mut r, 9)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 9)?;
     let n = seg.varint_len(max)?;
     cols.flags = seg.bytes(n)?.to_vec();
 
-    let mut seg = column_payload(&mut r, 10)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 10)?;
     cols.rcodes = narrow(get_rle(&mut seg, max)?, "rcode")?;
 
-    let mut seg = column_payload(&mut r, 11)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 11)?;
     cols.response_sizes = narrow(get_varints(&mut seg, max)?, "response size")?;
 
-    let mut seg = column_payload(&mut r, 12)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 12)?;
     cols.tcp_rtts = narrow(get_varints(&mut seg, max)?, "tcp rtt")?;
 
-    let mut seg = column_payload(&mut r, 13)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 13)?;
     cols.asns = narrow(get_varints(&mut seg, max)?, "asn")?;
 
-    let mut seg = column_payload(&mut r, 14)?;
+    let mut seg = column_payload(&mut r, &mut colbytes, 14)?;
     let n = seg.varint_len(max)?;
     for _ in 0..n {
         let len = seg.varint_len(max)?;
@@ -419,6 +458,7 @@ pub fn decode(bytes: &[u8]) -> Result<(ColumnarBatch, ZoneMap), PartitionError> 
             providers,
             qtypes,
         },
+        colbytes,
     ))
 }
 

@@ -14,6 +14,7 @@
 //! records. Callers inspect [`ScanStats::corrupt`] (or the
 //! `warehouse_partitions_corrupt_total` metric) to notice.
 
+use crate::explain::{self, PartitionProfile, PruneDim};
 use crate::manifest::PartitionMeta;
 use crate::{Warehouse, WarehouseError};
 use asdb::cloud::Provider;
@@ -69,8 +70,13 @@ pub struct ScanStats {
     pub partitions_total: u64,
     /// Partitions skipped by zone-map pruning without being opened.
     pub pruned: u64,
+    /// `pruned` broken down by the zone-map dimension that won
+    /// (indexed by [`PruneDim`] discriminant; sums to `pruned`).
+    pub pruned_by: [u64; PruneDim::COUNT],
     /// Partitions whose column bytes were read and decoded.
     pub scanned: u64,
+    /// File bytes read from scanned partitions.
+    pub bytes_scanned: u64,
     /// Partitions that failed CRC/decode and were skipped (reported on
     /// stderr and in the metrics registry).
     pub corrupt: u64,
@@ -86,7 +92,11 @@ impl ScanStats {
     pub fn merge(&mut self, other: &ScanStats) {
         self.partitions_total += other.partitions_total;
         self.pruned += other.pruned;
+        for (acc, n) in self.pruned_by.iter_mut().zip(other.pruned_by.iter()) {
+            *acc += n;
+        }
         self.scanned += other.scanned;
+        self.bytes_scanned += other.bytes_scanned;
         self.corrupt += other.corrupt;
         self.rows += other.rows;
         self.rows_matched += other.rows_matched;
@@ -106,37 +116,45 @@ impl ScanStats {
     }
 }
 
-/// True when the zone map proves `meta` cannot contain a row matching
-/// `pred` — the partition is skipped without opening the file.
-pub fn prunes(meta: &PartitionMeta, pred: &Predicate) -> bool {
+/// The zone-map dimension proving `meta` cannot contain a row matching
+/// `pred`, or `None` when the partition must be opened. Dimensions are
+/// tested in [`PruneDim::ALL`] order and the first winner is reported
+/// (EXPLAIN's "pruned by" attribution).
+pub fn prune_reason(meta: &PartitionMeta, pred: &Predicate) -> Option<PruneDim> {
     if let Some(src) = &pred.source {
         if &meta.source != src {
-            return true;
+            return Some(PruneDim::Source);
         }
     }
     if let Some(from) = pred.from {
         if meta.zone.max_ts < from.as_micros() {
-            return true;
+            return Some(PruneDim::TimeFrom);
         }
     }
     if let Some(to) = pred.to {
         if meta.zone.min_ts >= to.as_micros() {
-            return true;
+            return Some(PruneDim::TimeTo);
         }
     }
     if let Some(p) = pred.provider {
         if meta.zone.providers & (1 << provider_tag(p)) == 0 {
-            return true;
+            return Some(PruneDim::Provider);
         }
     }
     if let Some(q) = pred.qtype {
         // an empty qtype list means "too many distinct values to
         // record" — never prune on it
         if !meta.zone.qtypes.is_empty() && !meta.zone.qtypes.contains(&q.to_u16()) {
-            return true;
+            return Some(PruneDim::Qtype);
         }
     }
-    false
+    None
+}
+
+/// True when the zone map proves `meta` cannot contain a row matching
+/// `pred` — the partition is skipped without opening the file.
+pub fn prunes(meta: &PartitionMeta, pred: &Predicate) -> bool {
+    prune_reason(meta, pred).is_some()
 }
 
 /// The residual row-level filter applied to rows of surviving
@@ -184,8 +202,9 @@ impl Warehouse {
         let mut keep = Vec::new();
         for meta in self.partitions() {
             stats.partitions_total += 1;
-            if prunes(&meta, pred) {
+            if let Some(dim) = prune_reason(&meta, pred) {
                 stats.pruned += 1;
+                stats.pruned_by[dim as usize] += 1;
             } else {
                 keep.push(meta);
             }
@@ -208,15 +227,32 @@ impl Warehouse {
         meta: &PartitionMeta,
         stats: &mut ScanStats,
     ) -> Option<ColumnarBatch> {
-        match self.read_partition(meta) {
-            Ok(batch) => {
+        let _span = obs::span(format!("warehouse.decode {}", meta.file));
+        let started = explain::enabled().then(std::time::Instant::now);
+        match self.read_partition_profiled(meta) {
+            Ok((batch, columns)) => {
                 stats.scanned += 1;
+                stats.bytes_scanned += meta.bytes;
                 stats.rows += batch.len() as u64;
                 obs::counter(
                     "warehouse_partitions_scanned_total",
                     "partition files read and decoded by scans",
                 )
                 .inc();
+                obs::counter(
+                    "warehouse_rows_scanned_total",
+                    "rows decoded from partition files by scans",
+                )
+                .add(batch.len() as u64);
+                if let Some(started) = started {
+                    explain::record(PartitionProfile {
+                        file: meta.file.clone(),
+                        rows: batch.len() as u64,
+                        bytes: meta.bytes,
+                        decode_us: started.elapsed().as_micros() as u64,
+                        columns,
+                    });
+                }
                 Some(batch)
             }
             Err(e) => {
@@ -361,6 +397,10 @@ mod tests {
         assert_eq!(n, 40, "only hour 11");
         assert_eq!(stats.pruned, 2, "hours 10 and 12 never opened");
         assert_eq!(stats.scanned, 1);
+        assert_eq!(stats.pruned_by[PruneDim::TimeFrom as usize], 1, "hour 10");
+        assert_eq!(stats.pruned_by[PruneDim::TimeTo as usize], 1, "hour 12");
+        assert_eq!(stats.pruned_by.iter().sum::<u64>(), stats.pruned);
+        assert!(stats.bytes_scanned > 0, "opened partition bytes counted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -376,6 +416,7 @@ mod tests {
         let stats = scan.stats();
         assert_eq!(n, 40 + 20, "google-only hour + half of mixed hour");
         assert_eq!(stats.pruned, 1, "rest-only hour pruned by bitmap");
+        assert_eq!(stats.pruned_by[PruneDim::Provider as usize], 1);
         assert_eq!(stats.scanned, 2);
         assert_eq!(
             stats.rows, 80,

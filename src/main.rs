@@ -30,6 +30,10 @@
 //! `--metrics-addr ip:port` serves live Prometheus metrics over HTTP
 //! (most useful with `serve` and `live`). `serve` and `live` print
 //! periodic stats lines every `--stats-interval` (default 5s).
+//! `--flight out.jsonl` runs the flight recorder (a background sampler
+//! of every metric, dumped as JSONL and served at `/flight.json`),
+//! `--sample N` traces 1-in-N queries across pipeline hops, and
+//! `--explain` prints warehouse scan plans + a decode profile.
 //!
 //! The command table ([`COMMANDS`]) and flag tables ([`VALUE_FLAGS`],
 //! [`BOOL_FLAGS`]) are the single source for arg normalization, the
@@ -244,6 +248,21 @@ const VALUE_FLAGS: &[(&str, &str, &str)] = &[
         "0.15",
         "bench: regression threshold as a fraction (default 0.15)",
     ),
+    (
+        "--flight",
+        "flight.jsonl",
+        "flight recorder: dump the retained telemetry window as JSONL on exit",
+    ),
+    (
+        "--flight-interval",
+        "1s",
+        "flight recorder: metric sampling interval (default 1s)",
+    ),
+    (
+        "--sample",
+        "N",
+        "trace 1-in-N queries across pipeline hops (deterministic, seeded by --seed)",
+    ),
 ];
 
 /// Every boolean flag: `(name, description)`. `--json` doubles as
@@ -264,6 +283,10 @@ const BOOL_FLAGS: &[(&str, &str)] = &[
     (
         "--monthly",
         "ingest: the 18-month Figure 3 series instead of one dataset",
+    ),
+    (
+        "--explain",
+        "warehouse scans: print the scan plan, then a post-run decode profile",
     ),
 ];
 
@@ -309,6 +332,41 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    let flight_path = flag_value(&flags, "--flight").map(std::path::PathBuf::from);
+    let flight_on = flight_path.is_some() || flag_value(&flags, "--flight-interval").is_some();
+    if flight_on {
+        let interval = match flag_value(&flags, "--flight-interval") {
+            Some(v) => match parse_duration(v) {
+                Ok(d) if !d.is_zero() => d,
+                Ok(_) => {
+                    eprintln!("--flight-interval must be positive");
+                    return ExitCode::FAILURE;
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => obs::flight::DEFAULT_INTERVAL,
+        };
+        obs::flight::start(interval);
+    }
+    if let Some(n) = flag_value(&flags, "--sample") {
+        let n: u64 = match n.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--sample takes a positive integer, got {n:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let seed: u64 = flag_value(&flags, "--seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        obs::flight::enable_sampling(n, seed);
+    }
+    if flags.iter().any(|f| *f == "--explain") {
+        warehouse::explain::enable();
+    }
 
     let code = match run_command(&flags, &positional) {
         Ok(code) => code,
@@ -318,10 +376,29 @@ fn main() -> ExitCode {
         }
     };
 
+    if flight_on {
+        obs::flight::stop();
+    }
+    if let Some(path) = flight_path {
+        match obs::flight::recorder()
+            .expect("recorder started")
+            .write_jsonl_file(&path)
+        {
+            Ok(n) => eprintln!("flight: {n} series -> {}", path.display()),
+            Err(e) => {
+                eprintln!("flight: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if want_stats {
         let table = obs::stage::render_table();
         if !table.is_empty() {
             print!("{table}");
+        }
+        let scans = render_scan_counters();
+        if !scans.is_empty() {
+            print!("{scans}");
         }
     }
     if let Some(path) = trace_path {
@@ -482,6 +559,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             let series = match open_warehouse(flags)? {
                 Some(wh) => {
                     let (series, stats) = store::monthly_series(&wh, vantage, provider, jobs)?;
+                    print_explain(&stats);
                     eprintln!("[warehouse: {}]", stats.summary());
                     series
                 }
@@ -504,6 +582,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                 let pred = scan_predicate(flags)?;
                 if flags.iter().any(|f| *f == "--json") {
                     let (doc, stats) = store::report_json(&wh, &pred, jobs)?;
+                    print_explain(&stats);
                     println!(
                         "{}",
                         serde_json::to_string_pretty(&doc).expect("serializes")
@@ -511,6 +590,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
                     eprintln!("[warehouse: {}]", stats.summary());
                 } else {
                     let (text, stats) = store::render_report(&wh, &pred, jobs)?;
+                    print_explain(&stats);
                     print!("{text}");
                     eprintln!("[warehouse: {}]", stats.summary());
                 }
@@ -588,6 +668,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             let rows = match open_warehouse(flags)? {
                 Some(wh) => {
                     let (rows, stats) = store::compare(&wh, jobs)?;
+                    print_explain(&stats);
                     eprintln!("[warehouse: {}]", stats.summary());
                     rows
                 }
@@ -632,6 +713,56 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
         _ => return Err(usage_line()),
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Flush buffered `--explain` output after a warehouse scan: the
+/// per-source plan trees to stdout (buffered + sorted by source, so
+/// the bytes are identical for any `--jobs`), then the run-variable
+/// decode profile to stderr.
+fn print_explain(stats: &warehouse::ScanStats) {
+    if !warehouse::explain::enabled() {
+        return;
+    }
+    for (_, text) in warehouse::explain::take_plans() {
+        print!("{text}");
+    }
+    eprint!(
+        "{}",
+        warehouse::explain::render_profile(&warehouse::explain::take(), stats)
+    );
+}
+
+/// The warehouse-scan counter summary printed under the `--stats`
+/// stage table; empty until a scan has actually run in this process.
+fn render_scan_counters() -> String {
+    let read = |name: &str, help: &str| obs::counter(name, help).get();
+    let pruned = read(
+        "warehouse_partitions_pruned_total",
+        "partitions skipped via zone maps before reading any column bytes",
+    );
+    let scanned = read(
+        "warehouse_partitions_scanned_total",
+        "partition files read and decoded by scans",
+    );
+    let corrupt = read(
+        "warehouse_partitions_corrupt_total",
+        "partition files skipped by scans after CRC/decode failure",
+    );
+    let rows = read(
+        "warehouse_rows_scanned_total",
+        "rows decoded from partition files by scans",
+    );
+    if pruned + scanned + corrupt == 0 {
+        return String::new();
+    }
+    format!(
+        "== warehouse scans ==\n\
+         {:<20} {pruned:>12}\n\
+         {:<20} {scanned:>12}\n\
+         {:<20} {corrupt:>12}\n\
+         {:<20} {rows:>12}\n",
+        "partitions pruned", "partitions scanned", "partitions corrupt", "rows scanned"
+    )
 }
 
 /// Two required positional path arguments (friendly usage on absence).

@@ -44,6 +44,8 @@ fn bench_list_covers_the_required_scenarios() {
         "serve/respond_udp",
         "serve/respond_udp_cached",
         "serve/respond_tcp",
+        "warehouse/scan_explain",
+        "obs/flight_record",
     ] {
         assert!(text.lines().any(|l| l == required), "missing {required}");
     }
@@ -189,6 +191,11 @@ fn respond_hot_path_is_allocation_free_in_steady_state() {
     use simnet::scenario::{dataset, Scale};
 
     assert!(obs::alloc::installed(), "counting allocator active");
+    // flight recorder + query sampler on: the cached respond path must
+    // stay allocation-free with full observability enabled (flight hops
+    // live in the socket servers, not in `handle_into`)
+    obs::flight::start(std::time::Duration::from_millis(100));
+    obs::flight::enable_sampling(7, 42);
     let spec = dataset(Vantage::Nl, 2020);
     let t = spec.start;
     let responder = Responder::for_spec(&spec);
@@ -245,6 +252,10 @@ fn wire_encode_into_is_allocation_free_and_byte_identical() {
     use dns_wire::name::ReusableCompressor;
 
     assert!(obs::alloc::installed(), "counting allocator active");
+    // same observability load as the respond test: recorder sampling
+    // the registry in the background, query sampler armed
+    obs::flight::start(std::time::Duration::from_millis(100));
+    obs::flight::enable_sampling(7, 42);
     let msg = bench::scenarios::sample_response();
     let expected = msg.encode().expect("encodes");
     let mut comp = ReusableCompressor::new();

@@ -101,6 +101,10 @@ fn help_covers_every_command_and_flag() {
         "--quick",
         "--list",
         "--monthly",
+        "--flight",
+        "--flight-interval",
+        "--sample",
+        "--explain",
     ] {
         assert!(help.contains(flag), "help is missing flag {flag}");
     }
@@ -469,4 +473,103 @@ fn analyze_pcap_without_scenario_context() {
     for f in [&cap, &pcap] {
         let _ = std::fs::remove_file(f);
     }
+}
+
+#[test]
+fn explain_plans_reconcile_and_are_stable_across_jobs() {
+    let wh = tmp("wh-explain");
+    let _ = std::fs::remove_dir_all(&wh);
+    let whs = wh.to_str().unwrap();
+    let out = bin()
+        .args([
+            "ingest",
+            "nz",
+            "2019",
+            "--scale=tiny",
+            "--seed=5",
+            "--warehouse",
+            whs,
+            "--partition-rows=512",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // a --from three days into the 7-day dataset prunes roughly half
+    // the partitions by the time_from zone-map dimension
+    let manifest = std::fs::read_to_string(wh.join("MANIFEST.json")).expect("manifest");
+    let doc: serde_json::Value = serde_json::from_str(&manifest).expect("manifest JSON");
+    let meta: serde_json::Value =
+        serde_json::from_str(doc["sources"][0]["meta"].as_str().expect("source meta"))
+            .expect("meta JSON");
+    let start = meta["spec"]["start"].as_u64().expect("spec start");
+    let mid = (start + 3 * 24 * 3_600_000_000).to_string();
+
+    let run = |jobs: &str| {
+        let out = bin()
+            .args([
+                "report",
+                "--warehouse",
+                whs,
+                "--explain",
+                "--from",
+                &mid,
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8(out.stdout).unwrap(),
+            String::from_utf8(out.stderr).unwrap(),
+        )
+    };
+    let (stdout1, stderr1) = run("1");
+    let (stdout4, _) = run("4");
+    // the plan tree (and the whole report) is byte-stable across --jobs
+    assert_eq!(stdout1, stdout4, "explain stdout differs between jobs=1|4");
+
+    // plan totals: "partitions: N total, N pruned, N to open"
+    let totals = stdout1
+        .lines()
+        .find(|l| l.trim_start().starts_with("partitions: "))
+        .expect("plan totals line");
+    let nums: Vec<u64> = totals
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let [total, pruned, open] = nums[..] else {
+        panic!("unexpected totals line {totals:?}");
+    };
+    assert_eq!(pruned + open, total, "plan does not reconcile: {totals}");
+    assert!(pruned > 0, "mid-dataset --from prunes something: {totals}");
+    assert!(open > 0, "mid-dataset --from keeps something: {totals}");
+    assert!(
+        stdout1.contains("pruned by time_from:"),
+        "pruning attributed to a zone-map dimension:\n{stdout1}"
+    );
+
+    // the post-run profile lands on stderr and agrees with the plan
+    assert!(
+        stderr1.contains(&format!("EXPLAIN profile: {open} partition(s) decoded")),
+        "profile decode count matches the plan:\n{stderr1}"
+    );
+    assert!(
+        stderr1.contains(&format!(
+            "{total} partition(s): {pruned} pruned, {open} scanned"
+        )),
+        "ScanStats summary agrees with the plan:\n{stderr1}"
+    );
+
+    let _ = std::fs::remove_dir_all(&wh);
 }

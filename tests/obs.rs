@@ -114,13 +114,19 @@ fn trace_flag_writes_valid_chrome_events() {
     let _ = std::fs::remove_file(&trace);
 }
 
-fn http_get(addr: &str) -> std::io::Result<String> {
+fn http_get_path(addr: &str, path: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
     let mut out = String::new();
     stream.read_to_string(&mut out)?;
     Ok(out)
+}
+
+fn http_get(addr: &str) -> std::io::Result<String> {
+    http_get_path(addr, "/metrics")
 }
 
 /// Value of a `name value` exposition line, if present.
@@ -207,4 +213,112 @@ fn metrics_endpoint_serves_live_counters() {
     let status = child.wait().expect("child exits");
     assert!(status.success(), "live run failed:\n{banner}{rest}");
     let _ = std::fs::remove_file(&cap);
+}
+
+#[test]
+fn flight_endpoint_serves_window_during_live_run() {
+    let cap = tmp("flight-scrape.dnscap");
+    let jsonl = tmp("flight.jsonl");
+    let mut child = bin()
+        .args([
+            "live",
+            "nl",
+            "2020",
+            cap.to_str().unwrap(),
+            "--scale=tiny",
+            "--seed=7",
+            "--workers=2",
+            "--duration=4s",
+            "--metrics-addr=127.0.0.1:0",
+            "--flight",
+            jsonl.to_str().unwrap(),
+            "--flight-interval=200ms",
+            "--sample=16",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("metrics: http://")
+        .and_then(|rest| rest.strip_suffix("/metrics"))
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    // scrape /flight.json mid-run until the recorder has ticked a
+    // counter series with at least one point
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut last_doc = String::new();
+    let mut ok = false;
+    while Instant::now() < deadline {
+        if let Ok(response) = http_get_path(&addr, "/flight.json") {
+            if let Some(body) = response.split("\r\n\r\n").nth(1) {
+                last_doc = body.to_string();
+                if let Ok(doc) = serde_json::from_str::<serde_json::Value>(body) {
+                    let metrics = doc["metrics"].as_array().cloned().unwrap_or_default();
+                    let live = metrics.iter().any(|m| {
+                        m["kind"] == "counter"
+                            && m["points"].as_array().is_some_and(|p| !p.is_empty())
+                    });
+                    if live && doc["ticks"].as_u64().unwrap_or(0) >= 2 {
+                        ok = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        ok,
+        "flight.json never served a live counter window; last doc:\n{last_doc}"
+    );
+
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("stdout drains");
+    let out = child.wait_with_output().expect("child exits");
+    assert!(out.status.success(), "live run failed:\n{banner}{rest}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("flight:"), "flight summary line:\n{stderr}");
+
+    // the JSONL dump holds the same window, one decoded point per line
+    let dump = std::fs::read_to_string(&jsonl).expect("flight JSONL written");
+    let mut counters = 0;
+    let mut sampled_hops = 0u64;
+    for line in dump.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("line parses as JSON");
+        let metric = v["metric"].as_str().expect("metric name");
+        match v["kind"].as_str().expect("kind") {
+            "counter" => {
+                counters += 1;
+                let value = v["value"].as_u64().expect("counter value");
+                assert!(v["rate"].as_f64().is_some(), "{line}");
+                if metric == "obs_flight_sampled_hops_total" {
+                    sampled_hops = sampled_hops.max(value);
+                }
+            }
+            "gauge" => assert!(v["value"].as_f64().is_some(), "{line}"),
+            "histogram" => {
+                assert!(
+                    v["count"].as_u64().is_some() && v["p99"].as_f64().is_some(),
+                    "{line}"
+                );
+            }
+            other => panic!("unknown series kind {other:?}: {line}"),
+        }
+    }
+    assert!(counters > 0, "counter points in the dump:\n{dump}");
+    // the deterministic 1-in-16 sampler traced queries across hops
+    assert!(sampled_hops > 0, "sampled hop counter never moved:\n{dump}");
+    let _ = std::fs::remove_file(&cap);
+    let _ = std::fs::remove_file(&jsonl);
 }
