@@ -7,8 +7,13 @@
 //!
 //! - [`server`] — a multithreaded authoritative server speaking actual
 //!   UDP and TCP (RFC 1035 length framing), synthesizing responses with
-//!   [`simnet::auth::Authoritative`] and rate-limiting with
-//!   [`simnet::rrl`].
+//!   [`simnet::auth::Authoritative`] and rate-limiting with a sharded
+//!   [`simnet::rrl`] limiter whose decisions match the serial one.
+//! - [`sockets`] — the socket plane under it: per-worker `SO_REUSEPORT`
+//!   UDP shards with `recvmmsg`/`sendmmsg` batching on Linux (syscalls
+//!   declared directly against the platform libc — no new crates), a
+//!   portable `try_clone` fallback elsewhere, and a `poll(2)`-based
+//!   readiness wait for the TCP accept loop.
 //! - [`loadgen`] — a closed-loop load generator driven by
 //!   [`simnet::drive::Driver`], replaying the same fleet profiles
 //!   (per-CP qtype mixes, Q-min, EDNS sizes, dual-stack preferences)
@@ -33,6 +38,7 @@ pub mod proxy;
 pub mod respond;
 pub mod server;
 pub mod signal;
+pub mod sockets;
 pub mod stats;
 pub mod tap;
 
@@ -40,6 +46,6 @@ pub use live::{run_live, LiveConfig, LiveReport};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use obs::Histogram;
 pub use respond::Responder;
-pub use server::{Server, ServerConfig};
+pub use server::{Engine, Server, ServerConfig, WorkerState};
 pub use stats::{Stats, StatsSnapshot};
 pub use tap::Tap;

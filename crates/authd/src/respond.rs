@@ -1,16 +1,17 @@
 //! The serving hot path: decode → authoritative answer → encode.
 //!
 //! One [`Responder`] is shared read-only across all worker threads; the
-//! only mutable piece of per-query state is the optional RRL limiter,
-//! which callers pass in (the server keeps it behind its own mutex so
-//! the rate buckets are global, as on a real authoritative).
+//! only mutable piece of per-query state is the optional RRL gate,
+//! which callers pass in (the server shards its limiter by bucket key —
+//! `simnet::rrl::ShardedRateLimiter` — so rate decisions stay globally
+//! identical to a serial limiter without a global lock).
 
 use dns_wire::message::Message;
 use dns_wire::types::Rcode;
 use netbase::flow::Transport;
 use netbase::time::SimTime;
 use simnet::engine::{name_key, name_key_wire};
-use simnet::rrl::{RateLimiter, ResponseClass, RrlAction};
+use simnet::rrl::{RateLimiter, ResponseClass, RrlAction, RrlGate};
 use simnet::scenario::DatasetSpec;
 use std::net::IpAddr;
 use zonedb::zone::ZoneModel;
@@ -220,6 +221,20 @@ impl Responder {
         now: SimTime,
         rrl: Option<&mut RateLimiter>,
     ) -> Outcome {
+        self.handle_gated(payload, transport, src, now, rrl)
+    }
+
+    /// [`Responder::handle`] generic over the RRL gate, so the sharded
+    /// server passes a [`simnet::rrl::ShardedRateLimiter`] handle where
+    /// the serial server passes `&mut RateLimiter`.
+    pub fn handle_gated<L: RrlGate>(
+        &self,
+        payload: &[u8],
+        transport: Transport,
+        src: IpAddr,
+        now: SimTime,
+        rrl: Option<&mut L>,
+    ) -> Outcome {
         let Ok(query) = Message::parse(payload) else {
             return Outcome::Malformed;
         };
@@ -259,7 +274,7 @@ impl Responder {
                     Rcode::NxDomain => ResponseClass::Negative,
                     _ => ResponseClass::Error,
                 };
-                limiter.check(src, class, now)
+                limiter.gate(src, class, now)
             }
             None => RrlAction::Respond,
         };
@@ -307,7 +322,21 @@ impl Responder {
         transport: Transport,
         src: IpAddr,
         now: SimTime,
-        mut rrl: Option<&mut RateLimiter>,
+        rrl: Option<&mut RateLimiter>,
+        scratch: &'s mut RespondScratch,
+    ) -> OutcomeRef<'s> {
+        self.handle_into_gated(payload, transport, src, now, rrl, scratch)
+    }
+
+    /// [`Responder::handle_into`] generic over the RRL gate (see
+    /// [`Responder::handle_gated`]).
+    pub fn handle_into_gated<'s, L: RrlGate>(
+        &self,
+        payload: &[u8],
+        transport: Transport,
+        src: IpAddr,
+        now: SimTime,
+        mut rrl: Option<&mut L>,
         scratch: &'s mut RespondScratch,
     ) -> OutcomeRef<'s> {
         let RespondScratch {
@@ -325,7 +354,7 @@ impl Responder {
                 if entry.transport == transport && entry.key == payload[2..] {
                     *hits += 1;
                     let action = match (transport, rrl.as_deref_mut()) {
-                        (Transport::Udp, Some(limiter)) => limiter.check(src, entry.class, now),
+                        (Transport::Udp, Some(limiter)) => limiter.gate(src, entry.class, now),
                         _ => RrlAction::Respond,
                     };
                     return match action {
@@ -366,7 +395,7 @@ impl Responder {
         }
 
         *misses += 1;
-        match self.handle(payload, transport, src, now, rrl) {
+        match self.handle_gated(payload, transport, src, now, rrl) {
             Outcome::Reply {
                 bytes,
                 truncated,

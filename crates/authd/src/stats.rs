@@ -39,6 +39,17 @@ pub struct Stats {
     pub rrl_dropped: Arc<Counter>,
     /// TCP connections closed for exceeding the pending-bytes cap.
     pub overruns: Arc<Counter>,
+    /// UDP response sends that failed at the socket (counted so
+    /// `responses` minus `send_errors` is what actually left the host).
+    pub send_errors: Arc<Counter>,
+    /// TCP connections accepted by the listener.
+    pub tcp_accepted: Arc<Counter>,
+    /// TCP connections a worker picked up and served.
+    pub tcp_served: Arc<Counter>,
+    /// TCP connections accepted but never served (still queued at
+    /// shutdown); `tcp_accepted == tcp_served + tcp_dropped` once the
+    /// server has drained.
+    pub tcp_dropped: Arc<Counter>,
     /// Load generator: queries sent.
     pub sent: Arc<Counter>,
     /// Load generator: responses that never arrived in time.
@@ -105,6 +116,26 @@ impl Stats {
             "TCP connections closed for pending-bytes overrun",
             &self.overruns,
         );
+        pc(
+            "send_errors_total",
+            "UDP response sends that failed at the socket",
+            &self.send_errors,
+        );
+        pc(
+            "tcp_accepted_total",
+            "TCP connections accepted",
+            &self.tcp_accepted,
+        );
+        pc(
+            "tcp_served_total",
+            "TCP connections served by a worker",
+            &self.tcp_served,
+        );
+        pc(
+            "tcp_dropped_total",
+            "TCP connections dropped unserved at shutdown",
+            &self.tcp_dropped,
+        );
         pc("sent_total", "load generator queries sent", &self.sent);
         pc(
             "timeouts_total",
@@ -138,6 +169,10 @@ impl Stats {
             rrl_slipped: self.rrl_slipped.get(),
             rrl_dropped: self.rrl_dropped.get(),
             overruns: self.overruns.get(),
+            send_errors: self.send_errors.get(),
+            tcp_accepted: self.tcp_accepted.get(),
+            tcp_served: self.tcp_served.get(),
+            tcp_dropped: self.tcp_dropped.get(),
             sent,
             timeouts: self.timeouts.get(),
             tcp_fallbacks: self.tcp_fallbacks.get(),
@@ -165,6 +200,10 @@ pub struct StatsSnapshot {
     pub rrl_slipped: u64,
     pub rrl_dropped: u64,
     pub overruns: u64,
+    pub send_errors: u64,
+    pub tcp_accepted: u64,
+    pub tcp_served: u64,
+    pub tcp_dropped: u64,
     pub sent: u64,
     pub timeouts: u64,
     pub tcp_fallbacks: u64,
@@ -196,6 +235,9 @@ impl fmt::Display for StatsSnapshot {
             self.p50_us,
             self.p99_us,
         )?;
+        if self.send_errors > 0 {
+            write!(f, " send-err {}", self.send_errors)?;
+        }
         if self.sent > 0 {
             write!(
                 f,
@@ -250,6 +292,14 @@ mod tests {
         assert!(line.contains("qps 250"), "{line}");
         assert!(line.contains("trunc 1"), "{line}");
         assert!(!line.contains("sent"), "loadgen fields omitted: {line}");
+    }
+
+    #[test]
+    fn send_errors_render_only_when_present() {
+        let s = Stats::new();
+        assert!(!s.snapshot(1.0).to_string().contains("send-err"));
+        s.bump(&s.send_errors);
+        assert!(s.snapshot(1.0).to_string().contains("send-err 1"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! [`Tap::finish`] drains the `BufWriter` before the file handle
 //! drops).
 
-use netbase::capture::{CaptureRecord, CaptureWriter};
+use netbase::capture::{CaptureRecord, CaptureWriter, RecordRef};
 use std::fs::File;
 use std::io::{self, BufWriter};
 use std::path::Path;
@@ -41,6 +41,17 @@ impl Tap {
         query: &CaptureRecord,
         response: Option<&CaptureRecord>,
     ) -> io::Result<()> {
+        self.write_pair_ref(query.as_ref(), response.map(|r| r.as_ref()))
+    }
+
+    /// [`Tap::write_pair`] from borrowed record parts — the server's
+    /// hot path mirrors exchanges straight off the socket buffers with
+    /// no per-record allocation.
+    pub fn write_pair_ref(
+        &self,
+        query: RecordRef<'_>,
+        response: Option<RecordRef<'_>>,
+    ) -> io::Result<()> {
         let mut guard = self.inner.lock().expect("tap lock");
         let Some(writer) = guard.as_mut() else {
             // shutdown race: a worker finished its last exchange after
@@ -48,9 +59,9 @@ impl Tap {
             // already sealed
             return Ok(());
         };
-        writer.write(query)?;
+        writer.write_ref(query)?;
         if let Some(resp) = response {
-            writer.write(resp)?;
+            writer.write_ref(resp)?;
         }
         Ok(())
     }

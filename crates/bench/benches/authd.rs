@@ -1,0 +1,19 @@
+//! End-to-end UDP saturation through real sockets: closed-loop bursts
+//! against a running `authd::Server` on loopback, RRL slipping instead
+//! of dropping so every query drains one reply.
+//!
+//! `authd/saturation` runs the sharded socket plane (`SO_REUSEPORT` +
+//! `recvmmsg`/`sendmmsg` on Linux); `authd/saturation_single` forces
+//! the single-socket `try_clone` fallback on the same worker count —
+//! the pair is the aggregate-qps win of sharding.
+//!
+//! The scenario bodies live in [`bench::scenarios`] so the criterion
+//! harness and `dnscentral bench` time identical code.
+
+use bench::{bench_scenario_group, quick};
+
+fn main() {
+    let mut c = quick();
+    bench_scenario_group(&mut c, "authd");
+    c.final_summary();
+}

@@ -54,6 +54,36 @@ pub struct CaptureRecord {
     pub payload: Vec<u8>,
 }
 
+/// A borrowed view of one frame, for writers on allocation-free hot
+/// paths (authd's capture tap writes these straight off the socket
+/// buffers).
+#[derive(Debug, Clone, Copy)]
+pub struct RecordRef<'a> {
+    /// Capture timestamp.
+    pub timestamp: SimTime,
+    /// Frame direction.
+    pub direction: Direction,
+    /// The flow this frame belongs to (src = sender of this frame).
+    pub flow: FlowKey,
+    /// TCP handshake RTT in microseconds; 0 when unmeasured.
+    pub tcp_rtt_us: u32,
+    /// The raw DNS message bytes.
+    pub payload: &'a [u8],
+}
+
+impl CaptureRecord {
+    /// Borrow this record as a [`RecordRef`].
+    pub fn as_ref(&self) -> RecordRef<'_> {
+        RecordRef {
+            timestamp: self.timestamp,
+            direction: self.direction,
+            flow: self.flow,
+            tcp_rtt_us: self.tcp_rtt_us,
+            payload: &self.payload,
+        }
+    }
+}
+
 /// Errors from reading a capture stream.
 #[derive(Debug)]
 pub enum CaptureError {
@@ -148,6 +178,11 @@ impl RecordSource for std::vec::IntoIter<CaptureRecord> {
 pub struct CaptureWriter<W: Write> {
     out: BufWriter<W>,
     records: u64,
+    /// Reused body-encode buffer: after warmup, [`write_ref`] performs
+    /// zero heap allocations per record.
+    ///
+    /// [`write_ref`]: CaptureWriter::write_ref
+    scratch: Vec<u8>,
 }
 
 impl<W: Write> CaptureWriter<W> {
@@ -157,12 +192,23 @@ impl<W: Write> CaptureWriter<W> {
         out.write_all(&MAGIC)?;
         out.write_all(&VERSION.to_le_bytes())?;
         out.write_all(&0u16.to_le_bytes())?; // flags, reserved
-        Ok(CaptureWriter { out, records: 0 })
+        Ok(CaptureWriter {
+            out,
+            records: 0,
+            scratch: Vec::new(),
+        })
     }
 
     /// Append one record.
     pub fn write(&mut self, rec: &CaptureRecord) -> io::Result<()> {
-        let mut body = Vec::with_capacity(48 + rec.payload.len());
+        self.write_ref(rec.as_ref())
+    }
+
+    /// Append one record from borrowed parts, reusing the internal
+    /// encode buffer (no per-record allocation in steady state).
+    pub fn write_ref(&mut self, rec: RecordRef<'_>) -> io::Result<()> {
+        let body = &mut self.scratch;
+        body.clear();
         body.extend_from_slice(&rec.timestamp.as_micros().to_le_bytes());
         body.push(match rec.direction {
             Direction::Query => 0,
@@ -173,14 +219,14 @@ impl<W: Write> CaptureWriter<W> {
             Transport::Tcp => 1,
         });
         body.extend_from_slice(&rec.tcp_rtt_us.to_le_bytes());
-        write_ip(&mut body, rec.flow.src);
+        write_ip(body, rec.flow.src);
         body.extend_from_slice(&rec.flow.src_port.to_le_bytes());
-        write_ip(&mut body, rec.flow.dst);
+        write_ip(body, rec.flow.dst);
         body.extend_from_slice(&rec.flow.dst_port.to_le_bytes());
         body.extend_from_slice(&(rec.payload.len() as u32).to_le_bytes());
-        body.extend_from_slice(&rec.payload);
+        body.extend_from_slice(rec.payload);
         self.out.write_all(&(body.len() as u32).to_le_bytes())?;
-        self.out.write_all(&body)?;
+        self.out.write_all(body)?;
         self.records += 1;
         Ok(())
     }
@@ -367,6 +413,29 @@ mod tests {
         for (i, got) in records.iter().enumerate() {
             assert_eq!(got, &rec(i as u64, i % 3 == 0));
         }
+    }
+
+    #[test]
+    fn write_ref_matches_owned_write() {
+        let mut owned = Vec::new();
+        let mut borrowed = Vec::new();
+        {
+            let mut w = CaptureWriter::new(&mut owned).unwrap();
+            for i in 0..20 {
+                w.write(&rec(i, i % 3 == 0)).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        {
+            let mut w = CaptureWriter::new(&mut borrowed).unwrap();
+            for i in 0..20 {
+                let r = rec(i, i % 3 == 0);
+                w.write_ref(r.as_ref()).unwrap();
+            }
+            assert_eq!(w.records_written(), 20);
+            w.finish().unwrap();
+        }
+        assert_eq!(owned, borrowed, "borrowed writes are byte-identical");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use netbase::time::SimTime;
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Mutex;
 
 /// What the limiter tells the responder to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,29 +139,150 @@ impl RateLimiter {
     }
 
     fn mask(&self, src: IpAddr) -> u128 {
-        match src {
-            IpAddr::V4(v4) => {
-                let bits = u32::from(v4);
-                let keep = self.config.ipv4_prefix_len.min(32) as u32;
-                let masked = if keep == 0 {
-                    0
-                } else {
-                    bits & (u32::MAX << (32 - keep))
-                };
-                masked as u128
-            }
-            IpAddr::V6(v6) => {
-                let bits = u128::from(v6);
-                let keep = self.config.ipv6_prefix_len.min(128) as u32;
-                let masked = if keep == 0 {
-                    0
-                } else {
-                    bits & (u128::MAX << (128 - keep))
-                };
-                // disambiguate from v4 keys
-                masked | (1u128 << 127) | 0x6
-            }
+        mask_src(&self.config, src)
+    }
+}
+
+/// Aggregate the source address into its bucket network under `cfg`'s
+/// prefix lengths. Exposed so sharded deployments route a source to the
+/// shard that owns its bucket.
+pub fn mask_src(cfg: &RrlConfig, src: IpAddr) -> u128 {
+    match src {
+        IpAddr::V4(v4) => {
+            let bits = u32::from(v4);
+            let keep = cfg.ipv4_prefix_len.min(32) as u32;
+            let masked = if keep == 0 {
+                0
+            } else {
+                bits & (u32::MAX << (32 - keep))
+            };
+            masked as u128
         }
+        IpAddr::V6(v6) => {
+            let bits = u128::from(v6);
+            let keep = cfg.ipv6_prefix_len.min(128) as u32;
+            let masked = if keep == 0 {
+                0
+            } else {
+                bits & (u128::MAX << (128 - keep))
+            };
+            // disambiguate from v4 keys
+            masked | (1u128 << 127) | 0x6
+        }
+    }
+}
+
+/// Anything that can decide the fate of one response — the serial
+/// [`RateLimiter`], a shard handle of a [`ShardedRateLimiter`], or a
+/// test double. `authd`'s respond path is generic over this so the
+/// single-threaded and sharded servers share one code path.
+pub trait RrlGate {
+    /// Decide the fate of one response to `src` of `class` at `now`.
+    fn gate(&mut self, src: IpAddr, class: ResponseClass, now: SimTime) -> RrlAction;
+}
+
+impl RrlGate for RateLimiter {
+    fn gate(&mut self, src: IpAddr, class: ResponseClass, now: SimTime) -> RrlAction {
+        self.check(src, class, now)
+    }
+}
+
+impl RrlGate for &ShardedRateLimiter {
+    fn gate(&mut self, src: IpAddr, class: ResponseClass, now: SimTime) -> RrlAction {
+        ShardedRateLimiter::check(self, src, class, now)
+    }
+}
+
+/// Merged counters of a sharded limiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RrlStats {
+    /// Responses allowed through.
+    pub allowed: u64,
+    /// Slips issued.
+    pub slipped: u64,
+    /// Responses dropped.
+    pub dropped: u64,
+}
+
+/// A [`RateLimiter`] sharded by bucket key for concurrent servers.
+///
+/// Every bucket — *(masked source network, response class)* — lives in
+/// exactly one shard, chosen by a stable hash of the key, so the
+/// decision sequence for any bucket is byte-identical to a serial
+/// limiter fed the same trace: two queries contend on a shard lock only
+/// when they would have contended on the same token bucket anyway
+/// (or hash-collide, which affects latency, never decisions).
+pub struct ShardedRateLimiter {
+    config: RrlConfig,
+    shards: Vec<Mutex<RateLimiter>>,
+}
+
+impl ShardedRateLimiter {
+    /// Build with `shards` independent limiters (minimum 1).
+    pub fn new(config: RrlConfig, shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedRateLimiter {
+            config,
+            shards: (0..n)
+                .map(|_| Mutex::new(RateLimiter::new(config)))
+                .collect(),
+        }
+    }
+
+    /// Shard index owning `src`/`class`'s bucket (FNV-1a over the key).
+    pub fn shard_of(&self, src: IpAddr, class: ResponseClass) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for b in mask_src(&self.config, src).to_le_bytes() {
+            mix(b);
+        }
+        let (tag, val) = match class {
+            ResponseClass::Positive(owner) => (1u8, owner),
+            ResponseClass::Negative => (2, 0),
+            ResponseClass::Error => (3, 0),
+        };
+        mix(tag);
+        for b in val.to_le_bytes() {
+            mix(b);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Decide the fate of one response, locking only the owning shard.
+    pub fn check(&self, src: IpAddr, class: ResponseClass, now: SimTime) -> RrlAction {
+        let shard = self.shard_of(src, class);
+        self.shards[shard]
+            .lock()
+            .expect("rrl shard poisoned")
+            .check(src, class, now)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Merge allowed/slipped/dropped counters across shards.
+    pub fn stats(&self) -> RrlStats {
+        let mut out = RrlStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().expect("rrl shard poisoned");
+            out.allowed += s.allowed;
+            out.slipped += s.slipped;
+            out.dropped += s.dropped;
+        }
+        out
+    }
+
+    /// Total active buckets across shards.
+    pub fn buckets(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("rrl shard poisoned").buckets())
+            .sum()
     }
 }
 
@@ -302,6 +424,83 @@ mod tests {
         rrl.check(v4, ResponseClass::Error, now);
         rrl.check(v6, ResponseClass::Error, now);
         assert_eq!(rrl.buckets(), 2);
+    }
+
+    /// A fixed mixed trace: many sources across a handful of /24s and
+    /// classes, bursty enough to exercise Respond, Slip, and Drop.
+    fn fixed_trace() -> Vec<(IpAddr, ResponseClass, SimTime)> {
+        let mut trace = Vec::new();
+        let mut state = 0x243f_6a88_85a3_08d3u64; // deterministic LCG
+        for i in 0..4000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let net = (state >> 16) % 6;
+            let host = (state >> 32) % 200;
+            let src: IpAddr = if net == 5 {
+                format!("2001:db8:{:x}::{:x}", (state >> 8) % 4, host + 1)
+                    .parse()
+                    .unwrap()
+            } else {
+                format!("192.0.{net}.{host}").parse().unwrap()
+            };
+            let class = match (state >> 48) % 4 {
+                0 => ResponseClass::Negative,
+                1 => ResponseClass::Error,
+                n => ResponseClass::Positive(n * 7),
+            };
+            // ~40 queries per simulated second: well over the limit
+            trace.push((src, class, t(i / 40)));
+        }
+        trace
+    }
+
+    #[test]
+    fn sharded_decisions_match_serial_on_a_fixed_trace() {
+        for shards in [1, 3, 8] {
+            let mut serial = RateLimiter::new(RrlConfig::default());
+            let sharded = ShardedRateLimiter::new(RrlConfig::default(), shards);
+            let trace = fixed_trace();
+            let serial_actions: Vec<RrlAction> = trace
+                .iter()
+                .map(|&(src, class, now)| serial.check(src, class, now))
+                .collect();
+            let sharded_actions: Vec<RrlAction> = trace
+                .iter()
+                .map(|&(src, class, now)| sharded.check(src, class, now))
+                .collect();
+            assert_eq!(
+                serial_actions, sharded_actions,
+                "shards={shards}: decision sequences diverge"
+            );
+            let stats = sharded.stats();
+            assert_eq!(stats.allowed, serial.allowed);
+            assert_eq!(stats.slipped, serial.slipped);
+            assert_eq!(stats.dropped, serial.dropped);
+            assert_eq!(sharded.buckets(), serial.buckets());
+            // the trace actually exercised every action
+            assert!(stats.allowed > 0 && stats.slipped > 0 && stats.dropped > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_gate_trait_routes_to_the_owning_shard() {
+        let sharded = ShardedRateLimiter::new(RrlConfig::default(), 4);
+        let src: IpAddr = "192.0.2.55".parse().unwrap();
+        let now = t(0);
+        let mut gate = &sharded;
+        for _ in 0..15 {
+            assert_eq!(
+                gate.gate(src, ResponseClass::Negative, now),
+                RrlAction::Respond
+            );
+        }
+        assert_ne!(
+            gate.gate(src, ResponseClass::Negative, now),
+            RrlAction::Respond
+        );
+        // only one bucket exists, in exactly one shard
+        assert_eq!(sharded.buckets(), 1);
     }
 
     #[test]

@@ -183,8 +183,12 @@ const VALUE_FLAGS: &[(&str, &str, &str)] = &[
     ("--queries", "N", "loadgen/live: stop after N queries"),
     ("--port", "N", "serve: fixed port (default ephemeral)"),
     ("--workers", "N", "loadgen/live: load worker threads"),
-    ("--udp-workers", "N", "serve: UDP worker threads"),
-    ("--tcp-workers", "N", "serve: TCP worker threads"),
+    (
+        "--udp-workers",
+        "N",
+        "serve/live: UDP worker threads (socket shards)",
+    ),
+    ("--tcp-workers", "N", "serve/live: TCP worker threads"),
     ("--udp", "host:port", "loadgen: server UDP address"),
     ("--tcp", "host:port", "loadgen: server TCP address"),
     (
@@ -901,6 +905,12 @@ fn live_cli(
         authd::LiveConfig::new(spec.clone(), scale, seed, Path::new(out).to_path_buf());
     if let Some(n) = parsed_flag(flags, "--workers", "a count")? {
         config.loadgen_workers = n;
+    }
+    if let Some(n) = parsed_flag(flags, "--udp-workers", "a count")? {
+        config.udp_workers = n;
+    }
+    if let Some(n) = parsed_flag(flags, "--tcp-workers", "a count")? {
+        config.tcp_workers = n;
     }
     if let Some(q) = parsed_flag(flags, "--queries", "a count")? {
         config.max_queries = Some(q);

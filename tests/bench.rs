@@ -44,6 +44,8 @@ fn bench_list_covers_the_required_scenarios() {
         "serve/respond_udp",
         "serve/respond_udp_cached",
         "serve/respond_tcp",
+        "authd/saturation",
+        "authd/saturation_single",
         "warehouse/scan_explain",
         "obs/flight_record",
     ] {
@@ -245,6 +247,166 @@ fn respond_hot_path_is_allocation_free_in_steady_state() {
     assert_eq!(replies, 50 * steady.len() as u64);
     assert_eq!(stats.allocs, 0, "respond hot path allocated");
     assert_eq!(stats.bytes, 0);
+}
+
+/// Sampled queries plus a fixed logical flow for the full-cycle tests.
+fn engine_fixture() -> (
+    authd::Engine,
+    Vec<(Vec<u8>, std::net::SocketAddr)>,
+    std::path::PathBuf,
+) {
+    use authd::proxy::Preamble;
+    use simnet::drive::Driver;
+    use simnet::profile::Vantage;
+    use simnet::rrl::RrlConfig;
+    use simnet::scenario::{dataset, Scale};
+
+    let spec = dataset(Vantage::Nl, 2020);
+    let t = spec.start;
+    let tap_path = tmp("full-cycle.dnscap");
+    let tap = authd::Tap::create(&tap_path).expect("tap creates");
+    // RRL on — the gate (sharded limiter lock + bucket update) is part
+    // of the measured cycle — but generous enough never to limit, so
+    // every query deterministically produces a reply
+    let rrl = RrlConfig {
+        responses_per_second: u32::MAX,
+        burst: u32::MAX,
+        ..spec.rrl.unwrap_or_default()
+    };
+    let engine = authd::Engine::new(spec.zone.build(), Some(rrl), 8, spec.start, Some(tap));
+    let mut driver = Driver::new(spec, Scale::tiny(), 42);
+    let queries: Vec<(Vec<u8>, std::net::SocketAddr)> = (0..64)
+        .map(|i| {
+            let q = driver.sample(t);
+            let src = std::net::SocketAddr::new(q.src, 40_000 + i as u16);
+            let preamble = Preamble {
+                src,
+                dst: "198.51.100.53:53".parse().unwrap(),
+                rtt_us: 120,
+            };
+            let mut datagram = preamble.encode();
+            datagram.extend_from_slice(&q.wire);
+            (datagram, src)
+        })
+        .collect();
+    (engine, queries, tap_path)
+}
+
+#[test]
+fn full_udp_cycle_is_allocation_free_in_steady_state() {
+    assert!(obs::alloc::installed(), "counting allocator active");
+    obs::flight::start(std::time::Duration::from_millis(100));
+    obs::flight::enable_sampling(7, 42);
+    let (engine, queries, tap_path) = engine_fixture();
+    let peer: std::net::SocketAddr = "127.0.0.1:55555".parse().unwrap();
+    let local: std::net::SocketAddr = "127.0.0.1:53".parse().unwrap();
+    let mut state = authd::WorkerState::new();
+    for _ in 0..2 {
+        for (datagram, _) in &queries {
+            let _ = engine.process_udp(datagram, peer, local, &mut state);
+        }
+    }
+    // keep only steady-state cache hits (collisions and uncacheable
+    // shapes legitimately take the allocating slow path)
+    let steady: Vec<&(Vec<u8>, std::net::SocketAddr)> = queries
+        .iter()
+        .filter(|(datagram, _)| {
+            let misses = state.scratch().misses();
+            let _ = engine.process_udp(datagram, peer, local, &mut state);
+            state.scratch().misses() == misses
+        })
+        .collect();
+    assert!(
+        steady.len() >= 32,
+        "mix should mostly cache: {}",
+        steady.len()
+    );
+
+    let (replies, stats) = obs::alloc::measure(|| {
+        let mut replies = 0u64;
+        for _ in 0..50 {
+            for (datagram, _) in &steady {
+                if engine
+                    .process_udp(datagram, peer, local, &mut state)
+                    .is_some()
+                {
+                    replies += 1;
+                }
+            }
+        }
+        replies
+    });
+    assert_eq!(
+        replies,
+        50 * steady.len() as u64,
+        "every steady query replied"
+    );
+    assert_eq!(stats.allocs, 0, "recv→respond→tap cycle allocated (udp)");
+    assert_eq!(stats.bytes, 0);
+    let _ = std::fs::remove_file(&tap_path);
+}
+
+#[test]
+fn full_tcp_cycle_is_allocation_free_in_steady_state() {
+    use authd::proxy::Preamble;
+
+    assert!(obs::alloc::installed(), "counting allocator active");
+    obs::flight::start(std::time::Duration::from_millis(100));
+    obs::flight::enable_sampling(7, 42);
+    let (engine, queries, tap_path) = engine_fixture();
+    let peer: std::net::SocketAddr = "127.0.0.1:55556".parse().unwrap();
+    let local: std::net::SocketAddr = "127.0.0.1:53".parse().unwrap();
+    // the TCP path sees deframed messages (no preamble prefix) plus the
+    // connection's preamble, so strip the prefixes built by the fixture
+    let messages: Vec<(Vec<u8>, Preamble)> = queries
+        .iter()
+        .map(|(datagram, _)| {
+            let (p, used) = Preamble::parse(datagram).expect("fixture has preambles");
+            (datagram[used..].to_vec(), p)
+        })
+        .collect();
+    let mut state = authd::WorkerState::new();
+    for _ in 0..2 {
+        for (msg, p) in &messages {
+            let _ = engine.process_tcp(msg, peer, local, Some(*p), &mut state);
+        }
+    }
+    let steady: Vec<&(Vec<u8>, Preamble)> = messages
+        .iter()
+        .filter(|(msg, p)| {
+            let misses = state.scratch().misses();
+            let _ = engine.process_tcp(msg, peer, local, Some(*p), &mut state);
+            state.scratch().misses() == misses
+        })
+        .collect();
+    assert!(
+        steady.len() >= 32,
+        "mix should mostly cache: {}",
+        steady.len()
+    );
+
+    let (replies, stats) = obs::alloc::measure(|| {
+        let mut replies = 0u64;
+        for _ in 0..50 {
+            for (msg, p) in &steady {
+                if engine
+                    .process_tcp(msg, peer, local, Some(*p), &mut state)
+                    .is_some()
+                {
+                    replies += 1;
+                }
+            }
+        }
+        replies
+    });
+    assert_eq!(
+        replies,
+        50 * steady.len() as u64,
+        "every steady query replied"
+    );
+    assert_eq!(stats.allocs, 0, "recv→respond→tap cycle allocated (tcp)");
+    assert_eq!(stats.bytes, 0);
+    let _ = std::fs::remove_file(&tap_path);
 }
 
 #[test]

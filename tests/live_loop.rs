@@ -1,7 +1,9 @@
 //! End-to-end live loop: serve + loadgen over loopback, ingest the
 //! live capture tap through the unchanged offline analysis, and check
 //! that cloud attribution matches an offline generate+analyze run of
-//! the same dataset within 2 percentage points absolute.
+//! the same dataset within 2 percentage points absolute. Plus the RRL
+//! evidence chain: a dropped response must leave a query-with-no-
+//! response in the capture, which ingest classifies as unanswered.
 
 use asdb::cloud::Provider;
 use authd::{run_live, LiveConfig};
@@ -61,6 +63,79 @@ fn live_capture_matches_offline_cloud_shares() {
             "{provider:?} share diverged: live {l:.4} vs offline {o:.4}"
         );
     }
+
+    std::fs::remove_file(&capture).ok();
+}
+
+/// An RRL-dropped UDP query is not lost evidence: the tap records the
+/// query with no response, and offline ingest classifies exactly those
+/// records as unanswered queries.
+#[test]
+fn rrl_dropped_queries_surface_as_unanswered_in_ingest() {
+    use dns_wire::builder::MessageBuilder;
+    use dns_wire::types::RType;
+    use simnet::rrl::RrlConfig;
+    use std::time::{Duration, Instant};
+
+    let spec = dataset(Vantage::Nl, 2020);
+    let scale = Scale::tiny();
+    let seed = 42;
+    let dir = std::env::temp_dir().join("dnscentral-live-loop");
+    std::fs::create_dir_all(&dir).unwrap();
+    let capture = dir.join("rrl-drop.dnscap");
+
+    let mut config = authd::ServerConfig::for_spec(&spec);
+    let qname = config.zone.registered_domain(0).to_string();
+    // pure-drop RRL with a one-response budget: hammering one bucket
+    // from one source prefix drops everything after the first token
+    config.rrl = Some(RrlConfig {
+        responses_per_second: 1,
+        burst: 1,
+        slip: 0,
+        ..RrlConfig::default()
+    });
+    config.tap = Some(authd::Tap::create(&capture).unwrap());
+    let server = authd::Server::start(config).unwrap();
+    let dropped = std::sync::Arc::clone(&server.stats().rrl_dropped);
+    let responses = std::sync::Arc::clone(&server.stats().responses);
+
+    let sock = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+    sock.set_read_timeout(Some(Duration::from_millis(5)))
+        .unwrap();
+    let mut buf = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut id = 0u16;
+    while dropped.get() < 3 {
+        assert!(Instant::now() < deadline, "RRL never dropped a response");
+        let wire = MessageBuilder::query(id, qname.parse().unwrap(), RType::A)
+            .with_edns(1232, false)
+            .build()
+            .encode()
+            .unwrap();
+        id = id.wrapping_add(1);
+        sock.send_to(&wire, server.udp_addr()).unwrap();
+        let _ = sock.recv_from(&mut buf); // drain replies, tolerate drops
+    }
+    // let in-flight datagrams finish before sealing the tap
+    std::thread::sleep(Duration::from_millis(100));
+    let records = server.shutdown().unwrap();
+    let (final_dropped, final_responses) = (dropped.get(), responses.get());
+    assert!(records > 0, "tap stayed empty");
+
+    let (_analysis, _dualstack, ingest) =
+        analyze_capture(&spec, scale, seed, &capture).expect("capture analyzes");
+    assert_eq!(ingest.malformed, 0);
+    assert_eq!(
+        ingest.unanswered_queries, final_dropped,
+        "every RRL drop must appear as a query with no response \
+         (dropped {final_dropped}, responses {final_responses})"
+    );
+    assert!(ingest.unanswered_queries >= 3);
+    assert_eq!(
+        ingest.rows,
+        final_dropped + final_responses,
+        "one row per query"
+    );
 
     std::fs::remove_file(&capture).ok();
 }
