@@ -421,7 +421,7 @@ impl Server {
             threads.push(
                 thread::Builder::new()
                     .name(format!("authd-udp-{i}"))
-                    .spawn(move || udp_worker(shard, &shared))?,
+                    .spawn(move || udp_worker(shard, &shared, i))?,
             );
         }
 
@@ -432,15 +432,18 @@ impl Server {
             threads.push(
                 thread::Builder::new()
                     .name(format!("authd-tcp-{i}"))
-                    .spawn(move || tcp_worker(&rx, &shared))?,
+                    .spawn(move || tcp_worker(&rx, &shared, i))?,
             );
         }
         {
             let shared = Arc::clone(&shared);
+            // the accept loop holds its own receiver clone purely to
+            // observe queue occupancy; it never recv()s from it
+            let depth_rx = conn_rx.clone();
             threads.push(
                 thread::Builder::new()
                     .name("authd-accept".into())
-                    .spawn(move || accept_loop(&listener, &conn_tx, &shared))?,
+                    .spawn(move || accept_loop(&listener, &conn_tx, &depth_rx, &shared))?,
             );
         }
 
@@ -509,7 +512,7 @@ impl Server {
     }
 }
 
-fn udp_worker(shard: UdpShard, shared: &Shared) {
+fn udp_worker(shard: UdpShard, shared: &Shared, index: usize) {
     let local = shard
         .socket()
         .local_addr()
@@ -517,9 +520,19 @@ fn udp_worker(shard: UdpShard, shared: &Shared) {
     let mut pool = MsgBufPool::new(sockets::MAX_BATCH);
     let mut state = WorkerState::new();
     let stats = &shared.engine.stats;
+    // time blocked waiting for datagrams counts as idle, everything
+    // after a non-empty batch arrives as busy
+    let mut util = obs::Utilization::new(obs::gauge(
+        &format!("authd_udp_worker{index}_busy_permille"),
+        "authd UDP worker busy fraction (permille, windowed)",
+    ));
     while !shared.shutdown.load(Ordering::SeqCst) {
+        let wait = Instant::now();
         let got = match shard.recv_batch(&mut pool) {
-            Ok(0) => continue, // timeout: poll the shutdown flag
+            Ok(0) => {
+                util.idle(wait.elapsed()); // timeout: poll the shutdown flag
+                continue;
+            }
             Ok(n) => n,
             Err(e) => {
                 if e.kind() == io::ErrorKind::ConnectionRefused {
@@ -530,9 +543,12 @@ fn udp_worker(shard: UdpShard, shared: &Shared) {
                 } else {
                     thread::sleep(Duration::from_millis(1));
                 }
+                util.idle(wait.elapsed());
                 continue;
             }
         };
+        util.idle(wait.elapsed());
+        let work = Instant::now();
         pool.clear_replies();
         for i in 0..got {
             let (datagram, peer) = pool.datagram(i);
@@ -546,15 +562,21 @@ fn udp_worker(shard: UdpShard, shared: &Shared) {
             // already counted per-datagram above; just empty the queue
             shard.drain_errors();
         }
+        util.busy(work.elapsed());
     }
 }
 
 fn accept_loop(
     listener: &TcpListener,
     conn_tx: &crossbeam::channel::Sender<TcpStream>,
+    depth_rx: &crossbeam::channel::Receiver<TcpStream>,
     shared: &Shared,
 ) {
     let stats = &shared.engine.stats;
+    let queue = obs::QueueDepth::register(
+        "authd_tcp_accept",
+        "connections accepted but not yet picked up by a TCP worker",
+    );
     while !shared.shutdown.load(Ordering::SeqCst) {
         // block in the kernel until a connection is pending (or the
         // poll timeout lets us check the shutdown flag)
@@ -571,8 +593,12 @@ fn accept_loop(
                     let mut item = stream;
                     loop {
                         match conn_tx.try_send(item) {
-                            Ok(()) => break,
+                            Ok(()) => {
+                                queue.record(depth_rx.len());
+                                break;
+                            }
                             Err(crossbeam::channel::TrySendError::Full(back)) => {
+                                queue.record(depth_rx.len());
                                 if shared.shutdown.load(Ordering::SeqCst) {
                                     stats.bump(&stats.tcp_dropped);
                                     break;
@@ -591,12 +617,25 @@ fn accept_loop(
     }
 }
 
-fn tcp_worker(rx: &crossbeam::channel::Receiver<TcpStream>, shared: &Shared) {
+fn tcp_worker(rx: &crossbeam::channel::Receiver<TcpStream>, shared: &Shared, index: usize) {
     let stats = &shared.engine.stats;
     let mut state = WorkerState::new();
+    // busy = occupied by a connection (including its in-conversation
+    // read waits — the worker cannot serve anyone else meanwhile)
+    let mut util = obs::Utilization::new(obs::gauge(
+        &format!("authd_tcp_worker{index}_busy_permille"),
+        "authd TCP worker busy fraction (permille, windowed)",
+    ));
+    let queue = obs::QueueDepth::register(
+        "authd_tcp_accept",
+        "connections accepted but not yet picked up by a TCP worker",
+    );
     loop {
+        let wait = Instant::now();
         match rx.recv_timeout(POLL) {
             Ok(stream) => {
+                util.idle(wait.elapsed());
+                queue.record(rx.len());
                 if shared.shutdown.load(Ordering::SeqCst) {
                     // shutdown already requested: this connection will
                     // never be served, account for it
@@ -604,9 +643,12 @@ fn tcp_worker(rx: &crossbeam::channel::Receiver<TcpStream>, shared: &Shared) {
                     continue;
                 }
                 stats.bump(&stats.tcp_served);
+                let work = Instant::now();
                 serve_tcp_conn(stream, shared, &mut state);
+                util.busy(work.elapsed());
             }
             Err(_) => {
+                util.idle(wait.elapsed());
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
@@ -636,8 +678,12 @@ fn serve_tcp_conn(mut stream: TcpStream, shared: &Shared, state: &mut WorkerStat
         let n = match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
             Ok(n) => n,
+            // Interrupted: a signal (e.g. obs::prof's SIGPROF ticker)
+            // hit the timed read — the connection is still healthy
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
             {
                 continue
             }

@@ -140,8 +140,13 @@ impl UdpShard {
                 pool.recv_peers[0] = peer;
                 Ok(1)
             }
+            // Interrupted: a signal (e.g. obs::prof's SIGPROF ticker)
+            // cut the timed recv short; report an empty batch like the
+            // batched Linux path does
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
             {
                 Ok(0)
             }

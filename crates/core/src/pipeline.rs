@@ -227,6 +227,18 @@ impl Drop for SliceRouter {
 pub struct ChannelSource {
     rx: crossbeam::channel::Receiver<Vec<CaptureRecord>>,
     buf: std::vec::IntoIter<CaptureRecord>,
+    telemetry: Option<SourceTelemetry>,
+}
+
+/// Busy/idle and queue-depth accounting for an instrumented
+/// [`ChannelSource`], updated once per batch refill (two clock reads
+/// per `BATCH` records) so the per-record path stays untouched.
+struct SourceTelemetry {
+    util: obs::Utilization,
+    queue: obs::QueueDepth,
+    /// When the last refill handed a batch to the consumer; the gap to
+    /// the next refill is time spent analyzing that batch.
+    last_refill: Option<std::time::Instant>,
 }
 
 impl ChannelSource {
@@ -235,7 +247,31 @@ impl ChannelSource {
         ChannelSource {
             rx,
             buf: Vec::new().into_iter(),
+            telemetry: None,
         }
+    }
+
+    /// [`ChannelSource::new`] plus telemetry: registers
+    /// `{prefix}_busy_permille` (consumer busy fraction) and
+    /// `{prefix}_queue_depth`/`_peak` (batches waiting in the channel)
+    /// in the global metrics registry.
+    pub fn instrumented(
+        rx: crossbeam::channel::Receiver<Vec<CaptureRecord>>,
+        prefix: &str,
+    ) -> ChannelSource {
+        let mut source = ChannelSource::new(rx);
+        source.telemetry = Some(SourceTelemetry {
+            util: obs::Utilization::new(obs::gauge(
+                &format!("{prefix}_busy_permille"),
+                "analysis consumer busy fraction (permille, windowed)",
+            )),
+            queue: obs::QueueDepth::register(
+                prefix,
+                "record batches buffered between generator and ingest",
+            ),
+            last_refill: None,
+        });
+        source
     }
 }
 
@@ -245,9 +281,26 @@ impl RecordSource for ChannelSource {
             if let Some(rec) = self.buf.next() {
                 return Ok(Some(rec));
             }
-            match self.rx.recv() {
-                Ok(batch) => self.buf = batch.into_iter(),
-                Err(_) => return Ok(None),
+            if let Some(t) = &mut self.telemetry {
+                let now = std::time::Instant::now();
+                if let Some(prev) = t.last_refill.take() {
+                    t.util.busy(now.duration_since(prev));
+                }
+                match self.rx.recv() {
+                    Ok(batch) => {
+                        let refilled = std::time::Instant::now();
+                        t.util.idle(refilled.duration_since(now));
+                        t.queue.record(self.rx.len());
+                        t.last_refill = Some(refilled);
+                        self.buf = batch.into_iter();
+                    }
+                    Err(_) => return Ok(None),
+                }
+            } else {
+                match self.rx.recv() {
+                    Ok(batch) => self.buf = batch.into_iter(),
+                    Err(_) => return Ok(None),
+                }
             }
         }
     }
@@ -343,8 +396,10 @@ pub fn run_spec_with(
 
             let mut stage = obs::stage("pipeline.analyze");
             let _span = obs::span(format!("analyze {}", spec_ref.id()));
-            let mut ingest =
-                CaptureIngest::new(ChannelSource::new(rx), Enricher::new(mapper_ref.clone()));
+            let mut ingest = CaptureIngest::new(
+                ChannelSource::instrumented(rx, "pipeline_analyze"),
+                Enricher::new(mapper_ref.clone()),
+            );
             let mut sink = fresh_sink();
             let mut progress = obs::Progress::new(
                 format!("analyze {}", spec_ref.id()),
@@ -395,7 +450,7 @@ pub fn run_spec_with(
                     scope.spawn(move |_| {
                         let mut wstage = obs::stage_owned(format!("pipeline.analyze.worker{w}"));
                         let mut ingest = CaptureIngest::new(
-                            ChannelSource::new(rx),
+                            ChannelSource::instrumented(rx, &format!("pipeline_analyze_worker{w}")),
                             Enricher::new(mapper_ref.clone()),
                         );
                         let mut sink = fresh_sink();

@@ -53,21 +53,35 @@ where
     let (work_ref, results_ref, next_ref, items_ref) = (&work, &results, &next, &items);
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(move |_| loop {
-                let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for worker in 0..jobs {
+            scope.spawn(move |_| {
+                // busy = inside a task; the claim/bookkeeping gaps in
+                // between are idle, so the gauge exposes scheduling
+                // efficiency alongside the per-task stage rows
+                let mut util = obs::Utilization::new(obs::gauge(
+                    &format!("suite_worker{worker}_busy_permille"),
+                    "suite worker busy fraction (permille, windowed)",
+                ));
+                loop {
+                    let wait = std::time::Instant::now();
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        util.idle(wait.elapsed());
+                        break;
+                    }
+                    let (label, task) = work_ref[i]
+                        .lock()
+                        .expect("suite work slot")
+                        .take()
+                        .expect("each slot taken once");
+                    util.idle(wait.elapsed());
+                    let run = std::time::Instant::now();
+                    let mut stage = obs::stage_owned(label);
+                    let out = task();
+                    stage.add_items(items_ref(&out));
+                    *results_ref[i].lock().expect("suite result slot") = Some(out);
+                    util.busy(run.elapsed());
                 }
-                let (label, task) = work_ref[i]
-                    .lock()
-                    .expect("suite work slot")
-                    .take()
-                    .expect("each slot taken once");
-                let mut stage = obs::stage_owned(label);
-                let out = task();
-                stage.add_items(items_ref(&out));
-                *results_ref[i].lock().expect("suite result slot") = Some(out);
             });
         }
     })

@@ -55,6 +55,10 @@ pub struct ScenarioReport {
     pub allocs_per_op: Option<f64>,
     /// Mean allocated bytes per op; `None` without the allocator.
     pub alloc_bytes_per_op: Option<f64>,
+    /// Hottest frames from a per-scenario CPU profile; `None` unless
+    /// the run was invoked with `--profile` (absent in old baselines —
+    /// missing `Option` fields deserialize to `None`).
+    pub hot_frames: Option<Vec<crate::prof::HotFrame>>,
 }
 
 /// A full benchmark run, as serialized to `BENCH_<label>.json`.
@@ -315,6 +319,7 @@ impl Runner {
                 .then(|| records_per_iter as f64 / (mean / 1e9)),
             allocs_per_op: track.then(|| allocs.allocs as f64 / iters as f64),
             alloc_bytes_per_op: track.then(|| allocs.bytes as f64 / iters as f64),
+            hot_frames: None,
         }
     }
 }
@@ -384,6 +389,7 @@ mod tests {
             records_per_sec: Some(10.0 / (mean / 1e9)),
             allocs_per_op: None,
             alloc_bytes_per_op: None,
+            hot_frames: None,
         }
     }
 

@@ -27,22 +27,31 @@
 //!   noise-aware baseline diffing (the CI regression gate).
 //! - [`alloc`] — an optional counting `#[global_allocator]` so bench
 //!   rows report allocs/op and zero-alloc hot paths are asserted.
+//! - [`prof`] — a dependency-free sampling CPU profiler: SIGPROF +
+//!   frame-pointer walks into a lock-free ring on Linux, symbolized
+//!   off-signal into flamegraph-ready folded stacks (`--profile`,
+//!   `/profile?seconds=N`); inert no-op elsewhere.
 //!
 //! Everything runs on std plus the workspace's vendored serde shims
 //! (used only by the [`mod@bench`] report model): no async runtime, nothing
 //! blocking on the instrumented paths.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)] // `alloc` opts out locally for its GlobalAlloc impl
+// `alloc` (GlobalAlloc impl) and `prof` (signal/timer FFI) opt out locally
+#![deny(unsafe_code)]
 
 pub mod alloc;
 pub mod bench;
 pub mod flight;
 pub mod metrics;
+pub mod prof;
 pub mod prom;
 pub mod stage;
 pub mod trace;
 
-pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram, Registry, SampleValue};
+pub use metrics::{
+    counter, gauge, histogram, Counter, Gauge, Histogram, QueueDepth, Registry, SampleValue,
+    Utilization,
+};
 pub use stage::{stage, stage_owned, Progress, StageTimer};
 pub use trace::span;

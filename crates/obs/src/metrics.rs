@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
 
 /// A monotonically increasing counter.
 #[derive(Default)]
@@ -54,9 +55,126 @@ impl Gauge {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Raise the value to `v` if `v` is greater (monotonic max — used
+    /// for high-water marks like queue peaks).
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while f64::from_bits(cur) < v {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// How much busy/idle time a [`Utilization`] accumulates before it
+/// publishes a fresh busy fraction and starts a new window.
+const UTILIZATION_WINDOW: Duration = Duration::from_millis(500);
+
+/// Windowed busy-fraction accounting for a worker loop.
+///
+/// The worker attributes each loop iteration to [`Utilization::busy`]
+/// (did real work) or [`Utilization::idle`] (poll timeout, empty
+/// channel); once a window's worth of wall time has accumulated, the
+/// fraction is published to the gauge as a permille (0..=1000) and the
+/// window restarts — so the flight recorder's periodic samples see
+/// *recent* utilization, not a lifetime average that stops moving.
+/// Dropping flushes a partial window so short-lived workers report too.
+pub struct Utilization {
+    gauge: Arc<Gauge>,
+    busy: Duration,
+    idle: Duration,
+}
+
+impl Utilization {
+    /// Track busy fraction into `gauge` (conventionally named
+    /// `*_busy_permille`).
+    pub fn new(gauge: Arc<Gauge>) -> Utilization {
+        Utilization {
+            gauge,
+            busy: Duration::ZERO,
+            idle: Duration::ZERO,
+        }
+    }
+
+    /// Attribute `d` of wall time to useful work.
+    #[inline]
+    pub fn busy(&mut self, d: Duration) {
+        self.busy += d;
+        self.maybe_flush();
+    }
+
+    /// Attribute `d` of wall time to waiting for work.
+    #[inline]
+    pub fn idle(&mut self, d: Duration) {
+        self.idle += d;
+        self.maybe_flush();
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.busy + self.idle >= UTILIZATION_WINDOW {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let total = self.busy + self.idle;
+        if total.is_zero() {
+            return;
+        }
+        let permille = self.busy.as_secs_f64() / total.as_secs_f64() * 1000.0;
+        self.gauge.set(permille.round());
+        self.busy = Duration::ZERO;
+        self.idle = Duration::ZERO;
+    }
+}
+
+impl Drop for Utilization {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Instantaneous + high-water depth gauges for a bounded channel.
+///
+/// Registers `{prefix}_queue_depth` (latest observed occupancy) and
+/// `{prefix}_queue_peak` (monotonic high-water mark) in the global
+/// registry, so the pair shows up in Prometheus exposition, in
+/// `/flight.json` time series, and in the CLI's `== queues ==` block.
+pub struct QueueDepth {
+    depth: Arc<Gauge>,
+    peak: Arc<Gauge>,
+}
+
+impl QueueDepth {
+    /// Register the gauge pair under `{prefix}_queue_depth/_peak`.
+    pub fn register(prefix: &str, help: &str) -> QueueDepth {
+        QueueDepth {
+            depth: gauge(&format!("{prefix}_queue_depth"), help),
+            peak: gauge(
+                &format!("{prefix}_queue_peak"),
+                &format!("{help} (high-water mark)"),
+            ),
+        }
+    }
+
+    /// Record one occupancy observation.
+    #[inline]
+    pub fn record(&self, depth: usize) {
+        self.depth.set(depth as f64);
+        self.peak.set_max(depth as f64);
     }
 }
 
@@ -443,6 +561,45 @@ mod tests {
         assert!((g.get() - 2.5).abs() < 1e-12);
         g.set(-1.0);
         assert!((g.get() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_set_max_is_monotonic() {
+        let g = Gauge::new();
+        g.set_max(3.0);
+        g.set_max(1.0);
+        assert!((g.get() - 3.0).abs() < 1e-12);
+        g.set_max(7.5);
+        assert!((g.get() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_publishes_busy_permille() {
+        let g = Arc::new(Gauge::new());
+        let mut u = Utilization::new(Arc::clone(&g));
+        u.busy(Duration::from_millis(300));
+        u.idle(Duration::from_millis(100));
+        // window (400ms) not yet full: nothing published
+        assert_eq!(g.get(), 0.0);
+        u.idle(Duration::from_millis(100));
+        // 300ms busy of 500ms total → 600 permille
+        assert!((g.get() - 600.0).abs() < 1.0, "got {}", g.get());
+        // drop flushes a partial window
+        u.busy(Duration::from_millis(100));
+        drop(u);
+        assert!((g.get() - 1000.0).abs() < 1.0, "got {}", g.get());
+    }
+
+    #[test]
+    fn queue_depth_tracks_latest_and_peak() {
+        let q = QueueDepth::register("test_metrics_qd", "test queue");
+        q.record(3);
+        q.record(9);
+        q.record(2);
+        let depth = gauge("test_metrics_qd_queue_depth", "");
+        let peak = gauge("test_metrics_qd_queue_peak", "");
+        assert_eq!(depth.get(), 2.0);
+        assert_eq!(peak.get(), 9.0);
     }
 
     #[test]

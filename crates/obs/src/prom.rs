@@ -115,6 +115,13 @@ fn handle_conn(mut stream: TcpStream, registry: &Registry) {
                     break;
                 }
             }
+            // a SIGPROF tick (obs::prof) interrupting the read is not
+            // a dead client — retry under the same deadline
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                if started.elapsed() >= READ_DEADLINE {
+                    break;
+                }
+            }
             Err(_) => break,
         }
     }
@@ -126,8 +133,11 @@ fn handle_conn(mut stream: TcpStream, registry: &Registry) {
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    // strip any query string before matching the path
-    let path = path.split('?').next().unwrap_or(path);
+    // split off the query string before matching the path
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
 
     let (status, content_type, body) = match (method, path) {
         ("GET" | "HEAD", "/metrics") => (
@@ -144,6 +154,9 @@ fn handle_conn(mut stream: TcpStream, registry: &Registry) {
                 "flight recorder not running (pass --flight)\n".to_string(),
             ),
         },
+        // on-demand CPU profile: blocks this (single) listener thread
+        // for the requested window, then answers with folded stacks
+        ("GET" | "HEAD", "/profile") => profile_response(query),
         ("GET" | "HEAD", _) => (
             "404 Not Found",
             "text/plain; version=0.0.4; charset=utf-8",
@@ -171,6 +184,40 @@ fn handle_conn(mut stream: TcpStream, registry: &Registry) {
     // HEAD gets headers only — but with the Content-Length a GET would see
     if method != "HEAD" {
         let _ = stream.write_all(body.as_bytes());
+    }
+}
+
+/// `GET /profile?seconds=N` — run a bounded sampling session via
+/// [`crate::prof`] and return flamegraph-ready folded stacks. Answers
+/// `400` for an unparseable duration, `501` where sampling is
+/// unsupported, and `503` immediately (never a hang) when a profile is
+/// already running — the profiler is process-global single-flight.
+fn profile_response(query: &str) -> (&'static str, &'static str, String) {
+    const TEXT: &str = "text/plain; charset=utf-8";
+    let seconds = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("seconds="))
+        .map_or(Ok(2), str::parse::<u64>);
+    let seconds = match seconds {
+        Ok(s @ 1..=60) => s,
+        Ok(_) | Err(_) => {
+            return (
+                "400 Bad Request",
+                TEXT,
+                "seconds must be an integer in 1..=60\n".to_string(),
+            )
+        }
+    };
+    if !crate::prof::supported() {
+        return (
+            "501 Not Implemented",
+            TEXT,
+            "CPU sampling is not supported on this platform\n".to_string(),
+        );
+    }
+    match crate::prof::profile_for(Duration::from_secs(seconds), crate::prof::DEFAULT_HZ) {
+        Ok(profile) => ("200 OK", TEXT, profile.folded()),
+        Err(e) => ("503 Service Unavailable", TEXT, format!("{e}\n")),
     }
 }
 
@@ -305,6 +352,63 @@ mod tests {
             content_length(&get),
             get.split("\r\n\r\n").nth(1).expect("body").len()
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn profile_route_validates_returns_503_when_busy_and_serves_folded_stacks() {
+        let _guard = crate::prof::test_lock();
+        let server = serve("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.addr();
+
+        // unparseable / out-of-range durations are a 400, not a hang
+        let resp = raw_request(
+            addr,
+            "GET /profile?seconds=bogus HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        let resp = raw_request(addr, "GET /profile?seconds=0 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+        if !crate::prof::supported() {
+            let resp = raw_request(addr, "GET /profile?seconds=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+            assert!(resp.starts_with("HTTP/1.1 501"), "{resp}");
+            server.shutdown();
+            return;
+        }
+
+        // a session already running means 503 immediately
+        crate::prof::start(99).expect("arm profiler");
+        let resp = raw_request(addr, "GET /profile?seconds=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(resp.contains("already running"), "{resp}");
+        crate::prof::stop().expect("disarm profiler");
+
+        // happy path: keep a thread busy while the 1s profile runs
+        let stop = Arc::new(AtomicBool::new(false));
+        let burn = Arc::clone(&stop);
+        let spinner = std::thread::spawn(move || {
+            let mut acc = 1u64;
+            while !burn.load(Ordering::Relaxed) {
+                for i in 0..10_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            }
+        });
+        let resp = raw_request(addr, "GET /profile?seconds=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        stop.store(true, Ordering::Relaxed);
+        spinner.join().unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("Connection: close"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        assert_eq!(content_length(&resp), body.len());
+        assert!(!body.trim().is_empty(), "no folded stacks captured");
+        for line in body.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("folded line");
+            assert!(!stack.is_empty(), "{line:?}");
+            count.parse::<u64>().expect("folded count parses");
+        }
         server.shutdown();
     }
 

@@ -449,8 +449,10 @@ mod tests {
                 1 => ResponseClass::Error,
                 n => ResponseClass::Positive(n * 7),
             };
-            // ~40 queries per simulated second: well over the limit
-            trace.push((src, class, t(i / 40)));
+            // ~400 queries per simulated second across ~36
+            // (network, class) buckets: ~11/s per bucket, well over
+            // the 5/s refill, so buckets deplete and slip/drop fire
+            trace.push((src, class, t(i / 400)));
         }
         trace
     }

@@ -267,6 +267,12 @@ const VALUE_FLAGS: &[(&str, &str, &str)] = &[
         "N",
         "trace 1-in-N queries across pipeline hops (deterministic, seeded by --seed)",
     ),
+    (
+        "--profile",
+        "out.folded",
+        "sampling CPU profiler: write flamegraph-ready folded stacks on exit \
+         (bench: per-scenario profiles, merged into one file)",
+    ),
 ];
 
 /// Every boolean flag: `(name, description)`. `--json` doubles as
@@ -371,6 +377,20 @@ fn main() -> ExitCode {
     if flags.iter().any(|f| *f == "--explain") {
         warehouse::explain::enable();
     }
+    // `bench` profiles per scenario inside bench_cli; every other
+    // command gets one profile spanning the whole run
+    let profile_path = flag_value(&flags, "--profile").map(std::path::PathBuf::from);
+    let whole_run_profile =
+        profile_path.is_some() && positional.first().map(|s| s.as_str()) != Some("bench");
+    if whole_run_profile {
+        if !obs::prof::supported() {
+            eprintln!("profile: CPU sampling unsupported on this platform; output will be empty");
+        }
+        if let Err(e) = obs::prof::start(obs::prof::DEFAULT_HZ) {
+            eprintln!("profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let code = match run_command(&flags, &positional) {
         Ok(code) => code,
@@ -379,6 +399,23 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     };
+
+    if whole_run_profile {
+        if let Some(profile) = obs::prof::stop() {
+            let path = profile_path.as_ref().expect("profile path parsed above");
+            if let Err(e) = std::fs::write(path, profile.folded()) {
+                eprintln!("profile: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "profile: {} samples ({} lost) over {:.1}s -> {}",
+                profile.samples,
+                profile.lost,
+                profile.duration.as_secs_f64(),
+                path.display()
+            );
+        }
+    }
 
     if flight_on {
         obs::flight::stop();
@@ -403,6 +440,10 @@ fn main() -> ExitCode {
         let scans = render_scan_counters();
         if !scans.is_empty() {
             print!("{scans}");
+        }
+        let queues = render_queue_gauges();
+        if !queues.is_empty() {
+            print!("{queues}");
         }
     }
     if let Some(path) = trace_path {
@@ -769,6 +810,40 @@ fn render_scan_counters() -> String {
     )
 }
 
+/// The queue-depth summary printed under the `--stats` stage table:
+/// one row per registered `QueueDepth` (depth at last observation plus
+/// high-water mark); empty when nothing registered a bounded queue.
+fn render_queue_gauges() -> String {
+    let samples = obs::Registry::global().sample();
+    let value_of = |name: &str| {
+        samples.iter().find_map(|(n, v)| match v {
+            obs::SampleValue::Gauge(v) if n == name => Some(*v),
+            _ => None,
+        })
+    };
+    let mut rows = String::new();
+    for (name, value) in &samples {
+        let Some(prefix) = name.strip_suffix("_queue_peak") else {
+            continue;
+        };
+        let obs::SampleValue::Gauge(peak) = value else {
+            continue;
+        };
+        let depth = value_of(&format!("{prefix}_queue_depth")).unwrap_or(0.0);
+        rows.push_str(&format!(
+            "{prefix:<28} {:>8} {:>8}\n",
+            depth as u64, *peak as u64
+        ));
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    format!(
+        "== queues ==\n{:<28} {:>8} {:>8}\n{rows}",
+        "queue", "depth", "peak"
+    )
+}
+
 /// Two required positional path arguments (friendly usage on absence).
 fn two_paths<'a>(positional: &[&'a String], usage: &str) -> Result<[&'a str; 2], String> {
     match (positional.get(1), positional.get(2)) {
@@ -1066,17 +1141,44 @@ fn bench_cli(flags: &[&String]) -> Result<ExitCode, String> {
     };
     let label = default_label();
     let mut report = BenchReport::new(&label, quick);
+    // --profile: one profiler session per scenario so each report row
+    // carries its own hot frames; the folded file merges all of them.
+    let profile_path = flag_value(flags, "--profile").map(std::path::PathBuf::from);
+    if profile_path.is_some() && !obs::prof::supported() {
+        eprintln!("bench: CPU sampling unsupported on this platform; profile will be empty");
+    }
+    let mut merged = obs::prof::Profile::default();
     for s in scenarios {
         eprintln!("bench: running {}", s.id());
         let mut prepared = (s.setup)();
-        report.scenarios.push(runner.run(
+        if profile_path.is_some() {
+            obs::prof::start(obs::prof::BENCH_HZ).map_err(|e| format!("bench profile: {e}"))?;
+        }
+        let mut row = runner.run(
             &s.id(),
             s.group,
             prepared.records_per_iter,
             &mut prepared.iter,
-        ));
+        );
+        if profile_path.is_some() {
+            if let Some(profile) = obs::prof::stop() {
+                row.hot_frames = Some(profile.hot_frames(5));
+                merged.merge(profile);
+            }
+        }
+        report.scenarios.push(row);
     }
     print!("{}", report.render_table());
+    if let Some(path) = &profile_path {
+        std::fs::write(path, merged.folded())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "bench: profile {} samples ({} lost) -> {}",
+            merged.samples,
+            merged.lost,
+            path.display()
+        );
+    }
 
     // `--json=path` writes there; bare `--json` names the file after
     // the run label, extending the BENCH_* trajectory.

@@ -184,6 +184,119 @@ fn bench_rejects_unknown_filters() {
 }
 
 #[test]
+fn bench_profile_writes_parseable_folded_stacks_and_hot_frames() {
+    let folded = tmp("profile.folded");
+    let json = tmp("profile.json");
+    let out = bin()
+        .args([
+            "bench",
+            "--quick",
+            "--filter=analysis/qmin_cusum",
+            &format!("--profile={}", folded.display()),
+            &format!("--json={}", json.display()),
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("bench: profile"),
+        "profile summary line on stderr"
+    );
+
+    let text = std::fs::read_to_string(&folded).expect("folded file written");
+    for line in text.lines() {
+        // flamegraph.pl input: "frame;frame;frame count"
+        let (frames, count) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!frames.is_empty(), "{line}");
+        assert!(count.parse::<u64>().unwrap() > 0, "{line}");
+    }
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).expect("valid JSON");
+    let row = &doc["scenarios"][0];
+    assert_eq!(row["name"], "analysis/qmin_cusum");
+    #[cfg(target_os = "linux")]
+    {
+        assert!(!text.is_empty(), "expected samples on Linux");
+        let hot = row["hot_frames"].as_array().expect("hot_frames attached");
+        assert!(!hot.is_empty());
+        for f in hot {
+            assert!(!f["name"].as_str().unwrap().is_empty());
+            assert!(f["total_samples"].as_u64().unwrap() >= f["self_samples"].as_u64().unwrap());
+        }
+    }
+    for f in [&folded, &json] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// ISSUE satellite: a profiler that has run once ("armed": handler
+/// installed, ring allocated, timer disarmed) must not disturb the
+/// respond path's zero-allocation steady state.
+#[test]
+fn armed_but_idle_profiler_keeps_respond_path_allocation_free() {
+    use authd::respond::{OutcomeRef, RespondScratch, Responder};
+    use netbase::flow::Transport;
+    use netbase::time::SimTime;
+    use simnet::drive::Driver;
+    use simnet::profile::Vantage;
+    use simnet::scenario::{dataset, Scale};
+
+    assert!(obs::alloc::installed(), "counting allocator active");
+    // arm then stop: SIGPROF handler stays installed and the sample
+    // ring stays allocated, exactly the state a server is in between
+    // /profile?seconds=N requests
+    if obs::prof::supported() {
+        obs::prof::start(obs::prof::DEFAULT_HZ).expect("profiler starts");
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let profile = obs::prof::stop().expect("profiler stops");
+        assert_eq!(profile.hz, obs::prof::DEFAULT_HZ);
+    }
+
+    let spec = dataset(Vantage::Nl, 2020);
+    let t = spec.start;
+    let responder = Responder::for_spec(&spec);
+    let mut driver = Driver::new(spec, Scale::tiny(), 42);
+    let queries: Vec<(Vec<u8>, std::net::IpAddr)> = (0..64)
+        .map(|_| {
+            let q = driver.sample(t);
+            (q.wire, q.src)
+        })
+        .collect();
+    let now = SimTime(0);
+    let mut scratch = RespondScratch::new();
+    for _ in 0..2 {
+        for (wire, src) in &queries {
+            let _ = responder.handle_into(wire, Transport::Udp, *src, now, None, &mut scratch);
+        }
+    }
+    let steady: Vec<(Vec<u8>, std::net::IpAddr)> = queries
+        .into_iter()
+        .filter(|(wire, src)| {
+            let misses = scratch.misses();
+            let _ = responder.handle_into(wire, Transport::Udp, *src, now, None, &mut scratch);
+            scratch.misses() == misses
+        })
+        .collect();
+    assert!(steady.len() >= 32, "mix should mostly cache");
+
+    let (_, stats) = obs::alloc::measure(|| {
+        for _ in 0..50 {
+            for (wire, src) in &steady {
+                match responder.handle_into(wire, Transport::Udp, *src, now, None, &mut scratch) {
+                    OutcomeRef::Reply { .. } | OutcomeRef::RrlDrop | OutcomeRef::Malformed => {}
+                }
+            }
+        }
+    });
+    assert_eq!(stats.allocs, 0, "armed-but-idle profiler broke 0 allocs/op");
+    assert_eq!(stats.bytes, 0);
+}
+
+#[test]
 fn respond_hot_path_is_allocation_free_in_steady_state() {
     use authd::respond::{OutcomeRef, RespondScratch, Responder};
     use netbase::flow::Transport;

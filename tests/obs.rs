@@ -43,6 +43,32 @@ fn stats_flag_prints_stage_table() {
 }
 
 #[test]
+fn stats_flag_prints_queue_block() {
+    let out = bin()
+        .args(["dataset", "nl", "2018", "--scale=tiny", "--stats"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("== queues =="), "{text}");
+    // the bounded generator→analyzer channel registers a QueueDepth;
+    // the row shows last-observed depth and the high-water mark
+    let row = text
+        .lines()
+        .find(|l| l.starts_with("pipeline_analyze"))
+        .unwrap_or_else(|| panic!("no pipeline_analyze queue row:\n{text}"));
+    let cols: Vec<&str> = row.split_whitespace().collect();
+    assert_eq!(cols.len(), 3, "{row}");
+    let depth: u64 = cols[1].parse().expect("depth number");
+    let peak: u64 = cols[2].parse().expect("peak number");
+    assert!(peak >= depth, "{row}");
+}
+
+#[test]
 fn trace_flag_writes_valid_chrome_events() {
     let trace = tmp("trace.json");
     let out = bin()
@@ -206,8 +232,79 @@ fn metrics_endpoint_serves_live_counters() {
         last_body.contains("authd_loadgen_sent_total"),
         "{last_body}"
     );
+    // per-worker utilization gauges register at worker start, so they
+    // are part of the exposition for the whole run (--workers=2)
+    for series in [
+        "# TYPE authd_udp_worker0_busy_permille gauge",
+        "authd_udp_worker1_busy_permille",
+    ] {
+        assert!(last_body.contains(series), "missing {series}:\n{last_body}");
+    }
 
     // drain the rest of stdout so the child never blocks on a full pipe
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("stdout drains");
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "live run failed:\n{banner}{rest}");
+    let _ = std::fs::remove_file(&cap);
+}
+
+#[test]
+#[cfg(target_os = "linux")]
+fn profile_endpoint_serves_folded_stacks_during_live_run() {
+    let cap = tmp("profile-scrape.dnscap");
+    let mut child = bin()
+        .args([
+            "live",
+            "nl",
+            "2020",
+            cap.to_str().unwrap(),
+            "--scale=tiny",
+            "--seed=7",
+            "--workers=2",
+            "--duration=8s",
+            "--metrics-addr=127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawns");
+
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("metrics: http://")
+        .and_then(|rest| rest.strip_suffix("/metrics"))
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    // bad parameters are rejected without sampling
+    let response = http_get_path(&addr, "/profile?seconds=0").expect("validation response");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    // a 1-second profile of the running server: the response blocks
+    // for the sampling window, so allow a generous read timeout
+    let mut stream = TcpStream::connect(&addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /profile?seconds=1 HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("profile body");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    assert!(!body.trim().is_empty(), "no samples in a busy live run");
+    for line in body.trim_end().lines() {
+        let (frames, count) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!frames.is_empty(), "{line}");
+        assert!(count.parse::<u64>().unwrap() > 0, "{line}");
+    }
+
     let mut rest = String::new();
     reader.read_to_string(&mut rest).expect("stdout drains");
     let status = child.wait().expect("child exits");
@@ -281,6 +378,11 @@ fn flight_endpoint_serves_window_during_live_run() {
     assert!(
         ok,
         "flight.json never served a live counter window; last doc:\n{last_doc}"
+    );
+    // worker utilization gauges ride along in the recorder window
+    assert!(
+        last_doc.contains("busy_permille"),
+        "no utilization series in flight window:\n{last_doc}"
     );
 
     let mut rest = String::new();
