@@ -39,6 +39,11 @@ pub struct LiveConfig {
     pub capture: PathBuf,
     /// Print a stats line to stderr this often (None = quiet).
     pub stats_interval: Option<Duration>,
+    /// Run the *algorithmic resolver fleet* ([`crate::fleetgen`]) with
+    /// this many concurrent resolver instances instead of the
+    /// calibrated replay loadgen. The capture tap and downstream
+    /// analysis are unchanged.
+    pub resolvers: Option<usize>,
 }
 
 impl LiveConfig {
@@ -55,6 +60,7 @@ impl LiveConfig {
             duration: None,
             capture,
             stats_interval: None,
+            resolvers: None,
         }
     }
 }
@@ -70,6 +76,9 @@ pub struct LiveReport {
     pub client: StatsSnapshot,
     /// Capture records flushed to disk.
     pub records: u64,
+    /// Fleet-mode extras (`LiveConfig::resolvers`), absent on the
+    /// calibrated replay path.
+    pub fleet: Option<crate::fleetgen::FleetgenReport>,
 }
 
 /// Run the whole loop; returns once the capture is sealed on disk.
@@ -81,17 +90,6 @@ pub fn run_live(config: &LiveConfig) -> io::Result<LiveReport> {
         tap: Some(tap),
         ..ServerConfig::for_spec(&config.spec)
     })?;
-
-    let mut lg = LoadgenConfig::new(
-        config.spec.clone(),
-        config.scale,
-        config.seed,
-        server.udp_addr(),
-        server.tcp_addr(),
-    );
-    lg.workers = config.loadgen_workers;
-    lg.max_queries = config.max_queries;
-    lg.duration = config.duration;
 
     let client_stats = Stats::new();
     let started = Instant::now();
@@ -128,20 +126,61 @@ pub fn run_live(config: &LiveConfig) -> io::Result<LiveReport> {
                 }
             });
         }
-        let report = run_loadgen(&lg, &client_stats);
+        let report = match config.resolvers {
+            Some(n) => {
+                let mut fg = crate::fleetgen::FleetgenConfig::new(
+                    config.spec.clone(),
+                    config.scale,
+                    config.seed,
+                    server.udp_addr(),
+                    server.tcp_addr(),
+                );
+                fg.resolvers = n;
+                fg.workers = config.loadgen_workers;
+                fg.max_queries = config.max_queries;
+                fg.duration = config.duration;
+                crate::fleetgen::run_fleetgen(&fg, &client_stats).map(|fleet| {
+                    (
+                        LoadgenReport {
+                            sent: fleet.sent,
+                            received: fleet.received,
+                            timeouts: fleet.timeouts,
+                            tcp_fallbacks: fleet.tcp_fallbacks,
+                            elapsed: fleet.elapsed,
+                        },
+                        Some(fleet),
+                    )
+                })
+            }
+            None => {
+                let mut lg = LoadgenConfig::new(
+                    config.spec.clone(),
+                    config.scale,
+                    config.seed,
+                    server.udp_addr(),
+                    server.tcp_addr(),
+                );
+                lg.workers = config.loadgen_workers;
+                lg.max_queries = config.max_queries;
+                lg.duration = config.duration;
+                run_loadgen(&lg, &client_stats).map(|r| (r, None))
+            }
+        };
         done.store(true, Ordering::SeqCst);
         report
     })
     .expect("live threads do not panic")?;
+    let (loadgen_report, fleet) = report;
 
     let elapsed = started.elapsed().as_secs_f64();
     let server_snap = server.stats().snapshot(elapsed);
     let records = server.shutdown()?;
     Ok(LiveReport {
-        loadgen: report,
+        loadgen: loadgen_report,
         server: server_snap,
         client: client_stats.snapshot(elapsed),
         records,
+        fleet,
     })
 }
 
@@ -174,6 +213,44 @@ mod tests {
         assert!(report.loadgen.sent >= 300, "sent {}", report.loadgen.sent);
         assert!(report.records > 0);
         assert!(report.server.queries() >= 300);
+
+        let bytes = fs::read(&capture).unwrap();
+        let records = CaptureReader::new(&bytes[..]).unwrap().fold(0u64, |n, r| {
+            r.expect("no torn records");
+            n + 1
+        });
+        assert_eq!(records, report.records);
+        fs::remove_file(&capture).ok();
+    }
+
+    /// Fleet mode: real resolver instances over real sockets, capture
+    /// consumable, shared caches absorbing repeat demand.
+    #[test]
+    fn fleet_live_run_produces_consumable_capture() {
+        let _guard = crate::signal::TEST_GUARD.lock().unwrap();
+        let dir = std::env::temp_dir().join("authd-fleet-live-test");
+        fs::create_dir_all(&dir).unwrap();
+        let capture = dir.join("fleet.dnscap");
+        let mut config = LiveConfig::new(
+            dataset(Vantage::Nl, 2020),
+            Scale::tiny(),
+            7,
+            capture.clone(),
+        );
+        config.max_queries = Some(400);
+        config.resolvers = Some(16);
+        config.loadgen_workers = 2;
+        config.udp_workers = 2;
+        config.tcp_workers = 1;
+        let report = run_live(&config).unwrap();
+        let fleet = report.fleet.expect("fleet mode reports fleet extras");
+        assert!(report.loadgen.sent >= 400, "sent {}", report.loadgen.sent);
+        assert!(report.records > 0);
+        assert!(
+            fleet.cache_hit_ratio > 0.0,
+            "fleet caches saw no hits: {fleet:?}"
+        );
+        assert!(fleet.stimuli > 0);
 
         let bytes = fs::read(&capture).unwrap();
         let records = CaptureReader::new(&bytes[..]).unwrap().fold(0u64, |n, r| {

@@ -48,7 +48,8 @@ impl Prepared {
 /// One named benchmark scenario.
 pub struct Scenario {
     /// Group label (`wire`, `gen`, `ingest`, `pipeline`, `suite`,
-    /// `analysis`, `warehouse`, `obs`, `serve`, `substrates`); the
+    /// `analysis`, `warehouse`, `obs`, `serve`, `authd`, `resolver`,
+    /// `fleet`, `substrates`); the
     /// criterion benches map groups onto bench binaries, the CLI
     /// reports `group/name`.
     pub group: &'static str,
@@ -78,6 +79,8 @@ pub fn all() -> Vec<Scenario> {
     v.extend(obs_flight());
     v.extend(serve());
     v.extend(authd_live());
+    v.extend(resolver_walks());
+    v.extend(fleet_live());
     v.extend(substrates());
     v
 }
@@ -864,6 +867,137 @@ fn authd_live() -> Vec<Scenario> {
     ]
 }
 
+// --- resolver (fleet walks) -----------------------------------------
+
+/// One resolver pass over a fixed stimulus batch through the offline
+/// three-tier [`SimTransport`]: root referral, recorded vantage,
+/// synthetic leaf. Returns the stimulus count (always nonzero).
+fn fleet_walk_batch(
+    engine: &simnet::engine::Engine,
+    hists: &[std::sync::Arc<obs::Histogram>],
+    stims: &[simnet::emerge::Stimulus],
+    shared: &resolver::SharedCache,
+    seed: u64,
+) -> u64 {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use resolver::{IterativeResolver, ResolverConfig};
+    use simnet::emerge::SimTransport;
+    let fleet = &engine.fleets()[0];
+    let mut tr = SimTransport::new(engine, fleet, hists, StdRng::seed_from_u64(seed), None);
+    let mut res = IterativeResolver::new(ResolverConfig {
+        qmin: true,
+        ..Default::default()
+    });
+    res.attach_shared_cache(shared.clone());
+    res.set_log_enabled(false);
+    let start = engine.spec().start;
+    let mut n = 0u64;
+    for s in stims {
+        res.set_now_micros(start.as_micros());
+        tr.begin(0, start, s.junk);
+        let _ = res.resolve(&mut tr, &s.qname, s.qtype);
+        n += 1;
+    }
+    n
+}
+
+/// Cold: a fresh shared cache each call, so every stimulus walks the
+/// full hierarchy. Cached: one pre-warmed cache persists across calls,
+/// so steady state measures the TTL-cache hit path plus leaf requery.
+fn resolver_scenario(cached: bool) -> Prepared {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use resolver::SharedCache;
+    use simnet::emerge::{ns_rtt_histograms, sample_stimulus, Stimulus};
+    use simnet::engine::Engine;
+
+    const STIMULI: usize = 64;
+    let engine = Engine::new(dataset(Vantage::Nl, 2020), Scale::tiny(), 9);
+    let hists = ns_rtt_histograms(&engine.spec().servers);
+    // a fixed batch so cold and cached walk the same demand
+    let stims: Vec<Stimulus> = {
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = engine.fleets()[0].spec.clone();
+        (0..STIMULI)
+            .map(|_| {
+                sample_stimulus(
+                    engine.zone(),
+                    engine.zipf(),
+                    engine.junk_gen(),
+                    &spec,
+                    false,
+                    &mut rng,
+                )
+            })
+            .collect()
+    };
+    let shared = SharedCache::with_capacity(resolver::cache::DEFAULT_CAPACITY);
+    if cached {
+        fleet_walk_batch(&engine, &hists, &stims, &shared, 0);
+    }
+    Prepared::new(STIMULI as u64, move || {
+        if cached {
+            fleet_walk_batch(&engine, &hists, &stims, &shared, 1)
+        } else {
+            let cold = SharedCache::with_capacity(resolver::cache::DEFAULT_CAPACITY);
+            fleet_walk_batch(&engine, &hists, &stims, &cold, 1)
+        }
+    })
+}
+
+fn resolver_walks() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            group: "resolver",
+            name: "resolve_cold",
+            setup: || resolver_scenario(false),
+        },
+        Scenario {
+            group: "resolver",
+            name: "resolve_cached",
+            setup: || resolver_scenario(true),
+        },
+    ]
+}
+
+// --- fleet (live sockets) -------------------------------------------
+
+/// The end-to-end fleet loop: 16 [`resolver::IterativeResolver`]
+/// instances driving 1k vantage queries through a real [`authd`]
+/// server over loopback, shared caches and RTT selection live.
+fn fleet_live() -> Vec<Scenario> {
+    vec![Scenario {
+        group: "fleet",
+        name: "live_1k",
+        setup: || {
+            const QUERIES: u64 = 1_000;
+            let spec = dataset(Vantage::Nl, 2020);
+            let mut config = authd::ServerConfig::for_spec(&spec);
+            config.udp_workers = 2;
+            config.tcp_workers = 1;
+            let server = authd::Server::start(config).expect("server starts");
+            let mut fg = authd::FleetgenConfig::new(
+                spec,
+                Scale::tiny(),
+                9,
+                server.udp_addr(),
+                server.tcp_addr(),
+            );
+            fg.resolvers = 16;
+            fg.workers = 2;
+            fg.max_queries = Some(QUERIES);
+            Prepared::new(QUERIES, move || {
+                // keep the server alive for the whole scenario
+                let _ = server.udp_addr();
+                let stats = authd::Stats::new();
+                let report = authd::run_fleetgen(&fg, &stats).expect("fleetgen runs");
+                report.sent
+            })
+        },
+    }]
+}
+
 // --- substrates -----------------------------------------------------
 
 fn substrates() -> Vec<Scenario> {
@@ -961,6 +1095,9 @@ mod tests {
             "serve/respond_udp_cached",
             "authd/saturation",
             "authd/saturation_single",
+            "resolver/resolve_cold",
+            "resolver/resolve_cached",
+            "fleet/live_1k",
         ] {
             assert!(ids.contains(required), "missing scenario {required}");
         }

@@ -73,6 +73,28 @@ pub fn generate_capture_sharded(
     Ok(stats)
 }
 
+/// Generate a dataset capture to `path` with the algorithmic resolver
+/// fleet ([`Engine::generate_fleet`]): same capture format, but every
+/// record comes out of an iterative resolver's walk. `workers` stripes
+/// fleets across threads; the file is byte-identical for any count.
+pub fn generate_capture_fleet(
+    spec: &DatasetSpec,
+    scale: Scale,
+    seed: u64,
+    path: &Path,
+    workers: usize,
+) -> std::io::Result<DatasetStats> {
+    let mut stage = obs::stage("pipeline.generate");
+    let _span = obs::span(format!("generate-fleet {}", spec.id()));
+    let engine = Engine::new(spec.clone(), scale, seed);
+    let file = File::create(path)?;
+    let mut writer = CaptureWriter::new(BufWriter::new(file))?;
+    let stats = engine.generate_fleet(&mut writer, workers)?;
+    writer.finish()?;
+    stage.add_items(stats.queries + stats.responses);
+    Ok(stats)
+}
+
 /// Analyze a capture at `path` generated from `(spec, scale, seed)`.
 pub fn analyze_capture(
     spec: &DatasetSpec,
@@ -170,6 +192,44 @@ pub fn run_monthly_series_for_jobs(
                 let agg = run.analysis.provider(Some(provider));
                 // this run covers exactly one month, so the provider
                 // aggregate *is* the monthly bucket
+                let mut qtypes: Counter<RType> = Counter::new();
+                for (t, c) in agg.qtype.iter() {
+                    qtypes.add(*t, c);
+                }
+                MonthlySample::from_counters(year, month, &qtypes, agg.minimized_ns)
+            };
+            (label, task)
+        })
+        .collect();
+    crate::suite::run_tasks(tasks, jobs, |s: &MonthlySample| s.total)
+}
+
+/// The Figure 3 Google monthly series generated by the *algorithmic
+/// resolver fleet* instead of the calibrated sampler: the same months,
+/// specs and seeds as [`run_monthly_series`], but every record comes
+/// out of an [`simnet::emerge::SimTransport`] walk — so the Dec-2019
+/// Q-min change point in the returned samples is emergent, produced by
+/// `IterativeResolver::set_qmin` flipping on the rollout date.
+pub fn run_monthly_series_fleet(
+    vantage: Vantage,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+) -> Vec<MonthlySample> {
+    let provider = asdb::cloud::Provider::Google;
+    let tasks = figure3_months()
+        .into_iter()
+        .map(|(year, month)| {
+            let label = format!("suite.fig3-fleet-{year}-{month:02}");
+            let task = move || {
+                let spec = monthly_google(vantage, year, month);
+                let run = crate::pipeline::run_spec_with(
+                    spec,
+                    scale,
+                    seed ^ ((year as u64) << 8 | month as u64),
+                    &crate::pipeline::PipelineOpts::with_fleet(),
+                );
+                let agg = run.analysis.provider(Some(provider));
                 let mut qtypes: Counter<RType> = Counter::new();
                 for (t, c) in agg.qtype.iter() {
                     qtypes.add(*t, c);

@@ -55,6 +55,13 @@ pub struct PipelineOpts {
     /// merge like any other sink); partitions are staged on completion
     /// and left for the caller to [`warehouse::Warehouse::commit`].
     pub warehouse: Option<crate::store::WarehouseTarget>,
+    /// Generate traffic with the *algorithmic resolver fleet*
+    /// ([`Engine::generate_fleet`]): every record is produced by an
+    /// iterative resolver walking a simulated hierarchy, instead of the
+    /// calibrated per-query sampler. `shards` then stripes fleets (not
+    /// time ranges) across generator threads; the capture boundary and
+    /// everything downstream of it are unchanged.
+    pub fleet: bool,
 }
 
 impl PipelineOpts {
@@ -82,6 +89,14 @@ impl PipelineOpts {
     /// Effective analysis-worker count (at least 1).
     pub fn job_count(&self) -> usize {
         self.jobs.max(1)
+    }
+
+    /// Streaming pipeline over the algorithmic resolver fleet.
+    pub fn with_fleet() -> PipelineOpts {
+        PipelineOpts {
+            fleet: true,
+            ..PipelineOpts::default()
+        }
     }
 }
 
@@ -328,13 +343,17 @@ pub fn run_spec_with(
     opts: &PipelineOpts,
 ) -> DatasetRun {
     if let Some(path) = &opts.keep_capture {
-        let gen_stats = crate::experiments::generate_capture_sharded(
-            &spec,
-            scale,
-            seed,
-            path,
-            opts.shard_count(),
-        )
+        let gen_stats = if opts.fleet {
+            crate::experiments::generate_capture_fleet(&spec, scale, seed, path, opts.shard_count())
+        } else {
+            crate::experiments::generate_capture_sharded(
+                &spec,
+                scale,
+                seed,
+                path,
+                opts.shard_count(),
+            )
+        }
         .expect("capture generation succeeds");
         let (analysis, dualstack, ingest_stats) =
             analyze_capture(&spec, scale, seed, path).expect("capture analysis succeeds");
@@ -357,6 +376,7 @@ pub fn run_spec_with(
     let mapper = plan.mapper;
     let shards = opts.shard_count();
     let jobs = opts.job_count();
+    let fleet = opts.fleet;
     let engine_ref = &engine;
     let spec_ref = &spec;
     let mapper_ref = &mapper;
@@ -387,7 +407,11 @@ pub fn run_spec_with(
                 let mut stage = obs::stage("pipeline.generate");
                 let _span = obs::span(format!("generate {}", spec_ref.id()));
                 let mut sink = ChannelSink::new(tx);
-                let stats = engine_ref.generate_sharded(&mut sink, shards);
+                let stats = if fleet {
+                    engine_ref.generate_fleet(&mut sink, shards)
+                } else {
+                    engine_ref.generate_sharded(&mut sink, shards)
+                };
                 if let Ok(s) = &stats {
                     stage.add_items(s.queries + s.responses);
                 }
@@ -433,7 +457,11 @@ pub fn run_spec_with(
                 let mut stage = obs::stage("pipeline.generate");
                 let _span = obs::span(format!("generate {}", spec_ref.id()));
                 let mut sink = SliceRouter::new(txs);
-                let stats = engine_ref.generate_sharded(&mut sink, shards);
+                let stats = if fleet {
+                    engine_ref.generate_fleet(&mut sink, shards)
+                } else {
+                    engine_ref.generate_sharded(&mut sink, shards)
+                };
                 if let Ok(s) = &stats {
                     stage.add_items(s.queries + s.responses);
                 }
@@ -601,13 +629,63 @@ mod tests {
             &PipelineOpts {
                 shards: 3,
                 jobs: 3,
-                keep_capture: None,
-                warehouse: None,
+                ..Default::default()
             },
         );
         assert_eq!(serial.ingest_stats, both.ingest_stats);
         assert_eq!(serial.analysis.total_queries, both.analysis.total_queries);
         assert_eq!(serial.analysis.cloud_share(), both.analysis.cloud_share());
+    }
+
+    /// The fleet generator streams through the same ingest unchanged:
+    /// accounting balances, rows appear, and parallel analysis workers
+    /// agree with the serial consumer.
+    #[test]
+    fn fleet_path_flows_through_ingest() {
+        let spec = dataset(Vantage::Nl, 2020);
+        let one = run_spec_with(spec.clone(), Scale::tiny(), 13, &PipelineOpts::with_fleet());
+        assert!(one.ingest_stats.rows > 0, "fleet produced no rows");
+        assert_eq!(one.ingest_stats.capture_errors, 0);
+        assert!(one.ingest_stats.balanced(), "{:?}", one.ingest_stats);
+        assert_eq!(one.gen_stats.queries, one.ingest_stats.rows);
+        let four = run_spec_with(
+            spec,
+            Scale::tiny(),
+            13,
+            &PipelineOpts {
+                fleet: true,
+                shards: 2,
+                jobs: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(one.ingest_stats, four.ingest_stats);
+        assert_eq!(one.analysis.total_queries, four.analysis.total_queries);
+        assert_eq!(one.analysis.cloud_share(), four.analysis.cloud_share());
+    }
+
+    /// Fleet streaming equals the fleet kept-capture disk round trip.
+    #[test]
+    fn fleet_streamed_matches_disk_roundtrip() {
+        let spec = dataset(Vantage::Nz, 2019);
+        let streamed = run_spec_with(spec.clone(), Scale::tiny(), 5, &PipelineOpts::with_fleet());
+        let path = temp_capture_path("pipeline-fleet-disk", 5);
+        let disk = run_spec_with(
+            spec,
+            Scale::tiny(),
+            5,
+            &PipelineOpts {
+                fleet: true,
+                keep_capture: Some(path.clone()),
+                ..Default::default()
+            },
+        );
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(streamed.ingest_stats, disk.ingest_stats);
+        assert_eq!(streamed.gen_stats.queries, disk.gen_stats.queries);
+        assert_eq!(streamed.analysis.total_queries, disk.analysis.total_queries);
+        assert_eq!(streamed.analysis.cloud_share(), disk.analysis.cloud_share());
     }
 
     /// The default `run_spec` is the streaming path and its accounting

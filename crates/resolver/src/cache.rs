@@ -1,0 +1,344 @@
+//! The fleet resolver cache: positive answers, negative answers, and
+//! delegations, each entry carrying its own `(insertion_time, ttl)` so
+//! expiry is per-record — never a wall-clock bucket.
+//!
+//! One instance is shared by every resolver of a fleet (the paper's
+//! observation that a provider's frontend fans queries into a common
+//! cache layer), behind [`SharedCache`]'s mutex. All times are
+//! microseconds on the simulation clock; live mode feeds wall-clock
+//! micros instead — the cache only ever compares durations.
+
+use dns_wire::name::Name;
+use dns_wire::types::RType;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::{Arc, Mutex};
+
+/// What a cached negative answer asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Negative {
+    /// The name does not exist (RFC 2308 type 1/2).
+    NxDomain,
+    /// The name exists but has no records of this type (type 3).
+    NoData,
+}
+
+/// One cache entry: the value plus its insertion time and TTL. Expiry
+/// is `inserted_us + ttl_us`, computed per lookup — entries inserted
+/// just before a wall-hour tick survive into the next hour for their
+/// full remaining TTL.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    value: T,
+    inserted_us: u64,
+    ttl_us: u64,
+}
+
+impl<T> Entry<T> {
+    fn live_at(&self, now_us: u64) -> bool {
+        now_us < self.inserted_us.saturating_add(self.ttl_us)
+    }
+
+    fn expiry(&self) -> u64 {
+        self.inserted_us.saturating_add(self.ttl_us)
+    }
+}
+
+/// The per-fleet resolver cache. Not thread-safe by itself — wrap in
+/// [`SharedCache`] to share across concurrent resolvers.
+#[derive(Debug, Default)]
+pub struct FleetCache {
+    /// (qname, qtype) -> addresses.
+    addresses: HashMap<(Name, RType), Entry<Vec<IpAddr>>>,
+    /// (qname, qtype) -> cached denial.
+    negatives: HashMap<(Name, RType), Entry<Negative>>,
+    /// zone cut -> authoritative server addresses.
+    delegations: HashMap<Name, Entry<Vec<IpAddr>>>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default per-map entry budget: sized for a provider-scale fleet at
+/// simulation scale, small enough that eviction paths actually run.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+impl FleetCache {
+    /// An empty cache holding up to `capacity` entries per map.
+    pub fn with_capacity(capacity: usize) -> FleetCache {
+        FleetCache {
+            capacity: capacity.max(1),
+            ..FleetCache::default()
+        }
+    }
+
+    /// Cached addresses for `(qname, qtype)`, honoring per-entry TTL.
+    pub fn addresses(&mut self, qname: &Name, qtype: RType, now_us: u64) -> Option<Vec<IpAddr>> {
+        let key = (qname.clone(), qtype);
+        match self.addresses.get(&key) {
+            Some(e) if e.live_at(now_us) => {
+                self.hits += 1;
+                Some(e.value.clone())
+            }
+            Some(_) => {
+                self.addresses.remove(&key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Cache a positive answer.
+    pub fn put_addresses(
+        &mut self,
+        qname: &Name,
+        qtype: RType,
+        addrs: Vec<IpAddr>,
+        now_us: u64,
+        ttl_secs: u32,
+    ) {
+        if ttl_secs == 0 {
+            return;
+        }
+        evict_if_full(&mut self.addresses, self.capacity);
+        self.addresses.insert(
+            (qname.clone(), qtype),
+            Entry {
+                value: addrs,
+                inserted_us: now_us,
+                ttl_us: u64::from(ttl_secs) * 1_000_000,
+            },
+        );
+    }
+
+    /// Cached denial for `(qname, qtype)`, if still live.
+    pub fn negative(&mut self, qname: &Name, qtype: RType, now_us: u64) -> Option<Negative> {
+        let key = (qname.clone(), qtype);
+        match self.negatives.get(&key) {
+            Some(e) if e.live_at(now_us) => {
+                self.hits += 1;
+                Some(e.value)
+            }
+            Some(_) => {
+                self.negatives.remove(&key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Cache a denial under the zone's negative TTL.
+    pub fn put_negative(
+        &mut self,
+        qname: &Name,
+        qtype: RType,
+        kind: Negative,
+        now_us: u64,
+        ttl_secs: u32,
+    ) {
+        if ttl_secs == 0 {
+            return;
+        }
+        evict_if_full(&mut self.negatives, self.capacity);
+        self.negatives.insert(
+            (qname.clone(), qtype),
+            Entry {
+                value: kind,
+                inserted_us: now_us,
+                ttl_us: u64::from(ttl_secs) * 1_000_000,
+            },
+        );
+    }
+
+    /// The deepest live delegation covering `name`.
+    pub fn deepest_cut(&self, name: &Name, now_us: u64) -> Option<(Name, Vec<IpAddr>)> {
+        self.delegations
+            .iter()
+            .filter(|(cut, e)| e.live_at(now_us) && name.is_subdomain_of(cut))
+            .max_by_key(|(cut, _)| cut.label_count())
+            .map(|(cut, e)| (cut.clone(), e.value.clone()))
+    }
+
+    /// Cache a learned zone cut.
+    pub fn put_delegation(&mut self, cut: &Name, servers: Vec<IpAddr>, now_us: u64, ttl_secs: u32) {
+        if ttl_secs == 0 {
+            return;
+        }
+        evict_if_full(&mut self.delegations, self.capacity);
+        self.delegations.insert(
+            cut.clone(),
+            Entry {
+                value: servers,
+                inserted_us: now_us,
+                ttl_us: u64::from(ttl_secs) * 1_000_000,
+            },
+        );
+    }
+
+    /// Lookup hits since construction (positive + negative).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Positive-lookup misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit fraction of positive lookups (0 when none yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total live-or-stale entries across the three maps.
+    pub fn len(&self) -> usize {
+        self.addresses.len() + self.negatives.len() + self.delegations.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Evict the earliest-expiring entry once a map is at capacity. Ties
+/// (same expiry micros) are broken by the smaller key hash so eviction
+/// stays deterministic across runs regardless of map iteration order.
+fn evict_if_full<K: Clone + std::hash::Hash + Eq, T>(
+    map: &mut HashMap<K, Entry<T>>,
+    capacity: usize,
+) {
+    if map.len() < capacity {
+        return;
+    }
+    if let Some(victim) = map
+        .iter()
+        .map(|(k, e)| (e.expiry(), stable_hash(k), k.clone()))
+        .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
+        .map(|(_, _, k)| k)
+    {
+        map.remove(&victim);
+    }
+}
+
+fn stable_hash<K: std::hash::Hash>(k: &K) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    h.finish()
+}
+
+/// A cheaply-clonable handle to a fleet-shared [`FleetCache`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedCache(Arc<Mutex<FleetCache>>);
+
+impl SharedCache {
+    /// A fresh shared cache with the given per-map capacity.
+    pub fn with_capacity(capacity: usize) -> SharedCache {
+        SharedCache(Arc::new(Mutex::new(FleetCache::with_capacity(capacity))))
+    }
+
+    /// Run `f` under the cache lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut FleetCache) -> R) -> R {
+        f(&mut self.0.lock().expect("fleet cache lock"))
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.with(|c| c.hits())
+    }
+
+    /// Positive-lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.with(|c| c.misses())
+    }
+
+    /// Hit fraction of lookups so far.
+    pub fn hit_ratio(&self) -> f64 {
+        self.with(|c| c.hit_ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    const HOUR_US: u64 = 3_600_000_000;
+
+    #[test]
+    fn expiry_is_insertion_plus_ttl_not_wall_bucket() {
+        let mut c = FleetCache::with_capacity(16);
+        // inserted one second before a wall-hour boundary, TTL 120s:
+        // must survive well past the boundary and die at insertion+120s
+        let t0 = HOUR_US - 1_000_000;
+        c.put_addresses(&n("a.nl."), RType::A, vec![addr("192.0.2.1")], t0, 120);
+        assert!(c.addresses(&n("a.nl."), RType::A, HOUR_US + 1).is_some());
+        assert!(c
+            .addresses(&n("a.nl."), RType::A, t0 + 119_000_000)
+            .is_some());
+        assert!(c
+            .addresses(&n("a.nl."), RType::A, t0 + 120_000_000)
+            .is_none());
+    }
+
+    #[test]
+    fn negative_entries_expire_per_record_too() {
+        let mut c = FleetCache::with_capacity(16);
+        c.put_negative(&n("gone.nl."), RType::A, Negative::NxDomain, 0, 900);
+        assert_eq!(
+            c.negative(&n("gone.nl."), RType::A, 899_999_999),
+            Some(Negative::NxDomain)
+        );
+        assert_eq!(c.negative(&n("gone.nl."), RType::A, 900_000_000), None);
+    }
+
+    #[test]
+    fn deepest_live_cut_wins() {
+        let mut c = FleetCache::with_capacity(16);
+        c.put_delegation(&n("nl."), vec![addr("194.0.28.53")], 0, 3600);
+        c.put_delegation(&n("x.nl."), vec![addr("192.0.2.10")], 0, 60);
+        let (cut, _) = c.deepest_cut(&n("www.x.nl."), 0).unwrap();
+        assert_eq!(cut, n("x.nl."));
+        // after the child cut expires, the TLD cut covers again
+        let (cut, _) = c.deepest_cut(&n("www.x.nl."), 61_000_000).unwrap();
+        assert_eq!(cut, n("nl."));
+    }
+
+    #[test]
+    fn capacity_evicts_earliest_expiry() {
+        let mut c = FleetCache::with_capacity(2);
+        c.put_addresses(&n("a.nl."), RType::A, vec![addr("192.0.2.1")], 0, 10);
+        c.put_addresses(&n("b.nl."), RType::A, vec![addr("192.0.2.2")], 0, 1000);
+        c.put_addresses(&n("c.nl."), RType::A, vec![addr("192.0.2.3")], 0, 500);
+        assert!(c.addresses(&n("a.nl."), RType::A, 1).is_none(), "evicted");
+        assert!(c.addresses(&n("b.nl."), RType::A, 1).is_some());
+        assert!(c.addresses(&n("c.nl."), RType::A, 1).is_some());
+    }
+
+    #[test]
+    fn shared_handle_counts_hits() {
+        let shared = SharedCache::with_capacity(16);
+        shared.with(|c| c.put_addresses(&n("a.nl."), RType::A, vec![addr("192.0.2.1")], 0, 60));
+        let hit = shared.with(|c| c.addresses(&n("a.nl."), RType::A, 1).is_some());
+        assert!(hit);
+        assert_eq!(shared.hits(), 1);
+        assert!(shared.hit_ratio() > 0.0);
+    }
+}

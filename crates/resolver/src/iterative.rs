@@ -1,8 +1,17 @@
 //! The iterative resolution algorithm: referral walking from the root,
 //! optional QNAME minimization, delegation/address caching, and cycle
 //! detection.
+//!
+//! The resolver is generic over [`Transport`], so the same walk runs
+//! against the in-process test [`Network`](crate::hierarchy::Network),
+//! simnet's zone-model answerer, or real sockets toward `authd`. Fleet
+//! deployments attach a [`SharedCache`] (per-entry TTL decay, shared
+//! across the fleet's resolvers) and get per-host RTT ordering plus a
+//! bounded retry/timeout state machine per in-flight query.
 
-use crate::hierarchy::Network;
+use crate::cache::{Negative, SharedCache};
+use crate::selector::HostSelector;
+use crate::transport::{Exchange, Transport};
 use dns_wire::builder::MessageBuilder;
 use dns_wire::message::Message;
 use dns_wire::name::Name;
@@ -10,6 +19,11 @@ use dns_wire::rdata::RData;
 use dns_wire::types::{RType, Rcode};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
+
+/// Fallback TTL when an answer carries no usable records (seconds).
+const DEFAULT_ANSWER_TTL: u32 = 300;
+/// Fallback negative TTL when no SOA is present (RFC 2308 default).
+const DEFAULT_NEGATIVE_TTL: u32 = 900;
 
 /// Resolver behaviour knobs.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +40,20 @@ pub struct ResolverConfig {
     pub max_queries: u32,
     /// Maximum CNAME chain length.
     pub max_cnames: u32,
+    /// EDNS advertised UDP payload size, on every hop of the walk.
+    /// 0 = no OPT record at all.
+    pub edns_size: u16,
+    /// DNSSEC-OK: set the DO bit inside the OPT record on every hop.
+    pub do_bit: bool,
+    /// Checking Disabled: carried on every hop of the walk — referral
+    /// probes, Q-min probes, DS/DNSKEY fetches, CNAME chases and
+    /// glueless-NS re-walks alike.
+    pub cd_bit: bool,
+    /// How many times each server of a zone's NS set is tried before
+    /// the query errors as unreachable. The retry passes re-rank
+    /// servers by the RTT selector, so a timing-out server is demoted
+    /// mid-resolution.
+    pub attempts_per_server: u32,
 }
 
 impl Default for ResolverConfig {
@@ -35,6 +63,10 @@ impl Default for ResolverConfig {
             validate: false,
             max_queries: 64,
             max_cnames: 8,
+            edns_size: 0,
+            do_bit: false,
+            cd_bit: false,
+            attempts_per_server: 2,
         }
     }
 }
@@ -48,6 +80,12 @@ pub struct QueryLogEntry {
     pub qname: Name,
     /// Queried type.
     pub qtype: RType,
+    /// EDNS payload size advertised on this hop (0 = no OPT).
+    pub edns_size: u16,
+    /// DO bit on this hop.
+    pub do_bit: bool,
+    /// CD bit on this hop.
+    pub cd_bit: bool,
 }
 
 /// Resolution failures.
@@ -82,21 +120,50 @@ pub enum ResolveError {
     },
 }
 
+/// Per-resolver counters for the retry/timeout state machine and the
+/// shared-cache interaction. Plain totals; a fleet harness aggregates
+/// them into its metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResolverStats {
+    /// Query sends beyond each hop's first attempt.
+    pub retries: u64,
+    /// Exchanges that ended in a transport timeout.
+    pub timeouts: u64,
+    /// Resolutions answered from the shared cache (positive or
+    /// negative) without any query.
+    pub cache_hits: u64,
+    /// Resolutions that had to walk.
+    pub cache_misses: u64,
+}
+
 /// An iterative (root-walking) resolver with caches.
 pub struct IterativeResolver {
     config: ResolverConfig,
-    /// zone cut -> learned server addresses.
+    /// zone cut -> learned server addresses (per-instance fallback
+    /// when no shared cache is attached; no TTL decay).
     delegation_cache: HashMap<Name, Vec<IpAddr>>,
-    /// terminal answers: (qname, qtype) -> addresses.
+    /// terminal answers: (qname, qtype) -> addresses (per-instance
+    /// fallback).
     address_cache: HashMap<(Name, RType), Vec<IpAddr>>,
-    /// every query sent, in order.
+    /// every query sent, in order (when logging is enabled).
     pub log: Vec<QueryLogEntry>,
+    /// Retry/timeout/cache counters.
+    pub stats: ResolverStats,
     queries_this_call: u32,
+    sent_total: u64,
+    log_enabled: bool,
     resolving: HashSet<Name>,
     /// delegation -> the parent's DS digest (None = insecure).
     ds_cache: HashMap<Name, Option<Vec<u8>>>,
     /// zone -> verified DNSKEY material.
     dnskey_cache: HashMap<Name, Vec<u8>>,
+    /// Fleet-shared cache with per-entry TTL decay; when attached, the
+    /// per-instance maps above are bypassed entirely.
+    shared: Option<SharedCache>,
+    /// Simulation/wall clock, microseconds — the time base for shared
+    /// cache expiry.
+    now_us: u64,
+    selector: HostSelector,
 }
 
 impl IterativeResolver {
@@ -107,39 +174,87 @@ impl IterativeResolver {
             delegation_cache: HashMap::new(),
             address_cache: HashMap::new(),
             log: Vec::new(),
+            stats: ResolverStats::default(),
             queries_this_call: 0,
+            sent_total: 0,
+            log_enabled: true,
             resolving: HashSet::new(),
             ds_cache: HashMap::new(),
             dnskey_cache: HashMap::new(),
+            shared: None,
+            now_us: 0,
+            selector: HostSelector::new(),
         }
+    }
+
+    /// Attach a fleet-shared cache; all positive/negative/delegation
+    /// caching moves there (with real TTL decay against the clock set
+    /// by [`IterativeResolver::set_now_micros`]).
+    pub fn attach_shared_cache(&mut self, cache: SharedCache) {
+        self.shared = Some(cache);
+    }
+
+    /// Advance this resolver's clock (microseconds). Only consulted
+    /// for shared-cache expiry; per-instance maps ignore it.
+    pub fn set_now_micros(&mut self, now_us: u64) {
+        self.now_us = now_us;
+    }
+
+    /// Flip QNAME minimization (a provider rollout toggles this on the
+    /// paper's timeline).
+    pub fn set_qmin(&mut self, on: bool) {
+        self.config.qmin = on;
+    }
+
+    /// Disable the per-query log (fleet runs: the capture tap records
+    /// traffic, keeping an in-memory log per resolver would just grow).
+    pub fn set_log_enabled(&mut self, on: bool) {
+        self.log_enabled = on;
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// The per-host RTT selector (for metrics export).
+    pub fn selector(&self) -> &HostSelector {
+        &self.selector
     }
 
     /// Queries sent over this resolver's lifetime.
     pub fn queries_sent(&self) -> usize {
-        self.log.len()
+        self.sent_total as usize
     }
 
-    /// Cached zone cuts (for tests/inspection).
+    /// Cached zone cuts (for tests/inspection; per-instance map only).
     pub fn cached_cuts(&self) -> usize {
         self.delegation_cache.len()
     }
 
     /// Resolve `name`/`rtype` to addresses, walking `net` from its
     /// root servers.
-    pub fn resolve(
+    pub fn resolve<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         name: &Name,
         rtype: RType,
     ) -> Result<Vec<IpAddr>, ResolveError> {
         self.queries_this_call = 0;
         self.resolving.clear();
-        self.resolve_inner(net, name, rtype, 0)
+        let before = self.queries_this_call;
+        let result = self.resolve_inner(net, name, rtype, 0);
+        if self.queries_this_call == before {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.cache_misses += 1;
+        }
+        result
     }
 
-    fn resolve_inner(
+    fn resolve_inner<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         name: &Name,
         rtype: RType,
         cname_depth: u32,
@@ -147,7 +262,18 @@ impl IterativeResolver {
         if cname_depth > self.config.max_cnames {
             return Err(ResolveError::CnameLoop);
         }
-        if let Some(cached) = self.address_cache.get(&(name.clone(), rtype)) {
+        if let Some(shared) = &self.shared {
+            let now = self.now_us;
+            if let Some(kind) = shared.with(|c| c.negative(name, rtype, now)) {
+                return Err(match kind {
+                    Negative::NxDomain => ResolveError::NxDomain,
+                    Negative::NoData => ResolveError::NoData,
+                });
+            }
+            if let Some(addrs) = shared.with(|c| c.addresses(name, rtype, now)) {
+                return Ok(addrs);
+            }
+        } else if let Some(cached) = self.address_cache.get(&(name.clone(), rtype)) {
             return Ok(cached.clone());
         }
         if !self.resolving.insert(name.clone()) {
@@ -155,23 +281,43 @@ impl IterativeResolver {
         }
         let result = self.walk(net, name, rtype, cname_depth);
         self.resolving.remove(name);
-        if let Ok(addrs) = &result {
-            self.address_cache
-                .insert((name.clone(), rtype), addrs.clone());
+        match &result {
+            Ok((addrs, ttl)) => {
+                if let Some(shared) = &self.shared {
+                    let now = self.now_us;
+                    shared.with(|c| c.put_addresses(name, rtype, addrs.clone(), now, *ttl));
+                } else {
+                    self.address_cache
+                        .insert((name.clone(), rtype), addrs.clone());
+                }
+            }
+            Err(e @ (ResolveError::NxDomain | ResolveError::NoData)) => {
+                if let Some(shared) = &self.shared {
+                    let kind = if *e == ResolveError::NxDomain {
+                        Negative::NxDomain
+                    } else {
+                        Negative::NoData
+                    };
+                    let now = self.now_us;
+                    shared.with(|c| c.put_negative(name, rtype, kind, now, DEFAULT_NEGATIVE_TTL));
+                }
+            }
+            Err(_) => {}
         }
-        result
+        result.map(|(addrs, _)| addrs)
     }
 
-    /// The referral walk itself.
-    fn walk(
+    /// The referral walk itself. Returns the addresses plus the TTL to
+    /// cache them under.
+    fn walk<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         name: &Name,
         rtype: RType,
         cname_depth: u32,
-    ) -> Result<Vec<IpAddr>, ResolveError> {
+    ) -> Result<(Vec<IpAddr>, u32), ResolveError> {
         // start from the deepest cached cut covering the name
-        let (mut cut, mut servers) = self.best_cut(net, name);
+        let (cut, mut servers) = self.best_cut(net, name);
         // depth we know to be inside `servers`' bailiwick (for Q-min's
         // empty-non-terminal traversal)
         let mut known_depth = cut.label_count();
@@ -208,7 +354,8 @@ impl IterativeResolver {
                     })
                     .collect();
                 if !addrs.is_empty() {
-                    return Ok(addrs);
+                    let ttl = answer_ttl(&resp, name);
+                    return Ok((addrs, ttl));
                 }
                 // CNAME?
                 if let Some(target) = resp.answers.iter().find_map(|r| match &r.rdata {
@@ -227,9 +374,12 @@ impl IterativeResolver {
                         })
                         .collect();
                     if !chased.is_empty() {
-                        return Ok(chased);
+                        let ttl = answer_ttl(&resp, &target);
+                        return Ok((chased, ttl));
                     }
-                    return self.resolve_inner(net, &target, rtype, cname_depth + 1);
+                    return self
+                        .resolve_inner(net, &target, rtype, cname_depth + 1)
+                        .map(|addrs| (addrs, DEFAULT_ANSWER_TTL));
                 }
                 if resp.answers.is_empty() && !is_referral(&resp) {
                     return Err(ResolveError::NoData);
@@ -238,7 +388,7 @@ impl IterativeResolver {
 
             // referral ----------------------------------------------------------
             if is_referral(&resp) {
-                let (new_cut, ns_hosts, glue) = parse_referral(&resp);
+                let (new_cut, ns_hosts, glue, cut_ttl) = parse_referral(&resp);
                 let new_servers = if glue.is_empty() {
                     // no glue: resolve the NS hosts (cycle-guarded)
                     let mut found = Vec::new();
@@ -262,11 +412,14 @@ impl IterativeResolver {
                 if self.config.validate {
                     self.validate_delegation(net, &servers, &new_cut, &new_servers)?;
                 }
-                self.delegation_cache
-                    .insert(new_cut.clone(), new_servers.clone());
+                if let Some(shared) = &self.shared {
+                    let now = self.now_us;
+                    shared.with(|c| c.put_delegation(&new_cut, new_servers.clone(), now, cut_ttl));
+                } else {
+                    self.delegation_cache
+                        .insert(new_cut.clone(), new_servers.clone());
+                }
                 known_depth = new_cut.label_count();
-                cut = new_cut;
-                let _ = &cut;
                 servers = new_servers;
                 continue;
             }
@@ -290,9 +443,9 @@ impl IterativeResolver {
     /// child zone, compared. Mirrors the §4.2.2 traffic pattern: a
     /// validator emits one DS query per (uncached) delegation but only
     /// one DNSKEY query per zone.
-    fn validate_delegation(
+    fn validate_delegation<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         parent_servers: &[IpAddr],
         cut: &Name,
         child_servers: &[IpAddr],
@@ -339,7 +492,12 @@ impl IterativeResolver {
 
     /// The deepest cached delegation covering `name` (falling back to
     /// the root servers).
-    fn best_cut(&self, net: &Network, name: &Name) -> (Name, Vec<IpAddr>) {
+    fn best_cut<T: Transport>(&self, net: &T, name: &Name) -> (Name, Vec<IpAddr>) {
+        if let Some(shared) = &self.shared {
+            return shared
+                .with(|c| c.deepest_cut(name, self.now_us))
+                .unwrap_or_else(|| (Name::root(), net.root_servers()));
+        }
         self.delegation_cache
             .iter()
             .filter(|(cut, _)| name.is_subdomain_of(cut))
@@ -348,30 +506,61 @@ impl IterativeResolver {
             .unwrap_or_else(|| (Name::root(), net.root_servers()))
     }
 
-    /// Send one question to the first responsive server.
-    fn ask(
+    /// Send one question: servers ordered best-first by the RTT
+    /// selector, each tried up to `attempts_per_server` times, with
+    /// timeouts demoting a server between passes — the bounded
+    /// retry/timeout state machine of one in-flight query.
+    fn ask<T: Transport>(
         &mut self,
-        net: &mut Network,
+        net: &mut T,
         servers: &[IpAddr],
         qname: &Name,
         qtype: RType,
     ) -> Result<Message, ResolveError> {
-        for &server in servers {
-            if self.queries_this_call >= self.config.max_queries {
-                return Err(ResolveError::BudgetExhausted {
-                    queries: self.queries_this_call,
-                });
-            }
-            self.queries_this_call += 1;
-            let id = (self.log.len() as u16).wrapping_mul(31).wrapping_add(7);
-            let query = MessageBuilder::query(id, qname.clone(), qtype).build();
-            self.log.push(QueryLogEntry {
-                server,
-                qname: qname.clone(),
-                qtype,
-            });
-            if let Some(resp) = net.query(server, &query) {
-                return Ok(resp);
+        for attempt in 0..self.config.attempts_per_server.max(1) {
+            // re-rank every pass: a timeout in the previous pass moves
+            // that server to the back
+            let ordered = self.selector.order(servers);
+            for server in ordered {
+                if self.queries_this_call >= self.config.max_queries {
+                    return Err(ResolveError::BudgetExhausted {
+                        queries: self.queries_this_call,
+                    });
+                }
+                self.queries_this_call += 1;
+                if attempt > 0 {
+                    self.stats.retries += 1;
+                }
+                let id = (self.sent_total as u16).wrapping_mul(31).wrapping_add(7);
+                self.sent_total += 1;
+                let mut qb = MessageBuilder::query(id, qname.clone(), qtype);
+                if self.config.edns_size > 0 {
+                    qb = qb.with_edns(self.config.edns_size, self.config.do_bit);
+                }
+                if self.config.cd_bit {
+                    qb = qb.checking_disabled(true);
+                }
+                let query = qb.build();
+                if self.log_enabled {
+                    self.log.push(QueryLogEntry {
+                        server,
+                        qname: qname.clone(),
+                        qtype,
+                        edns_size: self.config.edns_size,
+                        do_bit: self.config.do_bit,
+                        cd_bit: self.config.cd_bit,
+                    });
+                }
+                match net.exchange(server, &query) {
+                    Exchange::Answer { message, rtt_us } => {
+                        self.selector.observe_rtt(server, rtt_us);
+                        return Ok(message);
+                    }
+                    Exchange::Timeout => {
+                        self.stats.timeouts += 1;
+                        self.selector.observe_timeout(server);
+                    }
+                }
             }
         }
         Err(ResolveError::Unreachable)
@@ -392,14 +581,16 @@ fn is_referral(resp: &Message) -> bool {
             .any(|r| matches!(r.rdata, RData::Soa { .. }))
 }
 
-/// Extract (cut, ns hosts, glue addresses) from a referral.
-fn parse_referral(resp: &Message) -> (Name, Vec<Name>, Vec<IpAddr>) {
+/// Extract (cut, ns hosts, glue addresses, NS TTL) from a referral.
+fn parse_referral(resp: &Message) -> (Name, Vec<Name>, Vec<IpAddr>, u32) {
     let mut cut = Name::root();
     let mut hosts = Vec::new();
+    let mut ttl = DEFAULT_ANSWER_TTL;
     for r in &resp.authorities {
         if let RData::Ns(host) = &r.rdata {
             cut = r.name.clone();
             hosts.push(host.clone());
+            ttl = r.ttl;
         }
     }
     let glue: Vec<IpAddr> = resp
@@ -411,7 +602,18 @@ fn parse_referral(resp: &Message) -> (Name, Vec<Name>, Vec<IpAddr>) {
             _ => None,
         })
         .collect();
-    (cut, hosts, glue)
+    (cut, hosts, glue, ttl)
+}
+
+/// Minimum TTL over the answer records for `owner` (the value a cache
+/// must honor), with a default when none match.
+fn answer_ttl(resp: &Message, owner: &Name) -> u32 {
+    resp.answers
+        .iter()
+        .filter(|r| r.name == *owner)
+        .map(|r| r.ttl)
+        .min()
+        .unwrap_or(DEFAULT_ANSWER_TTL)
 }
 
 /// The ancestor of `name` with exactly `depth` labels.
@@ -426,7 +628,7 @@ fn ancestor_at(name: &Name, depth: usize) -> Name {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hierarchy::{sample_world, ZoneBuilder};
+    use crate::hierarchy::{sample_world, Network, ZoneBuilder};
 
     fn n(s: &str) -> Name {
         s.parse().unwrap()
@@ -650,6 +852,10 @@ mod tests {
             r.resolve(&mut net, &n("www.dead."), RType::A),
             Err(ResolveError::Unreachable)
         );
+        // the retry machine tried the dead server on every pass and
+        // counted each timeout
+        assert!(r.stats.timeouts >= 2, "timeouts {}", r.stats.timeouts);
+        assert!(r.stats.retries >= 1, "retries {}", r.stats.retries);
     }
 
     #[test]
@@ -673,7 +879,7 @@ mod tests {
 #[cfg(test)]
 mod validate_tests {
     use super::*;
-    use crate::hierarchy::ZoneBuilder;
+    use crate::hierarchy::{Network, ZoneBuilder};
 
     fn n(s: &str) -> Name {
         s.parse().unwrap()
@@ -804,4 +1010,271 @@ mod validate_tests {
         assert!(!r.log.iter().any(|e| e.qtype == RType::Ds));
         assert!(!r.log.iter().any(|e| e.qtype == RType::Dnskey));
     }
+}
+
+/// The ISSUE's CD/AD satellite: EDNS size, DO and CD must ride on
+/// *every* hop of the walk — referral probes, Q-min probes, terminal
+/// queries, DS/DNSKEY fetches, glueless-NS re-walks and CNAME chases —
+/// not just the first query. One test per hop type.
+#[cfg(test)]
+mod flag_tests {
+    use super::*;
+    use crate::hierarchy::sample_world;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn flagged() -> ResolverConfig {
+        ResolverConfig {
+            qmin: true,
+            validate: true,
+            edns_size: 1232,
+            do_bit: true,
+            cd_bit: true,
+            ..Default::default()
+        }
+    }
+
+    fn assert_flags(e: &QueryLogEntry) {
+        assert_eq!(e.edns_size, 1232, "hop {}/{:?} lost EDNS", e.qname, e.qtype);
+        assert!(e.do_bit, "hop {}/{:?} lost DO", e.qname, e.qtype);
+        assert!(e.cd_bit, "hop {}/{:?} lost CD", e.qname, e.qtype);
+    }
+
+    #[test]
+    fn referral_hops_carry_flags() {
+        let mut net = super::validate_tests_world();
+        let mut r = IterativeResolver::new(flagged());
+        r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap();
+        // the walk's referral probes (root and TLD hops) are NS-typed
+        // under Q-min; every one must carry the flags
+        let probes: Vec<&QueryLogEntry> = r.log.iter().filter(|e| e.qtype == RType::Ns).collect();
+        assert!(!probes.is_empty(), "no referral/Q-min probe hops logged");
+        probes.iter().for_each(|e| assert_flags(e));
+    }
+
+    #[test]
+    fn terminal_query_carries_flags() {
+        let mut net = super::validate_tests_world();
+        let mut r = IterativeResolver::new(flagged());
+        r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap();
+        let terminal = r
+            .log
+            .iter()
+            .find(|e| e.qname == n("www.d0.zz.") && e.qtype == RType::A)
+            .expect("terminal hop logged");
+        assert_flags(terminal);
+    }
+
+    #[test]
+    fn ds_hop_carries_flags() {
+        let mut net = super::validate_tests_world();
+        let mut r = IterativeResolver::new(flagged());
+        r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap();
+        let ds = r
+            .log
+            .iter()
+            .find(|e| e.qtype == RType::Ds)
+            .expect("DS hop logged");
+        assert_flags(ds);
+    }
+
+    #[test]
+    fn dnskey_hop_carries_flags() {
+        let mut net = super::validate_tests_world();
+        let mut r = IterativeResolver::new(flagged());
+        r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap();
+        let dnskey = r
+            .log
+            .iter()
+            .find(|e| e.qtype == RType::Dnskey)
+            .expect("DNSKEY hop logged");
+        assert_flags(dnskey);
+    }
+
+    #[test]
+    fn glueless_ns_rewalk_carries_flags() {
+        // www.hosted.nl is served by an out-of-bailiwick NS: the
+        // resolver re-walks for ns.provider.nz. mid-resolution
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig {
+            edns_size: 1232,
+            do_bit: true,
+            cd_bit: true,
+            ..Default::default()
+        });
+        r.resolve(&mut net, &n("www.hosted.nl."), RType::A).unwrap();
+        let rewalk: Vec<&QueryLogEntry> = r
+            .log
+            .iter()
+            .filter(|e| e.qname == n("ns.provider.nz."))
+            .collect();
+        assert!(!rewalk.is_empty(), "no glueless re-walk hops logged");
+        for e in rewalk {
+            assert_eq!(e.edns_size, 1232);
+            assert!(e.do_bit && e.cd_bit, "glueless hop lost flags");
+        }
+    }
+
+    #[test]
+    fn cname_chase_carries_flags() {
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig {
+            edns_size: 1232,
+            do_bit: true,
+            cd_bit: true,
+            ..Default::default()
+        });
+        r.resolve(&mut net, &n("cdn.example.nl."), RType::A)
+            .unwrap();
+        assert!(!r.log.is_empty());
+        for e in &r.log {
+            assert_eq!(e.edns_size, 1232, "CNAME-chase hop {} lost EDNS", e.qname);
+            assert!(
+                e.do_bit && e.cd_bit,
+                "CNAME-chase hop {} lost flags",
+                e.qname
+            );
+        }
+    }
+
+    #[test]
+    fn every_hop_of_a_validating_qmin_walk_is_flagged() {
+        let mut net = super::validate_tests_world();
+        let mut r = IterativeResolver::new(flagged());
+        r.resolve(&mut net, &n("www.d0.zz."), RType::A).unwrap();
+        r.resolve(&mut net, &n("www.d1.zz."), RType::A).unwrap();
+        assert!(r.log.len() >= 6, "expected a multi-hop walk");
+        r.log.iter().for_each(assert_flags);
+    }
+}
+
+#[cfg(test)]
+mod fleet_cache_tests {
+    use super::*;
+    use crate::cache::SharedCache;
+    use crate::hierarchy::sample_world;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn shared_cache_absorbs_repeat_lookups_across_resolvers() {
+        let mut net = sample_world();
+        let shared = SharedCache::with_capacity(1024);
+        let mut a = IterativeResolver::new(ResolverConfig::default());
+        let mut b = IterativeResolver::new(ResolverConfig::default());
+        a.attach_shared_cache(shared.clone());
+        b.attach_shared_cache(shared.clone());
+
+        a.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        let sent_before = b.queries_sent();
+        // resolver B never walked, but the fleet cache answers
+        b.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        assert_eq!(b.queries_sent(), sent_before, "fleet cache hit");
+        assert_eq!(b.stats.cache_hits, 1);
+        assert!(shared.hits() >= 1);
+    }
+
+    #[test]
+    fn shared_entries_decay_by_record_ttl() {
+        let mut net = sample_world();
+        let shared = SharedCache::with_capacity(1024);
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        r.attach_shared_cache(shared.clone());
+
+        r.set_now_micros(0);
+        r.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        let walked = r.queries_sent();
+
+        // within the answer TTL (300s): served from the shared cache
+        r.set_now_micros(200_000_000);
+        r.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        assert_eq!(r.queries_sent(), walked);
+
+        // past the answer TTL but within the 3600s delegation TTL: the
+        // resolver re-queries the leaf zone only, not the whole chain
+        r.set_now_micros(400_000_000);
+        r.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        assert_eq!(r.queries_sent(), walked + 1, "one re-query at the leaf cut");
+
+        // past every TTL: full re-walk from the root
+        r.set_now_micros(4_000_000_000);
+        r.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        assert_eq!(r.queries_sent(), walked + 1 + 3, "cold re-walk");
+    }
+
+    #[test]
+    fn negative_answers_are_cached_in_the_fleet_cache() {
+        let mut net = sample_world();
+        let shared = SharedCache::with_capacity(1024);
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        r.attach_shared_cache(shared.clone());
+        assert_eq!(
+            r.resolve(&mut net, &n("nosuch.example.nl."), RType::A),
+            Err(ResolveError::NxDomain)
+        );
+        let sent = r.queries_sent();
+        // the denial is served from cache within the negative TTL
+        assert_eq!(
+            r.resolve(&mut net, &n("nosuch.example.nl."), RType::A),
+            Err(ResolveError::NxDomain)
+        );
+        assert_eq!(r.queries_sent(), sent, "negative cache hit");
+    }
+
+    #[test]
+    fn log_can_be_disabled_without_breaking_budget() {
+        let mut net = sample_world();
+        let mut r = IterativeResolver::new(ResolverConfig::default());
+        r.set_log_enabled(false);
+        r.resolve(&mut net, &n("www.example.nl."), RType::A)
+            .unwrap();
+        assert!(r.log.is_empty());
+        assert_eq!(r.queries_sent(), 3, "sent counter independent of log");
+    }
+}
+
+/// The signed test world, shared by the validation and flag tests.
+#[cfg(test)]
+fn validate_tests_world() -> crate::hierarchy::Network {
+    use crate::hierarchy::{Network, ZoneBuilder};
+    let mut net = Network::new();
+    net.add(
+        ZoneBuilder::new(".")
+            .signed()
+            .server("a.root.zz.", "198.41.0.4")
+            .delegate("zz.", &["ns1.tld.zz."])
+            .secure_delegation("zz.")
+            .address("ns1.tld.zz.", "203.0.113.1"),
+    );
+    let mut tld = ZoneBuilder::new("zz.")
+        .signed()
+        .server("ns1.tld.zz.", "203.0.113.1");
+    for (i, secure) in [(0, true), (1, true), (2, false)] {
+        let me = format!("d{i}.zz.");
+        let ns = format!("ns.d{i}.zz.");
+        let addr = format!("198.51.100.{}", i + 1);
+        tld = tld.delegate(&me, &[&ns]).address(&ns, &addr);
+        if secure {
+            tld = tld.secure_delegation(&me);
+        }
+        let mut leaf = ZoneBuilder::new(&me)
+            .server(&ns, &addr)
+            .address(&format!("www.{me}"), &format!("192.0.2.{}", i + 1));
+        if secure {
+            leaf = leaf.signed();
+        }
+        net.add(leaf);
+    }
+    net.add(tld);
+    net
 }

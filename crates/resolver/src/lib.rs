@@ -23,8 +23,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod hierarchy;
 pub mod iterative;
+pub mod selector;
+pub mod transport;
 
+pub use cache::{FleetCache, Negative, SharedCache};
 pub use hierarchy::{Network, ZoneBuilder};
-pub use iterative::{IterativeResolver, QueryLogEntry, ResolveError, ResolverConfig};
+pub use iterative::{
+    IterativeResolver, QueryLogEntry, ResolveError, ResolverConfig, ResolverStats,
+};
+pub use selector::{HostSelector, HostStats};
+pub use transport::{Exchange, Transport};

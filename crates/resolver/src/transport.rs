@@ -1,0 +1,53 @@
+//! The transport seam: how a resolver exchanges messages with servers.
+//!
+//! [`crate::iterative::IterativeResolver`] is generic over this trait,
+//! so the same walk/cache/retry logic runs against an in-process zone
+//! world (the test [`Network`], simnet's `ZoneModel` answerer) or real
+//! UDP/TCP sockets toward `authd` in live mode. The transport owns
+//! everything below the message layer — timeouts, truncation + TCP
+//! fallback, capture taps — and hands the resolver either a complete
+//! response with its measured round-trip time or a timeout.
+
+use crate::hierarchy::Network;
+use dns_wire::message::Message;
+use std::net::IpAddr;
+
+/// Outcome of one query/response exchange with a server.
+#[derive(Debug, Clone)]
+pub enum Exchange {
+    /// The server answered.
+    Answer {
+        /// The (reassembled, post-TCP-fallback) response message.
+        message: Message,
+        /// Measured (or modeled) round-trip time, microseconds; feeds
+        /// the resolver's per-host RTT selector.
+        rtt_us: u32,
+    },
+    /// No response within the transport's deadline: the resolver's
+    /// retry state machine takes over (next attempt / next server).
+    Timeout,
+}
+
+/// A pluggable resolver transport.
+pub trait Transport {
+    /// Exchange `query` with `server`, blocking until a response
+    /// arrives or the transport's deadline passes.
+    fn exchange(&mut self, server: IpAddr, query: &Message) -> Exchange;
+
+    /// The root-server addresses to start a cold walk from (the
+    /// priming hints a real resolver ships with).
+    fn root_servers(&self) -> Vec<IpAddr>;
+}
+
+impl Transport for Network {
+    fn exchange(&mut self, server: IpAddr, query: &Message) -> Exchange {
+        match self.query(server, query) {
+            Some(message) => Exchange::Answer { message, rtt_us: 0 },
+            None => Exchange::Timeout,
+        }
+    }
+
+    fn root_servers(&self) -> Vec<IpAddr> {
+        Network::root_servers(self)
+    }
+}

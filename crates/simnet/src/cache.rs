@@ -21,11 +21,32 @@ pub struct CacheKey {
     pub rtype: u16,
 }
 
+/// One cache entry: when it was inserted and how long it lives. Expiry
+/// is computed per lookup as `inserted + ttl` — every record decays on
+/// its own clock, never on a shared wall-time bucket boundary. (An
+/// entry inserted one second before a wall hour with a 120 s TTL must
+/// survive 119 s into the next hour.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheEntry {
+    inserted: SimTime,
+    ttl: SimDuration,
+}
+
+impl CacheEntry {
+    fn expiry(&self) -> SimTime {
+        self.inserted + self.ttl
+    }
+
+    fn live_at(&self, now: SimTime) -> bool {
+        self.expiry() > now
+    }
+}
+
 /// A TTL cache with a hard entry cap (oldest-expiry eviction on
 /// overflow) and hit/miss accounting.
 #[derive(Debug, Default)]
 pub struct TtlCache {
-    entries: HashMap<CacheKey, SimTime>,
+    entries: HashMap<CacheKey, CacheEntry>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -42,12 +63,13 @@ impl TtlCache {
         }
     }
 
-    /// Look up `key` at time `now`. A hit requires an unexpired entry.
+    /// Look up `key` at time `now`. A hit requires an entry whose own
+    /// `inserted + ttl` horizon is still ahead of `now`.
     /// Misses are *not* auto-inserted; call [`TtlCache::insert`] after
     /// the authoritative answer arrives.
     pub fn lookup(&mut self, key: CacheKey, now: SimTime) -> bool {
         match self.entries.get(&key) {
-            Some(&expiry) if expiry > now => {
+            Some(e) if e.live_at(now) => {
                 self.hits += 1;
                 true
             }
@@ -71,11 +93,24 @@ impl TtlCache {
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
             // evict the entry expiring soonest (cheap scan is fine at
             // the bounded sizes resolvers use)
-            if let Some(victim) = self.entries.iter().min_by_key(|(_, &t)| t).map(|(k, _)| *k) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.expiry())
+                .map(|(k, _)| *k)
+            {
                 self.entries.remove(&victim);
             }
         }
-        self.entries.insert(key, now + ttl);
+        self.entries.insert(key, CacheEntry { inserted: now, ttl });
+    }
+
+    /// Remaining lifetime of a live entry at `now`, if any.
+    pub fn remaining(&self, key: CacheKey, now: SimTime) -> Option<SimDuration> {
+        self.entries
+            .get(&key)
+            .filter(|e| e.live_at(now))
+            .map(|e| e.expiry() - now)
     }
 
     /// Entries currently stored (including expired-but-unswept).
@@ -200,6 +235,27 @@ mod tests {
         c.lookup(k(1), t0); // hit
         c.lookup(k(1), t0); // hit
         assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    /// Regression (ISSUE 10 satellite): expiry must be per-entry
+    /// `inserted + ttl`, not a wall-clock bucket. An entry inserted one
+    /// second before a wall-hour boundary with a 120 s TTL survives
+    /// 119 s into the next hour and dies exactly at insertion + TTL.
+    #[test]
+    fn expiry_is_insertion_plus_ttl_not_wall_bucket() {
+        let mut c = TtlCache::new(16);
+        let hour = SimTime::from_unix_secs(3600);
+        let t0 = SimTime::from_unix_secs(3599); // one second before the hour
+        c.insert(k(7), t0, SimDuration::from_secs(120));
+        // well past the wall-hour boundary, still live
+        assert!(c.lookup(k(7), hour + SimDuration::from_secs(60)));
+        assert!(c.lookup(k(7), t0 + SimDuration::from_secs(119)));
+        assert_eq!(
+            c.remaining(k(7), t0 + SimDuration::from_secs(119)),
+            Some(SimDuration::from_secs(1))
+        );
+        // dead exactly at insertion + ttl, not at the next bucket tick
+        assert!(!c.lookup(k(7), t0 + SimDuration::from_secs(120)));
     }
 
     /// Property: the cache never serves an entry past its TTL.

@@ -75,7 +75,7 @@ impl DatasetStats {
     /// Fold a time slice's counters into this block. `per_fleet` is
     /// left untouched: slice merging tracks fleet counts positionally
     /// and attaches names once at the end.
-    fn absorb(&mut self, other: &DatasetStats) {
+    pub(crate) fn absorb(&mut self, other: &DatasetStats) {
         self.queries += other.queries;
         self.responses += other.responses;
         self.truncated_udp += other.truncated_udp;
@@ -97,7 +97,7 @@ struct SliceOut {
 /// RNG seed for one time slice: stable-hash the dataset seed with the
 /// slot index, so any sharding of the slot range reproduces identical
 /// per-slice streams.
-fn slice_seed(seed: u64, slot: usize) -> u64 {
+pub(crate) fn slice_seed(seed: u64, slot: usize) -> u64 {
     splitmix((seed ^ 0xe46).wrapping_add((slot as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
 }
 
@@ -179,6 +179,30 @@ impl Engine {
     /// Total queries after scaling.
     pub fn scaled_total(&self) -> u64 {
         (self.spec.total_queries as f64 * self.scale.queries) as u64
+    }
+    /// The dataset seed (fleet/live paths derive per-slot streams from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+    /// The scaling knobs in effect.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+    /// The materialized fleets, in spec order.
+    pub fn fleets(&self) -> &[Fleet] {
+        &self.fleets
+    }
+    /// The authoritative responder for the vantage zone.
+    pub fn auth(&self) -> &Authoritative {
+        &self.auth
+    }
+    /// The Zipf popularity sampler over the zone's registered domains.
+    pub fn zipf(&self) -> &ZipfSampler {
+        &self.zipf
+    }
+    /// The junk-name generator for this zone.
+    pub fn junk_gen(&self) -> &JunkGenerator {
+        &self.junk
     }
 
     /// Generate the dataset into a capture writer (single-threaded).
@@ -438,7 +462,9 @@ impl Engine {
             stats.junk_queries += emitted;
         }
         if cacheable {
-            let ttl = SimDuration::from_secs(spec.cache_ttl.as_secs());
+            // the spec's TTL verbatim: entries decay per-record from
+            // their own insertion instant (no whole-second rounding)
+            let ttl = spec.cache_ttl;
             caches
                 .entry(r_idx as u32)
                 .or_insert_with(|| TtlCache::new(CACHE_CAP))
@@ -863,7 +889,7 @@ pub(crate) fn pick_qtype(mix: &[(RType, f64)], rng: &mut StdRng) -> RType {
 }
 
 /// Diurnal + weekly load shape (cf. "When the Internet Sleeps").
-fn diurnal_weight(t: SimTime) -> f64 {
+pub(crate) fn diurnal_weight(t: SimTime) -> f64 {
     let h = t.hour_of_day_f64();
     let day = t.weekday();
     let daily = 1.0 + 0.35 * ((h - 14.0) / 24.0 * std::f64::consts::TAU).cos();

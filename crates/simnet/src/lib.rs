@@ -32,6 +32,7 @@
 pub mod auth;
 pub mod cache;
 pub mod drive;
+pub mod emerge;
 pub mod engine;
 pub mod fleet;
 pub mod profile;

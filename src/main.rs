@@ -181,6 +181,12 @@ const VALUE_FLAGS: &[(&str, &str, &str)] = &[
         "serve/loadgen/live: stop after this long",
     ),
     ("--queries", "N", "loadgen/live: stop after N queries"),
+    (
+        "--resolvers",
+        "N",
+        "loadgen/live: drive N algorithmic resolver instances (fleet mode) \
+         instead of the calibrated replay",
+    ),
     ("--port", "N", "serve: fixed port (default ephemeral)"),
     ("--workers", "N", "loadgen/live: load worker threads"),
     (
@@ -282,6 +288,12 @@ const BOOL_FLAGS: &[(&str, &str)] = &[
     (
         "--keep-capture",
         "dataset/scenario: keep the intermediate capture file",
+    ),
+    (
+        "--fleet",
+        "dataset/scenario/concentration/junk-overview: generate with the \
+         algorithmic resolver fleet (emergent signatures) instead of the \
+         calibrated sampler",
     ),
     ("--stats", "print the per-stage time/throughput table"),
     (
@@ -482,12 +494,14 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
         return Err("--jobs must be at least 1".to_string());
     }
     let keep_capture = flags.iter().any(|f| *f == "--keep-capture");
+    let fleet = flags.iter().any(|f| *f == "--fleet");
     // capture kept next to the cwd, named after the dataset
     let opts_for = |id: &str| PipelineOpts {
         shards,
         jobs,
         keep_capture: keep_capture.then(|| std::path::PathBuf::from(format!("{id}.dnscap"))),
         warehouse: None,
+        fleet,
     };
 
     match positional.first().map(|s| s.as_str()) {
@@ -676,6 +690,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             let pipe = PipelineOpts {
                 shards,
                 jobs,
+                fleet,
                 ..PipelineOpts::default()
             };
             let reports: Vec<_> = dnscentral_core::run_suite(specs, scale, seed, &pipe, jobs)
@@ -729,6 +744,7 @@ fn run_command(flags: &[&String], positional: &[&String]) -> Result<ExitCode, St
             let pipe = PipelineOpts {
                 shards,
                 jobs,
+                fleet,
                 ..PipelineOpts::default()
             };
             let measured: Vec<_> = dnscentral_core::run_suite(specs, scale, seed, &pipe, jobs)
@@ -952,6 +968,38 @@ fn loadgen_cli(
 
     authd::signal::install();
     let stats = authd::Stats::new();
+    if let Some(resolvers) = parsed_flag(flags, "--resolvers", "a count")? {
+        let mut fg = authd::FleetgenConfig::new(
+            config.spec.clone(),
+            config.scale,
+            config.seed,
+            config.server_udp,
+            config.server_tcp,
+        );
+        fg.resolvers = resolvers;
+        fg.workers = config.workers;
+        fg.max_queries = config.max_queries;
+        fg.duration = config.duration;
+        let report = authd::run_fleetgen(&fg, &stats).expect("fleetgen runs");
+        println!("{}", stats.snapshot(report.elapsed.as_secs_f64()));
+        println!(
+            "fleet  | resolvers {} cache-hit {:.3} stimuli {} retries {} timeouts {}",
+            resolvers,
+            report.cache_hit_ratio,
+            report.stimuli,
+            report.resolver_retries,
+            report.resolver_timeouts
+        );
+        println!(
+            "sent {} received {} timeouts {} tcp-fallbacks {} in {:.2}s",
+            report.sent,
+            report.received,
+            report.timeouts,
+            report.tcp_fallbacks,
+            report.elapsed.as_secs_f64()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     let report = authd::run_loadgen(&config, &stats).expect("loadgen runs");
     println!("{}", stats.snapshot(report.elapsed.as_secs_f64()));
     println!(
@@ -997,6 +1045,7 @@ fn live_cli(
     config.stats_interval = flag_value(flags, "--stats-interval")
         .map(parse_duration)
         .transpose()?;
+    config.resolvers = parsed_flag(flags, "--resolvers", "a count")?;
 
     authd::signal::install();
     let report = authd::run_live(&config).expect("live loop runs");
@@ -1013,6 +1062,16 @@ fn live_cli(
     );
     println!("serve  | {}", report.server);
     println!("loadgen| {}", report.client);
+    if let Some(fleet) = &report.fleet {
+        println!(
+            "fleet  | resolvers {} cache-hit {:.3} stimuli {} retries {} timeouts {}",
+            config.resolvers.unwrap_or(0),
+            fleet.cache_hit_ratio,
+            fleet.stimuli,
+            fleet.resolver_retries,
+            fleet.resolver_timeouts
+        );
+    }
     if report.records == 0 {
         eprintln!("live run produced an empty capture");
         return Ok(ExitCode::FAILURE);

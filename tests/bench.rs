@@ -46,6 +46,9 @@ fn bench_list_covers_the_required_scenarios() {
         "serve/respond_tcp",
         "authd/saturation",
         "authd/saturation_single",
+        "resolver/resolve_cold",
+        "resolver/resolve_cached",
+        "fleet/live_1k",
         "warehouse/scan_explain",
         "obs/flight_record",
     ] {
